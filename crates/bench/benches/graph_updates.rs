@@ -1,0 +1,53 @@
+//! Criterion wall-clock benchmarks of batch graph updates (the Figure 6
+//! workload at micro scale): edge insertion and deletion on Moctopus and the
+//! RedisGraph-like baseline.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use moctopus::GraphEngine;
+use moctopus_bench::{HarnessOptions, TraceWorkload};
+
+fn bench_updates(c: &mut Criterion) {
+    let mut options = HarnessOptions::default();
+    options.scale = 0.002;
+    options.batch = 1024;
+
+    let workload = TraceWorkload::generate(10, &options); // web-Google stand-in
+    let inserts = graph_gen::stream::sample_new_edges(&workload.graph, options.batch, 3);
+    let deletes = graph_gen::stream::sample_existing_edges(&workload.graph, options.batch, 5);
+
+    let mut group = c.benchmark_group("graph_updates");
+    group.sample_size(15);
+
+    group.bench_function("moctopus/insert_batch", |b| {
+        b.iter_batched(
+            || workload.moctopus(&options),
+            |mut system| system.insert_edges(&inserts),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("moctopus/delete_batch", |b| {
+        b.iter_batched(
+            || workload.moctopus(&options),
+            |mut system| system.delete_edges(&deletes),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("redisgraph_like/insert_batch", |b| {
+        b.iter_batched(
+            || workload.host_baseline(&options),
+            |mut system| system.insert_edges(&inserts),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("redisgraph_like/delete_batch", |b| {
+        b.iter_batched(
+            || workload.host_baseline(&options),
+            |mut system| system.delete_edges(&deletes),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

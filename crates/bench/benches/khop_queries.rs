@@ -1,0 +1,47 @@
+//! Criterion wall-clock benchmarks of batch k-hop query execution on the
+//! three engines (the Figure 4 workload at micro scale).
+//!
+//! The experiment binaries report *simulated* latency; these benches track the
+//! wall-clock throughput of the simulator itself so performance regressions in
+//! the engine implementations are caught.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moctopus::GraphEngine;
+use moctopus_bench::{HarnessOptions, TraceWorkload};
+
+fn bench_khop(c: &mut Criterion) {
+    let mut options = HarnessOptions::default();
+    options.scale = 0.002;
+    options.batch = 512;
+
+    let mut group = c.benchmark_group("khop_batch");
+    group.sample_size(20);
+    // One low-skew road trace and one highly skewed web trace.
+    for trace_id in [2usize, 12] {
+        let workload = TraceWorkload::generate(trace_id, &options);
+        let mut moctopus = workload.moctopus(&options);
+        let mut pim_hash = workload.pim_hash(&options);
+        let mut baseline = workload.host_baseline(&options);
+        for k in [1usize, 3] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("moctopus/{}", workload.spec.name), k),
+                &k,
+                |b, &k| b.iter(|| moctopus.k_hop_batch(&workload.sources, k)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("pim_hash/{}", workload.spec.name), k),
+                &k,
+                |b, &k| b.iter(|| pim_hash.k_hop_batch(&workload.sources, k)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("redisgraph_like/{}", workload.spec.name), k),
+                &k,
+                |b, &k| b.iter(|| baseline.k_hop_batch(&workload.sources, k)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_khop);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion benchmarks of the partitioning algorithms: streaming assignment
+//! throughput (hash vs the radical greedy heuristic vs LDG) and the cost of
+//! one refinement pass — the overhead comparison behind Section 3.2.2's
+//! "low partitioning overhead" claim.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use graph_partition::{GreedyAdaptivePartitioner, HashPartitioner, StreamingPartitioner};
+use moctopus_bench::{HarnessOptions, TraceWorkload};
+
+fn bench_partitioning(c: &mut Criterion) {
+    let mut options = HarnessOptions::default();
+    options.scale = 0.005;
+    options.batch = 256;
+    let workload = TraceWorkload::generate(12, &options); // web-Stanford stand-in
+    let modules = 64;
+
+    let mut group = c.benchmark_group("partitioning");
+    group.sample_size(20);
+
+    group.bench_function("stream/hash", |b| {
+        b.iter_batched(
+            || HashPartitioner::new(modules),
+            |mut p| {
+                for &(s, d) in &workload.edges {
+                    p.on_edge(s, d);
+                }
+                p
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("stream/greedy_adaptive", |b| {
+        b.iter_batched(
+            || GreedyAdaptivePartitioner::new(modules),
+            |mut p| {
+                for &(s, d) in &workload.edges {
+                    p.on_edge(s, d);
+                }
+                p
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("offline/ldg", |b| {
+        b.iter(|| graph_partition::ldg::partition_graph(&workload.graph, modules, 1.05))
+    });
+    group.bench_function("offline/adaptive_3_rounds", |b| {
+        b.iter(|| graph_partition::adaptive::partition_graph(&workload.graph, modules, 1.05, 3))
+    });
+    group.bench_function("refine/greedy_adaptive_pass", |b| {
+        b.iter_batched(
+            || {
+                let mut p = GreedyAdaptivePartitioner::new(modules);
+                for &(s, d) in &workload.edges {
+                    p.on_edge(s, d);
+                }
+                p
+            },
+            |mut p| p.refine(&workload.graph),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioning);
+criterion_main!(benches);

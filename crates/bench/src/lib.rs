@@ -1,0 +1,281 @@
+//! Shared harness code for regenerating the paper's tables and figures.
+//!
+//! Every experiment binary (`table1`, `fig4`, `fig5`, `fig6`, `summary`,
+//! `ablation`) builds its workloads and engines through this library so the
+//! scaling rules are identical everywhere:
+//!
+//! * graphs are generated from the Table 1 trace specifications at a uniform
+//!   `--scale` factor (default 1/64 of the original node counts);
+//! * the query batch size and the update batch size are the paper's 64 K,
+//!   scaled by the same factor (with a floor so tiny scales stay meaningful);
+//! * the modeled host last-level cache shrinks with the graph so the
+//!   scaled-down runs stay in the paper's "graph ≫ cache" regime (see the
+//!   substitution notes in EXPERIMENTS.md);
+//! * all latencies reported by the binaries are **simulated times** from the
+//!   [`pim_sim`] cost model, the quantity the paper's figures plot.
+
+use graph_gen::traces::TraceSpec;
+use graph_store::{AdjacencyGraph, NodeId};
+use moctopus::{GraphEngine, HostBaseline, MoctopusConfig, MoctopusSystem, PimHashSystem};
+
+/// Command-line options shared by every experiment binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessOptions {
+    /// Uniform scale factor applied to the paper's node counts (default 1/64).
+    pub scale: f64,
+    /// Batch size for queries and updates (default: 64 K × `scale`, ≥ 1024).
+    pub batch: usize,
+    /// Random seed for graph generation and workload sampling.
+    pub seed: u64,
+    /// Trace ids to run (defaults to all fifteen).
+    pub traces: Vec<usize>,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        let scale = 1.0 / 64.0;
+        HarnessOptions {
+            scale,
+            batch: Self::scaled_batch(scale),
+            seed: 42,
+            traces: (1..=15).collect(),
+        }
+    }
+}
+
+impl HarnessOptions {
+    /// The paper's 64 K batch, scaled, with a floor of 1024.
+    pub fn scaled_batch(scale: f64) -> usize {
+        ((64.0 * 1024.0 * scale) as usize).max(1024)
+    }
+
+    /// Parses options from command-line arguments.
+    ///
+    /// Recognised flags: `--scale <f64>`, `--batch <usize>`, `--seed <u64>`,
+    /// `--traces <comma separated ids>`. Unknown flags are ignored so binaries
+    /// can add their own.
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut options = HarnessOptions::default();
+        let mut explicit_batch = false;
+        let args: Vec<String> = args.into_iter().collect();
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            let value = args.get(i + 1).cloned();
+            match (flag, value) {
+                ("--scale", Some(v)) => {
+                    if let Ok(s) = v.parse::<f64>() {
+                        options.scale = s.clamp(1e-6, 1.0);
+                    }
+                    i += 2;
+                }
+                ("--batch", Some(v)) => {
+                    if let Ok(b) = v.parse::<usize>() {
+                        options.batch = b.max(1);
+                        explicit_batch = true;
+                    }
+                    i += 2;
+                }
+                ("--seed", Some(v)) => {
+                    if let Ok(s) = v.parse::<u64>() {
+                        options.seed = s;
+                    }
+                    i += 2;
+                }
+                ("--traces", Some(v)) => {
+                    let ids: Vec<usize> = v
+                        .split(',')
+                        .filter_map(|t| t.trim().parse::<usize>().ok())
+                        .filter(|&t| (1..=15).contains(&t))
+                        .collect();
+                    if !ids.is_empty() {
+                        options.traces = ids;
+                    }
+                    i += 2;
+                }
+                _ => i += 1,
+            }
+        }
+        if !explicit_batch {
+            options.batch = Self::scaled_batch(options.scale);
+        }
+        options
+    }
+
+    /// Parses options from `std::env::args()` (skipping the binary name).
+    pub fn from_env() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// The system configuration used by the PIM engines and the baseline,
+    /// with the host cache scaled down alongside the graph.
+    pub fn system_config(&self) -> MoctopusConfig {
+        let mut cfg = MoctopusConfig::paper_defaults();
+        let scaled_cache = (22.0 * 1024.0 * 1024.0 * self.scale) as u64;
+        cfg.pim.host.cache_capacity_bytes = scaled_cache.max(64 * 1024);
+        cfg
+    }
+}
+
+/// A generated workload for one trace: the graph, its edge stream, and the
+/// query start nodes.
+#[derive(Debug, Clone)]
+pub struct TraceWorkload {
+    /// The trace specification this workload was generated from.
+    pub spec: &'static TraceSpec,
+    /// The synthetic stand-in graph.
+    pub graph: AdjacencyGraph,
+    /// The graph's edges in ingestion order.
+    pub edges: Vec<(NodeId, NodeId)>,
+    /// Randomly selected start nodes (batch of queries).
+    pub sources: Vec<NodeId>,
+}
+
+impl TraceWorkload {
+    /// Generates the workload for one paper trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace_id` is not in `1..=15`.
+    pub fn generate(trace_id: usize, options: &HarnessOptions) -> Self {
+        let spec = TraceSpec::by_trace_id(trace_id).expect("trace id must be 1..=15");
+        let graph = spec.generate(options.scale, options.seed ^ trace_id as u64);
+        let mut edges: Vec<(NodeId, NodeId)> = graph.edges().map(|(s, d, _)| (s, d)).collect();
+        edges.sort();
+        let sources = graph_gen::stream::sample_start_nodes(&graph, options.batch, options.seed);
+        TraceWorkload { spec, graph, edges, sources }
+    }
+
+    /// Builds a Moctopus system loaded with this workload.
+    pub fn moctopus(&self, options: &HarnessOptions) -> MoctopusSystem {
+        MoctopusSystem::from_edge_stream(options.system_config(), &self.edges)
+    }
+
+    /// Builds a PIM-hash system loaded with this workload.
+    pub fn pim_hash(&self, options: &HarnessOptions) -> PimHashSystem {
+        PimHashSystem::from_edge_stream(options.system_config(), &self.edges)
+    }
+
+    /// Builds the RedisGraph-like baseline loaded with this workload.
+    pub fn host_baseline(&self, options: &HarnessOptions) -> HostBaseline {
+        HostBaseline::from_edge_stream(options.system_config(), &self.edges)
+    }
+
+    /// Builds all three engines, boxed, in the order the paper plots them.
+    pub fn all_engines(&self, options: &HarnessOptions) -> Vec<Box<dyn GraphEngine>> {
+        vec![
+            Box::new(self.moctopus(options)),
+            Box::new(self.pim_hash(options)),
+            Box::new(self.host_baseline(options)),
+        ]
+    }
+}
+
+/// Geometric mean of a slice of positive ratios (1.0 for an empty slice).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Formats a simulated latency in milliseconds with three decimals.
+pub fn fmt_ms(t: pim_sim::SimTime) -> String {
+    format!("{:.3}", t.as_millis())
+}
+
+/// Prints a right-aligned table row from already formatted cells.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let row: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>width$}", width = w))
+        .collect();
+    println!("{}", row.join("  "));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_cover_all_traces() {
+        let o = HarnessOptions::default();
+        assert_eq!(o.traces.len(), 15);
+        assert_eq!(o.batch, 1024);
+        assert!(o.scale > 0.0);
+    }
+
+    #[test]
+    fn argument_parsing_overrides_defaults() {
+        let o = HarnessOptions::from_args(
+            ["--scale", "0.5", "--batch", "2048", "--seed", "7", "--traces", "1,2,99"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(o.scale, 0.5);
+        assert_eq!(o.batch, 2048);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.traces, vec![1, 2]);
+    }
+
+    #[test]
+    fn batch_follows_scale_unless_explicit() {
+        let o = HarnessOptions::from_args(["--scale", "1.0"].iter().map(|s| s.to_string()));
+        assert_eq!(o.batch, 64 * 1024);
+        let o2 = HarnessOptions::from_args(
+            ["--scale", "1.0", "--batch", "128"].iter().map(|s| s.to_string()),
+        );
+        assert_eq!(o2.batch, 128);
+    }
+
+    #[test]
+    fn unknown_flags_are_ignored() {
+        let o = HarnessOptions::from_args(["--nope", "x", "--scale", "0.25"].iter().map(|s| s.to_string()));
+        assert_eq!(o.scale, 0.25);
+    }
+
+    #[test]
+    fn workload_generation_matches_spec_family() {
+        let mut options = HarnessOptions::default();
+        options.scale = 0.001;
+        options.batch = 64;
+        let road = TraceWorkload::generate(1, &options);
+        assert_eq!(road.spec.trace_id, 1);
+        assert_eq!(road.graph.count_high_degree(16), 0);
+        assert_eq!(road.sources.len(), 64);
+        let skewed = TraceWorkload::generate(12, &options);
+        assert!(skewed.graph.count_high_degree(16) > 0);
+    }
+
+    #[test]
+    fn engines_built_from_a_workload_agree() {
+        let mut options = HarnessOptions::default();
+        options.scale = 0.0005;
+        options.batch = 32;
+        let w = TraceWorkload::generate(14, &options);
+        let mut engines = w.all_engines(&options);
+        let (reference, _) = engines[2].k_hop_batch(&w.sources, 2);
+        for engine in engines.iter_mut().take(2) {
+            let (r, _) = engine.k_hop_batch(&w.sources, 2);
+            assert_eq!(r, reference, "{} differs from the baseline", engine.name());
+        }
+    }
+
+    #[test]
+    fn geometric_mean_behaviour() {
+        assert_eq!(geometric_mean(&[]), 1.0);
+        assert!((geometric_mean(&[4.0, 1.0]) - 2.0).abs() < 1e-9);
+        assert!((geometric_mean(&[8.0]) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_config_shrinks_the_cache() {
+        let mut options = HarnessOptions::default();
+        options.scale = 0.01;
+        let cfg = options.system_config();
+        assert!(cfg.pim.host.cache_capacity_bytes < 22 * 1024 * 1024);
+        assert!(cfg.pim.host.cache_capacity_bytes >= 64 * 1024);
+    }
+}

@@ -1,0 +1,109 @@
+//! System configuration shared by the PIM-based engines.
+
+use graph_partition::GreedyAdaptiveConfig;
+use pim_sim::PimConfig;
+
+/// Configuration of a Moctopus (or PIM-hash) deployment.
+///
+/// # Examples
+///
+/// ```
+/// use moctopus::MoctopusConfig;
+/// let cfg = MoctopusConfig::paper_defaults();
+/// assert_eq!(cfg.pim.num_modules, 64);
+/// assert!(cfg.labor_division);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MoctopusConfig {
+    /// The simulated PIM platform (module count, bandwidths, latencies).
+    pub pim: PimConfig,
+    /// Out-degree above which a node is promoted to the host (paper: 16).
+    pub high_degree_threshold: usize,
+    /// Capacity slack of the dynamic load-balance constraint (paper: 1.05).
+    pub capacity_slack: f64,
+    /// Enables labor division (host handles high-degree nodes). Disabled for
+    /// the PIM-hash contrast system and for ablations.
+    pub labor_division: bool,
+    /// Fraction of locally-hit next-hops below which a node counts as
+    /// incorrectly partitioned during refinement.
+    pub mislocal_threshold: f64,
+}
+
+impl MoctopusConfig {
+    /// The configuration used in the paper's evaluation: one UPMEM rank
+    /// (64 PIM modules) plus a dedicated host core.
+    pub fn paper_defaults() -> Self {
+        MoctopusConfig {
+            pim: PimConfig::upmem_rank(),
+            high_degree_threshold: graph_store::HIGH_DEGREE_THRESHOLD,
+            capacity_slack: 1.05,
+            labor_division: true,
+            mislocal_threshold: 0.5,
+        }
+    }
+
+    /// A small 8-module configuration for unit tests and doc examples.
+    pub fn small_test() -> Self {
+        MoctopusConfig { pim: PimConfig::small_test(), ..Self::paper_defaults() }
+    }
+
+    /// Returns a copy configured for a different number of PIM modules.
+    pub fn with_modules(mut self, num_modules: usize) -> Self {
+        self.pim = self.pim.with_modules(num_modules);
+        self
+    }
+
+    /// The partitioner configuration implied by this system configuration.
+    pub fn partitioner_config(&self) -> GreedyAdaptiveConfig {
+        GreedyAdaptiveConfig {
+            num_pim_modules: self.pim.num_modules,
+            high_degree_threshold: self.high_degree_threshold,
+            capacity_slack: self.capacity_slack,
+            labor_division: self.labor_division,
+            mislocal_threshold: self.mislocal_threshold,
+        }
+    }
+}
+
+impl Default for MoctopusConfig {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_paper_parameters() {
+        let cfg = MoctopusConfig::paper_defaults();
+        assert_eq!(cfg.pim.num_modules, 64);
+        assert_eq!(cfg.high_degree_threshold, 16);
+        assert!((cfg.capacity_slack - 1.05).abs() < 1e-9);
+        assert!(cfg.labor_division);
+    }
+
+    #[test]
+    fn with_modules_propagates_to_pim_config() {
+        let cfg = MoctopusConfig::paper_defaults().with_modules(16);
+        assert_eq!(cfg.pim.num_modules, 16);
+        assert_eq!(cfg.partitioner_config().num_pim_modules, 16);
+    }
+
+    #[test]
+    fn partitioner_config_mirrors_flags() {
+        let mut cfg = MoctopusConfig::small_test();
+        cfg.labor_division = false;
+        cfg.mislocal_threshold = 0.25;
+        let p = cfg.partitioner_config();
+        assert!(!p.labor_division);
+        assert_eq!(p.mislocal_threshold, 0.25);
+        assert_eq!(p.num_pim_modules, 8);
+    }
+
+    #[test]
+    fn default_is_paper_defaults() {
+        assert_eq!(MoctopusConfig::default(), MoctopusConfig::paper_defaults());
+    }
+}

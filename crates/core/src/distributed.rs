@@ -1,0 +1,696 @@
+//! The shared distributed PIM execution engine.
+//!
+//! Moctopus and the PIM-hash contrast system differ only in *where rows are
+//! placed* (greedy-adaptive partitioning with labor division versus plain
+//! hashing); the operator processors, the communication accounting, and the
+//! update machinery are identical. [`DistributedPimEngine`] implements that
+//! shared machinery once:
+//!
+//! * every PIM module owns a [`LocalGraphStorage`] hash-map segment of the
+//!   adjacency matrix;
+//! * the host owns a [`HeterogeneousStorage`] for high-degree rows (empty when
+//!   labor division is off, as in PIM-hash);
+//! * batch k-hop queries are executed hop by hop: each frontier entry is
+//!   expanded by the computing node that owns its row, produced next-hops that
+//!   leave the module are charged as inter-PIM communication (forwarded by the
+//!   CPU), and each hop's PIM latency is the *slowest* module (stragglers from
+//!   load imbalance are therefore visible in the result, exactly as on the
+//!   real platform);
+//! * batch updates are routed to the owning computing node and charged to the
+//!   narrow CPU↔PIM bus plus the owner's compute budget.
+
+use crate::config::MoctopusConfig;
+use crate::stats::{QueryStats, UpdateStats};
+use graph_partition::{
+    GreedyAdaptivePartitioner, HashPartitioner, MigrationReport, PartitionAssignment,
+    PartitionMetrics, StreamingPartitioner,
+};
+use graph_store::{
+    AdjacencyGraph, HeterogeneousStorage, Label, LocalGraphStorage, NodeId, PartitionId,
+};
+use pim_sim::{Phase, PimSystem, SimTime, Timeline};
+
+/// Bytes of one routed frontier entry: the destination node id. Query
+/// membership is implicit in the per-query transfer buffers, so only the node
+/// id crosses the bus (as in the paper's column-index result matrices).
+const ENTRY_BYTES: u64 = 8;
+/// Bytes of one routed edge: (source id, destination id).
+const EDGE_BYTES: u64 = 16;
+/// Bytes of one node id.
+const ID_BYTES: u64 = 8;
+
+/// The placement policy driving a [`DistributedPimEngine`].
+#[derive(Debug, Clone)]
+pub enum PlacementPolicy {
+    /// The paper's greedy-adaptive partitioner with labor division.
+    GreedyAdaptive(GreedyAdaptivePartitioner),
+    /// Consistent hashing over PIM modules (the PIM-hash contrast system).
+    Hash(HashPartitioner),
+}
+
+impl PlacementPolicy {
+    fn on_edge(&mut self, src: NodeId, dst: NodeId) {
+        match self {
+            PlacementPolicy::GreedyAdaptive(p) => p.on_edge(src, dst),
+            PlacementPolicy::Hash(p) => p.on_edge(src, dst),
+        }
+    }
+
+    fn on_edge_delete(&mut self, src: NodeId, dst: NodeId) {
+        if let PlacementPolicy::GreedyAdaptive(p) = self {
+            p.on_edge_delete(src, dst);
+        }
+    }
+
+    fn partition_of(&self, node: NodeId) -> Option<PartitionId> {
+        match self {
+            PlacementPolicy::GreedyAdaptive(p) => p.partition_of(node),
+            PlacementPolicy::Hash(p) => p.partition_of(node),
+        }
+    }
+
+    fn assignment(&self) -> &PartitionAssignment {
+        match self {
+            PlacementPolicy::GreedyAdaptive(p) => p.assignment(),
+            PlacementPolicy::Hash(p) => p.assignment(),
+        }
+    }
+}
+
+/// Distributed graph engine over a simulated PIM platform.
+#[derive(Debug, Clone)]
+pub struct DistributedPimEngine {
+    config: MoctopusConfig,
+    pim: PimSystem,
+    policy: PlacementPolicy,
+    local_stores: Vec<LocalGraphStorage>,
+    host_store: HeterogeneousStorage,
+    edge_count: usize,
+}
+
+impl DistributedPimEngine {
+    /// Creates an engine with the given placement policy.
+    pub fn new(config: MoctopusConfig, policy: PlacementPolicy) -> Self {
+        let pim = PimSystem::new(config.pim);
+        let local_stores = (0..config.pim.num_modules).map(|_| LocalGraphStorage::new()).collect();
+        DistributedPimEngine {
+            config,
+            pim,
+            policy,
+            local_stores,
+            host_store: HeterogeneousStorage::new(),
+            edge_count: 0,
+        }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &MoctopusConfig {
+        &self.config
+    }
+
+    /// The simulated PIM platform (busy times, load imbalance, MRAM usage).
+    pub fn pim(&self) -> &PimSystem {
+        &self.pim
+    }
+
+    /// The current node-to-partition assignment.
+    pub fn assignment(&self) -> &PartitionAssignment {
+        self.policy.assignment()
+    }
+
+    /// Number of directed edges stored across all computing nodes.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Number of rows resident on the host (high-degree nodes).
+    pub fn host_row_count(&self) -> usize {
+        self.host_store.row_count()
+    }
+
+    /// Load-imbalance factor observed so far (max module busy time / mean).
+    pub fn load_imbalance(&self) -> f64 {
+        self.pim.load_imbalance()
+    }
+
+    /// The PIM module that stores the host-side supplementary maps for `row`
+    /// (the `elem_position_map` / `free_list_map` shards).
+    fn aux_module(&self, row: NodeId) -> usize {
+        (row.0.wrapping_mul(0xff51_afd7_ed55_8ccd) % self.config.pim.num_modules as u64) as usize
+    }
+
+    /// Where the row of `node` currently lives. Falls back to a hash placement
+    /// for nodes the partitioner has not seen (defensive; should not happen).
+    fn owner(&self, node: NodeId) -> Option<PartitionId> {
+        self.policy.partition_of(node)
+    }
+
+    // ------------------------------------------------------------------
+    // Updates
+    // ------------------------------------------------------------------
+
+    /// Inserts a batch of edges, routing each one to the computing node that
+    /// owns the source row and charging the work to the cost model.
+    pub fn insert_edges(&mut self, edges: &[(NodeId, NodeId)]) -> UpdateStats {
+        let module_count = self.config.pim.num_modules;
+        let mut per_module = vec![SimTime::ZERO; module_count];
+        let mut host_time = SimTime::ZERO;
+        let mut cpu_to_pim_bytes = 0u64;
+        let mut pim_to_cpu_bytes = 0u64;
+        let mut applied = 0usize;
+        let mut timeline = Timeline::new();
+
+        for &(src, dst) in edges {
+            // Partitioning decision happens on edge arrival (radical greedy).
+            let before = self.owner(src);
+            self.policy.on_edge(src, dst);
+            let after = self.owner(src).expect("source was just assigned");
+            // Labor division: the node may have just crossed the threshold.
+            if let (Some(PartitionId::Pim(old)), PartitionId::Host) = (before, after) {
+                self.promote_to_host(src, old as usize, &mut per_module, &mut host_time, &mut pim_to_cpu_bytes);
+            }
+
+            match after {
+                PartitionId::Host => {
+                    // Heterogeneous storage: PIM side checks existence and
+                    // allocates the slot, host writes one position.
+                    let outcome = self.host_store.insert_edge(src, dst);
+                    let aux = self.aux_module(src);
+                    per_module[aux] += self.pim.pim_hash_lookup_cost(ID_BYTES) * outcome.cost.pim_lookups as f64
+                        + self.pim.pim_instructions_cost(60 * outcome.cost.pim_mutations);
+                    host_time += self.pim.host_sequential_read_cost(outcome.cost.host_bytes_written)
+                        + self.pim.host_instructions_cost(40);
+                    // The host exchanges a small request/response with the PIM
+                    // side to learn the slot position.
+                    cpu_to_pim_bytes += EDGE_BYTES;
+                    pim_to_cpu_bytes += ID_BYTES;
+                    if outcome.changed {
+                        applied += 1;
+                        self.edge_count += 1;
+                    }
+                }
+                PartitionId::Pim(m) => {
+                    let m = m as usize;
+                    cpu_to_pim_bytes += EDGE_BYTES;
+                    let row_bytes = self.local_stores[m].row(src).map(|r| r.len() as u64 * ID_BYTES).unwrap_or(0);
+                    per_module[m] += self.pim.pim_hash_lookup_cost(row_bytes)
+                        + self.pim.mram_write_cost(ID_BYTES);
+                    if self.local_stores[m].insert_edge(src, dst).is_ok() {
+                        applied += 1;
+                        self.edge_count += 1;
+                    }
+                }
+            }
+        }
+
+        let pim_time = self.pim.parallel_step(&per_module);
+        timeline.charge(Phase::PimCompute, pim_time);
+        timeline.charge(Phase::HostCompute, host_time);
+        timeline.charge(Phase::Cpc, self.pim.cpc_transfer_cost(cpu_to_pim_bytes) + self.pim.cpc_transfer_cost(pim_to_cpu_bytes));
+        timeline.transfers.record_cpu_to_pim(cpu_to_pim_bytes, edges.len() as u64);
+        timeline.transfers.record_pim_to_cpu(pim_to_cpu_bytes, 1);
+        UpdateStats { timeline, requested: edges.len(), applied }
+    }
+
+    /// Deletes a batch of edges.
+    pub fn delete_edges(&mut self, edges: &[(NodeId, NodeId)]) -> UpdateStats {
+        let module_count = self.config.pim.num_modules;
+        let mut per_module = vec![SimTime::ZERO; module_count];
+        let mut host_time = SimTime::ZERO;
+        let mut cpu_to_pim_bytes = 0u64;
+        let mut pim_to_cpu_bytes = 0u64;
+        let mut applied = 0usize;
+        let mut timeline = Timeline::new();
+
+        for &(src, dst) in edges {
+            self.policy.on_edge_delete(src, dst);
+            let Some(owner) = self.owner(src) else { continue };
+            match owner {
+                PartitionId::Host => {
+                    let outcome = self.host_store.delete_edge(src, dst);
+                    let aux = self.aux_module(src);
+                    per_module[aux] += self.pim.pim_hash_lookup_cost(ID_BYTES) * outcome.cost.pim_lookups.max(1) as f64
+                        + self.pim.pim_instructions_cost(60 * outcome.cost.pim_mutations);
+                    host_time += self.pim.host_sequential_read_cost(outcome.cost.host_bytes_written)
+                        + self.pim.host_instructions_cost(40);
+                    cpu_to_pim_bytes += EDGE_BYTES;
+                    pim_to_cpu_bytes += ID_BYTES;
+                    if outcome.changed {
+                        applied += 1;
+                        self.edge_count -= 1;
+                    }
+                }
+                PartitionId::Pim(m) => {
+                    let m = m as usize;
+                    cpu_to_pim_bytes += EDGE_BYTES;
+                    let row_bytes = self.local_stores[m].row(src).map(|r| r.len() as u64 * ID_BYTES).unwrap_or(0);
+                    per_module[m] += self.pim.pim_hash_lookup_cost(row_bytes)
+                        + self.pim.mram_write_cost(ID_BYTES);
+                    if self.local_stores[m].remove_edge(src, dst).is_ok() {
+                        applied += 1;
+                        self.edge_count -= 1;
+                    }
+                }
+            }
+        }
+
+        let pim_time = self.pim.parallel_step(&per_module);
+        timeline.charge(Phase::PimCompute, pim_time);
+        timeline.charge(Phase::HostCompute, host_time);
+        timeline.charge(Phase::Cpc, self.pim.cpc_transfer_cost(cpu_to_pim_bytes) + self.pim.cpc_transfer_cost(pim_to_cpu_bytes));
+        timeline.transfers.record_cpu_to_pim(cpu_to_pim_bytes, edges.len() as u64);
+        timeline.transfers.record_pim_to_cpu(pim_to_cpu_bytes, 1);
+        UpdateStats { timeline, requested: edges.len(), applied }
+    }
+
+    /// Moves a newly promoted high-degree row from its PIM module to the host
+    /// (the Node Migrator of Figure 1).
+    fn promote_to_host(
+        &mut self,
+        node: NodeId,
+        old_module: usize,
+        per_module: &mut [SimTime],
+        host_time: &mut SimTime,
+        pim_to_cpu_bytes: &mut u64,
+    ) {
+        if let Some(row) = self.local_stores[old_module].take_row(node) {
+            let bytes = row.len() as u64 * ID_BYTES;
+            per_module[old_module] += self.pim.mram_read_cost(bytes);
+            *pim_to_cpu_bytes += bytes;
+            let cost = self.host_store.install_row(node, row);
+            *host_time += self.pim.host_sequential_read_cost(cost.host_bytes_written);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Answers a batch k-hop path query with full cost accounting.
+    pub fn k_hop_batch(&mut self, sources: &[NodeId], k: usize) -> (Vec<Vec<NodeId>>, QueryStats) {
+        let module_count = self.config.pim.num_modules;
+        let host_resident_bytes: u64 = self
+            .host_store
+            .iter()
+            .map(|(_, hops)| hops.len() as u64 * ID_BYTES)
+            .sum();
+        let mut timeline = Timeline::new();
+        let mut expansions = 0usize;
+
+        // Dispatch the batch: every source that lives on a PIM module must be
+        // shipped to it (the Q matrix rows of the execution plan).
+        let dispatch_bytes: u64 = sources
+            .iter()
+            .filter(|&&s| matches!(self.owner(s), Some(PartitionId::Pim(_))))
+            .count() as u64
+            * ENTRY_BYTES;
+        timeline.charge(Phase::Cpc, self.pim.cpc_transfer_cost(dispatch_bytes));
+        timeline.transfers.record_cpu_to_pim(dispatch_bytes, 1);
+
+        let mut frontiers: Vec<Vec<NodeId>> = sources.iter().map(|&s| vec![s]).collect();
+
+        for _hop in 0..k {
+            let mut per_module = vec![SimTime::ZERO; module_count];
+            let mut host_time = SimTime::ZERO;
+            let mut ipc_bytes = 0u64;
+            let mut ipc_messages = 0u64;
+            let mut cpc_bytes = 0u64;
+            let mut next_frontiers: Vec<Vec<NodeId>> = vec![Vec::new(); frontiers.len()];
+
+            for (q, frontier) in frontiers.iter().enumerate() {
+                let next = &mut next_frontiers[q];
+                for &v in frontier {
+                    expansions += 1;
+                    match self.owner(v) {
+                        Some(PartitionId::Host) => {
+                            let row_bytes = self.host_store.row_bytes(v);
+                            host_time += self.pim.host_random_access_cost(1, host_resident_bytes)
+                                + self.pim.host_sequential_read_cost(row_bytes);
+                            for u in self.host_store.neighbors(v) {
+                                // The host forwards the produced entry to the
+                                // module owning it (or keeps it if the next
+                                // row is also host-resident).
+                                if matches!(self.owner(u), Some(PartitionId::Pim(_))) {
+                                    cpc_bytes += ENTRY_BYTES;
+                                }
+                                next.push(u);
+                            }
+                        }
+                        Some(PartitionId::Pim(m)) => {
+                            let m = m as usize;
+                            let row = self.local_stores[m].row(v).unwrap_or(&[]);
+                            let row_bytes = row.len() as u64 * ID_BYTES;
+                            per_module[m] += self.pim.pim_hash_lookup_cost(row_bytes);
+                            for &u in row {
+                                match self.owner(u) {
+                                    Some(PartitionId::Pim(m2)) if m2 as usize == m => {}
+                                    Some(PartitionId::Pim(_)) => {
+                                        ipc_bytes += ENTRY_BYTES;
+                                        ipc_messages += 1;
+                                    }
+                                    _ => {
+                                        // Destination row lives on the host (or
+                                        // is unknown): the entry is gathered
+                                        // over the CPC link.
+                                        cpc_bytes += ENTRY_BYTES;
+                                    }
+                                }
+                                next.push(u);
+                            }
+                        }
+                        None => {
+                            // The node has never appeared in the edge stream;
+                            // it has no outgoing edges.
+                        }
+                    }
+                }
+                next.sort();
+                next.dedup();
+            }
+
+            let pim_time = self.pim.parallel_step(&per_module);
+            timeline.charge(Phase::PimCompute, pim_time);
+            timeline.charge(Phase::HostCompute, host_time);
+            timeline.charge(Phase::Cpc, self.pim.cpc_transfer_cost(cpc_bytes));
+            // Inter-PIM forwarding has no hardware path on UPMEM: besides the
+            // double bus crossing, the host CPU inspects and re-routes every
+            // forwarded entry in software (~25 instructions each).
+            timeline.charge(
+                Phase::Ipc,
+                self.pim.ipc_transfer_cost(ipc_bytes)
+                    + self.pim.host_instructions_cost(ipc_messages * 25),
+            );
+            timeline.transfers.record_pim_to_cpu(cpc_bytes, 1);
+            timeline.transfers.record_inter_pim(ipc_bytes, ipc_messages);
+            frontiers = next_frontiers;
+        }
+
+        // Reduction (`mwait`): gather every query's final frontier to the host
+        // and merge the per-module partial results.
+        let matched_pairs: usize = frontiers.iter().map(Vec::len).sum();
+        let gather_bytes = matched_pairs as u64 * ENTRY_BYTES;
+        timeline.charge(Phase::Cpc, self.pim.cpc_transfer_cost(gather_bytes));
+        timeline.transfers.record_pim_to_cpu(gather_bytes, 1);
+        timeline.charge(
+            Phase::Reduce,
+            self.pim.host_sequential_read_cost(gather_bytes)
+                + self.pim.host_instructions_cost(matched_pairs as u64 * 8),
+        );
+
+        let stats = QueryStats {
+            timeline,
+            batch_size: sources.len(),
+            hops: k,
+            matched_pairs,
+            expansions,
+        };
+        (frontiers, stats)
+    }
+
+    // ------------------------------------------------------------------
+    // Refinement and inspection
+    // ------------------------------------------------------------------
+
+    /// Reconstructs the logical whole-graph view from the distributed stores.
+    ///
+    /// Used by the refinement pass and by tests; the real system never needs
+    /// this because detection happens inside the modules during path matching.
+    pub fn graph_view(&self) -> AdjacencyGraph {
+        let mut g = AdjacencyGraph::new();
+        for store in &self.local_stores {
+            for (src, row) in store.iter() {
+                for &dst in row {
+                    g.insert_edge(src, dst, Label::ANY);
+                }
+            }
+        }
+        for (src, row) in self.host_store.iter() {
+            for dst in row {
+                g.insert_edge(src, dst, Label::ANY);
+            }
+        }
+        g
+    }
+
+    /// Runs the adaptive refinement: detects incorrectly partitioned nodes,
+    /// migrates their rows to the module holding most of their neighbours, and
+    /// charges the migration traffic.
+    ///
+    /// In the real system detection piggybacks on every batch of path-matching
+    /// queries, so the placement keeps improving over time; this method models
+    /// that steady state by iterating the detect-and-migrate pass until it
+    /// converges (at most a handful of rounds). Returns the combined migration
+    /// report and the simulated time of the whole pass. For the hash placement
+    /// policy this is a no-op (the contrast system has no refinement).
+    pub fn refine_locality(&mut self) -> (MigrationReport, Timeline) {
+        const MAX_ROUNDS: usize = 4;
+        let mut timeline = Timeline::new();
+        let mut combined = MigrationReport::default();
+        if matches!(self.policy, PlacementPolicy::Hash(_)) {
+            return (combined, timeline);
+        }
+        for _ in 0..MAX_ROUNDS {
+            let view = {
+                // Borrow dance: the view only needs the stores, not the policy.
+                let mut g = AdjacencyGraph::new();
+                for store in &self.local_stores {
+                    for (src, row) in store.iter() {
+                        for &dst in row {
+                            g.insert_edge(src, dst, Label::ANY);
+                        }
+                    }
+                }
+                for (src, row) in self.host_store.iter() {
+                    for dst in row {
+                        g.insert_edge(src, dst, Label::ANY);
+                    }
+                }
+                g
+            };
+            let report = match &mut self.policy {
+                PlacementPolicy::GreedyAdaptive(p) => p.refine(&view),
+                PlacementPolicy::Hash(_) => unreachable!("hash policy returned above"),
+            };
+            let mut ipc_bytes = 0u64;
+            for &(node, from, to) in &report.migrations {
+                let (PartitionId::Pim(from), PartitionId::Pim(to)) = (from, to) else { continue };
+                if let Some(row) = self.local_stores[from as usize].take_row(node) {
+                    let bytes = row.len() as u64 * ID_BYTES + ID_BYTES;
+                    ipc_bytes += bytes;
+                    self.local_stores[to as usize].install_row(node, row);
+                }
+            }
+            timeline.charge(Phase::Ipc, self.pim.ipc_transfer_cost(ipc_bytes));
+            timeline.transfers.record_inter_pim(ipc_bytes, report.migrated as u64);
+            let done = report.migrated == 0;
+            combined.examined += report.examined;
+            combined.migrated += report.migrated;
+            combined.migrations.extend(report.migrations);
+            if done {
+                break;
+            }
+        }
+        (combined, timeline)
+    }
+
+    /// Partition-quality metrics of the current placement.
+    pub fn partition_metrics(&self) -> PartitionMetrics {
+        PartitionMetrics::compute(&self.graph_view(), self.policy.assignment())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph_partition::GreedyAdaptivePartitioner;
+
+    fn moctopus_engine() -> DistributedPimEngine {
+        let cfg = MoctopusConfig::small_test();
+        let policy = PlacementPolicy::GreedyAdaptive(GreedyAdaptivePartitioner::with_config(
+            cfg.partitioner_config(),
+        ));
+        DistributedPimEngine::new(cfg, policy)
+    }
+
+    fn hash_engine() -> DistributedPimEngine {
+        let cfg = MoctopusConfig::small_test();
+        let policy = PlacementPolicy::Hash(HashPartitioner::new(cfg.pim.num_modules));
+        DistributedPimEngine::new(cfg, policy)
+    }
+
+    fn ring_edges(n: u64) -> Vec<(NodeId, NodeId)> {
+        (0..n).map(|i| (NodeId(i), NodeId((i + 1) % n))).collect()
+    }
+
+    #[test]
+    fn insert_and_query_a_ring() {
+        let mut e = moctopus_engine();
+        let stats = e.insert_edges(&ring_edges(32));
+        assert_eq!(stats.applied, 32);
+        assert_eq!(e.edge_count(), 32);
+        assert!(stats.latency() > SimTime::ZERO);
+
+        let (results, qstats) = e.k_hop_batch(&[NodeId(0), NodeId(30)], 3);
+        assert_eq!(results[0], vec![NodeId(3)]);
+        assert_eq!(results[1], vec![NodeId(1)]);
+        assert_eq!(qstats.batch_size, 2);
+        assert_eq!(qstats.hops, 3);
+        assert_eq!(qstats.matched_pairs, 2);
+        assert!(qstats.latency() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn duplicate_inserts_are_not_applied_twice() {
+        let mut e = moctopus_engine();
+        e.insert_edges(&ring_edges(8));
+        let stats = e.insert_edges(&ring_edges(8));
+        assert_eq!(stats.applied, 0);
+        assert_eq!(e.edge_count(), 8);
+    }
+
+    #[test]
+    fn delete_removes_edges_and_affects_queries() {
+        let mut e = moctopus_engine();
+        e.insert_edges(&ring_edges(8));
+        let del = e.delete_edges(&[(NodeId(0), NodeId(1))]);
+        assert_eq!(del.applied, 1);
+        assert_eq!(e.edge_count(), 7);
+        let (results, _) = e.k_hop_batch(&[NodeId(0)], 1);
+        assert!(results[0].is_empty());
+        // Deleting a missing edge is a no-op.
+        let del2 = e.delete_edges(&[(NodeId(0), NodeId(1))]);
+        assert_eq!(del2.applied, 0);
+    }
+
+    #[test]
+    fn high_degree_nodes_move_to_the_host_store() {
+        let mut e = moctopus_engine();
+        let hub_edges: Vec<(NodeId, NodeId)> = (1..=20u64).map(|i| (NodeId(0), NodeId(i))).collect();
+        e.insert_edges(&hub_edges);
+        assert_eq!(e.assignment().partition_of(NodeId(0)), Some(PartitionId::Host));
+        assert_eq!(e.host_row_count(), 1);
+        // The hub's row is complete on the host: a 1-hop query returns all 20.
+        let (results, _) = e.k_hop_batch(&[NodeId(0)], 1);
+        assert_eq!(results[0].len(), 20);
+    }
+
+    #[test]
+    fn hash_engine_keeps_hubs_on_pim_modules() {
+        let mut e = hash_engine();
+        let hub_edges: Vec<(NodeId, NodeId)> = (1..=20u64).map(|i| (NodeId(0), NodeId(i))).collect();
+        e.insert_edges(&hub_edges);
+        assert!(matches!(e.assignment().partition_of(NodeId(0)), Some(PartitionId::Pim(_))));
+        assert_eq!(e.host_row_count(), 0);
+        let (results, _) = e.k_hop_batch(&[NodeId(0)], 1);
+        assert_eq!(results[0].len(), 20);
+    }
+
+    #[test]
+    fn moctopus_and_hash_agree_on_query_results() {
+        let graph = graph_gen::uniform::generate(300, 4.0, 7);
+        let edges: Vec<(NodeId, NodeId)> = graph.edges().map(|(s, d, _)| (s, d)).collect();
+        let mut a = moctopus_engine();
+        let mut b = hash_engine();
+        a.insert_edges(&edges);
+        b.insert_edges(&edges);
+        a.refine_locality();
+        let sources: Vec<NodeId> = (0..20u64).map(NodeId).collect();
+        for k in 1..=3 {
+            let (ra, _) = a.k_hop_batch(&sources, k);
+            let (rb, _) = b.k_hop_batch(&sources, k);
+            assert_eq!(ra, rb, "engines disagree at k = {k}");
+        }
+    }
+
+    #[test]
+    fn locality_aware_placement_reduces_ipc() {
+        // Community graph streamed in order: Moctopus should incur much less
+        // inter-PIM traffic than hash placement (the Figure 5 effect).
+        let cfg = graph_gen::powerlaw::PowerLawConfig {
+            nodes: 2000,
+            high_degree_fraction: 0.02,
+            locality: 0.9,
+            community_size: 128,
+            ..Default::default()
+        };
+        let graph = graph_gen::powerlaw::generate(&cfg, 3);
+        let mut edges: Vec<(NodeId, NodeId)> = graph.edges().map(|(s, d, _)| (s, d)).collect();
+        edges.sort();
+        let mut moc = moctopus_engine();
+        let mut hash = hash_engine();
+        moc.insert_edges(&edges);
+        hash.insert_edges(&edges);
+        moc.refine_locality();
+        let sources: Vec<NodeId> = (0..256u64).map(NodeId).collect();
+        let (_, moc_stats) = moc.k_hop_batch(&sources, 3);
+        let (_, hash_stats) = hash.k_hop_batch(&sources, 3);
+        assert!(
+            moc_stats.timeline.transfers.inter_pim_bytes * 2
+                < hash_stats.timeline.transfers.inter_pim_bytes,
+            "moctopus ipc {} should be well below hash ipc {}",
+            moc_stats.timeline.transfers.inter_pim_bytes,
+            hash_stats.timeline.transfers.inter_pim_bytes
+        );
+    }
+
+    #[test]
+    fn refine_locality_moves_rows_and_charges_ipc() {
+        let mut e = moctopus_engine();
+        // Mis-leading stream: cross-cluster edges first.
+        let mut edges = Vec::new();
+        for i in 0..10u64 {
+            edges.push((NodeId(i), NodeId(100 + i)));
+        }
+        for base in [0u64, 100] {
+            for u in base..base + 10 {
+                for v in base..base + 10 {
+                    if u != v && (u + v) % 2 == 0 {
+                        edges.push((NodeId(u), NodeId(v)));
+                    }
+                }
+            }
+        }
+        e.insert_edges(&edges);
+        let before = e.partition_metrics().locality;
+        let (report, timeline) = e.refine_locality();
+        let after = e.partition_metrics().locality;
+        if report.migrated > 0 {
+            assert!(timeline.transfers.inter_pim_bytes > 0);
+            assert!(after >= before);
+        }
+        // Query results survive the migration.
+        let (results, _) = e.k_hop_batch(&[NodeId(0)], 1);
+        assert!(!results[0].is_empty());
+    }
+
+    #[test]
+    fn query_timeline_charges_every_phase() {
+        let graph = graph_gen::uniform::generate(500, 4.0, 11);
+        let edges: Vec<(NodeId, NodeId)> = graph.edges().map(|(s, d, _)| (s, d)).collect();
+        let mut e = moctopus_engine();
+        e.insert_edges(&edges);
+        let sources: Vec<NodeId> = (0..64u64).map(NodeId).collect();
+        let (_, stats) = e.k_hop_batch(&sources, 2);
+        assert!(stats.timeline.time(Phase::PimCompute) > SimTime::ZERO);
+        assert!(stats.timeline.time(Phase::Cpc) > SimTime::ZERO);
+        assert!(stats.timeline.time(Phase::Reduce) > SimTime::ZERO);
+        assert!(stats.expansions >= 64);
+    }
+
+    #[test]
+    fn zero_hop_query_returns_sources() {
+        let mut e = moctopus_engine();
+        e.insert_edges(&ring_edges(8));
+        let (results, stats) = e.k_hop_batch(&[NodeId(3)], 0);
+        assert_eq!(results[0], vec![NodeId(3)]);
+        assert_eq!(stats.matched_pairs, 1);
+    }
+
+    #[test]
+    fn unknown_sources_yield_empty_results() {
+        let mut e = moctopus_engine();
+        e.insert_edges(&ring_edges(8));
+        let (results, _) = e.k_hop_batch(&[NodeId(999)], 2);
+        assert!(results[0].is_empty());
+    }
+}

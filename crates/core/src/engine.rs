@@ -1,0 +1,61 @@
+//! The common interface implemented by every evaluated engine.
+
+use crate::stats::{QueryStats, UpdateStats};
+use graph_store::NodeId;
+
+/// A graph engine that can ingest edges, apply updates, and answer batch
+/// k-hop path queries, reporting simulated costs for each operation.
+///
+/// [`MoctopusSystem`](crate::MoctopusSystem),
+/// [`PimHashSystem`](crate::PimHashSystem) and
+/// [`HostBaseline`](crate::HostBaseline) all implement this trait so the
+/// benchmark harness can sweep the three systems uniformly, exactly as the
+/// paper's figures do.
+pub trait GraphEngine {
+    /// Short human-readable engine name used in experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Inserts a batch of directed edges, returning simulated update costs.
+    fn insert_edges(&mut self, edges: &[(NodeId, NodeId)]) -> UpdateStats;
+
+    /// Deletes a batch of directed edges, returning simulated update costs.
+    fn delete_edges(&mut self, edges: &[(NodeId, NodeId)]) -> UpdateStats;
+
+    /// Answers a batch k-hop path query: for every start node, the set of
+    /// nodes reachable by a path of exactly `k` edges (boolean semantics),
+    /// sorted ascending. Also returns the simulated query costs.
+    fn k_hop_batch(&mut self, sources: &[NodeId], k: usize) -> (Vec<Vec<NodeId>>, QueryStats);
+
+    /// Number of directed edges currently stored.
+    fn edge_count(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HostBaseline, MoctopusConfig, MoctopusSystem, PimHashSystem};
+
+    /// The trait must stay object-safe so harnesses can hold `Box<dyn GraphEngine>`.
+    #[test]
+    fn engines_are_usable_as_trait_objects() {
+        let engines: Vec<Box<dyn GraphEngine>> = vec![
+            Box::new(MoctopusSystem::new(MoctopusConfig::small_test())),
+            Box::new(PimHashSystem::new(MoctopusConfig::small_test())),
+            Box::new(HostBaseline::new(MoctopusConfig::small_test())),
+        ];
+        let names: Vec<&str> = engines.iter().map(|e| e.name()).collect();
+        assert_eq!(names, vec!["Moctopus", "PIM-hash", "RedisGraph-like"]);
+    }
+
+    #[test]
+    fn empty_engines_report_zero_edges() {
+        let engines: Vec<Box<dyn GraphEngine>> = vec![
+            Box::new(MoctopusSystem::new(MoctopusConfig::small_test())),
+            Box::new(PimHashSystem::new(MoctopusConfig::small_test())),
+            Box::new(HostBaseline::new(MoctopusConfig::small_test())),
+        ];
+        for e in &engines {
+            assert_eq!(e.edge_count(), 0, "{} should start empty", e.name());
+        }
+    }
+}

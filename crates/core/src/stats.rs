@@ -1,0 +1,95 @@
+//! Query and update statistics reported by every engine.
+
+use pim_sim::{SimTime, Timeline};
+use serde::{Deserialize, Serialize};
+
+/// Statistics of one batch query execution.
+///
+/// The `timeline` is the engine's simulated-time breakdown — the quantity the
+/// paper's figures report — and the remaining fields describe the workload.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct QueryStats {
+    /// Per-phase simulated time and transfer counters.
+    pub timeline: Timeline,
+    /// Number of queries in the batch.
+    pub batch_size: usize,
+    /// Number of hops requested.
+    pub hops: usize,
+    /// Total matched (query, destination) pairs across the batch.
+    pub matched_pairs: usize,
+    /// Total frontier expansions performed (a proxy for algorithmic work).
+    pub expansions: usize,
+}
+
+impl QueryStats {
+    /// End-to-end simulated latency of the batch.
+    pub fn latency(&self) -> SimTime {
+        self.timeline.total()
+    }
+
+    /// Simulated inter-PIM communication time (the Figure 5 metric).
+    pub fn ipc_latency(&self) -> SimTime {
+        self.timeline.time(pim_sim::Phase::Ipc)
+    }
+}
+
+/// Statistics of one batch update (insertion or deletion) execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct UpdateStats {
+    /// Per-phase simulated time and transfer counters.
+    pub timeline: Timeline,
+    /// Edges the batch asked to insert or delete.
+    pub requested: usize,
+    /// Edges that actually changed the graph (duplicates/missing skipped).
+    pub applied: usize,
+}
+
+impl UpdateStats {
+    /// End-to-end simulated latency of the batch.
+    pub fn latency(&self) -> SimTime {
+        self.timeline.total()
+    }
+
+    /// Combines two update statistics (e.g. per-module partial results).
+    pub fn merge(&mut self, other: &UpdateStats) {
+        self.timeline += other.timeline;
+        self.requested += other.requested;
+        self.applied += other.applied;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_sim::Phase;
+
+    #[test]
+    fn query_latency_is_timeline_total() {
+        let mut s = QueryStats::default();
+        s.timeline.charge(Phase::PimCompute, SimTime::from_micros(5.0));
+        s.timeline.charge(Phase::Ipc, SimTime::from_micros(2.0));
+        assert_eq!(s.latency().as_micros(), 7.0);
+        assert_eq!(s.ipc_latency().as_micros(), 2.0);
+    }
+
+    #[test]
+    fn update_stats_merge_accumulates() {
+        let mut a = UpdateStats { requested: 10, applied: 8, ..Default::default() };
+        a.timeline.charge(Phase::HostCompute, SimTime::from_nanos(100.0));
+        let mut b = UpdateStats { requested: 5, applied: 5, ..Default::default() };
+        b.timeline.charge(Phase::Cpc, SimTime::from_nanos(50.0));
+        a.merge(&b);
+        assert_eq!(a.requested, 15);
+        assert_eq!(a.applied, 13);
+        assert_eq!(a.latency().as_nanos(), 150.0);
+    }
+
+    #[test]
+    fn defaults_are_zero() {
+        let q = QueryStats::default();
+        assert_eq!(q.latency(), SimTime::ZERO);
+        assert_eq!(q.matched_pairs, 0);
+        let u = UpdateStats::default();
+        assert_eq!(u.latency(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,181 @@
+//! Skewed (power-law-like) graph generator.
+//!
+//! Web, social, citation and communication graphs in the paper's Table 1 have
+//! a small percentage of high-degree hubs (0.29 %–4.84 % of nodes with
+//! out-degree > 16) and community structure that a locality-aware partitioner
+//! can exploit. This generator gives direct control over both knobs:
+//!
+//! * `high_degree_fraction` — the fraction of nodes whose out-degree is drawn
+//!   from a heavy tail above the threshold; everything else stays below it.
+//! * `locality` — the probability that an edge lands inside the source node's
+//!   community window rather than at a uniformly random destination.
+
+use graph_store::{AdjacencyGraph, Label, NodeId, HIGH_DEGREE_THRESHOLD};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the skewed generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawConfig {
+    /// Number of nodes to generate.
+    pub nodes: usize,
+    /// Fraction of nodes that become high-degree hubs (out-degree > 16).
+    pub high_degree_fraction: f64,
+    /// Mean out-degree of ordinary (non-hub) nodes; clamped to the threshold.
+    pub mean_low_degree: f64,
+    /// Mean out-degree of hub nodes (must exceed the threshold to matter).
+    pub mean_high_degree: f64,
+    /// Probability that an edge stays within the source's community window.
+    pub locality: f64,
+    /// Number of nodes per community window.
+    pub community_size: usize,
+    /// Probability that an edge's destination is drawn from the hub set
+    /// instead of the usual community/uniform choice. Real power-law graphs
+    /// have skewed *in*-degree too (links point at popular pages, follows
+    /// point at celebrities), which is what routes paths through hubs.
+    pub hub_in_bias: f64,
+}
+
+impl Default for PowerLawConfig {
+    fn default() -> Self {
+        PowerLawConfig {
+            nodes: 10_000,
+            high_degree_fraction: 0.02,
+            mean_low_degree: 3.0,
+            mean_high_degree: 64.0,
+            locality: 0.8,
+            community_size: 256,
+            hub_in_bias: 0.25,
+        }
+    }
+}
+
+/// Generates a directed graph with the requested skew and locality.
+///
+/// # Examples
+///
+/// ```
+/// use graph_gen::powerlaw::{generate, PowerLawConfig};
+/// let cfg = PowerLawConfig { nodes: 2000, high_degree_fraction: 0.05, ..Default::default() };
+/// let g = generate(&cfg, 1);
+/// assert_eq!(g.node_count(), 2000);
+/// assert!(g.count_high_degree(16) > 0);
+/// ```
+pub fn generate(config: &PowerLawConfig, seed: u64) -> AdjacencyGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = config.nodes.max(2);
+    let mut g = AdjacencyGraph::with_capacity(n);
+    for i in 0..n {
+        g.note_node(NodeId(i as u64));
+    }
+    let community = config.community_size.max(2).min(n);
+    // Decide the hub set up front so destinations can be biased towards it
+    // (skewed in-degree), not just out-degrees.
+    let hub_flags: Vec<bool> = (0..n).map(|_| rng.gen::<f64>() < config.high_degree_fraction).collect();
+    let hubs: Vec<usize> = hub_flags
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &h)| h.then_some(i))
+        .collect();
+    for src_idx in 0..n {
+        let src = NodeId(src_idx as u64);
+        let is_hub = hub_flags[src_idx];
+        let degree = if is_hub {
+            // Heavy tail: threshold+1 .. 2*mean_high, geometric-ish spread.
+            let extra = rng.gen_range(0.0..config.mean_high_degree.max(1.0) * 2.0);
+            HIGH_DEGREE_THRESHOLD + 1 + extra as usize
+        } else {
+            // Ordinary node: 1 .. threshold, around the requested mean.
+            let mean = config.mean_low_degree.clamp(1.0, HIGH_DEGREE_THRESHOLD as f64);
+            let d = 1 + rng.gen_range(0.0..mean * 2.0) as usize;
+            d.min(HIGH_DEGREE_THRESHOLD)
+        };
+        let community_base = (src_idx / community) * community;
+        let mut placed = 0usize;
+        let mut attempts = 0usize;
+        while placed < degree && attempts < degree * 4 {
+            attempts += 1;
+            let dst_idx = if !hubs.is_empty() && rng.gen::<f64>() < config.hub_in_bias {
+                hubs[rng.gen_range(0..hubs.len())]
+            } else if rng.gen::<f64>() < config.locality {
+                community_base + rng.gen_range(0..community.min(n - community_base))
+            } else {
+                rng.gen_range(0..n)
+            };
+            if dst_idx == src_idx {
+                continue;
+            }
+            if g.insert_edge(src, NodeId(dst_idx as u64), Label::ANY) {
+                placed += 1;
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_count_matches_config() {
+        let cfg = PowerLawConfig { nodes: 500, ..Default::default() };
+        let g = generate(&cfg, 3);
+        assert_eq!(g.node_count(), 500);
+        assert!(g.edge_count() > 500);
+    }
+
+    #[test]
+    fn high_degree_fraction_is_respected_roughly() {
+        let cfg = PowerLawConfig {
+            nodes: 5000,
+            high_degree_fraction: 0.05,
+            ..Default::default()
+        };
+        let g = generate(&cfg, 11);
+        let frac = g.count_high_degree(16) as f64 / g.node_count() as f64;
+        assert!(frac > 0.02 && frac < 0.10, "observed hub fraction {frac}");
+    }
+
+    #[test]
+    fn zero_hub_fraction_produces_no_high_degree_nodes() {
+        let cfg = PowerLawConfig {
+            nodes: 2000,
+            high_degree_fraction: 0.0,
+            ..Default::default()
+        };
+        let g = generate(&cfg, 2);
+        assert_eq!(g.count_high_degree(16), 0);
+    }
+
+    #[test]
+    fn locality_increases_intra_community_edges() {
+        let local_cfg = PowerLawConfig { nodes: 4000, locality: 0.95, ..Default::default() };
+        let random_cfg = PowerLawConfig { nodes: 4000, locality: 0.0, ..Default::default() };
+        let count_local_edges = |g: &AdjacencyGraph, community: usize| {
+            g.edges()
+                .filter(|(s, d, _)| s.index() / community == d.index() / community)
+                .count() as f64
+                / g.edge_count() as f64
+        };
+        let local = generate(&local_cfg, 5);
+        let random = generate(&random_cfg, 5);
+        assert!(
+            count_local_edges(&local, local_cfg.community_size)
+                > count_local_edges(&random, random_cfg.community_size) + 0.3
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = PowerLawConfig { nodes: 300, ..Default::default() };
+        assert_eq!(generate(&cfg, 7).to_sorted_edges(), generate(&cfg, 7).to_sorted_edges());
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let cfg = PowerLawConfig { nodes: 1000, ..Default::default() };
+        let g = generate(&cfg, 13);
+        assert!(g.edges().all(|(s, d, _)| s != d));
+    }
+}

@@ -1,0 +1,175 @@
+//! Recursive-matrix (R-MAT) graph generator.
+//!
+//! R-MAT (Chakrabarti et al., 2004) recursively subdivides the adjacency
+//! matrix into four quadrants and drops each edge into a quadrant with
+//! probabilities `(a, b, c, d)`. With the classic skewed parameters
+//! (a ≈ 0.57) it produces graphs whose in- and out-degree distributions both
+//! follow a power law — the standard synthetic stand-in for web and social
+//! graphs in the architecture literature, offered here as an alternative to
+//! the [`powerlaw`](crate::powerlaw) community generator.
+
+use graph_store::{AdjacencyGraph, Label, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the R-MAT generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatConfig {
+    /// log2 of the number of vertices (the matrix is `2^scale` × `2^scale`).
+    pub scale: u32,
+    /// Average number of directed edges per vertex.
+    pub edge_factor: f64,
+    /// Probability of the top-left quadrant (both endpoints in the low half).
+    pub a: f64,
+    /// Probability of the top-right quadrant.
+    pub b: f64,
+    /// Probability of the bottom-left quadrant.
+    pub c: f64,
+}
+
+impl RmatConfig {
+    /// The Graph500-style skewed parameters (a, b, c, d) = (0.57, 0.19, 0.19, 0.05).
+    pub fn graph500(scale: u32, edge_factor: f64) -> Self {
+        RmatConfig { scale, edge_factor, a: 0.57, b: 0.19, c: 0.19 }
+    }
+
+    /// Probability of the bottom-right quadrant (derived: `1 - a - b - c`).
+    pub fn d(&self) -> f64 {
+        (1.0 - self.a - self.b - self.c).max(0.0)
+    }
+
+    /// Number of vertices implied by `scale`.
+    pub fn nodes(&self) -> usize {
+        1usize << self.scale
+    }
+}
+
+impl Default for RmatConfig {
+    fn default() -> Self {
+        RmatConfig::graph500(14, 8.0)
+    }
+}
+
+/// Generates an R-MAT graph (self-loops and duplicate edges are dropped).
+///
+/// # Examples
+///
+/// ```
+/// use graph_gen::rmat::{generate, RmatConfig};
+/// let g = generate(&RmatConfig::graph500(10, 4.0), 7);
+/// assert_eq!(g.node_count(), 1024);
+/// // Skewed quadrant probabilities produce hub vertices.
+/// assert!(g.count_high_degree(16) > 0);
+/// ```
+pub fn generate(config: &RmatConfig, seed: u64) -> AdjacencyGraph {
+    let n = config.nodes();
+    let target_edges = (n as f64 * config.edge_factor) as usize;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = AdjacencyGraph::with_capacity(n);
+    for i in 0..n {
+        g.note_node(NodeId(i as u64));
+    }
+    let mut placed = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = target_edges.saturating_mul(3).max(16);
+    while placed < target_edges && attempts < max_attempts {
+        attempts += 1;
+        let (src, dst) = sample_cell(config, &mut rng);
+        if src == dst {
+            continue;
+        }
+        if g.insert_edge(NodeId(src as u64), NodeId(dst as u64), Label::ANY) {
+            placed += 1;
+        }
+    }
+    g
+}
+
+/// Samples one (row, column) cell by recursive quadrant descent.
+fn sample_cell(config: &RmatConfig, rng: &mut SmallRng) -> (usize, usize) {
+    let mut row = 0usize;
+    let mut col = 0usize;
+    let (a, b, c) = (config.a, config.b, config.c);
+    for level in (0..config.scale).rev() {
+        let bit = 1usize << level;
+        // Add a little per-level noise so the degree distribution is not
+        // perfectly self-similar (standard practice, avoids artefacts).
+        let jitter = 0.05 * (rng.gen::<f64>() - 0.5);
+        let r: f64 = rng.gen();
+        if r < a + jitter {
+            // top-left: neither bit set
+        } else if r < a + b + jitter {
+            col |= bit;
+        } else if r < a + b + c + jitter {
+            row |= bit;
+        } else {
+            row |= bit;
+            col |= bit;
+        }
+    }
+    (row, col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphStats;
+
+    #[test]
+    fn node_count_is_a_power_of_two() {
+        let g = generate(&RmatConfig::graph500(8, 4.0), 1);
+        assert_eq!(g.node_count(), 256);
+    }
+
+    #[test]
+    fn edge_count_approximates_the_edge_factor() {
+        let cfg = RmatConfig::graph500(11, 6.0);
+        let g = generate(&cfg, 3);
+        let expected = cfg.nodes() as f64 * cfg.edge_factor;
+        let actual = g.edge_count() as f64;
+        assert!(actual > 0.5 * expected, "only {actual} of {expected} edges placed");
+        assert!(actual <= expected + 1.0);
+    }
+
+    #[test]
+    fn skewed_parameters_produce_hubs_and_a_heavy_tail() {
+        let g = generate(&RmatConfig::graph500(12, 8.0), 5);
+        let stats = GraphStats::compute(&g);
+        assert!(stats.high_degree_nodes > 0);
+        assert!(stats.max_degree > 4 * stats.avg_degree as usize);
+    }
+
+    #[test]
+    fn uniform_parameters_produce_little_skew() {
+        let uniform = RmatConfig { scale: 12, edge_factor: 8.0, a: 0.25, b: 0.25, c: 0.25 };
+        let skewed = RmatConfig::graph500(12, 8.0);
+        let g_uniform = generate(&uniform, 5);
+        let g_skewed = generate(&skewed, 5);
+        assert!(
+            GraphStats::compute(&g_uniform).max_degree < GraphStats::compute(&g_skewed).max_degree
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = RmatConfig::graph500(9, 4.0);
+        assert_eq!(generate(&cfg, 11).to_sorted_edges(), generate(&cfg, 11).to_sorted_edges());
+        assert_ne!(generate(&cfg, 11).to_sorted_edges(), generate(&cfg, 12).to_sorted_edges());
+    }
+
+    #[test]
+    fn quadrant_probabilities_sum_to_one() {
+        let cfg = RmatConfig::graph500(4, 2.0);
+        assert!((cfg.a + cfg.b + cfg.c + cfg.d() - 1.0).abs() < 1e-9);
+        let degenerate = RmatConfig { scale: 4, edge_factor: 2.0, a: 0.5, b: 0.4, c: 0.3 };
+        assert_eq!(degenerate.d(), 0.0);
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates() {
+        let g = generate(&RmatConfig::graph500(10, 6.0), 9);
+        let edges = g.to_sorted_edges();
+        assert!(edges.windows(2).all(|w| w[0] != w[1]));
+        assert!(edges.iter().all(|(s, d, _)| s != d));
+    }
+}

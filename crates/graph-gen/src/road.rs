@@ -1,0 +1,91 @@
+//! Road-network generator: near-planar grid graphs.
+//!
+//! Road networks (roadNet-CA/PA/TX in the paper) have tiny maximum degree
+//! (intersections connect to at most a handful of roads), no high-degree
+//! nodes at all, and excellent locality. A two-dimensional grid with a few
+//! random road closures reproduces all three properties.
+
+use graph_store::{AdjacencyGraph, Label, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a road-style graph with approximately `target_nodes` nodes.
+///
+/// The graph is a `w × h` grid (w ≈ h ≈ √target) where each intersection is
+/// connected to its right and down neighbours in both directions, and a small
+/// fraction (`closure_rate`) of road segments is removed at random.
+///
+/// # Examples
+///
+/// ```
+/// let g = graph_gen::road::generate(100, 0.05, 7);
+/// assert!(g.node_count() >= 100);
+/// // Road graphs have no high-degree nodes.
+/// assert_eq!(g.count_high_degree(16), 0);
+/// ```
+pub fn generate(target_nodes: usize, closure_rate: f64, seed: u64) -> AdjacencyGraph {
+    let side = (target_nodes as f64).sqrt().ceil() as u64;
+    let side = side.max(2);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = AdjacencyGraph::with_capacity((side * side) as usize);
+    let node = |x: u64, y: u64| NodeId(y * side + x);
+    for y in 0..side {
+        for x in 0..side {
+            g.note_node(node(x, y));
+            if x + 1 < side && rng.gen::<f64>() >= closure_rate {
+                g.insert_edge(node(x, y), node(x + 1, y), Label::ANY);
+                g.insert_edge(node(x + 1, y), node(x, y), Label::ANY);
+            }
+            if y + 1 < side && rng.gen::<f64>() >= closure_rate {
+                g.insert_edge(node(x, y), node(x, y + 1), Label::ANY);
+                g.insert_edge(node(x, y + 1), node(x, y), Label::ANY);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_scale() {
+        let g = generate(400, 0.0, 1);
+        assert_eq!(g.node_count(), 400);
+        // Full grid of side 20: 2 * 20 * 19 undirected segments, two directed
+        // edges each.
+        assert_eq!(g.edge_count(), 2 * 2 * 20 * 19);
+    }
+
+    #[test]
+    fn max_degree_is_bounded_by_four() {
+        let g = generate(1000, 0.1, 3);
+        let max = g.nodes().map(|n| g.out_degree(n)).max().unwrap();
+        assert!(max <= 4);
+        assert_eq!(g.count_high_degree(16), 0);
+    }
+
+    #[test]
+    fn closures_remove_edges() {
+        let full = generate(400, 0.0, 5);
+        let closed = generate(400, 0.3, 5);
+        assert!(closed.edge_count() < full.edge_count());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generate(256, 0.2, 9);
+        let b = generate(256, 0.2, 9);
+        let c = generate(256, 0.2, 10);
+        assert_eq!(a.to_sorted_edges(), b.to_sorted_edges());
+        assert_ne!(a.to_sorted_edges(), c.to_sorted_edges());
+    }
+
+    #[test]
+    fn tiny_targets_still_produce_a_graph() {
+        let g = generate(1, 0.0, 0);
+        assert!(g.node_count() >= 4); // clamped to a 2x2 grid
+        assert!(g.edge_count() > 0);
+    }
+}

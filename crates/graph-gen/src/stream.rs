@@ -1,0 +1,121 @@
+//! Dynamic-workload helpers: edge streams and update batches.
+//!
+//! The paper's graph-update experiment inserts and deletes 64 K randomly
+//! selected edges (Figure 6), and the partitioning algorithm is exercised by
+//! streaming the graph's edges in insertion order. This module builds both
+//! workloads deterministically from a seed.
+
+use graph_store::{AdjacencyGraph, NodeId};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Returns all edges of `graph` in a random order, simulating the insertion
+/// stream a dynamic graph database would observe.
+pub fn shuffled_edge_stream(graph: &AdjacencyGraph, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let mut edges: Vec<(NodeId, NodeId)> = graph.edges().map(|(s, d, _)| (s, d)).collect();
+    edges.sort();
+    edges.dedup();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    edges.shuffle(&mut rng);
+    edges
+}
+
+/// Selects `count` existing edges uniformly at random (with repetition removed)
+/// to serve as the deletion batch of the update experiment.
+pub fn sample_existing_edges(graph: &AdjacencyGraph, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let mut edges = shuffled_edge_stream(graph, seed);
+    edges.truncate(count);
+    edges
+}
+
+/// Generates `count` new edges between existing nodes that are not currently
+/// present in the graph, to serve as the insertion batch.
+pub fn sample_new_edges(graph: &AdjacencyGraph, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let nodes: Vec<NodeId> = {
+        let mut v: Vec<NodeId> = graph.nodes().collect();
+        v.sort();
+        v
+    };
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut out = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    let max_attempts = count.saturating_mul(20).max(1000);
+    while out.len() < count && attempts < max_attempts && nodes.len() >= 2 {
+        attempts += 1;
+        let s = nodes[rng.gen_range(0..nodes.len())];
+        let d = nodes[rng.gen_range(0..nodes.len())];
+        if s == d || graph.has_edge(s, d, graph_store::Label::ANY) {
+            continue;
+        }
+        out.push((s, d));
+    }
+    out.sort();
+    out.dedup();
+    let mut rng2 = SmallRng::seed_from_u64(seed);
+    out.shuffle(&mut rng2);
+    out.truncate(count);
+    out
+}
+
+/// Selects `count` random start nodes for a batch k-hop query (the paper uses
+/// a 64 K batch of randomly selected start nodes).
+pub fn sample_start_nodes(graph: &AdjacencyGraph, count: usize, seed: u64) -> Vec<NodeId> {
+    let mut nodes: Vec<NodeId> = graph.nodes().collect();
+    nodes.sort();
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x5851_f42d_4c95_7f2d));
+    (0..count).map(|_| nodes[rng.gen_range(0..nodes.len())]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph_store::Label;
+
+    fn graph() -> AdjacencyGraph {
+        crate::uniform::generate(500, 4.0, 1)
+    }
+
+    #[test]
+    fn shuffled_stream_contains_every_edge_once() {
+        let g = graph();
+        let stream = shuffled_edge_stream(&g, 3);
+        assert_eq!(stream.len(), g.edge_count());
+        let mut sorted = stream.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), stream.len());
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_per_seed() {
+        let g = graph();
+        assert_eq!(shuffled_edge_stream(&g, 7), shuffled_edge_stream(&g, 7));
+        assert_ne!(shuffled_edge_stream(&g, 7), shuffled_edge_stream(&g, 8));
+    }
+
+    #[test]
+    fn sampled_existing_edges_exist() {
+        let g = graph();
+        let sample = sample_existing_edges(&g, 50, 2);
+        assert_eq!(sample.len(), 50);
+        assert!(sample.iter().all(|&(s, d)| g.has_edge(s, d, Label::ANY)));
+    }
+
+    #[test]
+    fn sampled_new_edges_do_not_exist() {
+        let g = graph();
+        let sample = sample_new_edges(&g, 50, 2);
+        assert_eq!(sample.len(), 50);
+        assert!(sample.iter().all(|&(s, d)| !g.has_edge(s, d, Label::ANY) && s != d));
+    }
+
+    #[test]
+    fn start_nodes_come_from_the_graph() {
+        let g = graph();
+        let starts = sample_start_nodes(&g, 128, 5);
+        assert_eq!(starts.len(), 128);
+        let nodes: std::collections::HashSet<_> = g.nodes().collect();
+        assert!(starts.iter().all(|n| nodes.contains(n)));
+    }
+}

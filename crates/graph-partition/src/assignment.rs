@@ -1,0 +1,219 @@
+//! The node-to-partition assignment (the paper's `node_partition_vector`).
+
+use graph_store::{NodeId, PartitionId};
+use std::collections::HashMap;
+
+/// Mapping from graph node to the computing node (host or PIM module) that
+/// owns its adjacency-matrix row.
+///
+/// The paper stores this as a dense vector indexed by node id with `-1`
+/// marking the host; the reproduction uses a hash map keyed by [`NodeId`] so
+/// sparse and dynamically growing id spaces work unchanged, plus per-partition
+/// counters so the 1.05× capacity constraint can be evaluated in O(1).
+///
+/// # Examples
+///
+/// ```
+/// use graph_partition::PartitionAssignment;
+/// use graph_store::{NodeId, PartitionId};
+///
+/// let mut a = PartitionAssignment::new(4);
+/// a.assign(NodeId(3), PartitionId::Pim(2));
+/// a.assign(NodeId(9), PartitionId::Host);
+/// assert_eq!(a.partition_of(NodeId(3)), Some(PartitionId::Pim(2)));
+/// assert_eq!(a.pim_node_count(2), 1);
+/// assert_eq!(a.host_node_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PartitionAssignment {
+    map: HashMap<NodeId, PartitionId>,
+    pim_counts: Vec<usize>,
+    host_count: usize,
+}
+
+impl PartitionAssignment {
+    /// Creates an empty assignment over `num_pim_modules` PIM modules.
+    pub fn new(num_pim_modules: usize) -> Self {
+        PartitionAssignment { map: HashMap::new(), pim_counts: vec![0; num_pim_modules], host_count: 0 }
+    }
+
+    /// Number of PIM modules.
+    pub fn num_pim_modules(&self) -> usize {
+        self.pim_counts.len()
+    }
+
+    /// Assigns (or reassigns) a node to a partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a PIM partition index is out of range.
+    pub fn assign(&mut self, node: NodeId, partition: PartitionId) {
+        if let PartitionId::Pim(i) = partition {
+            assert!((i as usize) < self.pim_counts.len(), "pim module {i} out of range");
+        }
+        if let Some(old) = self.map.insert(node, partition) {
+            self.decrement(old);
+        }
+        self.increment(partition);
+    }
+
+    fn increment(&mut self, partition: PartitionId) {
+        match partition {
+            PartitionId::Host => self.host_count += 1,
+            PartitionId::Pim(i) => self.pim_counts[i as usize] += 1,
+        }
+    }
+
+    fn decrement(&mut self, partition: PartitionId) {
+        match partition {
+            PartitionId::Host => self.host_count -= 1,
+            PartitionId::Pim(i) => self.pim_counts[i as usize] -= 1,
+        }
+    }
+
+    /// The partition of a node, if assigned.
+    pub fn partition_of(&self, node: NodeId) -> Option<PartitionId> {
+        self.map.get(&node).copied()
+    }
+
+    /// Returns `true` if the node has been assigned.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.map.contains_key(&node)
+    }
+
+    /// Number of nodes assigned to PIM module `i`.
+    pub fn pim_node_count(&self, i: usize) -> usize {
+        self.pim_counts.get(i).copied().unwrap_or(0)
+    }
+
+    /// Number of nodes assigned to the host.
+    pub fn host_node_count(&self) -> usize {
+        self.host_count
+    }
+
+    /// Total number of assigned nodes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` if no node has been assigned.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of nodes assigned to PIM modules (excludes the host).
+    pub fn pim_total(&self) -> usize {
+        self.len() - self.host_count
+    }
+
+    /// Mean number of nodes per PIM module.
+    pub fn mean_pim_load(&self) -> f64 {
+        if self.pim_counts.is_empty() {
+            0.0
+        } else {
+            self.pim_total() as f64 / self.pim_counts.len() as f64
+        }
+    }
+
+    /// Largest number of nodes on any single PIM module.
+    pub fn max_pim_load(&self) -> usize {
+        self.pim_counts.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The PIM module with the fewest assigned nodes.
+    pub fn least_loaded_pim(&self) -> usize {
+        self.pim_counts
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &c)| c)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Iterates over `(node, partition)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, PartitionId)> + '_ {
+        self.map.iter().map(|(&n, &p)| (n, p))
+    }
+
+    /// All nodes currently assigned to the given partition (sorted).
+    pub fn nodes_in(&self, partition: PartitionId) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .map
+            .iter()
+            .filter(|(_, &p)| p == partition)
+            .map(|(&n, _)| n)
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assign_and_reassign_update_counters() {
+        let mut a = PartitionAssignment::new(2);
+        a.assign(NodeId(1), PartitionId::Pim(0));
+        a.assign(NodeId(2), PartitionId::Pim(0));
+        assert_eq!(a.pim_node_count(0), 2);
+        a.assign(NodeId(1), PartitionId::Pim(1));
+        assert_eq!(a.pim_node_count(0), 1);
+        assert_eq!(a.pim_node_count(1), 1);
+        a.assign(NodeId(1), PartitionId::Host);
+        assert_eq!(a.host_node_count(), 1);
+        assert_eq!(a.pim_node_count(1), 0);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.pim_total(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_pim_module_panics() {
+        let mut a = PartitionAssignment::new(2);
+        a.assign(NodeId(0), PartitionId::Pim(5));
+    }
+
+    #[test]
+    fn load_statistics() {
+        let mut a = PartitionAssignment::new(4);
+        for i in 0..8 {
+            a.assign(NodeId(i), PartitionId::Pim((i % 2) as u32));
+        }
+        assert_eq!(a.max_pim_load(), 4);
+        assert_eq!(a.mean_pim_load(), 2.0);
+        let least = a.least_loaded_pim();
+        assert!(least == 2 || least == 3);
+    }
+
+    #[test]
+    fn nodes_in_returns_sorted_members() {
+        let mut a = PartitionAssignment::new(2);
+        a.assign(NodeId(5), PartitionId::Pim(1));
+        a.assign(NodeId(2), PartitionId::Pim(1));
+        a.assign(NodeId(9), PartitionId::Host);
+        assert_eq!(a.nodes_in(PartitionId::Pim(1)), vec![NodeId(2), NodeId(5)]);
+        assert_eq!(a.nodes_in(PartitionId::Host), vec![NodeId(9)]);
+        assert!(a.nodes_in(PartitionId::Pim(0)).is_empty());
+    }
+
+    #[test]
+    fn empty_assignment_statistics() {
+        let a = PartitionAssignment::new(0);
+        assert!(a.is_empty());
+        assert_eq!(a.mean_pim_load(), 0.0);
+        assert_eq!(a.max_pim_load(), 0);
+        assert_eq!(a.least_loaded_pim(), 0);
+    }
+
+    #[test]
+    fn iter_covers_all_assignments() {
+        let mut a = PartitionAssignment::new(2);
+        a.assign(NodeId(0), PartitionId::Pim(0));
+        a.assign(NodeId(1), PartitionId::Host);
+        let mut pairs: Vec<_> = a.iter().collect();
+        pairs.sort();
+        assert_eq!(pairs, vec![(NodeId(0), PartitionId::Pim(0)), (NodeId(1), PartitionId::Host)]);
+    }
+}

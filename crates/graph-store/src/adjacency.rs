@@ -1,0 +1,302 @@
+//! Dynamic, labelled, directed adjacency-list graph.
+//!
+//! [`AdjacencyGraph`] is the logical "whole graph" view used by the workload
+//! generators, by the host-only baseline, and as the reference implementation
+//! that the partitioned PIM engines are checked against in the integration
+//! tests. It supports the dynamic operations the paper's storage engine must
+//! handle: edge insertion, edge deletion, and incremental degree tracking.
+
+use crate::ids::{Label, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A directed, labelled multigraph stored as per-node adjacency vectors.
+///
+/// Parallel edges with the *same* label are collapsed (the adjacency matrix is
+/// boolean), but the same node pair may be connected by edges with different
+/// labels.
+///
+/// # Examples
+///
+/// ```
+/// use graph_store::{AdjacencyGraph, Label, NodeId};
+///
+/// let mut g = AdjacencyGraph::new();
+/// assert!(g.insert_edge(NodeId(0), NodeId(1), Label(0)));
+/// assert!(!g.insert_edge(NodeId(0), NodeId(1), Label(0))); // duplicate
+/// assert!(g.insert_edge(NodeId(0), NodeId(1), Label(1))); // new label
+/// assert_eq!(g.out_degree(NodeId(0)), 2);
+/// assert!(g.remove_edge(NodeId(0), NodeId(1), Label(1)));
+/// assert_eq!(g.out_degree(NodeId(0)), 1);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AdjacencyGraph {
+    /// Out-neighbours per node: `(destination, label)` pairs.
+    out_edges: HashMap<NodeId, Vec<(NodeId, Label)>>,
+    /// Number of directed edges currently stored.
+    edge_count: usize,
+    /// Largest node id ever seen plus one; used to size dense structures.
+    id_bound: u64,
+}
+
+impl AdjacencyGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty graph with room pre-allocated for `nodes` nodes.
+    pub fn with_capacity(nodes: usize) -> Self {
+        AdjacencyGraph {
+            out_edges: HashMap::with_capacity(nodes),
+            edge_count: 0,
+            id_bound: 0,
+        }
+    }
+
+    /// Builds a graph from an iterator of unlabelled `(src, dst)` pairs.
+    ///
+    /// All edges receive [`Label::ANY`].
+    pub fn from_edges<I>(edges: I) -> Self
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        let mut g = AdjacencyGraph::new();
+        for (s, d) in edges {
+            g.insert_edge(s, d, Label::ANY);
+        }
+        g
+    }
+
+    /// Inserts a directed edge. Returns `true` if the edge was new.
+    ///
+    /// Both endpoints become known nodes even if they had no prior edges.
+    pub fn insert_edge(&mut self, src: NodeId, dst: NodeId, label: Label) -> bool {
+        self.note_node(src);
+        self.note_node(dst);
+        let row = self.out_edges.entry(src).or_default();
+        if row.iter().any(|&(d, l)| d == dst && l == label) {
+            return false;
+        }
+        row.push((dst, label));
+        self.edge_count += 1;
+        true
+    }
+
+    /// Removes a directed edge. Returns `true` if the edge existed.
+    pub fn remove_edge(&mut self, src: NodeId, dst: NodeId, label: Label) -> bool {
+        if let Some(row) = self.out_edges.get_mut(&src) {
+            if let Some(pos) = row.iter().position(|&(d, l)| d == dst && l == label) {
+                row.swap_remove(pos);
+                self.edge_count -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Returns `true` if the edge is present.
+    pub fn has_edge(&self, src: NodeId, dst: NodeId, label: Label) -> bool {
+        self.out_edges
+            .get(&src)
+            .map(|row| row.iter().any(|&(d, l)| d == dst && l == label))
+            .unwrap_or(false)
+    }
+
+    /// Registers a node without adding any edges.
+    pub fn note_node(&mut self, node: NodeId) {
+        self.out_edges.entry(node).or_default();
+        if node.0 + 1 > self.id_bound {
+            self.id_bound = node.0 + 1;
+        }
+    }
+
+    /// Out-neighbours of `node` (with labels); empty slice if unknown.
+    pub fn neighbors(&self, node: NodeId) -> &[(NodeId, Label)] {
+        self.out_edges.get(&node).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Out-neighbours of `node` restricted to `label`.
+    pub fn neighbors_with_label(&self, node: NodeId, label: Label) -> Vec<NodeId> {
+        self.neighbors(node)
+            .iter()
+            .filter(|&&(_, l)| l == label)
+            .map(|&(d, _)| d)
+            .collect()
+    }
+
+    /// Out-degree of `node` (0 if the node is unknown).
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        self.out_edges.get(&node).map(Vec::len).unwrap_or(0)
+    }
+
+    /// Number of nodes that have been registered (with or without edges).
+    pub fn node_count(&self) -> usize {
+        self.out_edges.len()
+    }
+
+    /// Number of directed edges stored.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// One greater than the largest node id ever seen.
+    ///
+    /// Dense structures (e.g. the partition vector) can be sized with this.
+    pub fn id_bound(&self) -> u64 {
+        self.id_bound
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.out_edges.is_empty()
+    }
+
+    /// Iterates over every node id in the graph (arbitrary order).
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.out_edges.keys().copied()
+    }
+
+    /// Iterates over every directed edge as `(src, dst, label)`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, Label)> + '_ {
+        self.out_edges
+            .iter()
+            .flat_map(|(&s, row)| row.iter().map(move |&(d, l)| (s, d, l)))
+    }
+
+    /// Collects all edges into a vector sorted by `(src, dst, label)`.
+    ///
+    /// Useful for deterministic comparisons in tests.
+    pub fn to_sorted_edges(&self) -> Vec<(NodeId, NodeId, Label)> {
+        let mut v: Vec<_> = self.edges().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of nodes whose out-degree strictly exceeds `threshold`.
+    pub fn count_high_degree(&self, threshold: usize) -> usize {
+        self.out_edges.values().filter(|row| row.len() > threshold).count()
+    }
+
+    /// Approximate resident bytes of the adjacency data (for memory budgeting).
+    pub fn approx_bytes(&self) -> u64 {
+        let per_edge = std::mem::size_of::<(NodeId, Label)>() as u64;
+        let per_node = (std::mem::size_of::<NodeId>() + std::mem::size_of::<Vec<(NodeId, Label)>>()) as u64;
+        self.edge_count as u64 * per_edge + self.out_edges.len() as u64 * per_node
+    }
+}
+
+impl FromIterator<(NodeId, NodeId)> for AdjacencyGraph {
+    fn from_iter<I: IntoIterator<Item = (NodeId, NodeId)>>(iter: I) -> Self {
+        AdjacencyGraph::from_edges(iter)
+    }
+}
+
+impl Extend<(NodeId, NodeId, Label)> for AdjacencyGraph {
+    fn extend<I: IntoIterator<Item = (NodeId, NodeId, Label)>>(&mut self, iter: I) {
+        for (s, d, l) in iter {
+            self.insert_edge(s, d, l);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AdjacencyGraph {
+        let mut g = AdjacencyGraph::new();
+        g.insert_edge(NodeId(0), NodeId(1), Label(0));
+        g.insert_edge(NodeId(0), NodeId(2), Label(0));
+        g.insert_edge(NodeId(1), NodeId(2), Label(1));
+        g.insert_edge(NodeId(2), NodeId(0), Label(0));
+        g
+    }
+
+    #[test]
+    fn insert_counts_nodes_and_edges() {
+        let g = sample();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.id_bound(), 3);
+    }
+
+    #[test]
+    fn duplicate_insert_is_rejected() {
+        let mut g = sample();
+        assert!(!g.insert_edge(NodeId(0), NodeId(1), Label(0)));
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn same_pair_different_label_is_a_new_edge() {
+        let mut g = sample();
+        assert!(g.insert_edge(NodeId(0), NodeId(1), Label(7)));
+        assert_eq!(g.out_degree(NodeId(0)), 3);
+    }
+
+    #[test]
+    fn remove_edge_updates_counts() {
+        let mut g = sample();
+        assert!(g.remove_edge(NodeId(0), NodeId(1), Label(0)));
+        assert!(!g.remove_edge(NodeId(0), NodeId(1), Label(0)));
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.out_degree(NodeId(0)), 1);
+    }
+
+    #[test]
+    fn neighbors_with_label_filters() {
+        let g = sample();
+        assert_eq!(g.neighbors_with_label(NodeId(1), Label(1)), vec![NodeId(2)]);
+        assert!(g.neighbors_with_label(NodeId(1), Label(0)).is_empty());
+    }
+
+    #[test]
+    fn isolated_node_has_zero_degree() {
+        let mut g = sample();
+        g.note_node(NodeId(99));
+        assert_eq!(g.out_degree(NodeId(99)), 0);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.id_bound(), 100);
+    }
+
+    #[test]
+    fn edges_iterator_matches_edge_count() {
+        let g = sample();
+        assert_eq!(g.edges().count(), g.edge_count());
+        let sorted = g.to_sorted_edges();
+        assert_eq!(sorted.len(), 4);
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn from_edges_collects_unlabelled_pairs() {
+        let g: AdjacencyGraph = vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(0))]
+            .into_iter()
+            .collect();
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(NodeId(0), NodeId(1), Label::ANY));
+    }
+
+    #[test]
+    fn count_high_degree_uses_strict_threshold() {
+        let mut g = AdjacencyGraph::new();
+        for i in 1..=20u64 {
+            g.insert_edge(NodeId(0), NodeId(i), Label::ANY);
+        }
+        for i in 1..=16u64 {
+            g.insert_edge(NodeId(100), NodeId(i), Label::ANY);
+        }
+        assert_eq!(g.count_high_degree(16), 1); // only node 0 exceeds 16
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_edges() {
+        let mut g = AdjacencyGraph::new();
+        let empty = g.approx_bytes();
+        for i in 0..100u64 {
+            g.insert_edge(NodeId(i), NodeId(i + 1), Label::ANY);
+        }
+        assert!(g.approx_bytes() > empty);
+    }
+}

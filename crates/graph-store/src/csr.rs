@@ -1,0 +1,219 @@
+//! Immutable compressed-sparse-row (CSR) graph snapshot.
+//!
+//! CSR gives the host-only baseline contiguous row access — the access
+//! pattern that favours the CPU cache — and provides O(1) degree lookups for
+//! workload statistics (Table 1) and partition-quality metrics.
+
+use crate::adjacency::AdjacencyGraph;
+use crate::ids::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A compressed-sparse-row snapshot of a directed graph.
+///
+/// Rows are indexed densely by `NodeId::index()`; ids must therefore be
+/// reasonably dense (the generators always produce dense ids).
+///
+/// # Examples
+///
+/// ```
+/// use graph_store::{AdjacencyGraph, CsrGraph, Label, NodeId};
+///
+/// let mut g = AdjacencyGraph::new();
+/// g.insert_edge(NodeId(0), NodeId(1), Label::ANY);
+/// g.insert_edge(NodeId(0), NodeId(2), Label::ANY);
+/// g.insert_edge(NodeId(2), NodeId(0), Label::ANY);
+/// let csr = CsrGraph::from_adjacency(&g);
+/// assert_eq!(csr.out_degree(NodeId(0)), 2);
+/// assert_eq!(csr.neighbors(NodeId(1)), &[]);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CsrGraph {
+    /// Row offsets: `offsets[i]..offsets[i+1]` indexes `targets` for node `i`.
+    offsets: Vec<usize>,
+    /// Concatenated neighbour lists, sorted within each row.
+    targets: Vec<NodeId>,
+    /// Number of directed edges.
+    edge_count: usize,
+}
+
+impl CsrGraph {
+    /// Builds a CSR snapshot from a dynamic adjacency graph.
+    ///
+    /// Edge labels are dropped: the CSR view is the boolean adjacency matrix
+    /// used for k-hop path matching.
+    pub fn from_adjacency(graph: &AdjacencyGraph) -> Self {
+        let n = graph.id_bound() as usize;
+        let mut degrees = vec![0usize; n];
+        for (src, _, _) in graph.edges() {
+            degrees[src.index()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        let mut acc = 0usize;
+        for &d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut targets = vec![NodeId(0); acc];
+        let mut cursor = offsets.clone();
+        for (src, dst, _) in graph.edges() {
+            let slot = cursor[src.index()];
+            targets[slot] = dst;
+            cursor[src.index()] += 1;
+        }
+        // Sort each row for deterministic traversal and binary-search lookups.
+        for i in 0..n {
+            targets[offsets[i]..offsets[i + 1]].sort();
+        }
+        CsrGraph { offsets, targets, edge_count: acc }
+    }
+
+    /// Builds a CSR graph directly from `(src, dst)` pairs with `n` nodes.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut g = AdjacencyGraph::with_capacity(n);
+        for i in 0..n {
+            g.note_node(NodeId(i as u64));
+        }
+        for &(s, d) in edges {
+            g.insert_edge(s, d, crate::ids::Label::ANY);
+        }
+        CsrGraph::from_adjacency(&g)
+    }
+
+    /// Number of rows (node-id bound).
+    pub fn node_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Out-neighbours of `node`, sorted ascending. Empty if out of range.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        let i = node.index();
+        if i + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.targets[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Out-degree of `node` (0 if out of range).
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        self.neighbors(node).len()
+    }
+
+    /// Returns `true` if the directed edge exists.
+    pub fn has_edge(&self, src: NodeId, dst: NodeId) -> bool {
+        self.neighbors(src).binary_search(&dst).is_ok()
+    }
+
+    /// Average out-degree across rows that exist.
+    pub fn average_degree(&self) -> f64 {
+        if self.node_count() == 0 {
+            0.0
+        } else {
+            self.edge_count as f64 / self.node_count() as f64
+        }
+    }
+
+    /// Maximum out-degree across all rows.
+    pub fn max_degree(&self) -> usize {
+        (0..self.node_count())
+            .map(|i| self.offsets[i + 1] - self.offsets[i])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Fraction of nodes whose out-degree strictly exceeds `threshold`.
+    pub fn high_degree_fraction(&self, threshold: usize) -> f64 {
+        if self.node_count() == 0 {
+            return 0.0;
+        }
+        let hi = (0..self.node_count())
+            .filter(|&i| self.offsets[i + 1] - self.offsets[i] > threshold)
+            .count();
+        hi as f64 / self.node_count() as f64
+    }
+
+    /// Bytes of the row data for `node` (8 bytes per neighbour id), the
+    /// quantity charged to the memory system when the row is fetched.
+    pub fn row_bytes(&self, node: NodeId) -> u64 {
+        (self.out_degree(node) * std::mem::size_of::<u64>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Label;
+
+    fn sample() -> CsrGraph {
+        let mut g = AdjacencyGraph::new();
+        g.insert_edge(NodeId(0), NodeId(2), Label::ANY);
+        g.insert_edge(NodeId(0), NodeId(1), Label::ANY);
+        g.insert_edge(NodeId(1), NodeId(3), Label::ANY);
+        g.insert_edge(NodeId(3), NodeId(0), Label::ANY);
+        CsrGraph::from_adjacency(&g)
+    }
+
+    #[test]
+    fn rows_are_sorted() {
+        let csr = sample();
+        assert_eq!(csr.neighbors(NodeId(0)), &[NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn counts_match_source_graph() {
+        let csr = sample();
+        assert_eq!(csr.node_count(), 4);
+        assert_eq!(csr.edge_count(), 4);
+    }
+
+    #[test]
+    fn out_of_range_rows_are_empty() {
+        let csr = sample();
+        assert_eq!(csr.neighbors(NodeId(100)), &[]);
+        assert_eq!(csr.out_degree(NodeId(100)), 0);
+    }
+
+    #[test]
+    fn has_edge_uses_binary_search() {
+        let csr = sample();
+        assert!(csr.has_edge(NodeId(0), NodeId(2)));
+        assert!(!csr.has_edge(NodeId(2), NodeId(0)));
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let csr = sample();
+        assert_eq!(csr.max_degree(), 2);
+        assert!((csr.average_degree() - 1.0).abs() < 1e-9);
+        assert_eq!(csr.high_degree_fraction(1), 0.25);
+        assert_eq!(csr.high_degree_fraction(16), 0.0);
+    }
+
+    #[test]
+    fn row_bytes_is_eight_per_neighbor() {
+        let csr = sample();
+        assert_eq!(csr.row_bytes(NodeId(0)), 16);
+        assert_eq!(csr.row_bytes(NodeId(2)), 0);
+    }
+
+    #[test]
+    fn from_edges_builds_dense_rows() {
+        let csr = CsrGraph::from_edges(3, &[(NodeId(0), NodeId(1)), (NodeId(2), NodeId(1))]);
+        assert_eq!(csr.node_count(), 3);
+        assert_eq!(csr.neighbors(NodeId(2)), &[NodeId(1)]);
+    }
+
+    #[test]
+    fn empty_graph_statistics_are_zero() {
+        let csr = CsrGraph::default();
+        assert_eq!(csr.node_count(), 0);
+        assert_eq!(csr.average_degree(), 0.0);
+        assert_eq!(csr.max_degree(), 0);
+        assert_eq!(csr.high_degree_fraction(16), 0.0);
+    }
+}

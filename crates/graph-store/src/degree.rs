@@ -1,0 +1,180 @@
+//! Out-degree tracking and the high-degree node classification.
+//!
+//! The paper classifies nodes with out-degree exceeding 16 as *high-degree*
+//! (Table 1) and assigns them to the host CPU under the labor-division
+//! approach. [`DegreeTracker`] maintains out-degrees incrementally as edges
+//! stream in so the Node Migrator can detect the exact moment a low-degree
+//! node crosses the threshold and must move to the host side.
+
+use crate::ids::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Out-degree above which a node is considered high-degree (paper, Table 1).
+pub const HIGH_DEGREE_THRESHOLD: usize = 16;
+
+/// Incremental out-degree tracker with high-degree classification.
+///
+/// # Examples
+///
+/// ```
+/// use graph_store::{DegreeTracker, NodeId, HIGH_DEGREE_THRESHOLD};
+///
+/// let mut t = DegreeTracker::new(HIGH_DEGREE_THRESHOLD);
+/// for _ in 0..17 {
+///     t.record_insert(NodeId(0));
+/// }
+/// assert!(t.is_high_degree(NodeId(0)));
+/// assert_eq!(t.degree(NodeId(1)), 0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DegreeTracker {
+    degrees: HashMap<NodeId, usize>,
+    threshold: usize,
+    high_degree_count: usize,
+}
+
+impl DegreeTracker {
+    /// Creates a tracker with the given high-degree threshold.
+    pub fn new(threshold: usize) -> Self {
+        DegreeTracker { degrees: HashMap::new(), threshold, high_degree_count: 0 }
+    }
+
+    /// Creates a tracker with the paper's threshold of 16.
+    pub fn with_paper_threshold() -> Self {
+        Self::new(HIGH_DEGREE_THRESHOLD)
+    }
+
+    /// The configured high-degree threshold.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Records an out-edge insertion at `src`.
+    ///
+    /// Returns `true` when this insertion is the one that pushes `src` across
+    /// the high-degree threshold (the trigger for host migration).
+    pub fn record_insert(&mut self, src: NodeId) -> bool {
+        let d = self.degrees.entry(src).or_insert(0);
+        *d += 1;
+        if *d == self.threshold + 1 {
+            self.high_degree_count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records an out-edge deletion at `src`.
+    ///
+    /// Returns `true` when the deletion drops `src` back below the threshold.
+    pub fn record_delete(&mut self, src: NodeId) -> bool {
+        if let Some(d) = self.degrees.get_mut(&src) {
+            if *d > 0 {
+                let was_high = *d > self.threshold;
+                *d -= 1;
+                let is_high = *d > self.threshold;
+                if was_high && !is_high {
+                    self.high_degree_count -= 1;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Current out-degree of `node` (0 if unknown).
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.degrees.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Returns `true` if `node` is currently classified as high-degree.
+    pub fn is_high_degree(&self, node: NodeId) -> bool {
+        self.degree(node) > self.threshold
+    }
+
+    /// Number of nodes currently classified as high-degree.
+    pub fn high_degree_count(&self) -> usize {
+        self.high_degree_count
+    }
+
+    /// Number of nodes with at least one recorded out-edge ever.
+    pub fn tracked_nodes(&self) -> usize {
+        self.degrees.len()
+    }
+
+    /// Iterates over `(node, degree)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, usize)> + '_ {
+        self.degrees.iter().map(|(&n, &d)| (n, d))
+    }
+}
+
+impl Default for DegreeTracker {
+    fn default() -> Self {
+        Self::with_paper_threshold()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_uses_paper_threshold() {
+        let t = DegreeTracker::default();
+        assert_eq!(t.threshold(), 16);
+    }
+
+    #[test]
+    fn crossing_threshold_is_reported_once() {
+        let mut t = DegreeTracker::new(2);
+        assert!(!t.record_insert(NodeId(5)));
+        assert!(!t.record_insert(NodeId(5)));
+        assert!(t.record_insert(NodeId(5))); // degree 3 > 2
+        assert!(!t.record_insert(NodeId(5)));
+        assert_eq!(t.high_degree_count(), 1);
+    }
+
+    #[test]
+    fn deletion_can_demote_a_node() {
+        let mut t = DegreeTracker::new(2);
+        for _ in 0..4 {
+            t.record_insert(NodeId(1));
+        }
+        assert!(t.is_high_degree(NodeId(1)));
+        assert!(!t.record_delete(NodeId(1))); // degree 3, still high
+        assert!(t.record_delete(NodeId(1))); // degree 2, demoted
+        assert!(!t.is_high_degree(NodeId(1)));
+        assert_eq!(t.high_degree_count(), 0);
+    }
+
+    #[test]
+    fn delete_on_unknown_node_is_noop() {
+        let mut t = DegreeTracker::default();
+        assert!(!t.record_delete(NodeId(42)));
+        assert_eq!(t.degree(NodeId(42)), 0);
+    }
+
+    #[test]
+    fn tracked_nodes_counts_distinct_sources() {
+        let mut t = DegreeTracker::default();
+        t.record_insert(NodeId(0));
+        t.record_insert(NodeId(0));
+        t.record_insert(NodeId(1));
+        assert_eq!(t.tracked_nodes(), 2);
+        let mut degrees: Vec<_> = t.iter().collect();
+        degrees.sort();
+        assert_eq!(degrees, vec![(NodeId(0), 2), (NodeId(1), 1)]);
+    }
+
+    #[test]
+    fn threshold_is_strict() {
+        let mut t = DegreeTracker::new(16);
+        for _ in 0..16 {
+            t.record_insert(NodeId(7));
+        }
+        assert!(!t.is_high_degree(NodeId(7)));
+        t.record_insert(NodeId(7));
+        assert!(t.is_high_degree(NodeId(7)));
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type returned by graph storage operations.
+
+use crate::ids::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph storage structures.
+///
+/// # Examples
+///
+/// ```
+/// use graph_store::{GraphStoreError, NodeId};
+/// let err = GraphStoreError::NodeNotFound(NodeId(9));
+/// assert_eq!(err.to_string(), "node n9 not found");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphStoreError {
+    /// A node referenced by the operation does not exist.
+    NodeNotFound(NodeId),
+    /// The edge referenced by the operation does not exist.
+    EdgeNotFound(NodeId, NodeId),
+    /// The edge already exists and duplicate insertion was rejected.
+    DuplicateEdge(NodeId, NodeId),
+    /// A storage capacity limit (e.g. a PIM module's 64 MB MRAM) was exceeded.
+    CapacityExceeded {
+        /// Bytes the structure would need after the operation.
+        required: u64,
+        /// Bytes available to the structure.
+        capacity: u64,
+    },
+    /// The input (e.g. an edge-list line) could not be parsed.
+    ParseEdgeList(String),
+}
+
+impl fmt::Display for GraphStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphStoreError::NodeNotFound(n) => write!(f, "node {n} not found"),
+            GraphStoreError::EdgeNotFound(s, d) => write!(f, "edge {s} -> {d} not found"),
+            GraphStoreError::DuplicateEdge(s, d) => write!(f, "edge {s} -> {d} already exists"),
+            GraphStoreError::CapacityExceeded { required, capacity } => write!(
+                f,
+                "storage capacity exceeded: {required} bytes required, {capacity} available"
+            ),
+            GraphStoreError::ParseEdgeList(line) => {
+                write!(f, "malformed edge-list line: {line:?}")
+            }
+        }
+    }
+}
+
+impl Error for GraphStoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(GraphStoreError, &str)> = vec![
+            (GraphStoreError::NodeNotFound(NodeId(1)), "node n1 not found"),
+            (
+                GraphStoreError::EdgeNotFound(NodeId(1), NodeId(2)),
+                "edge n1 -> n2 not found",
+            ),
+            (
+                GraphStoreError::DuplicateEdge(NodeId(3), NodeId(4)),
+                "edge n3 -> n4 already exists",
+            ),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn capacity_error_reports_both_sides() {
+        let err = GraphStoreError::CapacityExceeded {
+            required: 100,
+            capacity: 64,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("100"));
+        assert!(msg.contains("64"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphStoreError>();
+    }
+}

@@ -1,0 +1,405 @@
+//! Heterogeneous graph storage for high-degree nodes (paper Section 3.3).
+//!
+//! High-degree nodes live on the host so their long next-hop lists can be read
+//! with contiguous memory accesses, but updating those lists (duplicate
+//! detection, free-slot management) would hammer the host CPU. The paper
+//! splits the structure across the two sides:
+//!
+//! * **Host side** — `cols_vector`: one contiguous array of next-hop NodeIds
+//!   per high-degree row, with a size and a capacity. Queries read it with a
+//!   single sequential fetch; updates only write one slot.
+//! * **PIM side** — `elem_position_map`: a hash map from edge `(row, col)` to
+//!   its position inside the row's `cols_vector`; and `free_list_map`: a hash
+//!   map from row to the list of free positions. The PIM module performs the
+//!   existence check and the free-slot allocation, amortising the host's
+//!   update cost.
+//!
+//! [`HeterogeneousStorage`] models both halves and reports, for every update,
+//! how much work landed on each side ([`UpdateCost`]) so the simulator can
+//! charge the host and the PIM module separately.
+
+use crate::error::GraphStoreError;
+use crate::ids::{EdgeKey, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A sentinel stored in free slots of a `cols_vector`.
+///
+/// The paper's Figure 3 marks free positions with `-1`; we use `u64::MAX`.
+const FREE_SLOT: NodeId = NodeId(u64::MAX);
+
+/// Where the work of one storage operation landed.
+///
+/// All quantities are in the unit the PIM simulator charges for them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdateCost {
+    /// Bytes the host CPU read from its DRAM (sequential).
+    pub host_bytes_read: u64,
+    /// Bytes the host CPU wrote to its DRAM.
+    pub host_bytes_written: u64,
+    /// Hash-map lookups performed on the PIM side.
+    pub pim_lookups: u64,
+    /// Hash-map mutations (insert/remove) performed on the PIM side.
+    pub pim_mutations: u64,
+}
+
+impl UpdateCost {
+    /// Adds another cost onto this one.
+    pub fn accumulate(&mut self, other: UpdateCost) {
+        self.host_bytes_read += other.host_bytes_read;
+        self.host_bytes_written += other.host_bytes_written;
+        self.pim_lookups += other.pim_lookups;
+        self.pim_mutations += other.pim_mutations;
+    }
+}
+
+/// Result of an insert/delete against the heterogeneous storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdateOutcome {
+    /// Whether the structure changed (false for duplicate insert / missing delete).
+    pub changed: bool,
+    /// Work split between host and PIM side for this operation.
+    pub cost: UpdateCost,
+}
+
+/// One high-degree row: the host-resident contiguous `cols_vector`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct ColsVector {
+    slots: Vec<NodeId>,
+    live: usize,
+}
+
+/// Heterogeneous storage for the host-resident (high-degree) adjacency rows.
+///
+/// # Examples
+///
+/// ```
+/// use graph_store::{HeterogeneousStorage, NodeId};
+///
+/// let mut s = HeterogeneousStorage::new();
+/// let outcome = s.insert_edge(NodeId(1), NodeId(2));
+/// assert!(outcome.changed);
+/// assert_eq!(s.neighbors(NodeId(1)), vec![NodeId(2)]);
+/// // A second insert of the same edge is detected on the PIM side.
+/// assert!(!s.insert_edge(NodeId(1), NodeId(2)).changed);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct HeterogeneousStorage {
+    /// Host side: contiguous next-hop arrays.
+    cols: HashMap<NodeId, ColsVector>,
+    /// PIM side: edge -> position within the row's cols_vector.
+    elem_position_map: HashMap<EdgeKey, usize>,
+    /// PIM side: row -> free positions inside its cols_vector.
+    free_list_map: HashMap<NodeId, Vec<usize>>,
+    /// Number of live edges across all rows.
+    edge_count: usize,
+}
+
+impl HeterogeneousStorage {
+    /// Creates an empty heterogeneous storage.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a complete row (used when a node is promoted to the host).
+    ///
+    /// Returns the cost of building the auxiliary PIM-side maps.
+    pub fn install_row(&mut self, row: NodeId, next_hops: Vec<NodeId>) -> UpdateCost {
+        let mut cost = UpdateCost::default();
+        // Drop any previous contents of the row.
+        if let Some(old) = self.cols.remove(&row) {
+            for (pos, &dst) in old.slots.iter().enumerate() {
+                if dst != FREE_SLOT {
+                    self.elem_position_map.remove(&(row, dst));
+                    cost.pim_mutations += 1;
+                    let _ = pos;
+                }
+            }
+            self.edge_count -= old.live;
+        }
+        self.free_list_map.remove(&row);
+
+        let mut slots = Vec::with_capacity(next_hops.len());
+        for dst in next_hops {
+            if self.elem_position_map.contains_key(&(row, dst)) {
+                continue; // duplicate within the provided row
+            }
+            let pos = slots.len();
+            slots.push(dst);
+            self.elem_position_map.insert((row, dst), pos);
+            cost.pim_mutations += 1;
+        }
+        let live = slots.len();
+        cost.host_bytes_written += (live * std::mem::size_of::<NodeId>()) as u64;
+        self.edge_count += live;
+        self.cols.insert(row, ColsVector { slots, live });
+        cost
+    }
+
+    /// Removes a row entirely and returns its live next-hops (used when a node
+    /// is demoted back to a PIM module).
+    pub fn take_row(&mut self, row: NodeId) -> Option<Vec<NodeId>> {
+        let cols = self.cols.remove(&row)?;
+        let mut hops = Vec::with_capacity(cols.live);
+        for &dst in &cols.slots {
+            if dst != FREE_SLOT {
+                self.elem_position_map.remove(&(row, dst));
+                hops.push(dst);
+            }
+        }
+        self.free_list_map.remove(&row);
+        self.edge_count -= cols.live;
+        Some(hops)
+    }
+
+    /// Inserts an edge following the paper's four-step protocol:
+    /// existence check (PIM), free-slot allocation (PIM), position-map update
+    /// (PIM), and a single host write into `cols_vector`.
+    pub fn insert_edge(&mut self, src: NodeId, dst: NodeId) -> UpdateOutcome {
+        let mut cost = UpdateCost::default();
+        // Step 1: PIM-side existence check.
+        cost.pim_lookups += 1;
+        if self.elem_position_map.contains_key(&(src, dst)) {
+            return UpdateOutcome { changed: false, cost };
+        }
+        let cols = self.cols.entry(src).or_default();
+        // Step 2: PIM-side free-slot allocation.
+        cost.pim_lookups += 1;
+        let pos = match self.free_list_map.get_mut(&src).and_then(Vec::pop) {
+            Some(free) => {
+                cost.pim_mutations += 1;
+                free
+            }
+            None => {
+                // Grow the cols_vector; the host appends a slot.
+                cols.slots.push(FREE_SLOT);
+                cols.slots.len() - 1
+            }
+        };
+        // Step 3: PIM-side position-map update.
+        self.elem_position_map.insert((src, dst), pos);
+        cost.pim_mutations += 1;
+        // Step 4: host writes the NodeId into the slot.
+        cols.slots[pos] = dst;
+        cols.live += 1;
+        cost.host_bytes_written += std::mem::size_of::<NodeId>() as u64;
+        self.edge_count += 1;
+        UpdateOutcome { changed: true, cost }
+    }
+
+    /// Deletes an edge: the PIM side locates the slot and returns it to the
+    /// free list, the host overwrites the slot with the free marker.
+    pub fn delete_edge(&mut self, src: NodeId, dst: NodeId) -> UpdateOutcome {
+        let mut cost = UpdateCost::default();
+        cost.pim_lookups += 1;
+        let Some(pos) = self.elem_position_map.remove(&(src, dst)) else {
+            return UpdateOutcome { changed: false, cost };
+        };
+        cost.pim_mutations += 1;
+        let cols = self.cols.get_mut(&src).expect("row must exist for a mapped edge");
+        cols.slots[pos] = FREE_SLOT;
+        cols.live -= 1;
+        cost.host_bytes_written += std::mem::size_of::<NodeId>() as u64;
+        self.free_list_map.entry(src).or_default().push(pos);
+        cost.pim_mutations += 1;
+        self.edge_count -= 1;
+        UpdateOutcome { changed: true, cost }
+    }
+
+    /// Returns `true` if the edge exists (PIM-side lookup).
+    pub fn has_edge(&self, src: NodeId, dst: NodeId) -> bool {
+        self.elem_position_map.contains_key(&(src, dst))
+    }
+
+    /// Returns `true` if a row is stored for `src`.
+    pub fn contains_row(&self, src: NodeId) -> bool {
+        self.cols.contains_key(&src)
+    }
+
+    /// Live next-hops of `src` (host-side sequential read).
+    pub fn neighbors(&self, src: NodeId) -> Vec<NodeId> {
+        self.cols
+            .get(&src)
+            .map(|c| c.slots.iter().copied().filter(|&d| d != FREE_SLOT).collect())
+            .unwrap_or_default()
+    }
+
+    /// Bytes the host reads to fetch the full row of `src` (one contiguous
+    /// fetch over the whole `cols_vector`, including free slots).
+    pub fn row_bytes(&self, src: NodeId) -> u64 {
+        self.cols
+            .get(&src)
+            .map(|c| (c.slots.len() * std::mem::size_of::<NodeId>()) as u64)
+            .unwrap_or(0)
+    }
+
+    /// Live out-degree of `src`.
+    pub fn out_degree(&self, src: NodeId) -> usize {
+        self.cols.get(&src).map(|c| c.live).unwrap_or(0)
+    }
+
+    /// Number of rows stored.
+    pub fn row_count(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Number of live edges across all rows.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Iterates over rows as `(row, live next-hops)`.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Vec<NodeId>)> + '_ {
+        self.cols.iter().map(|(&r, c)| {
+            (r, c.slots.iter().copied().filter(|&d| d != FREE_SLOT).collect())
+        })
+    }
+
+    /// Validates internal consistency between the host-side `cols_vector`s and
+    /// the PIM-side maps. Used by property tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphStoreError::EdgeNotFound`] describing the first
+    /// inconsistency encountered.
+    pub fn check_invariants(&self) -> Result<(), GraphStoreError> {
+        let mut live_total = 0usize;
+        for (&row, cols) in &self.cols {
+            let mut live = 0usize;
+            for (pos, &dst) in cols.slots.iter().enumerate() {
+                if dst == FREE_SLOT {
+                    continue;
+                }
+                live += 1;
+                match self.elem_position_map.get(&(row, dst)) {
+                    Some(&p) if p == pos => {}
+                    _ => return Err(GraphStoreError::EdgeNotFound(row, dst)),
+                }
+            }
+            if live != cols.live {
+                return Err(GraphStoreError::NodeNotFound(row));
+            }
+            live_total += live;
+            if let Some(free) = self.free_list_map.get(&row) {
+                for &pos in free {
+                    if pos >= cols.slots.len() || cols.slots[pos] != FREE_SLOT {
+                        return Err(GraphStoreError::NodeNotFound(row));
+                    }
+                }
+            }
+        }
+        if live_total != self.edge_count {
+            return Err(GraphStoreError::NodeNotFound(NodeId(u64::MAX)));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_appends_then_reuses_free_slots() {
+        let mut s = HeterogeneousStorage::new();
+        assert!(s.insert_edge(NodeId(1), NodeId(5)).changed);
+        assert!(s.insert_edge(NodeId(1), NodeId(6)).changed);
+        assert!(s.delete_edge(NodeId(1), NodeId(5)).changed);
+        // The freed slot (position 0) must be reused by the next insert.
+        assert!(s.insert_edge(NodeId(1), NodeId(7)).changed);
+        assert_eq!(s.row_bytes(NodeId(1)), 16); // still only two slots
+        let mut n = s.neighbors(NodeId(1));
+        n.sort();
+        assert_eq!(n, vec![NodeId(6), NodeId(7)]);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicate_insert_only_costs_a_pim_lookup() {
+        let mut s = HeterogeneousStorage::new();
+        s.insert_edge(NodeId(1), NodeId(2));
+        let outcome = s.insert_edge(NodeId(1), NodeId(2));
+        assert!(!outcome.changed);
+        assert_eq!(outcome.cost.host_bytes_written, 0);
+        assert_eq!(outcome.cost.pim_lookups, 1);
+        assert_eq!(s.edge_count(), 1);
+    }
+
+    #[test]
+    fn delete_missing_edge_is_a_noop() {
+        let mut s = HeterogeneousStorage::new();
+        let outcome = s.delete_edge(NodeId(3), NodeId(4));
+        assert!(!outcome.changed);
+        assert_eq!(s.edge_count(), 0);
+    }
+
+    #[test]
+    fn insert_cost_splits_work_between_sides() {
+        let mut s = HeterogeneousStorage::new();
+        let outcome = s.insert_edge(NodeId(1), NodeId(2));
+        // Host does exactly one 8-byte write; PIM does the lookups/updates.
+        assert_eq!(outcome.cost.host_bytes_written, 8);
+        assert!(outcome.cost.pim_lookups >= 2);
+        assert!(outcome.cost.pim_mutations >= 1);
+    }
+
+    #[test]
+    fn install_and_take_row_roundtrip() {
+        let mut s = HeterogeneousStorage::new();
+        s.install_row(NodeId(9), vec![NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(s.out_degree(NodeId(9)), 3);
+        assert_eq!(s.edge_count(), 3);
+        s.check_invariants().unwrap();
+        let mut row = s.take_row(NodeId(9)).unwrap();
+        row.sort();
+        assert_eq!(row, vec![NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(s.edge_count(), 0);
+        assert!(s.take_row(NodeId(9)).is_none());
+    }
+
+    #[test]
+    fn install_row_replaces_previous_contents() {
+        let mut s = HeterogeneousStorage::new();
+        s.install_row(NodeId(1), vec![NodeId(2), NodeId(3)]);
+        s.install_row(NodeId(1), vec![NodeId(4)]);
+        assert_eq!(s.neighbors(NodeId(1)), vec![NodeId(4)]);
+        assert_eq!(s.edge_count(), 1);
+        assert!(!s.has_edge(NodeId(1), NodeId(2)));
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn install_row_ignores_duplicates_in_input() {
+        let mut s = HeterogeneousStorage::new();
+        s.install_row(NodeId(1), vec![NodeId(2), NodeId(2), NodeId(3)]);
+        assert_eq!(s.out_degree(NodeId(1)), 2);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn figure3_insert_example() {
+        // Paper Figure 3: inserting edge <1, 2>: the free list hands out a
+        // position, the position map records it, the host writes one slot.
+        let mut s = HeterogeneousStorage::new();
+        s.install_row(NodeId(1), vec![NodeId(5), NodeId(6), NodeId(7), NodeId(4)]);
+        s.delete_edge(NodeId(1), NodeId(6)).changed.then_some(()).unwrap();
+        let before_bytes = s.row_bytes(NodeId(1));
+        let outcome = s.insert_edge(NodeId(1), NodeId(2));
+        assert!(outcome.changed);
+        assert_eq!(outcome.cost.host_bytes_written, 8);
+        assert_eq!(s.row_bytes(NodeId(1)), before_bytes); // slot reused, no growth
+        assert!(s.has_edge(NodeId(1), NodeId(2)));
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn iter_reports_live_rows() {
+        let mut s = HeterogeneousStorage::new();
+        s.install_row(NodeId(1), vec![NodeId(2)]);
+        s.install_row(NodeId(3), vec![NodeId(4), NodeId(5)]);
+        let mut rows: Vec<_> = s.iter().map(|(r, hops)| (r, hops.len())).collect();
+        rows.sort();
+        assert_eq!(rows, vec![(NodeId(1), 1), (NodeId(3), 2)]);
+        assert_eq!(s.row_count(), 2);
+    }
+}

@@ -1,0 +1,188 @@
+//! Strongly-typed identifiers shared by every crate in the workspace.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a graph node (a row of the adjacency matrix).
+///
+/// Node ids are dense `u64` values assigned by the ingestion layer. They are
+/// newtyped so that node ids, partition ids, and labels can never be mixed up
+/// at compile time.
+///
+/// # Examples
+///
+/// ```
+/// use graph_store::NodeId;
+/// let n = NodeId(42);
+/// assert_eq!(n.index(), 42);
+/// assert_eq!(format!("{n}"), "n42");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct NodeId(pub u64);
+
+impl NodeId {
+    /// Returns the id as a `usize` index, for dense array addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u64> for NodeId {
+    fn from(v: u64) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(v as u64)
+    }
+}
+
+/// Identifier of a computing node that owns a slice of the graph.
+///
+/// The host CPU and every PIM module are computing nodes; the paper's
+/// `node_partition_vector` stores one of these per graph node.
+///
+/// # Examples
+///
+/// ```
+/// use graph_store::PartitionId;
+/// assert!(PartitionId::HOST.is_host());
+/// assert!(!PartitionId::Pim(3).is_host());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PartitionId {
+    /// The host CPU partition (stores high-degree nodes).
+    Host,
+    /// A PIM module, identified by its rank-local index.
+    Pim(u32),
+}
+
+impl PartitionId {
+    /// The host partition, provided as an associated constant for readability.
+    pub const HOST: PartitionId = PartitionId::Host;
+
+    /// Returns `true` if this partition is the host CPU.
+    #[inline]
+    pub fn is_host(self) -> bool {
+        matches!(self, PartitionId::Host)
+    }
+
+    /// Returns the PIM module index, or `None` for the host partition.
+    #[inline]
+    pub fn pim_index(self) -> Option<u32> {
+        match self {
+            PartitionId::Host => None,
+            PartitionId::Pim(i) => Some(i),
+        }
+    }
+}
+
+impl Default for PartitionId {
+    fn default() -> Self {
+        PartitionId::Pim(0)
+    }
+}
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionId::Host => write!(f, "host"),
+            PartitionId::Pim(i) => write!(f, "pim{i}"),
+        }
+    }
+}
+
+/// An edge label (relationship type) in the property-graph model.
+///
+/// Regular path queries are regular expressions over these labels. Label `0`
+/// is the default/untyped relationship used by plain k-hop queries.
+///
+/// # Examples
+///
+/// ```
+/// use graph_store::Label;
+/// let knows = Label(1);
+/// assert_ne!(knows, Label::default());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Label(pub u16);
+
+impl Label {
+    /// The default (untyped) relationship label.
+    pub const ANY: Label = Label(0);
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+impl From<u16> for Label {
+    fn from(v: u16) -> Self {
+        Label(v)
+    }
+}
+
+/// A directed edge expressed as a `(source, destination)` pair.
+///
+/// Used as the key of the heterogeneous storage's `elem_position_map`.
+pub type EdgeKey = (NodeId, NodeId);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n: NodeId = 7u64.into();
+        assert_eq!(n.index(), 7);
+        assert_eq!(NodeId::from(7usize), n);
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+    }
+
+    #[test]
+    fn partition_id_host_and_pim() {
+        assert!(PartitionId::HOST.is_host());
+        assert_eq!(PartitionId::HOST.pim_index(), None);
+        assert_eq!(PartitionId::Pim(5).pim_index(), Some(5));
+        assert!(!PartitionId::Pim(5).is_host());
+    }
+
+    #[test]
+    fn partition_id_display() {
+        assert_eq!(PartitionId::Host.to_string(), "host");
+        assert_eq!(PartitionId::Pim(2).to_string(), "pim2");
+    }
+
+    #[test]
+    fn label_default_is_any() {
+        assert_eq!(Label::default(), Label::ANY);
+        assert_eq!(Label::from(4u16), Label(4));
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(NodeId(1));
+        set.insert(NodeId(1));
+        set.insert(NodeId(2));
+        assert_eq!(set.len(), 2);
+        assert!(NodeId(1) < NodeId(2));
+        assert!(PartitionId::Host < PartitionId::Pim(0));
+    }
+}

@@ -1,0 +1,63 @@
+//! Graph storage substrates used by the Moctopus reproduction.
+//!
+//! The crate provides every storage structure the paper's system relies on:
+//!
+//! * [`ids`] — strongly-typed identifiers ([`NodeId`], [`PartitionId`], [`Label`]).
+//! * [`property`] — the property-graph data model (nodes/edges with labels and
+//!   property/value pairs) used by graph databases.
+//! * [`adjacency`] — a dynamic, labelled, directed adjacency-list graph; the
+//!   logical "whole graph" view used by generators and baselines.
+//! * [`csr`] — an immutable compressed-sparse-row snapshot for analytics.
+//! * [`local`] — the per-PIM-module *local graph storage*: a hash map from row
+//!   id (NodeId) to row data (next-hop NodeIds), exactly as described in
+//!   Section 3.1 of the paper.
+//! * [`heterogeneous`] — the *heterogeneous graph storage* of Section 3.3 for
+//!   high-degree nodes kept on the host: a contiguous `cols_vector` on the
+//!   host plus `elem_position_map` / `free_list_map` hash maps on the PIM side.
+//! * [`degree`] — out-degree tracking and the high-degree threshold (16).
+//! * [`edgelist`] — plain edge-list import/export.
+//!
+//! # Examples
+//!
+//! ```
+//! use graph_store::prelude::*;
+//!
+//! let mut g = AdjacencyGraph::new();
+//! g.insert_edge(NodeId(0), NodeId(1), Label::default());
+//! g.insert_edge(NodeId(1), NodeId(2), Label::default());
+//! assert_eq!(g.out_degree(NodeId(0)), 1);
+//! assert_eq!(g.edge_count(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod adjacency;
+pub mod csr;
+pub mod degree;
+pub mod edgelist;
+pub mod error;
+pub mod heterogeneous;
+pub mod ids;
+pub mod local;
+pub mod property;
+
+pub use adjacency::AdjacencyGraph;
+pub use csr::CsrGraph;
+pub use degree::{DegreeTracker, HIGH_DEGREE_THRESHOLD};
+pub use error::GraphStoreError;
+pub use heterogeneous::{HeterogeneousStorage, UpdateCost, UpdateOutcome};
+pub use ids::{Label, NodeId, PartitionId};
+pub use local::LocalGraphStorage;
+pub use property::{PropertyGraph, PropertyValue};
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::adjacency::AdjacencyGraph;
+    pub use crate::csr::CsrGraph;
+    pub use crate::degree::{DegreeTracker, HIGH_DEGREE_THRESHOLD};
+    pub use crate::error::GraphStoreError;
+    pub use crate::heterogeneous::HeterogeneousStorage;
+    pub use crate::ids::{Label, NodeId, PartitionId};
+    pub use crate::local::LocalGraphStorage;
+    pub use crate::property::{PropertyGraph, PropertyValue};
+}

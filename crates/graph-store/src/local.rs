@@ -1,0 +1,236 @@
+//! Per-PIM-module *local graph storage*.
+//!
+//! Each PIM module owns a disjoint slice of the adjacency matrix, partitioned
+//! by row (graph node). The paper stores the slice in a hash map from row id
+//! (NodeId) to row data (the next-hop NodeIds), chosen for its concurrency and
+//! scalability on the wimpy PIM cores. [`LocalGraphStorage`] reproduces that
+//! structure and additionally tracks the resident bytes so the simulator can
+//! enforce the 64 MB MRAM capacity of an UPMEM module.
+
+use crate::error::GraphStoreError;
+use crate::ids::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Hash-map based adjacency-matrix segment held by one PIM module.
+///
+/// # Examples
+///
+/// ```
+/// use graph_store::{LocalGraphStorage, NodeId};
+///
+/// let mut s = LocalGraphStorage::new();
+/// s.insert_edge(NodeId(4), NodeId(9))?;
+/// s.insert_edge(NodeId(4), NodeId(7))?;
+/// assert_eq!(s.row(NodeId(4)).unwrap().len(), 2);
+/// assert_eq!(s.edge_count(), 2);
+/// # Ok::<(), graph_store::GraphStoreError>(())
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LocalGraphStorage {
+    rows: HashMap<NodeId, Vec<NodeId>>,
+    edge_count: usize,
+    capacity_bytes: Option<u64>,
+}
+
+impl LocalGraphStorage {
+    /// Creates an empty segment without a capacity limit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty segment that refuses to grow beyond `capacity_bytes`
+    /// (e.g. the 64 MB MRAM of an UPMEM PIM module).
+    pub fn with_capacity_bytes(capacity_bytes: u64) -> Self {
+        LocalGraphStorage { rows: HashMap::new(), edge_count: 0, capacity_bytes: Some(capacity_bytes) }
+    }
+
+    /// Inserts a directed edge into the row of `src`.
+    ///
+    /// Duplicate edges are ignored (the adjacency matrix is boolean) and
+    /// reported via [`GraphStoreError::DuplicateEdge`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphStoreError::CapacityExceeded`] when the insertion would
+    /// overflow the configured MRAM capacity, and
+    /// [`GraphStoreError::DuplicateEdge`] when the edge already exists.
+    pub fn insert_edge(&mut self, src: NodeId, dst: NodeId) -> Result<(), GraphStoreError> {
+        if let Some(cap) = self.capacity_bytes {
+            let needed = self.resident_bytes() + std::mem::size_of::<NodeId>() as u64;
+            if needed > cap {
+                return Err(GraphStoreError::CapacityExceeded { required: needed, capacity: cap });
+            }
+        }
+        let row = self.rows.entry(src).or_default();
+        if row.contains(&dst) {
+            return Err(GraphStoreError::DuplicateEdge(src, dst));
+        }
+        row.push(dst);
+        self.edge_count += 1;
+        Ok(())
+    }
+
+    /// Removes a directed edge from the row of `src`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphStoreError::EdgeNotFound`] when the edge is absent.
+    pub fn remove_edge(&mut self, src: NodeId, dst: NodeId) -> Result<(), GraphStoreError> {
+        let row = self.rows.get_mut(&src).ok_or(GraphStoreError::EdgeNotFound(src, dst))?;
+        let pos = row.iter().position(|&d| d == dst).ok_or(GraphStoreError::EdgeNotFound(src, dst))?;
+        row.swap_remove(pos);
+        self.edge_count -= 1;
+        if row.is_empty() {
+            self.rows.remove(&src);
+        }
+        Ok(())
+    }
+
+    /// Returns the row (next-hop NodeIds) for `src`, if stored locally.
+    pub fn row(&self, src: NodeId) -> Option<&[NodeId]> {
+        self.rows.get(&src).map(Vec::as_slice)
+    }
+
+    /// Returns `true` if this module stores a row for `src`.
+    pub fn contains_row(&self, src: NodeId) -> bool {
+        self.rows.contains_key(&src)
+    }
+
+    /// Removes an entire row and returns its next-hop data (used when a node
+    /// is migrated to another computing node).
+    pub fn take_row(&mut self, src: NodeId) -> Option<Vec<NodeId>> {
+        let row = self.rows.remove(&src);
+        if let Some(ref r) = row {
+            self.edge_count -= r.len();
+        }
+        row
+    }
+
+    /// Installs a full row received from another computing node.
+    ///
+    /// Any existing row for `src` is replaced.
+    pub fn install_row(&mut self, src: NodeId, mut next_hops: Vec<NodeId>) {
+        next_hops.sort();
+        next_hops.dedup();
+        if let Some(old) = self.rows.insert(src, next_hops) {
+            self.edge_count -= old.len();
+        }
+        self.edge_count += self.rows[&src].len();
+    }
+
+    /// Number of rows stored locally.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of directed edges stored locally.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Returns `true` if no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates over the locally stored rows in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &[NodeId])> + '_ {
+        self.rows.iter().map(|(&n, v)| (n, v.as_slice()))
+    }
+
+    /// Approximate bytes resident in MRAM for this segment.
+    ///
+    /// Counts 8 bytes per stored next-hop id plus 16 bytes of hash-map entry
+    /// overhead per row, a close-enough model for capacity enforcement.
+    pub fn resident_bytes(&self) -> u64 {
+        let edge_bytes = self.edge_count as u64 * std::mem::size_of::<NodeId>() as u64;
+        let row_overhead = self.rows.len() as u64 * 16;
+        edge_bytes + row_overhead
+    }
+
+    /// The configured capacity in bytes, if any.
+    pub fn capacity_bytes(&self) -> Option<u64> {
+        self.capacity_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup_rows() {
+        let mut s = LocalGraphStorage::new();
+        s.insert_edge(NodeId(1), NodeId(2)).unwrap();
+        s.insert_edge(NodeId(1), NodeId(3)).unwrap();
+        s.insert_edge(NodeId(2), NodeId(1)).unwrap();
+        assert_eq!(s.row_count(), 2);
+        assert_eq!(s.edge_count(), 3);
+        assert_eq!(s.row(NodeId(1)).unwrap(), &[NodeId(2), NodeId(3)]);
+        assert!(s.row(NodeId(9)).is_none());
+    }
+
+    #[test]
+    fn duplicate_insert_is_an_error() {
+        let mut s = LocalGraphStorage::new();
+        s.insert_edge(NodeId(1), NodeId(2)).unwrap();
+        let err = s.insert_edge(NodeId(1), NodeId(2)).unwrap_err();
+        assert_eq!(err, GraphStoreError::DuplicateEdge(NodeId(1), NodeId(2)));
+        assert_eq!(s.edge_count(), 1);
+    }
+
+    #[test]
+    fn remove_edge_and_row_cleanup() {
+        let mut s = LocalGraphStorage::new();
+        s.insert_edge(NodeId(1), NodeId(2)).unwrap();
+        s.remove_edge(NodeId(1), NodeId(2)).unwrap();
+        assert!(!s.contains_row(NodeId(1)));
+        assert_eq!(s.edge_count(), 0);
+        assert!(matches!(
+            s.remove_edge(NodeId(1), NodeId(2)),
+            Err(GraphStoreError::EdgeNotFound(_, _))
+        ));
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut s = LocalGraphStorage::with_capacity_bytes(30);
+        s.insert_edge(NodeId(0), NodeId(1)).unwrap(); // 8 + 16 = 24 bytes
+        let err = s.insert_edge(NodeId(0), NodeId(2)).unwrap_err();
+        assert!(matches!(err, GraphStoreError::CapacityExceeded { .. }));
+        assert_eq!(s.edge_count(), 1);
+    }
+
+    #[test]
+    fn take_and_install_row_preserve_edge_count() {
+        let mut a = LocalGraphStorage::new();
+        a.insert_edge(NodeId(5), NodeId(6)).unwrap();
+        a.insert_edge(NodeId(5), NodeId(7)).unwrap();
+        let row = a.take_row(NodeId(5)).unwrap();
+        assert_eq!(a.edge_count(), 0);
+
+        let mut b = LocalGraphStorage::new();
+        b.install_row(NodeId(5), row);
+        assert_eq!(b.edge_count(), 2);
+        assert_eq!(b.row(NodeId(5)).unwrap(), &[NodeId(6), NodeId(7)]);
+    }
+
+    #[test]
+    fn install_row_dedups_and_replaces() {
+        let mut s = LocalGraphStorage::new();
+        s.install_row(NodeId(1), vec![NodeId(3), NodeId(2), NodeId(3)]);
+        assert_eq!(s.row(NodeId(1)).unwrap(), &[NodeId(2), NodeId(3)]);
+        assert_eq!(s.edge_count(), 2);
+        s.install_row(NodeId(1), vec![NodeId(9)]);
+        assert_eq!(s.edge_count(), 1);
+    }
+
+    #[test]
+    fn resident_bytes_reflects_contents() {
+        let mut s = LocalGraphStorage::new();
+        assert_eq!(s.resident_bytes(), 0);
+        s.insert_edge(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(s.resident_bytes(), 8 + 16);
+    }
+}

@@ -1,0 +1,104 @@
+//! First-order energy model.
+//!
+//! The paper motivates PIM partly through the energy cost of data movement
+//! ("excessive data movement results in ... considerable energy costs"). The
+//! evaluation does not report energy numbers, so this model is an extension:
+//! it converts the byte counters already collected by the simulator into an
+//! energy estimate using per-byte figures commonly used in the PIM literature
+//! (DRAM access ≈ 20 pJ/byte on the host path, ≈ 5 pJ/byte inside a PIM
+//! module, and ≈ 60 pJ/byte for crossing the off-chip CPU↔PIM bus).
+
+use crate::transfer::TransferStats;
+use serde::{Deserialize, Serialize};
+
+/// Per-byte energy coefficients in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy per byte read/written by the host from DRAM.
+    pub host_dram_pj_per_byte: f64,
+    /// Energy per byte accessed inside a PIM module's MRAM.
+    pub pim_mram_pj_per_byte: f64,
+    /// Energy per byte crossing the CPU↔PIM bus.
+    pub bus_pj_per_byte: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            host_dram_pj_per_byte: 20.0,
+            pim_mram_pj_per_byte: 5.0,
+            bus_pj_per_byte: 60.0,
+        }
+    }
+}
+
+/// An energy estimate broken down by component, in picojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyEstimate {
+    /// Energy spent by host DRAM traffic.
+    pub host_pj: f64,
+    /// Energy spent by PIM-local MRAM traffic.
+    pub pim_pj: f64,
+    /// Energy spent moving data across the CPU↔PIM bus.
+    pub bus_pj: f64,
+}
+
+impl EnergyEstimate {
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.host_pj + self.pim_pj + self.bus_pj
+    }
+
+    /// Total energy in microjoules.
+    pub fn total_uj(&self) -> f64 {
+        self.total_pj() / 1e6
+    }
+}
+
+impl EnergyModel {
+    /// Estimates energy from byte counters.
+    ///
+    /// `host_bytes` and `pim_bytes` are the memory bytes touched on each side;
+    /// bus traffic is taken from `transfers` (IPC bytes cross the bus twice).
+    pub fn estimate(&self, host_bytes: u64, pim_bytes: u64, transfers: &TransferStats) -> EnergyEstimate {
+        let bus_bytes = transfers.cpc_bytes() + 2 * transfers.inter_pim_bytes;
+        EnergyEstimate {
+            host_pj: host_bytes as f64 * self.host_dram_pj_per_byte,
+            pim_pj: pim_bytes as f64 * self.pim_mram_pj_per_byte,
+            bus_pj: bus_bytes as f64 * self.bus_pj_per_byte,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_coefficients_order() {
+        let m = EnergyModel::default();
+        assert!(m.bus_pj_per_byte > m.host_dram_pj_per_byte);
+        assert!(m.host_dram_pj_per_byte > m.pim_mram_pj_per_byte);
+    }
+
+    #[test]
+    fn estimate_accounts_double_bus_crossing_for_ipc() {
+        let m = EnergyModel::default();
+        let mut t = TransferStats::default();
+        t.record_inter_pim(100, 1);
+        let e = m.estimate(0, 0, &t);
+        assert_eq!(e.bus_pj, 200.0 * m.bus_pj_per_byte);
+        assert_eq!(e.host_pj, 0.0);
+    }
+
+    #[test]
+    fn totals_sum_components() {
+        let m = EnergyModel::default();
+        let mut t = TransferStats::default();
+        t.record_cpu_to_pim(10, 1);
+        let e = m.estimate(100, 1000, &t);
+        let expected = 100.0 * 20.0 + 1000.0 * 5.0 + 10.0 * 60.0;
+        assert!((e.total_pj() - expected).abs() < 1e-9);
+        assert!((e.total_uj() - expected / 1e6).abs() < 1e-12);
+    }
+}

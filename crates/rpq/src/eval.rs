@@ -1,0 +1,236 @@
+//! Reference RPQ evaluation by product-automaton BFS.
+//!
+//! [`ReferenceEvaluator`] walks the product of the data graph and the query
+//! automaton. It makes no attempt at being fast — its job is to define the
+//! correct answer that every other engine in the workspace (the host matrix
+//! baseline, the PIM-hash system, and Moctopus itself) is tested against.
+
+use crate::ast::RpqExpr;
+use crate::nfa::Nfa;
+use graph_store::{AdjacencyGraph, NodeId};
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+/// Reference evaluator over a fully materialised adjacency graph.
+///
+/// # Examples
+///
+/// ```
+/// use graph_store::{AdjacencyGraph, Label, NodeId};
+/// use rpq::{ReferenceEvaluator, RpqExpr};
+///
+/// let mut g = AdjacencyGraph::new();
+/// g.insert_edge(NodeId(0), NodeId(1), Label(0));
+/// g.insert_edge(NodeId(1), NodeId(2), Label(0));
+/// let eval = ReferenceEvaluator::new(&g);
+/// let result = eval.evaluate(&RpqExpr::k_hop(2), &[NodeId(0)]);
+/// assert!(result[0].contains(&NodeId(2)));
+/// assert_eq!(result[0].len(), 1);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ReferenceEvaluator<'g> {
+    graph: &'g AdjacencyGraph,
+}
+
+impl<'g> ReferenceEvaluator<'g> {
+    /// Creates an evaluator over `graph`.
+    pub fn new(graph: &'g AdjacencyGraph) -> Self {
+        ReferenceEvaluator { graph }
+    }
+
+    /// Evaluates `expr` from each source node, returning the set of matched
+    /// destination nodes per source (in source order).
+    pub fn evaluate(&self, expr: &RpqExpr, sources: &[NodeId]) -> Vec<BTreeSet<NodeId>> {
+        let nfa = Nfa::from_expr(expr);
+        sources.iter().map(|&s| self.evaluate_single(&nfa, s)).collect()
+    }
+
+    fn evaluate_single(&self, nfa: &Nfa, source: NodeId) -> BTreeSet<NodeId> {
+        let mut results = BTreeSet::new();
+        let mut visited: HashSet<(NodeId, usize)> = HashSet::new();
+        let mut queue: VecDeque<(NodeId, usize)> = VecDeque::new();
+        let start = (source, nfa.start());
+        visited.insert(start);
+        queue.push_back(start);
+        if nfa.accepts_empty() {
+            results.insert(source);
+        }
+        while let Some((node, state)) = queue.pop_front() {
+            for &(dst, label) in self.graph.neighbors(node) {
+                for &(spec, next_state) in nfa.transitions_from(state) {
+                    if !spec.matches(label) {
+                        continue;
+                    }
+                    if visited.insert((dst, next_state)) {
+                        if nfa.is_accepting(next_state) {
+                            results.insert(dst);
+                        }
+                        queue.push_back((dst, next_state));
+                    } else if nfa.is_accepting(next_state) {
+                        results.insert(dst);
+                    }
+                }
+            }
+        }
+        results
+    }
+
+    /// Direct level-by-level k-hop evaluation (boolean frontier semantics:
+    /// nodes reachable by *some* path of exactly `k` edges).
+    ///
+    /// This matches `Q × Adj^k` over the boolean semiring and is used as an
+    /// independent cross-check of [`ReferenceEvaluator::evaluate`].
+    pub fn k_hop(&self, sources: &[NodeId], k: usize) -> Vec<BTreeSet<NodeId>> {
+        sources
+            .iter()
+            .map(|&s| {
+                let mut frontier: BTreeSet<NodeId> = BTreeSet::new();
+                frontier.insert(s);
+                for _ in 0..k {
+                    let mut next = BTreeSet::new();
+                    for &n in &frontier {
+                        for &(dst, _) in self.graph.neighbors(n) {
+                            next.insert(dst);
+                        }
+                    }
+                    frontier = next;
+                    if frontier.is_empty() {
+                        break;
+                    }
+                }
+                frontier
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph_store::Label;
+
+    /// Figure 2's routing-connection graph (10 nodes).
+    fn figure2_graph() -> AdjacencyGraph {
+        let mut g = AdjacencyGraph::new();
+        let edges = [
+            (0, 1),
+            (1, 2),
+            (1, 4),
+            (2, 3),
+            (2, 5),
+            (3, 6),
+            (4, 5),
+            (5, 6),
+            (5, 8),
+            (6, 9),
+            (3, 9),
+            (8, 9),
+        ];
+        for (s, d) in edges {
+            g.insert_edge(NodeId(s), NodeId(d), Label(0));
+        }
+        g
+    }
+
+    #[test]
+    fn two_hop_matches_manual_expansion() {
+        let g = figure2_graph();
+        let eval = ReferenceEvaluator::new(&g);
+        let result = eval.evaluate(&RpqExpr::k_hop(2), &[NodeId(2), NodeId(3)]);
+        // From node 2: 2 -> {3,5} -> {6, 9, 6, 8} = {6, 8, 9}.
+        let expected2: BTreeSet<NodeId> = [NodeId(6), NodeId(8), NodeId(9)].into_iter().collect();
+        assert_eq!(result[0], expected2);
+        // From node 3: 3 -> {6,9} -> {9}.
+        let expected3: BTreeSet<NodeId> = [NodeId(9)].into_iter().collect();
+        assert_eq!(result[1], expected3);
+    }
+
+    #[test]
+    fn nfa_evaluation_agrees_with_direct_k_hop() {
+        let g = graph_gen_like_chain();
+        let eval = ReferenceEvaluator::new(&g);
+        let sources = [NodeId(0), NodeId(3), NodeId(7)];
+        for k in 0..5 {
+            assert_eq!(
+                eval.evaluate(&RpqExpr::k_hop(k), &sources),
+                eval.k_hop(&sources, k),
+                "mismatch at k = {k}"
+            );
+        }
+    }
+
+    fn graph_gen_like_chain() -> AdjacencyGraph {
+        // A chain with some shortcuts to create branching.
+        let mut g = AdjacencyGraph::new();
+        for i in 0..10u64 {
+            g.insert_edge(NodeId(i), NodeId(i + 1), Label(0));
+        }
+        g.insert_edge(NodeId(0), NodeId(5), Label(0));
+        g.insert_edge(NodeId(2), NodeId(7), Label(0));
+        g.insert_edge(NodeId(7), NodeId(2), Label(0));
+        g
+    }
+
+    #[test]
+    fn label_constrained_paths() {
+        let mut g = AdjacencyGraph::new();
+        g.insert_edge(NodeId(0), NodeId(1), Label(1)); // follows
+        g.insert_edge(NodeId(0), NodeId(2), Label(2)); // blocks
+        g.insert_edge(NodeId(1), NodeId(3), Label(1));
+        g.insert_edge(NodeId(2), NodeId(3), Label(1));
+        let eval = ReferenceEvaluator::new(&g);
+
+        // follows/follows reaches 3 only through node 1.
+        let expr = RpqExpr::concat(vec![RpqExpr::label(1), RpqExpr::label(1)]);
+        let r = eval.evaluate(&expr, &[NodeId(0)]);
+        assert_eq!(r[0], [NodeId(3)].into_iter().collect());
+
+        // blocks/follows also reaches 3, via node 2.
+        let expr2 = RpqExpr::concat(vec![RpqExpr::label(2), RpqExpr::label(1)]);
+        let r2 = eval.evaluate(&expr2, &[NodeId(0)]);
+        assert_eq!(r2[0], [NodeId(3)].into_iter().collect());
+
+        // follows-only transitive closure never uses the label-2 edge.
+        let expr3 = RpqExpr::Plus(Box::new(RpqExpr::label(1)));
+        let r3 = eval.evaluate(&expr3, &[NodeId(0)]);
+        assert_eq!(r3[0], [NodeId(1), NodeId(3)].into_iter().collect());
+    }
+
+    #[test]
+    fn star_includes_the_source_itself() {
+        let g = figure2_graph();
+        let eval = ReferenceEvaluator::new(&g);
+        let expr = RpqExpr::Star(Box::new(RpqExpr::any()));
+        let r = eval.evaluate(&expr, &[NodeId(5)]);
+        assert!(r[0].contains(&NodeId(5)));
+        assert!(r[0].contains(&NodeId(9)));
+        assert!(!r[0].contains(&NodeId(0)), "node 0 is not reachable from 5");
+    }
+
+    #[test]
+    fn zero_hop_returns_the_source() {
+        let g = figure2_graph();
+        let eval = ReferenceEvaluator::new(&g);
+        let r = eval.k_hop(&[NodeId(4)], 0);
+        assert_eq!(r[0], [NodeId(4)].into_iter().collect());
+    }
+
+    #[test]
+    fn unreachable_sources_return_empty_sets() {
+        let g = figure2_graph();
+        let eval = ReferenceEvaluator::new(&g);
+        // Node 9 has no outgoing edges.
+        let r = eval.evaluate(&RpqExpr::k_hop(2), &[NodeId(9)]);
+        assert!(r[0].is_empty());
+    }
+
+    #[test]
+    fn cycles_do_not_hang_unbounded_queries() {
+        let mut g = AdjacencyGraph::new();
+        g.insert_edge(NodeId(0), NodeId(1), Label(0));
+        g.insert_edge(NodeId(1), NodeId(0), Label(0));
+        let eval = ReferenceEvaluator::new(&g);
+        let expr = RpqExpr::Plus(Box::new(RpqExpr::any()));
+        let r = eval.evaluate(&expr, &[NodeId(0)]);
+        assert_eq!(r[0], [NodeId(0), NodeId(1)].into_iter().collect());
+    }
+}

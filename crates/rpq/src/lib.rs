@@ -1,0 +1,44 @@
+//! Regular path query (RPQ) engine.
+//!
+//! An RPQ is a regular expression over edge labels; evaluating it over a graph
+//! returns all endpoint pairs connected by a path whose label sequence matches
+//! the expression. The Moctopus paper's evaluation focuses on the most common
+//! RPQ shape — the *k-hop path query* with fixed start nodes, processed in
+//! batches — and compiles it into a matrix-based execution plan
+//! (`ans = Q × Adj × … × Adj`) made of `smxm`/`mwait` operators.
+//!
+//! This crate provides the full pipeline:
+//!
+//! * [`ast`] — the RPQ expression tree ([`RpqExpr`]), including the
+//!   [`RpqExpr::k_hop`] constructor used throughout the evaluation.
+//! * [`parser`] — a SPARQL-property-path-flavoured text syntax
+//!   (`"1/2*"`, `".{3}"`, `"(1|2)+"`).
+//! * [`nfa`] — Glushkov (ε-free) automaton construction.
+//! * [`eval`] — a reference evaluator (product-automaton BFS) used to verify
+//!   every other engine in the workspace.
+//! * [`plan`] — matrix-based execution plans (`smxm`, `mwait`, `add`, `sub`
+//!   operators) and the host-side executor over [`sparse`] matrices, which is
+//!   the RedisGraph-like baseline's query path.
+//!
+//! # Examples
+//!
+//! ```
+//! use rpq::{RpqExpr, parser};
+//!
+//! let by_text = parser::parse(".{2}")?;
+//! assert_eq!(by_text, RpqExpr::k_hop(2));
+//! # Ok::<(), rpq::parser::ParseRpqError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod eval;
+pub mod nfa;
+pub mod parser;
+pub mod plan;
+
+pub use ast::{LabelSpec, RpqExpr};
+pub use eval::ReferenceEvaluator;
+pub use nfa::Nfa;
+pub use plan::{ExecutionPlan, PlanOp};

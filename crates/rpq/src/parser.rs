@@ -1,0 +1,304 @@
+//! Text syntax for regular path queries.
+//!
+//! The syntax follows SPARQL property paths restricted to numeric label ids:
+//!
+//! ```text
+//! expr     := alt
+//! alt      := concat ('|' concat)*
+//! concat   := postfix ('/' postfix)*
+//! postfix  := atom ('*' | '+' | '?' | '{' n (',' n)? '}')*
+//! atom     := NUMBER | '.' | '(' expr ')'
+//! ```
+//!
+//! `NUMBER` is an edge-label id, `.` matches any label. Whitespace is ignored.
+//! A plain k-hop query is written `.{k}`.
+
+use crate::ast::RpqExpr;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when parsing an RPQ string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRpqError {
+    message: String,
+    position: usize,
+}
+
+impl ParseRpqError {
+    fn new(message: impl Into<String>, position: usize) -> Self {
+        ParseRpqError { message: message.into(), position }
+    }
+
+    /// Byte offset in the input where the error was detected.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+}
+
+impl fmt::Display for ParseRpqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid regular path query at offset {}: {}", self.position, self.message)
+    }
+}
+
+impl Error for ParseRpqError {}
+
+/// Parses an RPQ expression from its text form.
+///
+/// # Errors
+///
+/// Returns [`ParseRpqError`] when the input is not a valid expression.
+///
+/// # Examples
+///
+/// ```
+/// use rpq::{parser, RpqExpr};
+/// assert_eq!(parser::parse(".{3}")?, RpqExpr::k_hop(3));
+/// assert!(parser::parse("1/(2|3)*").is_ok());
+/// assert!(parser::parse("1//2").is_err());
+/// # Ok::<(), rpq::parser::ParseRpqError>(())
+/// ```
+pub fn parse(input: &str) -> Result<RpqExpr, ParseRpqError> {
+    let mut parser = Parser { chars: input.char_indices().collect(), pos: 0 };
+    let expr = parser.parse_alt()?;
+    parser.skip_ws();
+    if parser.pos < parser.chars.len() {
+        return Err(ParseRpqError::new("unexpected trailing input", parser.offset()));
+    }
+    Ok(expr)
+}
+
+struct Parser {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn offset(&self) -> usize {
+        self.chars.get(self.pos).map(|&(o, _)| o).unwrap_or_else(|| {
+            self.chars.last().map(|&(o, c)| o + c.len_utf8()).unwrap_or(0)
+        })
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).map(|&(_, c)| c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, expected: char) -> Result<(), ParseRpqError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(c) if c == expected => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(ParseRpqError::new(
+                format!("expected {expected:?}, found {other:?}"),
+                self.offset(),
+            )),
+        }
+    }
+
+    fn parse_alt(&mut self) -> Result<RpqExpr, ParseRpqError> {
+        let mut branches = vec![self.parse_concat()?];
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('|') {
+                self.pos += 1;
+                branches.push(self.parse_concat()?);
+            } else {
+                break;
+            }
+        }
+        Ok(RpqExpr::alt(branches))
+    }
+
+    fn parse_concat(&mut self) -> Result<RpqExpr, ParseRpqError> {
+        let mut parts = vec![self.parse_postfix()?];
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('/') {
+                self.pos += 1;
+                parts.push(self.parse_postfix()?);
+            } else {
+                break;
+            }
+        }
+        Ok(RpqExpr::concat(parts))
+    }
+
+    fn parse_postfix(&mut self) -> Result<RpqExpr, ParseRpqError> {
+        let mut expr = self.parse_atom()?;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('*') => {
+                    self.pos += 1;
+                    expr = RpqExpr::Star(Box::new(expr));
+                }
+                Some('+') => {
+                    self.pos += 1;
+                    expr = RpqExpr::Plus(Box::new(expr));
+                }
+                Some('?') => {
+                    self.pos += 1;
+                    expr = RpqExpr::Optional(Box::new(expr));
+                }
+                Some('{') => {
+                    self.pos += 1;
+                    let min = self.parse_number()?;
+                    self.skip_ws();
+                    let max = if self.peek() == Some(',') {
+                        self.pos += 1;
+                        self.parse_number()?
+                    } else {
+                        min
+                    };
+                    self.expect('}')?;
+                    if max < min {
+                        return Err(ParseRpqError::new("repetition max below min", self.offset()));
+                    }
+                    expr = RpqExpr::Repeat { expr: Box::new(expr), min, max };
+                }
+                _ => break,
+            }
+        }
+        Ok(expr)
+    }
+
+    fn parse_atom(&mut self) -> Result<RpqExpr, ParseRpqError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('.') => {
+                self.pos += 1;
+                Ok(RpqExpr::any())
+            }
+            Some('(') => {
+                self.pos += 1;
+                let inner = self.parse_alt()?;
+                self.expect(')')?;
+                Ok(inner)
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let n = self.parse_number()?;
+                if n > u16::MAX as usize {
+                    return Err(ParseRpqError::new("label id exceeds u16::MAX", self.offset()));
+                }
+                Ok(RpqExpr::label(n as u16))
+            }
+            other => Err(ParseRpqError::new(format!("expected atom, found {other:?}"), self.offset())),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<usize, ParseRpqError> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(ParseRpqError::new("expected a number", self.offset()));
+        }
+        let text: String = self.chars[start..self.pos].iter().map(|&(_, c)| c).collect();
+        text.parse::<usize>()
+            .map_err(|_| ParseRpqError::new("number out of range", self.offset()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::LabelSpec;
+    use graph_store::Label;
+
+    #[test]
+    fn parses_k_hop() {
+        assert_eq!(parse(".{5}").unwrap(), RpqExpr::k_hop(5));
+        assert_eq!(parse(".").unwrap(), RpqExpr::any());
+        assert_eq!(parse(" . { 2 } ").unwrap(), RpqExpr::k_hop(2));
+    }
+
+    #[test]
+    fn parses_labels_and_concat() {
+        let e = parse("1/2/3").unwrap();
+        assert_eq!(
+            e,
+            RpqExpr::concat(vec![RpqExpr::label(1), RpqExpr::label(2), RpqExpr::label(3)])
+        );
+    }
+
+    #[test]
+    fn parses_alternation_and_precedence() {
+        // '/' binds tighter than '|'.
+        let e = parse("1/2|3").unwrap();
+        assert_eq!(
+            e,
+            RpqExpr::alt(vec![
+                RpqExpr::concat(vec![RpqExpr::label(1), RpqExpr::label(2)]),
+                RpqExpr::label(3)
+            ])
+        );
+    }
+
+    #[test]
+    fn parses_postfix_operators() {
+        assert_eq!(parse("7*").unwrap(), RpqExpr::Star(Box::new(RpqExpr::label(7))));
+        assert_eq!(parse("7+").unwrap(), RpqExpr::Plus(Box::new(RpqExpr::label(7))));
+        assert_eq!(parse("7?").unwrap(), RpqExpr::Optional(Box::new(RpqExpr::label(7))));
+        assert_eq!(
+            parse("(1|2){2,4}").unwrap(),
+            RpqExpr::Repeat {
+                expr: Box::new(RpqExpr::alt(vec![RpqExpr::label(1), RpqExpr::label(2)])),
+                min: 2,
+                max: 4
+            }
+        );
+    }
+
+    #[test]
+    fn parses_parentheses() {
+        let e = parse("(1/2)*").unwrap();
+        match e {
+            RpqExpr::Star(inner) => {
+                assert_eq!(*inner, RpqExpr::concat(vec![RpqExpr::label(1), RpqExpr::label(2)]));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "1//2", "(1", "1)", "{3}", "1{2,1}", ".{", "|1", "1|", "99999999"] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse("1/(2|)").unwrap_err();
+        assert!(err.position() > 0);
+        assert!(err.to_string().contains("offset"));
+    }
+
+    #[test]
+    fn roundtrips_display_output() {
+        for text in [".{4}", "1/2", "(1|2)", "(1/2)*", "(.){1,3}"] {
+            let e = parse(text).unwrap();
+            let reparsed = parse(&e.to_string()).unwrap();
+            assert_eq!(e, reparsed, "roundtrip failed for {text}");
+        }
+    }
+
+    #[test]
+    fn label_atoms_use_exact_spec() {
+        match parse("42").unwrap() {
+            RpqExpr::Atom(LabelSpec::Exact(l)) => assert_eq!(l, Label(42)),
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,414 @@
+//! Matrix-based execution plans (the paper's `smxm` / `mwait` / `add` / `sub`
+//! operators) and a host-side executor over sparse matrices.
+//!
+//! The Query Processor translates a batch RPQ into a plan
+//! `ans = Q × Adj × … × Adj`: one [`PlanOp::Smxm`] per hop followed by an
+//! [`PlanOp::MWait`] that reduces/gathers the result. Graph updates become
+//! [`PlanOp::Add`] / [`PlanOp::Sub`] operators over a delta matrix. The
+//! [`HostMatrixEngine`] in this module executes such plans on the host with
+//! GraphBLAS-style sparse kernels — exactly what the RedisGraph baseline does —
+//! and reports how much matrix data each operator touched so the simulator can
+//! charge memory-system costs.
+
+use crate::ast::{LabelSpec, RpqExpr};
+use graph_store::{AdjacencyGraph, Label, NodeId};
+use sparse::{ops, MatrixBuilder, SparseBoolMatrix};
+use std::collections::HashMap;
+
+/// One operator of a matrix-based execution plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanOp {
+    /// Sparse matrix × matrix multiplication against the adjacency matrix of
+    /// the given label (one hop of path matching).
+    Smxm(LabelSpec),
+    /// Wait for all partial products and reduce them into the result matrix.
+    MWait,
+    /// Apply an edge-insertion delta to the adjacency matrix (`Adj + delta`).
+    Add,
+    /// Apply an edge-deletion delta to the adjacency matrix (`Adj - delta`).
+    Sub,
+}
+
+/// A sequence of matrix operators produced by the query planner.
+///
+/// # Examples
+///
+/// ```
+/// use rpq::{ExecutionPlan, RpqExpr, PlanOp};
+/// let plan = ExecutionPlan::from_expr(&RpqExpr::k_hop(3)).expect("k-hop plans are supported");
+/// assert_eq!(plan.hop_count(), 3);
+/// assert_eq!(plan.ops().last(), Some(&PlanOp::MWait));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutionPlan {
+    ops: Vec<PlanOp>,
+}
+
+impl ExecutionPlan {
+    /// The plan for a k-hop path query over any label.
+    pub fn k_hop(k: usize) -> Self {
+        let mut ops = vec![PlanOp::Smxm(LabelSpec::Any); k];
+        ops.push(PlanOp::MWait);
+        ExecutionPlan { ops }
+    }
+
+    /// The plan for a batch of edge insertions.
+    pub fn insert_batch() -> Self {
+        ExecutionPlan { ops: vec![PlanOp::Add] }
+    }
+
+    /// The plan for a batch of edge deletions.
+    pub fn delete_batch() -> Self {
+        ExecutionPlan { ops: vec![PlanOp::Sub] }
+    }
+
+    /// Compiles an RPQ expression into a chain of `smxm` operators.
+    ///
+    /// Only *fixed-length* expressions — concatenations of atoms and bounded
+    /// repeats with `min == max` — have a pure matrix-chain plan; anything
+    /// containing `*`, `+`, `?`, alternation, or ranged repetition returns
+    /// `None` and must be evaluated with the automaton-based engine instead.
+    pub fn from_expr(expr: &RpqExpr) -> Option<Self> {
+        let mut specs = Vec::new();
+        collect_chain(expr, &mut specs)?;
+        let mut ops: Vec<PlanOp> = specs.into_iter().map(PlanOp::Smxm).collect();
+        ops.push(PlanOp::MWait);
+        Some(ExecutionPlan { ops })
+    }
+
+    /// The operators in execution order.
+    pub fn ops(&self) -> &[PlanOp] {
+        &self.ops
+    }
+
+    /// Number of `smxm` (hop) operators in the plan.
+    pub fn hop_count(&self) -> usize {
+        self.ops.iter().filter(|op| matches!(op, PlanOp::Smxm(_))).count()
+    }
+}
+
+/// Flattens a fixed-length expression into the label of each hop.
+fn collect_chain(expr: &RpqExpr, out: &mut Vec<LabelSpec>) -> Option<()> {
+    match expr {
+        RpqExpr::Atom(spec) => {
+            out.push(*spec);
+            Some(())
+        }
+        RpqExpr::Concat(parts) => {
+            for p in parts {
+                collect_chain(p, out)?;
+            }
+            Some(())
+        }
+        RpqExpr::Repeat { expr, min, max } if min == max => {
+            for _ in 0..*min {
+                collect_chain(expr, out)?;
+            }
+            Some(())
+        }
+        _ => None,
+    }
+}
+
+/// Execution statistics of one plan run on the host engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HostExecutionStats {
+    /// Bytes of matrix data read across all operators (8 bytes per entry;
+    /// only the adjacency rows actually touched by Gustavson's algorithm).
+    pub bytes_read: u64,
+    /// Bytes of result data produced (8 bytes per entry).
+    pub bytes_written: u64,
+    /// Number of adjacency-row fetches performed (each one is a random access
+    /// into the CSR structure on a real machine).
+    pub row_fetches: u64,
+    /// Number of `smxm` operators executed.
+    pub smxm_ops: usize,
+    /// Total result entries after the final reduction.
+    pub result_entries: usize,
+}
+
+/// Host-side (RedisGraph-like) matrix engine: per-label adjacency matrices
+/// plus a plan executor.
+///
+/// # Examples
+///
+/// ```
+/// use graph_store::{AdjacencyGraph, Label, NodeId};
+/// use rpq::plan::HostMatrixEngine;
+/// use rpq::ExecutionPlan;
+///
+/// let mut g = AdjacencyGraph::new();
+/// g.insert_edge(NodeId(0), NodeId(1), Label(0));
+/// g.insert_edge(NodeId(1), NodeId(2), Label(0));
+/// let engine = HostMatrixEngine::from_graph(&g);
+/// let (result, stats) = engine.run(&ExecutionPlan::k_hop(2), &[NodeId(0)]);
+/// assert_eq!(result[0], vec![NodeId(2)]);
+/// assert!(stats.bytes_read > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HostMatrixEngine {
+    node_bound: usize,
+    any: SparseBoolMatrix,
+    by_label: HashMap<Label, SparseBoolMatrix>,
+}
+
+impl HostMatrixEngine {
+    /// Builds per-label adjacency matrices from a graph snapshot.
+    pub fn from_graph(graph: &AdjacencyGraph) -> Self {
+        let n = graph.id_bound() as usize;
+        let mut any = MatrixBuilder::new(n, n);
+        let mut per_label: HashMap<Label, MatrixBuilder> = HashMap::new();
+        for (s, d, l) in graph.edges() {
+            any.set(s.index(), d.index());
+            per_label.entry(l).or_insert_with(|| MatrixBuilder::new(n, n)).set(s.index(), d.index());
+        }
+        HostMatrixEngine {
+            node_bound: n,
+            any: any.build(),
+            by_label: per_label.into_iter().map(|(l, b)| (l, b.build())).collect(),
+        }
+    }
+
+    /// Number of rows/columns of the adjacency matrices.
+    pub fn node_bound(&self) -> usize {
+        self.node_bound
+    }
+
+    /// The label-oblivious adjacency matrix.
+    pub fn adjacency(&self) -> &SparseBoolMatrix {
+        &self.any
+    }
+
+    /// The adjacency matrix restricted to one label (empty if unused).
+    pub fn adjacency_for(&self, spec: LabelSpec) -> SparseBoolMatrix {
+        match spec {
+            LabelSpec::Any => self.any.clone(),
+            LabelSpec::Exact(l) => self
+                .by_label
+                .get(&l)
+                .cloned()
+                .unwrap_or_else(|| SparseBoolMatrix::zeros(self.node_bound, self.node_bound)),
+        }
+    }
+
+    /// Executes a query plan for a batch of source nodes.
+    ///
+    /// Returns the matched destinations per source (sorted) and the execution
+    /// statistics used for cost modelling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan contains `Add`/`Sub` operators (updates are applied
+    /// through [`HostMatrixEngine::apply_insertions`] /
+    /// [`HostMatrixEngine::apply_deletions`]).
+    pub fn run(&self, plan: &ExecutionPlan, sources: &[NodeId]) -> (Vec<Vec<NodeId>>, HostExecutionStats) {
+        let mut stats = HostExecutionStats::default();
+        // Build the Q matrix: one row per query in the batch.
+        let mut q_builder = MatrixBuilder::new(sources.len(), self.node_bound);
+        for (row, src) in sources.iter().enumerate() {
+            if src.index() < self.node_bound {
+                q_builder.set(row, src.index());
+            }
+        }
+        let mut current = q_builder.build();
+        for op in plan.ops() {
+            match op {
+                PlanOp::Smxm(spec) => {
+                    let adj = self.adjacency_for(*spec);
+                    stats.smxm_ops += 1;
+                    // Gustavson's algorithm touches one adjacency row per set
+                    // entry of the current frontier matrix.
+                    let mut touched_bytes = 0u64;
+                    let mut fetches = 0u64;
+                    for (_, col) in current.iter() {
+                        fetches += 1;
+                        touched_bytes += adj.row_nnz(col) as u64 * 8;
+                    }
+                    stats.row_fetches += fetches;
+                    stats.bytes_read += current.nnz() as u64 * 8 + touched_bytes;
+                    current = ops::mxm(&current, &adj);
+                    stats.bytes_written += current.nnz() as u64 * 8;
+                }
+                PlanOp::MWait => {
+                    stats.bytes_read += current.nnz() as u64 * 8;
+                    stats.result_entries = current.nnz();
+                }
+                PlanOp::Add | PlanOp::Sub => {
+                    panic!("update operators are not part of a query plan");
+                }
+            }
+        }
+        let results = (0..sources.len())
+            .map(|row| current.row(row).iter().map(|&c| NodeId(c as u64)).collect())
+            .collect();
+        (results, stats)
+    }
+
+    /// Applies a batch of edge insertions (`Adj + delta`) and returns the
+    /// bytes of matrix data rewritten.
+    pub fn apply_insertions(&mut self, edges: &[(NodeId, NodeId)]) -> u64 {
+        let delta = self.delta_matrix(edges);
+        let before = self.any.nnz();
+        self.any = ops::ewise_union(&self.any, &delta);
+        // The default label matrix receives the same structural update.
+        let entry = self
+            .by_label
+            .entry(Label::ANY)
+            .or_insert_with(|| SparseBoolMatrix::zeros(self.node_bound, self.node_bound));
+        *entry = ops::ewise_union(entry, &delta);
+        ((self.any.nnz() + before) as u64) * 8
+    }
+
+    /// Applies a batch of edge deletions (`Adj - delta`) and returns the bytes
+    /// of matrix data rewritten.
+    pub fn apply_deletions(&mut self, edges: &[(NodeId, NodeId)]) -> u64 {
+        let delta = self.delta_matrix(edges);
+        let before = self.any.nnz();
+        self.any = ops::ewise_difference(&self.any, &delta);
+        let entry = self
+            .by_label
+            .entry(Label::ANY)
+            .or_insert_with(|| SparseBoolMatrix::zeros(self.node_bound, self.node_bound));
+        *entry = ops::ewise_difference(entry, &delta);
+        ((self.any.nnz() + before) as u64) * 8
+    }
+
+    fn delta_matrix(&mut self, edges: &[(NodeId, NodeId)]) -> SparseBoolMatrix {
+        let needed = edges
+            .iter()
+            .map(|&(s, d)| s.index().max(d.index()) + 1)
+            .max()
+            .unwrap_or(0);
+        if needed > self.node_bound {
+            self.grow(needed);
+        }
+        let triplets: Vec<(usize, usize)> = edges.iter().map(|&(s, d)| (s.index(), d.index())).collect();
+        SparseBoolMatrix::from_triplets(self.node_bound, self.node_bound, &triplets)
+    }
+
+    fn grow(&mut self, new_bound: usize) {
+        let grow_matrix = |m: &SparseBoolMatrix| {
+            SparseBoolMatrix::from_triplets(new_bound, new_bound, &m.to_triplets())
+        };
+        self.any = grow_matrix(&self.any);
+        self.by_label = self.by_label.iter().map(|(&l, m)| (l, grow_matrix(m))).collect();
+        self.node_bound = new_bound;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_graph() -> AdjacencyGraph {
+        let mut g = AdjacencyGraph::new();
+        for i in 0..6u64 {
+            g.insert_edge(NodeId(i), NodeId(i + 1), Label(0));
+        }
+        g.insert_edge(NodeId(0), NodeId(3), Label(1));
+        g
+    }
+
+    #[test]
+    fn k_hop_plan_shape() {
+        let plan = ExecutionPlan::k_hop(4);
+        assert_eq!(plan.hop_count(), 4);
+        assert_eq!(plan.ops().len(), 5);
+        assert_eq!(plan.ops()[4], PlanOp::MWait);
+    }
+
+    #[test]
+    fn from_expr_accepts_fixed_length_shapes() {
+        assert_eq!(ExecutionPlan::from_expr(&RpqExpr::k_hop(2)).unwrap().hop_count(), 2);
+        let labelled = RpqExpr::concat(vec![RpqExpr::label(1), RpqExpr::any()]);
+        let plan = ExecutionPlan::from_expr(&labelled).unwrap();
+        assert_eq!(plan.ops()[0], PlanOp::Smxm(LabelSpec::Exact(Label(1))));
+        assert_eq!(plan.ops()[1], PlanOp::Smxm(LabelSpec::Any));
+    }
+
+    #[test]
+    fn from_expr_rejects_unbounded_shapes() {
+        assert!(ExecutionPlan::from_expr(&RpqExpr::Star(Box::new(RpqExpr::any()))).is_none());
+        assert!(ExecutionPlan::from_expr(&RpqExpr::alt(vec![RpqExpr::label(1), RpqExpr::label(2)])).is_none());
+        let ranged = RpqExpr::Repeat { expr: Box::new(RpqExpr::any()), min: 1, max: 2 };
+        assert!(ExecutionPlan::from_expr(&ranged).is_none());
+    }
+
+    #[test]
+    fn update_plans_are_single_operators() {
+        assert_eq!(ExecutionPlan::insert_batch().ops(), &[PlanOp::Add]);
+        assert_eq!(ExecutionPlan::delete_batch().ops(), &[PlanOp::Sub]);
+    }
+
+    #[test]
+    fn host_engine_matches_reference_two_hop() {
+        let g = chain_graph();
+        let engine = HostMatrixEngine::from_graph(&g);
+        let (result, stats) = engine.run(&ExecutionPlan::k_hop(2), &[NodeId(0), NodeId(4)]);
+        assert_eq!(result[0], vec![NodeId(2), NodeId(4)]); // 0->1->2 and 0->3->4
+        assert_eq!(result[1], vec![NodeId(6)]);
+        assert_eq!(stats.smxm_ops, 2);
+        assert_eq!(stats.result_entries, 3);
+        assert!(stats.bytes_read > 0);
+    }
+
+    #[test]
+    fn label_restricted_plan_uses_label_matrix() {
+        let g = chain_graph();
+        let engine = HostMatrixEngine::from_graph(&g);
+        let expr = RpqExpr::concat(vec![RpqExpr::label(1), RpqExpr::label(0)]);
+        let plan = ExecutionPlan::from_expr(&expr).unwrap();
+        let (result, _) = engine.run(&plan, &[NodeId(0)]);
+        // 0 -(label1)-> 3 -(label0)-> 4.
+        assert_eq!(result[0], vec![NodeId(4)]);
+        // Missing label yields an empty matrix and therefore no results.
+        let missing = ExecutionPlan::from_expr(&RpqExpr::label(9)).unwrap();
+        let (empty, _) = engine.run(&missing, &[NodeId(0)]);
+        assert!(empty[0].is_empty());
+    }
+
+    #[test]
+    fn sources_outside_the_matrix_yield_empty_rows() {
+        let g = chain_graph();
+        let engine = HostMatrixEngine::from_graph(&g);
+        let (result, _) = engine.run(&ExecutionPlan::k_hop(1), &[NodeId(1000)]);
+        assert!(result[0].is_empty());
+    }
+
+    #[test]
+    fn insertions_and_deletions_update_query_results() {
+        let g = chain_graph();
+        let mut engine = HostMatrixEngine::from_graph(&g);
+        let plan = ExecutionPlan::k_hop(1);
+        let (before, _) = engine.run(&plan, &[NodeId(6)]);
+        assert!(before[0].is_empty());
+
+        let bytes = engine.apply_insertions(&[(NodeId(6), NodeId(0))]);
+        assert!(bytes > 0);
+        let (after, _) = engine.run(&plan, &[NodeId(6)]);
+        assert_eq!(after[0], vec![NodeId(0)]);
+
+        engine.apply_deletions(&[(NodeId(6), NodeId(0))]);
+        let (removed, _) = engine.run(&plan, &[NodeId(6)]);
+        assert!(removed[0].is_empty());
+    }
+
+    #[test]
+    fn insertions_can_grow_the_matrix() {
+        let g = chain_graph();
+        let mut engine = HostMatrixEngine::from_graph(&g);
+        let old_bound = engine.node_bound();
+        engine.apply_insertions(&[(NodeId(50), NodeId(51))]);
+        assert!(engine.node_bound() > old_bound);
+        let (result, _) = engine.run(&ExecutionPlan::k_hop(1), &[NodeId(50)]);
+        assert_eq!(result[0], vec![NodeId(51)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "update operators")]
+    fn running_update_ops_as_a_query_panics() {
+        let g = chain_graph();
+        let engine = HostMatrixEngine::from_graph(&g);
+        let _ = engine.run(&ExecutionPlan::insert_batch(), &[NodeId(0)]);
+    }
+}

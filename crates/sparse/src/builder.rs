@@ -1,0 +1,197 @@
+//! Incremental builder for boolean sparse matrices.
+
+use crate::matrix::SparseBoolMatrix;
+use std::collections::BTreeSet;
+
+/// An updatable boolean matrix that freezes into a [`SparseBoolMatrix`].
+///
+/// The builder backs the RedisGraph-like baseline's dynamic adjacency matrix:
+/// edge insertion (`set`), deletion (`unset`), and the `Adj ± delta` update
+/// operators are applied here, and a CSR snapshot is taken for query
+/// execution.
+///
+/// # Examples
+///
+/// ```
+/// use sparse::MatrixBuilder;
+/// let mut b = MatrixBuilder::new(3, 3);
+/// assert!(b.set(0, 1));
+/// assert!(!b.set(0, 1));     // already present
+/// assert!(b.unset(0, 1));
+/// assert!(!b.unset(0, 1));   // already absent
+/// assert_eq!(b.build().nnz(), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MatrixBuilder {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<BTreeSet<usize>>,
+    nnz: usize,
+}
+
+impl MatrixBuilder {
+    /// Creates an empty builder of the given shape.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        MatrixBuilder { nrows, ncols, rows: vec![BTreeSet::new(); nrows], nnz: 0 }
+    }
+
+    /// Creates a builder pre-populated from an existing matrix.
+    pub fn from_matrix(matrix: &SparseBoolMatrix) -> Self {
+        let mut b = MatrixBuilder::new(matrix.nrows(), matrix.ncols());
+        for (r, c) in matrix.iter() {
+            b.set(r, c);
+        }
+        b
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of set entries.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Grows the shape to at least `nrows` × `ncols` (never shrinks).
+    pub fn grow(&mut self, nrows: usize, ncols: usize) {
+        if nrows > self.nrows {
+            self.rows.resize(nrows, BTreeSet::new());
+            self.nrows = nrows;
+        }
+        if ncols > self.ncols {
+            self.ncols = ncols;
+        }
+    }
+
+    /// Sets entry `(r, c)`. Returns `true` if the entry was newly set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(r, c)` is out of bounds.
+    pub fn set(&mut self, r: usize, c: usize) -> bool {
+        assert!(r < self.nrows && c < self.ncols, "entry ({r}, {c}) out of bounds");
+        let inserted = self.rows[r].insert(c);
+        if inserted {
+            self.nnz += 1;
+        }
+        inserted
+    }
+
+    /// Clears entry `(r, c)`. Returns `true` if the entry was present.
+    pub fn unset(&mut self, r: usize, c: usize) -> bool {
+        if r >= self.nrows {
+            return false;
+        }
+        let removed = self.rows[r].remove(&c);
+        if removed {
+            self.nnz -= 1;
+        }
+        removed
+    }
+
+    /// Returns `true` if entry `(r, c)` is set.
+    pub fn contains(&self, r: usize, c: usize) -> bool {
+        r < self.nrows && self.rows[r].contains(&c)
+    }
+
+    /// Number of entries in row `r`.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        if r < self.nrows {
+            self.rows[r].len()
+        } else {
+            0
+        }
+    }
+
+    /// Freezes the current contents into a CSR matrix.
+    pub fn build(&self) -> SparseBoolMatrix {
+        let rows: Vec<Vec<usize>> = self.rows.iter().map(|s| s.iter().copied().collect()).collect();
+        SparseBoolMatrix::from_rows(self.nrows, self.ncols, rows)
+    }
+}
+
+impl From<&SparseBoolMatrix> for MatrixBuilder {
+    fn from(m: &SparseBoolMatrix) -> Self {
+        MatrixBuilder::from_matrix(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_unset_roundtrip() {
+        let mut b = MatrixBuilder::new(2, 2);
+        assert!(b.set(0, 0));
+        assert!(b.set(1, 1));
+        assert_eq!(b.nnz(), 2);
+        assert!(b.unset(0, 0));
+        assert_eq!(b.nnz(), 1);
+        assert!(!b.contains(0, 0));
+        assert!(b.contains(1, 1));
+    }
+
+    #[test]
+    fn duplicate_operations_do_not_change_nnz() {
+        let mut b = MatrixBuilder::new(2, 2);
+        b.set(0, 1);
+        assert!(!b.set(0, 1));
+        assert_eq!(b.nnz(), 1);
+        b.unset(0, 1);
+        assert!(!b.unset(0, 1));
+        assert_eq!(b.nnz(), 0);
+    }
+
+    #[test]
+    fn build_produces_sorted_rows() {
+        let mut b = MatrixBuilder::new(1, 5);
+        b.set(0, 3);
+        b.set(0, 1);
+        b.set(0, 4);
+        let m = b.build();
+        assert_eq!(m.row(0), &[1, 3, 4]);
+    }
+
+    #[test]
+    fn from_matrix_roundtrip() {
+        let m = SparseBoolMatrix::from_triplets(3, 3, &[(0, 1), (2, 2)]);
+        let b = MatrixBuilder::from_matrix(&m);
+        assert_eq!(b.build(), m);
+        let b2: MatrixBuilder = (&m).into();
+        assert_eq!(b2.nnz(), 2);
+    }
+
+    #[test]
+    fn grow_extends_shape() {
+        let mut b = MatrixBuilder::new(1, 1);
+        b.grow(3, 4);
+        b.set(2, 3);
+        assert_eq!(b.nrows(), 3);
+        assert_eq!(b.ncols(), 4);
+        b.grow(2, 2); // never shrinks
+        assert_eq!(b.nrows(), 3);
+        assert!(b.contains(2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn set_out_of_bounds_panics() {
+        let mut b = MatrixBuilder::new(1, 1);
+        b.set(5, 0);
+    }
+
+    #[test]
+    fn unset_out_of_bounds_is_noop() {
+        let mut b = MatrixBuilder::new(1, 1);
+        assert!(!b.unset(10, 10));
+        assert_eq!(b.row_nnz(10), 0);
+    }
+}

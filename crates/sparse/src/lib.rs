@@ -1,0 +1,45 @@
+//! Boolean sparse matrices with GraphBLAS-style operations.
+//!
+//! RedisGraph — the baseline system in the Moctopus paper — evaluates graph
+//! queries by translating them into sparse matrix algebra over the boolean
+//! semiring (GraphBLAS). This crate provides the same substrate for the
+//! reproduction:
+//!
+//! * [`SparseBoolMatrix`] — an immutable CSR boolean matrix (the adjacency
+//!   matrix and the `Q` / `ans` matrices of the paper's execution plans).
+//! * [`MatrixBuilder`] — an incremental builder supporting edge insertion and
+//!   deletion before freezing into CSR form (the `Adj + delta` / `Adj - delta`
+//!   update operators).
+//! * [`SparseBoolVector`] — a sorted sparse boolean vector, used for
+//!   single-source frontiers.
+//! * [`ops`] — `mxm` (matrix × matrix), `vxm` (vector × matrix), element-wise
+//!   union/difference, and reductions, all over the boolean semiring.
+//!
+//! # Examples
+//!
+//! ```
+//! use sparse::{MatrixBuilder, ops};
+//!
+//! // A 3-node cycle 0 -> 1 -> 2 -> 0.
+//! let mut b = MatrixBuilder::new(3, 3);
+//! b.set(0, 1);
+//! b.set(1, 2);
+//! b.set(2, 0);
+//! let adj = b.build();
+//!
+//! // Two-hop reachability = Adj * Adj.
+//! let two_hop = ops::mxm(&adj, &adj);
+//! assert!(two_hop.contains(0, 2));
+//! assert!(!two_hop.contains(0, 1));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod matrix;
+pub mod ops;
+pub mod vector;
+
+pub use builder::MatrixBuilder;
+pub use matrix::SparseBoolMatrix;
+pub use vector::SparseBoolVector;

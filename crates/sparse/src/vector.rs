@@ -1,0 +1,160 @@
+//! Sparse boolean vectors (query frontiers).
+
+/// A sparse boolean vector: a sorted, deduplicated list of set indices.
+///
+/// One row of the paper's `Q` matrix — the source-node frontier of one query
+/// in a batch — is exactly this structure.
+///
+/// # Examples
+///
+/// ```
+/// use sparse::SparseBoolVector;
+/// let v = SparseBoolVector::from_indices(8, vec![5, 1, 5]);
+/// assert_eq!(v.nnz(), 2);
+/// assert!(v.contains(1));
+/// assert_eq!(v.indices(), &[1, 5]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SparseBoolVector {
+    len: usize,
+    indices: Vec<usize>,
+}
+
+impl SparseBoolVector {
+    /// Creates an empty vector of logical length `len`.
+    pub fn zeros(len: usize) -> Self {
+        SparseBoolVector { len, indices: Vec::new() }
+    }
+
+    /// Creates a vector from set indices (sorted and deduplicated here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= len`.
+    pub fn from_indices(len: usize, mut indices: Vec<usize>) -> Self {
+        indices.sort_unstable();
+        indices.dedup();
+        if let Some(&max) = indices.last() {
+            assert!(max < len, "index {max} out of bounds for length {len}");
+        }
+        SparseBoolVector { len, indices }
+    }
+
+    /// Logical length of the vector.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no index is set.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Number of set indices.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The sorted set indices.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Returns `true` if index `i` is set.
+    pub fn contains(&self, i: usize) -> bool {
+        self.indices.binary_search(&i).is_ok()
+    }
+
+    /// Sets index `i`. Returns `true` if it was newly set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "index {i} out of bounds for length {}", self.len);
+        match self.indices.binary_search(&i) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.indices.insert(pos, i);
+                true
+            }
+        }
+    }
+
+    /// The union of two vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn union(&self, other: &SparseBoolVector) -> SparseBoolVector {
+        assert_eq!(self.len, other.len, "vector lengths differ");
+        let mut merged = Vec::with_capacity(self.nnz() + other.nnz());
+        merged.extend_from_slice(&self.indices);
+        merged.extend_from_slice(&other.indices);
+        SparseBoolVector::from_indices(self.len, merged)
+    }
+}
+
+impl FromIterator<usize> for SparseBoolVector {
+    /// Collects indices into a vector whose length is one past the maximum.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let indices: Vec<usize> = iter.into_iter().collect();
+        let len = indices.iter().max().map(|&m| m + 1).unwrap_or(0);
+        SparseBoolVector::from_indices(len, indices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_indices_sorts_and_dedups() {
+        let v = SparseBoolVector::from_indices(10, vec![7, 3, 7, 1]);
+        assert_eq!(v.indices(), &[1, 3, 7]);
+        assert_eq!(v.nnz(), 3);
+        assert_eq!(v.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_indices_checks_bounds() {
+        let _ = SparseBoolVector::from_indices(3, vec![3]);
+    }
+
+    #[test]
+    fn set_and_contains() {
+        let mut v = SparseBoolVector::zeros(5);
+        assert!(v.is_empty());
+        assert!(v.set(2));
+        assert!(!v.set(2));
+        assert!(v.contains(2));
+        assert!(!v.contains(3));
+        assert_eq!(v.nnz(), 1);
+    }
+
+    #[test]
+    fn union_merges_indices() {
+        let a = SparseBoolVector::from_indices(6, vec![0, 2]);
+        let b = SparseBoolVector::from_indices(6, vec![2, 5]);
+        let u = a.union(&b);
+        assert_eq!(u.indices(), &[0, 2, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn union_requires_equal_lengths() {
+        let a = SparseBoolVector::zeros(3);
+        let b = SparseBoolVector::zeros(4);
+        let _ = a.union(&b);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let v: SparseBoolVector = vec![4usize, 1, 4].into_iter().collect();
+        assert_eq!(v.len(), 5);
+        assert_eq!(v.indices(), &[1, 4]);
+        let empty: SparseBoolVector = Vec::<usize>::new().into_iter().collect();
+        assert_eq!(empty.len(), 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests of the partitioning invariants the paper relies on.
+
+use graph_partition::{
+    GreedyAdaptiveConfig, GreedyAdaptivePartitioner, HashPartitioner, PartitionMetrics,
+    StreamingPartitioner,
+};
+use graph_store::{AdjacencyGraph, Label, NodeId, PartitionId};
+use proptest::prelude::*;
+
+/// Generates a random edge stream over a bounded id space.
+fn edge_stream(max_node: u64, max_edges: usize) -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0..max_node, 0..max_node), 1..max_edges)
+}
+
+fn build_graph(edges: &[(u64, u64)]) -> AdjacencyGraph {
+    let mut g = AdjacencyGraph::new();
+    for &(s, d) in edges {
+        if s != d {
+            g.insert_edge(NodeId(s), NodeId(d), Label::ANY);
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every endpoint that ever appears in the stream ends up assigned, and
+    /// high-degree sources end up on the host.
+    #[test]
+    fn greedy_adaptive_assigns_every_node(edges in edge_stream(200, 600)) {
+        let mut p = GreedyAdaptivePartitioner::new(4);
+        let mut g = AdjacencyGraph::new();
+        for &(s, d) in &edges {
+            if s == d { continue; }
+            if g.insert_edge(NodeId(s), NodeId(d), Label::ANY) {
+                p.on_edge(NodeId(s), NodeId(d));
+            }
+        }
+        for node in g.nodes() {
+            let part = p.partition_of(node);
+            prop_assert!(part.is_some(), "node {node} was never assigned");
+            if g.out_degree(node) > p.config().high_degree_threshold {
+                prop_assert_eq!(part, Some(PartitionId::Host), "hub {} must be on the host", node);
+            }
+        }
+        // The number of promotions matches the number of host-resident nodes.
+        prop_assert_eq!(p.promotions().len(), p.assignment().host_node_count());
+    }
+
+    /// The dynamic capacity constraint keeps PIM loads within the slack bound
+    /// (plus the small floor used while the graph is tiny).
+    #[test]
+    fn capacity_constraint_bounds_load(edges in edge_stream(400, 1500)) {
+        let mut p = GreedyAdaptivePartitioner::new(8);
+        for &(s, d) in &edges {
+            if s != d {
+                p.on_edge(NodeId(s), NodeId(d));
+            }
+        }
+        let a = p.assignment();
+        let limit = p.capacity_limit();
+        for m in 0..8 {
+            prop_assert!(
+                a.pim_node_count(m) <= limit + 1,
+                "module {} holds {} nodes, limit {}",
+                m, a.pim_node_count(m), limit
+            );
+        }
+    }
+
+    /// Hash partitioning never places anything on the host and is stable:
+    /// the same node always hashes to the same module.
+    #[test]
+    fn hash_partitioner_is_stable_and_host_free(edges in edge_stream(300, 800)) {
+        let mut p = HashPartitioner::new(8);
+        for &(s, d) in &edges {
+            p.on_edge(NodeId(s), NodeId(d));
+        }
+        for (node, part) in p.assignment().iter() {
+            prop_assert!(!part.is_host());
+            prop_assert_eq!(part, HashPartitioner::hash_partition(node, 8));
+        }
+    }
+
+    /// Refinement never violates the capacity constraint and never reduces the
+    /// number of assigned nodes.
+    #[test]
+    fn refinement_preserves_assignment_and_balance(edges in edge_stream(250, 900)) {
+        let mut p = GreedyAdaptivePartitioner::new(4);
+        let g = build_graph(&edges);
+        let mut sorted: Vec<_> = g.edges().collect();
+        sorted.sort();
+        for (s, d, _) in sorted {
+            p.on_edge(s, d);
+        }
+        let assigned_before = p.assignment().len();
+        let report = p.refine(&g);
+        let assigned_after = p.assignment().len();
+
+        prop_assert_eq!(assigned_before, assigned_after);
+        prop_assert!(report.migrated <= report.examined);
+        // Every recorded migration moves a node between two distinct PIM modules.
+        for (_, from, to) in &report.migrations {
+            prop_assert!(!from.is_host() && !to.is_host());
+            prop_assert!(from != to);
+        }
+        let limit = p.capacity_limit();
+        for m in 0..4 {
+            prop_assert!(p.assignment().pim_node_count(m) <= limit + 1);
+        }
+    }
+
+    /// Disabling labor division keeps every node on the PIM side.
+    #[test]
+    fn ablation_without_labor_division_uses_no_host(edges in edge_stream(150, 500)) {
+        let mut cfg = GreedyAdaptiveConfig::paper_defaults(4);
+        cfg.labor_division = false;
+        let mut p = GreedyAdaptivePartitioner::with_config(cfg);
+        for &(s, d) in &edges {
+            if s != d {
+                p.on_edge(NodeId(s), NodeId(d));
+            }
+        }
+        prop_assert_eq!(p.assignment().host_node_count(), 0);
+    }
+}
+
+#[test]
+fn partition_metrics_are_internally_consistent() {
+    let graph = graph_gen::powerlaw::generate(
+        &graph_gen::powerlaw::PowerLawConfig { nodes: 1200, ..Default::default() },
+        3,
+    );
+    let mut p = GreedyAdaptivePartitioner::new(8);
+    let mut edges: Vec<_> = graph.edges().collect();
+    edges.sort();
+    for (s, d, _) in edges {
+        p.on_edge(s, d);
+    }
+    p.refine(&graph);
+    let m = PartitionMetrics::compute(&graph, p.assignment());
+    assert_eq!(m.pim_source_edges, m.local_edges + m.cut_edges + m.to_host_edges);
+    assert_eq!(
+        m.pim_source_edges + m.host_source_edges,
+        graph.edge_count(),
+        "every edge must be classified exactly once"
+    );
+    assert!(m.locality >= 0.0 && m.locality <= 1.0);
+    assert!(m.load_balance_factor >= 1.0 - 1e-9);
+}

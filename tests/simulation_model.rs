@@ -1,0 +1,175 @@
+//! Cost-model behaviour tests: the simulated platform must reproduce the
+//! qualitative effects the paper's evaluation is built on, independent of the
+//! absolute numbers.
+
+use graph_store::NodeId;
+use moctopus::{
+    GraphEngine, HostBaseline, MoctopusConfig, MoctopusSystem, Phase, PimHashSystem,
+};
+
+fn skewed_graph(nodes: usize, seed: u64) -> (Vec<(NodeId, NodeId)>, graph_store::AdjacencyGraph) {
+    let cfg = graph_gen::powerlaw::PowerLawConfig {
+        nodes,
+        high_degree_fraction: 0.03,
+        mean_high_degree: 96.0,
+        locality: 0.85,
+        community_size: 128,
+        ..Default::default()
+    };
+    let graph = graph_gen::powerlaw::generate(&cfg, seed);
+    let mut edges: Vec<(NodeId, NodeId)> = graph.edges().map(|(s, d, _)| (s, d)).collect();
+    edges.sort();
+    (edges, graph)
+}
+
+/// The paper's graphs (hundreds of MB of adjacency data) dwarf the 22 MB L3
+/// cache, which is what creates the memory wall. The scaled-down test graphs
+/// would fit in that cache, so the tests scale the modeled cache down with the
+/// graph to stay in the same regime (see EXPERIMENTS.md, substitution notes).
+fn scaled_config() -> MoctopusConfig {
+    let mut cfg = MoctopusConfig::paper_defaults();
+    cfg.pim.host.cache_capacity_bytes = 128 * 1024;
+    cfg
+}
+
+#[test]
+fn latency_grows_with_k_and_batch_size() {
+    let (edges, graph) = skewed_graph(3000, 1);
+    let cfg = MoctopusConfig::paper_defaults();
+    let mut system = MoctopusSystem::from_edge_stream(cfg, &edges);
+    let small_batch = graph_gen::stream::sample_start_nodes(&graph, 128, 3);
+    let large_batch = graph_gen::stream::sample_start_nodes(&graph, 1024, 3);
+
+    let (_, k1) = system.k_hop_batch(&small_batch, 1);
+    let (_, k2) = system.k_hop_batch(&small_batch, 2);
+    let (_, k3) = system.k_hop_batch(&small_batch, 3);
+    assert!(k2.latency() > k1.latency());
+    assert!(k3.latency() > k2.latency());
+
+    let (_, small) = system.k_hop_batch(&small_batch, 2);
+    let (_, large) = system.k_hop_batch(&large_batch, 2);
+    assert!(large.latency() > small.latency());
+}
+
+#[test]
+fn moctopus_beats_the_host_baseline_on_short_queries() {
+    // The Figure 4(a-c) headline: by dispatching path matching to the PIM
+    // modules, Moctopus beats the single-core sparse-matrix baseline.
+    let (edges, graph) = skewed_graph(6000, 5);
+    let cfg = scaled_config();
+    let mut moctopus = MoctopusSystem::from_edge_stream(cfg, &edges);
+    let mut baseline = HostBaseline::from_edge_stream(cfg, &edges);
+    let sources = graph_gen::stream::sample_start_nodes(&graph, 4096, 9);
+
+    for k in [1usize, 2] {
+        let (_, moc) = moctopus.k_hop_batch(&sources, k);
+        let (_, host) = baseline.k_hop_batch(&sources, k);
+        assert!(
+            moc.latency() < host.latency(),
+            "k = {k}: moctopus {} should beat the baseline {}",
+            moc.latency(),
+            host.latency()
+        );
+    }
+}
+
+#[test]
+fn moctopus_reduces_ipc_versus_pim_hash() {
+    // The Figure 5 effect: locality-aware partitioning slashes inter-PIM
+    // traffic relative to hash partitioning for 3-hop queries.
+    let (edges, graph) = skewed_graph(4000, 7);
+    let cfg = MoctopusConfig::paper_defaults();
+    let mut moctopus = MoctopusSystem::from_edge_stream(cfg, &edges);
+    let mut pim_hash = PimHashSystem::from_edge_stream(cfg, &edges);
+    let sources = graph_gen::stream::sample_start_nodes(&graph, 1024, 11);
+
+    let (_, moc) = moctopus.k_hop_batch(&sources, 3);
+    let (_, hash) = pim_hash.k_hop_batch(&sources, 3);
+    let moc_ipc = moc.timeline.transfers.inter_pim_bytes as f64;
+    let hash_ipc = hash.timeline.transfers.inter_pim_bytes as f64;
+    assert!(
+        moc_ipc < 0.5 * hash_ipc,
+        "moctopus ipc bytes {moc_ipc} should be well under half of pim-hash {hash_ipc}"
+    );
+    assert!(moc.ipc_latency() < hash.ipc_latency());
+}
+
+#[test]
+fn skew_hurts_pim_hash_more_than_moctopus() {
+    // Labor division removes hub-induced stragglers: Moctopus's module load
+    // imbalance stays lower than PIM-hash's on skewed graphs.
+    let (edges, graph) = skewed_graph(4000, 13);
+    let cfg = MoctopusConfig::paper_defaults();
+    let mut moctopus = MoctopusSystem::from_edge_stream(cfg, &edges);
+    let mut pim_hash = PimHashSystem::from_edge_stream(cfg, &edges);
+    let sources = graph_gen::stream::sample_start_nodes(&graph, 1024, 17);
+
+    let (_, moc) = moctopus.k_hop_batch(&sources, 2);
+    let (_, hash) = pim_hash.k_hop_batch(&sources, 2);
+    assert!(moctopus.load_imbalance() < pim_hash.load_imbalance());
+    // And that, together with the locality gains, translates into lower
+    // end-to-end latency for the same workload (the Figure 4 skewed-graph
+    // comparison against PIM-hash).
+    assert!(
+        moc.latency() < hash.latency(),
+        "moctopus {} should beat pim-hash {} on a skewed graph",
+        moc.latency(),
+        hash.latency()
+    );
+}
+
+#[test]
+fn update_speedup_matches_the_papers_direction() {
+    // Figure 6: updates on Moctopus are much faster than on the baseline, for
+    // both insertion and deletion.
+    let (edges, graph) = skewed_graph(5000, 19);
+    let cfg = MoctopusConfig::paper_defaults();
+    let mut moctopus = MoctopusSystem::from_edge_stream(cfg, &edges);
+    let mut baseline = HostBaseline::from_edge_stream(cfg, &edges);
+
+    let inserts = graph_gen::stream::sample_new_edges(&graph, 8192, 21);
+    let deletes = graph_gen::stream::sample_existing_edges(&graph, 8192, 23);
+
+    let moc_ins = moctopus.insert_edges(&inserts);
+    let host_ins = baseline.insert_edges(&inserts);
+    let moc_del = moctopus.delete_edges(&deletes);
+    let host_del = baseline.delete_edges(&deletes);
+
+    let ins_speedup = host_ins.latency().as_nanos() / moc_ins.latency().as_nanos();
+    let del_speedup = host_del.latency().as_nanos() / moc_del.latency().as_nanos();
+    assert!(ins_speedup > 2.0, "insert speedup was only {ins_speedup:.2}x");
+    assert!(del_speedup > 2.0, "delete speedup was only {del_speedup:.2}x");
+}
+
+#[test]
+fn more_pim_modules_reduce_pim_compute_time() {
+    let (edges, graph) = skewed_graph(3000, 29);
+    let sources = graph_gen::stream::sample_start_nodes(&graph, 512, 31);
+
+    let mut small = MoctopusSystem::from_edge_stream(MoctopusConfig::paper_defaults().with_modules(16), &edges);
+    let mut large = MoctopusSystem::from_edge_stream(MoctopusConfig::paper_defaults().with_modules(128), &edges);
+    let (_, s) = small.k_hop_batch(&sources, 2);
+    let (_, l) = large.k_hop_batch(&sources, 2);
+    assert!(
+        l.timeline.time(Phase::PimCompute) < s.timeline.time(Phase::PimCompute),
+        "128 modules ({}) should finish the PIM phase faster than 16 ({})",
+        l.timeline.time(Phase::PimCompute),
+        s.timeline.time(Phase::PimCompute)
+    );
+}
+
+#[test]
+fn communication_ratio_matches_the_platform() {
+    // Sanity-check the simulated platform against the published figure: CPC
+    // and IPC bandwidth are below 2% of aggregate intra-PIM bandwidth.
+    let cfg = MoctopusConfig::paper_defaults();
+    assert!(cfg.pim.communication_ratio() < 0.02);
+    // Results themselves never depend on the module count.
+    let (edges, graph) = skewed_graph(1500, 37);
+    let sources = graph_gen::stream::sample_start_nodes(&graph, 128, 39);
+    let mut a = MoctopusSystem::from_edge_stream(cfg.with_modules(8), &edges);
+    let mut b = MoctopusSystem::from_edge_stream(cfg.with_modules(64), &edges);
+    let (ra, _) = a.k_hop_batch(&sources, 2);
+    let (rb, _) = b.k_hop_batch(&sources, 2);
+    assert_eq!(ra, rb);
+}
