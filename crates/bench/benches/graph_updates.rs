@@ -7,9 +7,7 @@ use moctopus::GraphEngine;
 use moctopus_bench::{HarnessOptions, TraceWorkload};
 
 fn bench_updates(c: &mut Criterion) {
-    let mut options = HarnessOptions::default();
-    options.scale = 0.002;
-    options.batch = 1024;
+    let options = HarnessOptions { scale: 0.002, batch: 1024, ..HarnessOptions::default() };
 
     let workload = TraceWorkload::generate(10, &options); // web-Google stand-in
     let inserts = graph_gen::stream::sample_new_edges(&workload.graph, options.batch, 3);

@@ -10,9 +10,7 @@ use moctopus::GraphEngine;
 use moctopus_bench::{HarnessOptions, TraceWorkload};
 
 fn bench_khop(c: &mut Criterion) {
-    let mut options = HarnessOptions::default();
-    options.scale = 0.002;
-    options.batch = 512;
+    let options = HarnessOptions { scale: 0.002, batch: 512, ..HarnessOptions::default() };
 
     let mut group = c.benchmark_group("khop_batch");
     group.sample_size(20);

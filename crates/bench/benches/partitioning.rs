@@ -8,9 +8,7 @@ use graph_partition::{GreedyAdaptivePartitioner, HashPartitioner, StreamingParti
 use moctopus_bench::{HarnessOptions, TraceWorkload};
 
 fn bench_partitioning(c: &mut Criterion) {
-    let mut options = HarnessOptions::default();
-    options.scale = 0.005;
-    options.batch = 256;
+    let options = HarnessOptions { scale: 0.005, batch: 256, ..HarnessOptions::default() };
     let workload = TraceWorkload::generate(12, &options); // web-Stanford stand-in
     let modules = 64;
 

@@ -9,7 +9,7 @@
 //! * capacity-constraint sweep — locality versus balance as the slack factor
 //!   varies, the trade-off Section 3.2.2 describes qualitatively.
 //!
-//! Run with: `cargo run -p moctopus-bench --release --bin ablation [--traces 8,12]`
+//! Run with: `cargo run --release --bin ablation [--traces 8,12]`
 
 use graph_partition::{
     GreedyAdaptiveConfig, GreedyAdaptivePartitioner, HashPartitioner, PartitionMetrics,
@@ -25,10 +25,7 @@ fn main() {
         // ablation quick; pass --traces to override.
         options.traces = vec![2, 8, 12];
     }
-    println!(
-        "Ablation study (scale = {:.4}, batch = {})\n",
-        options.scale, options.batch
-    );
+    println!("Ablation study (scale = {:.4}, batch = {})\n", options.scale, options.batch);
 
     for &trace_id in &options.traces {
         let workload = TraceWorkload::generate(trace_id, &options);
@@ -45,10 +42,7 @@ fn main() {
         // ------------------------------------------------------------------
         let modules = 64usize;
         println!("\npartitioning schemes over {modules} PIM modules:");
-        println!(
-            "{:>18}  {:>10}  {:>10}  {:>12}",
-            "scheme", "locality", "balance", "migrations"
-        );
+        println!("{:>18}  {:>10}  {:>10}  {:>12}", "scheme", "locality", "balance", "migrations");
 
         let mut hash = HashPartitioner::new(modules);
         let mut greedy = GreedyAdaptivePartitioner::new(modules);
@@ -58,7 +52,8 @@ fn main() {
         }
         let greedy_report = greedy.refine(&workload.graph);
         let ldg = graph_partition::ldg::partition_graph(&workload.graph, modules, 1.05);
-        let adaptive = graph_partition::adaptive::partition_graph(&workload.graph, modules, 1.05, 3);
+        let adaptive =
+            graph_partition::adaptive::partition_graph(&workload.graph, modules, 1.05, 3);
 
         let rows = [
             ("hash", PartitionMetrics::compute(&workload.graph, hash.assignment()), 0usize),
@@ -94,10 +89,7 @@ fn main() {
         let (_, off) = without_labor.k_hop_batch(&workload.sources, 3);
         let (_, hash_stats) = pim_hash.k_hop_batch(&workload.sources, 3);
         println!("\nlabor division (3-hop batch latency, simulated ms):");
-        println!(
-            "{:>28}  {:>12}  {:>14}",
-            "configuration", "latency", "load imbalance"
-        );
+        println!("{:>28}  {:>12}  {:>14}", "configuration", "latency", "load imbalance");
         println!(
             "{:>28}  {:>12}  {:>14.2}",
             "labor division ON",

@@ -9,7 +9,7 @@
 //! y-axis); the *ordering and rough ratios* between the three systems are the
 //! reproduction target, not the absolute values.
 //!
-//! Run with: `cargo run -p moctopus-bench --release --bin fig4 [--scale S] [--traces 1,2,...]`
+//! Run with: `cargo run --release --bin fig4 [--scale S] [--traces 1,2,...]`
 
 use moctopus::GraphEngine;
 use moctopus_bench::{fmt_ms, geometric_mean, HarnessOptions, TraceWorkload};
@@ -65,7 +65,11 @@ fn main() {
     let road_traces: Vec<usize> = options.traces.iter().copied().filter(|t| *t <= 3).collect();
     if !road_traces.is_empty() {
         for k in [4usize, 6, 8] {
-            println!("--- Figure 4({}) : k = {k}, road networks only ---", (b'a' + k.min(6) as u8 / 2 + 2) as char);
+            println!(
+                "--- Figure 4({}) : k = {k}, road networks only ---",
+                // k = 4, 6, 8 are panels (d), (e), (f).
+                (b'a' + (k / 2 + 1) as u8) as char
+            );
             println!(
                 "{:>3}  {:<15}  {:>12}  {:>12}  {:>12}  {:>9}",
                 "id", "trace", "Moctopus", "PIM-hash", "RedisGraph", "vs RG"

@@ -5,7 +5,7 @@
 //! compared with PIM-hash; the reproduction prints the same per-trace bars
 //! (simulated ms spent on inter-PIM forwarding) and the average reduction.
 //!
-//! Run with: `cargo run -p moctopus-bench --release --bin fig5 [--scale S]`
+//! Run with: `cargo run --release --bin fig5 [--scale S]`
 
 use moctopus::GraphEngine;
 use moctopus_bench::{fmt_ms, HarnessOptions, TraceWorkload};
@@ -58,7 +58,13 @@ fn main() {
     let avg_reduction: f64 = reductions.iter().sum::<f64>() / reductions.len().max(1) as f64;
     println!(
         "\n{:>3}  {:<15}  {:>14.3}  {:>14.3}  {:>12}  {:>12}  {:>9.2}%",
-        "", "Average", moc_total / n, hash_total / n, "", "", avg_reduction
+        "",
+        "Average",
+        moc_total / n,
+        hash_total / n,
+        "",
+        "",
+        avg_reduction
     );
     println!("\npaper: Moctopus reduces IPC cost by 89.56% on average at k = 3");
 }

@@ -5,7 +5,7 @@
 //! The paper inserts and deletes 64 K randomly selected edges; the harness
 //! scales that batch with `--scale` (same rule as the query batch).
 //!
-//! Run with: `cargo run -p moctopus-bench --release --bin fig6 [--scale S]`
+//! Run with: `cargo run --release --bin fig6 [--scale S]`
 
 use moctopus::GraphEngine;
 use moctopus_bench::{fmt_ms, geometric_mean, HarnessOptions, TraceWorkload};
@@ -29,9 +29,13 @@ fn main() {
     let mut delete_rows = Vec::new();
     for &trace_id in &options.traces {
         let workload = TraceWorkload::generate(trace_id, &options);
-        let inserts = graph_gen::stream::sample_new_edges(&workload.graph, options.batch, options.seed + 1);
-        let deletes =
-            graph_gen::stream::sample_existing_edges(&workload.graph, options.batch, options.seed + 2);
+        let inserts =
+            graph_gen::stream::sample_new_edges(&workload.graph, options.batch, options.seed + 1);
+        let deletes = graph_gen::stream::sample_existing_edges(
+            &workload.graph,
+            options.batch,
+            options.seed + 2,
+        );
 
         let mut moctopus = workload.moctopus(&options);
         let mut baseline = workload.host_baseline(&options);
@@ -40,16 +44,35 @@ fn main() {
         let host_ins = baseline.insert_edges(&inserts);
         let ins_speedup = host_ins.latency().as_nanos() / moc_ins.latency().as_nanos().max(1.0);
         insert_speedups.push(ins_speedup);
-        insert_rows.push((trace_id, workload.spec.name, moc_ins.latency(), host_ins.latency(), ins_speedup));
+        insert_rows.push((
+            trace_id,
+            workload.spec.name,
+            moc_ins.latency(),
+            host_ins.latency(),
+            ins_speedup,
+        ));
 
         let moc_del = moctopus.delete_edges(&deletes);
         let host_del = baseline.delete_edges(&deletes);
         let del_speedup = host_del.latency().as_nanos() / moc_del.latency().as_nanos().max(1.0);
         delete_speedups.push(del_speedup);
-        delete_rows.push((trace_id, workload.spec.name, moc_del.latency(), host_del.latency(), del_speedup));
+        delete_rows.push((
+            trace_id,
+            workload.spec.name,
+            moc_del.latency(),
+            host_del.latency(),
+            del_speedup,
+        ));
     }
     for (id, name, moc, host, s) in &insert_rows {
-        println!("{:>3}  {:<15}  {:>12}  {:>12}  {:>8.2}x", id, name, fmt_ms(*moc), fmt_ms(*host), s);
+        println!(
+            "{:>3}  {:<15}  {:>12}  {:>12}  {:>8.2}x",
+            id,
+            name,
+            fmt_ms(*moc),
+            fmt_ms(*host),
+            s
+        );
     }
     println!(
         "{:>3}  {:<15}  {:>12}  {:>12}  {:>8.2}x\n",
@@ -66,7 +89,14 @@ fn main() {
         "id", "trace", "Moctopus", "RedisGraph", "speedup"
     );
     for (id, name, moc, host, s) in &delete_rows {
-        println!("{:>3}  {:<15}  {:>12}  {:>12}  {:>8.2}x", id, name, fmt_ms(*moc), fmt_ms(*host), s);
+        println!(
+            "{:>3}  {:<15}  {:>12}  {:>12}  {:>8.2}x",
+            id,
+            name,
+            fmt_ms(*moc),
+            fmt_ms(*host),
+            s
+        );
     }
     println!(
         "{:>3}  {:<15}  {:>12}  {:>12}  {:>8.2}x",

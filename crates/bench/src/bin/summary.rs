@@ -7,7 +7,7 @@
 //! * 30.01x / 52.59x average insert / delete speedups over RedisGraph
 //!   (up to 81.45x / 209.31x).
 //!
-//! Run with: `cargo run -p moctopus-bench --release --bin summary [--scale S]`
+//! Run with: `cargo run --release --bin summary [--scale S]`
 
 use moctopus::GraphEngine;
 use moctopus_bench::{geometric_mean, HarnessOptions, TraceWorkload};
@@ -38,7 +38,8 @@ fn main() {
             let (_, host) = baseline.k_hop_batch(&workload.sources, k);
             rpq_speedups.push(host.latency().as_nanos() / moc.latency().as_nanos().max(1.0));
             if graph_gen::traces::TraceSpec::high_skew_ids().contains(&trace_id) {
-                hash_speedups_skewed.push(hash.latency().as_nanos() / moc.latency().as_nanos().max(1.0));
+                hash_speedups_skewed
+                    .push(hash.latency().as_nanos() / moc.latency().as_nanos().max(1.0));
             }
             if k == 3 {
                 let moc_ipc = moc.ipc_latency().as_nanos();
@@ -50,9 +51,13 @@ fn main() {
         }
 
         // Updates.
-        let inserts = graph_gen::stream::sample_new_edges(&workload.graph, options.batch, options.seed + 1);
-        let deletes =
-            graph_gen::stream::sample_existing_edges(&workload.graph, options.batch, options.seed + 2);
+        let inserts =
+            graph_gen::stream::sample_new_edges(&workload.graph, options.batch, options.seed + 1);
+        let deletes = graph_gen::stream::sample_existing_edges(
+            &workload.graph,
+            options.batch,
+            options.seed + 2,
+        );
         let moc_ins = moctopus.insert_edges(&inserts);
         let host_ins = baseline.insert_edges(&inserts);
         let moc_del = moctopus.delete_edges(&deletes);
@@ -67,35 +72,51 @@ fn main() {
     println!("{:<46}  {:>16}  {:>16}", "claim", "paper", "measured");
     println!(
         "{:<46}  {:>16}  {:>15.2}x",
-        "max RPQ speedup vs RedisGraph (k-hop)", "10.67x", max(&rpq_speedups)
+        "max RPQ speedup vs RedisGraph (k-hop)",
+        "10.67x",
+        max(&rpq_speedups)
     );
     println!(
         "{:<46}  {:>16}  {:>15.2}x",
-        "geomean RPQ speedup vs RedisGraph", "2.54-10.67x", geometric_mean(&rpq_speedups)
+        "geomean RPQ speedup vs RedisGraph",
+        "2.54-10.67x",
+        geometric_mean(&rpq_speedups)
     );
     println!(
         "{:<46}  {:>16}  {:>15.2}x",
-        "max speedup vs PIM-hash (skewed traces)", "2.98x", max(&hash_speedups_skewed)
+        "max speedup vs PIM-hash (skewed traces)",
+        "2.98x",
+        max(&hash_speedups_skewed)
     );
     println!(
         "{:<46}  {:>16}  {:>15.2}%",
-        "average IPC reduction vs PIM-hash (k=3)", "89.56%", avg(&ipc_reductions)
+        "average IPC reduction vs PIM-hash (k=3)",
+        "89.56%",
+        avg(&ipc_reductions)
     );
     println!(
         "{:<46}  {:>16}  {:>15.2}x",
-        "average insert speedup vs RedisGraph", "30.01x", geometric_mean(&insert_speedups)
+        "average insert speedup vs RedisGraph",
+        "30.01x",
+        geometric_mean(&insert_speedups)
     );
     println!(
         "{:<46}  {:>16}  {:>15.2}x",
-        "max insert speedup vs RedisGraph", "81.45x", max(&insert_speedups)
+        "max insert speedup vs RedisGraph",
+        "81.45x",
+        max(&insert_speedups)
     );
     println!(
         "{:<46}  {:>16}  {:>15.2}x",
-        "average delete speedup vs RedisGraph", "52.59x", geometric_mean(&delete_speedups)
+        "average delete speedup vs RedisGraph",
+        "52.59x",
+        geometric_mean(&delete_speedups)
     );
     println!(
         "{:<46}  {:>16}  {:>15.2}x",
-        "max delete speedup vs RedisGraph", "209.31x", max(&delete_speedups)
+        "max delete speedup vs RedisGraph",
+        "209.31x",
+        max(&delete_speedups)
     );
     println!(
         "\nThe reproduction targets the *direction and rough magnitude* of each claim on a\n\

@@ -2,7 +2,7 @@
 //! percentages, comparing the paper's published values with the synthetic
 //! stand-ins generated at the requested `--scale`.
 //!
-//! Run with: `cargo run -p moctopus-bench --release --bin table1 [--scale S]`
+//! Run with: `cargo run --release --bin table1 [--scale S]`
 
 use graph_gen::GraphStats;
 use moctopus_bench::{HarnessOptions, TraceWorkload};
@@ -15,7 +15,14 @@ fn main() {
     );
     println!(
         "{:>3}  {:<15}  {:>12}  {:>12}  {:>10}  {:>12}  {:>12}  {:>10}",
-        "id", "name", "paper nodes", "gen nodes", "gen edges", "paper hi-deg%", "gen hi-deg%", "max degree"
+        "id",
+        "name",
+        "paper nodes",
+        "gen nodes",
+        "gen edges",
+        "paper hi-deg%",
+        "gen hi-deg%",
+        "max degree"
     );
     for &trace_id in &options.traces {
         let workload = TraceWorkload::generate(trace_id, &options);

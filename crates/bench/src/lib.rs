@@ -187,11 +187,8 @@ pub fn fmt_ms(t: pim_sim::SimTime) -> String {
 
 /// Prints a right-aligned table row from already formatted cells.
 pub fn print_row(cells: &[String], widths: &[usize]) {
-    let row: Vec<String> = cells
-        .iter()
-        .zip(widths)
-        .map(|(c, w)| format!("{c:>width$}", width = w))
-        .collect();
+    let row: Vec<String> =
+        cells.iter().zip(widths).map(|(c, w)| format!("{c:>width$}", width = w)).collect();
     println!("{}", row.join("  "));
 }
 
@@ -232,15 +229,15 @@ mod tests {
 
     #[test]
     fn unknown_flags_are_ignored() {
-        let o = HarnessOptions::from_args(["--nope", "x", "--scale", "0.25"].iter().map(|s| s.to_string()));
+        let o = HarnessOptions::from_args(
+            ["--nope", "x", "--scale", "0.25"].iter().map(|s| s.to_string()),
+        );
         assert_eq!(o.scale, 0.25);
     }
 
     #[test]
     fn workload_generation_matches_spec_family() {
-        let mut options = HarnessOptions::default();
-        options.scale = 0.001;
-        options.batch = 64;
+        let options = HarnessOptions { scale: 0.001, batch: 64, ..HarnessOptions::default() };
         let road = TraceWorkload::generate(1, &options);
         assert_eq!(road.spec.trace_id, 1);
         assert_eq!(road.graph.count_high_degree(16), 0);
@@ -251,9 +248,7 @@ mod tests {
 
     #[test]
     fn engines_built_from_a_workload_agree() {
-        let mut options = HarnessOptions::default();
-        options.scale = 0.0005;
-        options.batch = 32;
+        let options = HarnessOptions { scale: 0.0005, batch: 32, ..HarnessOptions::default() };
         let w = TraceWorkload::generate(14, &options);
         let mut engines = w.all_engines(&options);
         let (reference, _) = engines[2].k_hop_batch(&w.sources, 2);
@@ -272,8 +267,7 @@ mod tests {
 
     #[test]
     fn scaled_config_shrinks_the_cache() {
-        let mut options = HarnessOptions::default();
-        options.scale = 0.01;
+        let options = HarnessOptions { scale: 0.01, ..HarnessOptions::default() };
         let cfg = options.system_config();
         assert!(cfg.pim.host.cache_capacity_bytes < 22 * 1024 * 1024);
         assert!(cfg.pim.host.cache_capacity_bytes >= 64 * 1024);

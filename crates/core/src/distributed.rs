@@ -167,7 +167,13 @@ impl DistributedPimEngine {
             let after = self.owner(src).expect("source was just assigned");
             // Labor division: the node may have just crossed the threshold.
             if let (Some(PartitionId::Pim(old)), PartitionId::Host) = (before, after) {
-                self.promote_to_host(src, old as usize, &mut per_module, &mut host_time, &mut pim_to_cpu_bytes);
+                self.promote_to_host(
+                    src,
+                    old as usize,
+                    &mut per_module,
+                    &mut host_time,
+                    &mut pim_to_cpu_bytes,
+                );
             }
 
             match after {
@@ -176,10 +182,12 @@ impl DistributedPimEngine {
                     // allocates the slot, host writes one position.
                     let outcome = self.host_store.insert_edge(src, dst);
                     let aux = self.aux_module(src);
-                    per_module[aux] += self.pim.pim_hash_lookup_cost(ID_BYTES) * outcome.cost.pim_lookups as f64
+                    per_module[aux] += self.pim.pim_hash_lookup_cost(ID_BYTES)
+                        * outcome.cost.pim_lookups as f64
                         + self.pim.pim_instructions_cost(60 * outcome.cost.pim_mutations);
-                    host_time += self.pim.host_sequential_read_cost(outcome.cost.host_bytes_written)
-                        + self.pim.host_instructions_cost(40);
+                    host_time +=
+                        self.pim.host_sequential_read_cost(outcome.cost.host_bytes_written)
+                            + self.pim.host_instructions_cost(40);
                     // The host exchanges a small request/response with the PIM
                     // side to learn the slot position.
                     cpu_to_pim_bytes += EDGE_BYTES;
@@ -192,7 +200,10 @@ impl DistributedPimEngine {
                 PartitionId::Pim(m) => {
                     let m = m as usize;
                     cpu_to_pim_bytes += EDGE_BYTES;
-                    let row_bytes = self.local_stores[m].row(src).map(|r| r.len() as u64 * ID_BYTES).unwrap_or(0);
+                    let row_bytes = self.local_stores[m]
+                        .row(src)
+                        .map(|r| r.len() as u64 * ID_BYTES)
+                        .unwrap_or(0);
                     per_module[m] += self.pim.pim_hash_lookup_cost(row_bytes)
                         + self.pim.mram_write_cost(ID_BYTES);
                     if self.local_stores[m].insert_edge(src, dst).is_ok() {
@@ -206,7 +217,11 @@ impl DistributedPimEngine {
         let pim_time = self.pim.parallel_step(&per_module);
         timeline.charge(Phase::PimCompute, pim_time);
         timeline.charge(Phase::HostCompute, host_time);
-        timeline.charge(Phase::Cpc, self.pim.cpc_transfer_cost(cpu_to_pim_bytes) + self.pim.cpc_transfer_cost(pim_to_cpu_bytes));
+        timeline.charge(
+            Phase::Cpc,
+            self.pim.cpc_transfer_cost(cpu_to_pim_bytes)
+                + self.pim.cpc_transfer_cost(pim_to_cpu_bytes),
+        );
         timeline.transfers.record_cpu_to_pim(cpu_to_pim_bytes, edges.len() as u64);
         timeline.transfers.record_pim_to_cpu(pim_to_cpu_bytes, 1);
         UpdateStats { timeline, requested: edges.len(), applied }
@@ -229,10 +244,12 @@ impl DistributedPimEngine {
                 PartitionId::Host => {
                     let outcome = self.host_store.delete_edge(src, dst);
                     let aux = self.aux_module(src);
-                    per_module[aux] += self.pim.pim_hash_lookup_cost(ID_BYTES) * outcome.cost.pim_lookups.max(1) as f64
+                    per_module[aux] += self.pim.pim_hash_lookup_cost(ID_BYTES)
+                        * outcome.cost.pim_lookups.max(1) as f64
                         + self.pim.pim_instructions_cost(60 * outcome.cost.pim_mutations);
-                    host_time += self.pim.host_sequential_read_cost(outcome.cost.host_bytes_written)
-                        + self.pim.host_instructions_cost(40);
+                    host_time +=
+                        self.pim.host_sequential_read_cost(outcome.cost.host_bytes_written)
+                            + self.pim.host_instructions_cost(40);
                     cpu_to_pim_bytes += EDGE_BYTES;
                     pim_to_cpu_bytes += ID_BYTES;
                     if outcome.changed {
@@ -243,7 +260,10 @@ impl DistributedPimEngine {
                 PartitionId::Pim(m) => {
                     let m = m as usize;
                     cpu_to_pim_bytes += EDGE_BYTES;
-                    let row_bytes = self.local_stores[m].row(src).map(|r| r.len() as u64 * ID_BYTES).unwrap_or(0);
+                    let row_bytes = self.local_stores[m]
+                        .row(src)
+                        .map(|r| r.len() as u64 * ID_BYTES)
+                        .unwrap_or(0);
                     per_module[m] += self.pim.pim_hash_lookup_cost(row_bytes)
                         + self.pim.mram_write_cost(ID_BYTES);
                     if self.local_stores[m].remove_edge(src, dst).is_ok() {
@@ -257,7 +277,11 @@ impl DistributedPimEngine {
         let pim_time = self.pim.parallel_step(&per_module);
         timeline.charge(Phase::PimCompute, pim_time);
         timeline.charge(Phase::HostCompute, host_time);
-        timeline.charge(Phase::Cpc, self.pim.cpc_transfer_cost(cpu_to_pim_bytes) + self.pim.cpc_transfer_cost(pim_to_cpu_bytes));
+        timeline.charge(
+            Phase::Cpc,
+            self.pim.cpc_transfer_cost(cpu_to_pim_bytes)
+                + self.pim.cpc_transfer_cost(pim_to_cpu_bytes),
+        );
         timeline.transfers.record_cpu_to_pim(cpu_to_pim_bytes, edges.len() as u64);
         timeline.transfers.record_pim_to_cpu(pim_to_cpu_bytes, 1);
         UpdateStats { timeline, requested: edges.len(), applied }
@@ -289,21 +313,17 @@ impl DistributedPimEngine {
     /// Answers a batch k-hop path query with full cost accounting.
     pub fn k_hop_batch(&mut self, sources: &[NodeId], k: usize) -> (Vec<Vec<NodeId>>, QueryStats) {
         let module_count = self.config.pim.num_modules;
-        let host_resident_bytes: u64 = self
-            .host_store
-            .iter()
-            .map(|(_, hops)| hops.len() as u64 * ID_BYTES)
-            .sum();
+        let host_resident_bytes: u64 =
+            self.host_store.iter().map(|(_, hops)| hops.len() as u64 * ID_BYTES).sum();
         let mut timeline = Timeline::new();
         let mut expansions = 0usize;
 
         // Dispatch the batch: every source that lives on a PIM module must be
         // shipped to it (the Q matrix rows of the execution plan).
-        let dispatch_bytes: u64 = sources
-            .iter()
-            .filter(|&&s| matches!(self.owner(s), Some(PartitionId::Pim(_))))
-            .count() as u64
-            * ENTRY_BYTES;
+        let dispatch_bytes: u64 =
+            sources.iter().filter(|&&s| matches!(self.owner(s), Some(PartitionId::Pim(_)))).count()
+                as u64
+                * ENTRY_BYTES;
         timeline.charge(Phase::Cpc, self.pim.cpc_transfer_cost(dispatch_bytes));
         timeline.transfers.record_cpu_to_pim(dispatch_bytes, 1);
 
@@ -397,13 +417,8 @@ impl DistributedPimEngine {
                 + self.pim.host_instructions_cost(matched_pairs as u64 * 8),
         );
 
-        let stats = QueryStats {
-            timeline,
-            batch_size: sources.len(),
-            hops: k,
-            matched_pairs,
-            expansions,
-        };
+        let stats =
+            QueryStats { timeline, batch_size: sources.len(), hops: k, matched_pairs, expansions };
         (frontiers, stats)
     }
 
@@ -565,7 +580,8 @@ mod tests {
     #[test]
     fn high_degree_nodes_move_to_the_host_store() {
         let mut e = moctopus_engine();
-        let hub_edges: Vec<(NodeId, NodeId)> = (1..=20u64).map(|i| (NodeId(0), NodeId(i))).collect();
+        let hub_edges: Vec<(NodeId, NodeId)> =
+            (1..=20u64).map(|i| (NodeId(0), NodeId(i))).collect();
         e.insert_edges(&hub_edges);
         assert_eq!(e.assignment().partition_of(NodeId(0)), Some(PartitionId::Host));
         assert_eq!(e.host_row_count(), 1);
@@ -577,7 +593,8 @@ mod tests {
     #[test]
     fn hash_engine_keeps_hubs_on_pim_modules() {
         let mut e = hash_engine();
-        let hub_edges: Vec<(NodeId, NodeId)> = (1..=20u64).map(|i| (NodeId(0), NodeId(i))).collect();
+        let hub_edges: Vec<(NodeId, NodeId)> =
+            (1..=20u64).map(|i| (NodeId(0), NodeId(i))).collect();
         e.insert_edges(&hub_edges);
         assert!(matches!(e.assignment().partition_of(NodeId(0)), Some(PartitionId::Pim(_))));
         assert_eq!(e.host_row_count(), 0);

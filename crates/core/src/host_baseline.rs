@@ -2,7 +2,7 @@
 //!
 //! RedisGraph evaluates graph queries by compiling them into GraphBLAS sparse
 //! matrix algebra and executing the plan on one dedicated CPU core. The
-//! baseline here does exactly that, using the workspace's [`sparse`] kernels
+//! baseline here does exactly that, using the workspace's `sparse` kernels
 //! through [`rpq::plan::HostMatrixEngine`], and charges the work to the same
 //! host-side cost model the PIM engines use for their host portions:
 //!
@@ -115,7 +115,9 @@ impl GraphEngine for HostBaseline {
             Phase::HostCompute,
             self.pim.host_random_access_cost(edges.len() as u64, resident)
                 + self.pim.host_sequential_read_cost(row_bytes_touched)
-                + self.pim.host_instructions_cost(edges.len() as u64 * UPDATE_INSTRUCTIONS_PER_EDGE),
+                + self
+                    .pim
+                    .host_instructions_cost(edges.len() as u64 * UPDATE_INSTRUCTIONS_PER_EDGE),
         );
         // Amortised delta merge: the whole matrix is eventually rewritten once
         // per update batch when the pending delta is flushed.

@@ -35,7 +35,9 @@ impl PimHashSystem {
     /// Creates an empty PIM-hash deployment.
     pub fn new(config: MoctopusConfig) -> Self {
         let partitioner = HashPartitioner::new(config.pim.num_modules);
-        PimHashSystem { engine: DistributedPimEngine::new(config, PlacementPolicy::Hash(partitioner)) }
+        PimHashSystem {
+            engine: DistributedPimEngine::new(config, PlacementPolicy::Hash(partitioner)),
+        }
     }
 
     /// Builds a system by streaming an edge list (no refinement exists for
@@ -92,7 +94,11 @@ mod tests {
     #[test]
     fn hash_placement_never_uses_the_host() {
         let graph = graph_gen::powerlaw::generate(
-            &graph_gen::powerlaw::PowerLawConfig { nodes: 800, high_degree_fraction: 0.05, ..Default::default() },
+            &graph_gen::powerlaw::PowerLawConfig {
+                nodes: 800,
+                high_degree_fraction: 0.05,
+                ..Default::default()
+            },
             4,
         );
         let edges: Vec<(NodeId, NodeId)> = graph.edges().map(|(s, d, _)| (s, d)).collect();

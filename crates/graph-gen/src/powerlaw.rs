@@ -71,15 +71,12 @@ pub fn generate(config: &PowerLawConfig, seed: u64) -> AdjacencyGraph {
     let community = config.community_size.max(2).min(n);
     // Decide the hub set up front so destinations can be biased towards it
     // (skewed in-degree), not just out-degrees.
-    let hub_flags: Vec<bool> = (0..n).map(|_| rng.gen::<f64>() < config.high_degree_fraction).collect();
-    let hubs: Vec<usize> = hub_flags
-        .iter()
-        .enumerate()
-        .filter_map(|(i, &h)| h.then_some(i))
-        .collect();
-    for src_idx in 0..n {
+    let hub_flags: Vec<bool> =
+        (0..n).map(|_| rng.gen::<f64>() < config.high_degree_fraction).collect();
+    let hubs: Vec<usize> =
+        hub_flags.iter().enumerate().filter_map(|(i, &h)| h.then_some(i)).collect();
+    for (src_idx, &is_hub) in hub_flags.iter().enumerate() {
         let src = NodeId(src_idx as u64);
-        let is_hub = hub_flags[src_idx];
         let degree = if is_hub {
             // Heavy tail: threshold+1 .. 2*mean_high, geometric-ish spread.
             let extra = rng.gen_range(0.0..config.mean_high_degree.max(1.0) * 2.0);
@@ -127,11 +124,7 @@ mod tests {
 
     #[test]
     fn high_degree_fraction_is_respected_roughly() {
-        let cfg = PowerLawConfig {
-            nodes: 5000,
-            high_degree_fraction: 0.05,
-            ..Default::default()
-        };
+        let cfg = PowerLawConfig { nodes: 5000, high_degree_fraction: 0.05, ..Default::default() };
         let g = generate(&cfg, 11);
         let frac = g.count_high_degree(16) as f64 / g.node_count() as f64;
         assert!(frac > 0.02 && frac < 0.10, "observed hub fraction {frac}");
@@ -139,11 +132,7 @@ mod tests {
 
     #[test]
     fn zero_hub_fraction_produces_no_high_degree_nodes() {
-        let cfg = PowerLawConfig {
-            nodes: 2000,
-            high_degree_fraction: 0.0,
-            ..Default::default()
-        };
+        let cfg = PowerLawConfig { nodes: 2000, high_degree_fraction: 0.0, ..Default::default() };
         let g = generate(&cfg, 2);
         assert_eq!(g.count_high_degree(16), 0);
     }
@@ -153,9 +142,8 @@ mod tests {
         let local_cfg = PowerLawConfig { nodes: 4000, locality: 0.95, ..Default::default() };
         let random_cfg = PowerLawConfig { nodes: 4000, locality: 0.0, ..Default::default() };
         let count_local_edges = |g: &AdjacencyGraph, community: usize| {
-            g.edges()
-                .filter(|(s, d, _)| s.index() / community == d.index() / community)
-                .count() as f64
+            g.edges().filter(|(s, d, _)| s.index() / community == d.index() / community).count()
+                as f64
                 / g.edge_count() as f64
         };
         let local = generate(&local_cfg, 5);

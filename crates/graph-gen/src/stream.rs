@@ -23,7 +23,11 @@ pub fn shuffled_edge_stream(graph: &AdjacencyGraph, seed: u64) -> Vec<(NodeId, N
 
 /// Selects `count` existing edges uniformly at random (with repetition removed)
 /// to serve as the deletion batch of the update experiment.
-pub fn sample_existing_edges(graph: &AdjacencyGraph, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+pub fn sample_existing_edges(
+    graph: &AdjacencyGraph,
+    count: usize,
+    seed: u64,
+) -> Vec<(NodeId, NodeId)> {
     let mut edges = shuffled_edge_stream(graph, seed);
     edges.truncate(count);
     edges

@@ -41,21 +41,126 @@ pub struct TraceSpec {
 
 /// All 15 traces of Table 1, in trace-id order.
 pub const TABLE1: [TraceSpec; 15] = [
-    TraceSpec { trace_id: 1, name: "roadNet-CA", nodes: 1_965_206, high_degree_pct: 0.0, avg_degree: 2.8, family: GraphFamily::Road },
-    TraceSpec { trace_id: 2, name: "roadNet-PA", nodes: 1_088_092, high_degree_pct: 0.0, avg_degree: 2.8, family: GraphFamily::Road },
-    TraceSpec { trace_id: 3, name: "roadNet-TX", nodes: 1_379_917, high_degree_pct: 0.0, avg_degree: 2.8, family: GraphFamily::Road },
-    TraceSpec { trace_id: 4, name: "cit-Patents", nodes: 3_774_768, high_degree_pct: 2.83, avg_degree: 4.4, family: GraphFamily::PowerLaw },
-    TraceSpec { trace_id: 5, name: "com-youtube", nodes: 1_134_890, high_degree_pct: 2.07, avg_degree: 2.6, family: GraphFamily::PowerLaw },
-    TraceSpec { trace_id: 6, name: "com-DBLP", nodes: 317_080, high_degree_pct: 3.10, avg_degree: 3.3, family: GraphFamily::PowerLaw },
-    TraceSpec { trace_id: 7, name: "com-amazon", nodes: 334_863, high_degree_pct: 0.62, avg_degree: 2.8, family: GraphFamily::PowerLaw },
-    TraceSpec { trace_id: 8, name: "wiki-Talk", nodes: 2_394_385, high_degree_pct: 0.50, avg_degree: 2.1, family: GraphFamily::PowerLaw },
-    TraceSpec { trace_id: 9, name: "email-EuAll", nodes: 265_214, high_degree_pct: 0.29, avg_degree: 1.6, family: GraphFamily::PowerLaw },
-    TraceSpec { trace_id: 10, name: "web-Google", nodes: 875_713, high_degree_pct: 1.29, avg_degree: 5.8, family: GraphFamily::PowerLaw },
-    TraceSpec { trace_id: 11, name: "web-NotreDame", nodes: 325_729, high_degree_pct: 2.86, avg_degree: 4.6, family: GraphFamily::PowerLaw },
-    TraceSpec { trace_id: 12, name: "web-Stanford", nodes: 281_903, high_degree_pct: 4.84, avg_degree: 8.2, family: GraphFamily::PowerLaw },
-    TraceSpec { trace_id: 13, name: "amazon0312", nodes: 262_111, high_degree_pct: 0.0, avg_degree: 4.0, family: GraphFamily::Uniform },
-    TraceSpec { trace_id: 14, name: "amazon0505", nodes: 410_236, high_degree_pct: 0.0, avg_degree: 4.0, family: GraphFamily::Uniform },
-    TraceSpec { trace_id: 15, name: "amazon0601", nodes: 403_394, high_degree_pct: 0.0, avg_degree: 4.0, family: GraphFamily::Uniform },
+    TraceSpec {
+        trace_id: 1,
+        name: "roadNet-CA",
+        nodes: 1_965_206,
+        high_degree_pct: 0.0,
+        avg_degree: 2.8,
+        family: GraphFamily::Road,
+    },
+    TraceSpec {
+        trace_id: 2,
+        name: "roadNet-PA",
+        nodes: 1_088_092,
+        high_degree_pct: 0.0,
+        avg_degree: 2.8,
+        family: GraphFamily::Road,
+    },
+    TraceSpec {
+        trace_id: 3,
+        name: "roadNet-TX",
+        nodes: 1_379_917,
+        high_degree_pct: 0.0,
+        avg_degree: 2.8,
+        family: GraphFamily::Road,
+    },
+    TraceSpec {
+        trace_id: 4,
+        name: "cit-Patents",
+        nodes: 3_774_768,
+        high_degree_pct: 2.83,
+        avg_degree: 4.4,
+        family: GraphFamily::PowerLaw,
+    },
+    TraceSpec {
+        trace_id: 5,
+        name: "com-youtube",
+        nodes: 1_134_890,
+        high_degree_pct: 2.07,
+        avg_degree: 2.6,
+        family: GraphFamily::PowerLaw,
+    },
+    TraceSpec {
+        trace_id: 6,
+        name: "com-DBLP",
+        nodes: 317_080,
+        high_degree_pct: 3.10,
+        avg_degree: 3.3,
+        family: GraphFamily::PowerLaw,
+    },
+    TraceSpec {
+        trace_id: 7,
+        name: "com-amazon",
+        nodes: 334_863,
+        high_degree_pct: 0.62,
+        avg_degree: 2.8,
+        family: GraphFamily::PowerLaw,
+    },
+    TraceSpec {
+        trace_id: 8,
+        name: "wiki-Talk",
+        nodes: 2_394_385,
+        high_degree_pct: 0.50,
+        avg_degree: 2.1,
+        family: GraphFamily::PowerLaw,
+    },
+    TraceSpec {
+        trace_id: 9,
+        name: "email-EuAll",
+        nodes: 265_214,
+        high_degree_pct: 0.29,
+        avg_degree: 1.6,
+        family: GraphFamily::PowerLaw,
+    },
+    TraceSpec {
+        trace_id: 10,
+        name: "web-Google",
+        nodes: 875_713,
+        high_degree_pct: 1.29,
+        avg_degree: 5.8,
+        family: GraphFamily::PowerLaw,
+    },
+    TraceSpec {
+        trace_id: 11,
+        name: "web-NotreDame",
+        nodes: 325_729,
+        high_degree_pct: 2.86,
+        avg_degree: 4.6,
+        family: GraphFamily::PowerLaw,
+    },
+    TraceSpec {
+        trace_id: 12,
+        name: "web-Stanford",
+        nodes: 281_903,
+        high_degree_pct: 4.84,
+        avg_degree: 8.2,
+        family: GraphFamily::PowerLaw,
+    },
+    TraceSpec {
+        trace_id: 13,
+        name: "amazon0312",
+        nodes: 262_111,
+        high_degree_pct: 0.0,
+        avg_degree: 4.0,
+        family: GraphFamily::Uniform,
+    },
+    TraceSpec {
+        trace_id: 14,
+        name: "amazon0505",
+        nodes: 410_236,
+        high_degree_pct: 0.0,
+        avg_degree: 4.0,
+        family: GraphFamily::Uniform,
+    },
+    TraceSpec {
+        trace_id: 15,
+        name: "amazon0601",
+        nodes: 403_394,
+        high_degree_pct: 0.0,
+        avg_degree: 4.0,
+        family: GraphFamily::Uniform,
+    },
 ];
 
 impl TraceSpec {

@@ -68,7 +68,10 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(generate(500, 3.0, 9).to_sorted_edges(), generate(500, 3.0, 9).to_sorted_edges());
+        assert_eq!(
+            generate(500, 3.0, 9).to_sorted_edges(),
+            generate(500, 3.0, 9).to_sorted_edges()
+        );
     }
 
     #[test]

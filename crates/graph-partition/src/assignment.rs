@@ -34,7 +34,11 @@ pub struct PartitionAssignment {
 impl PartitionAssignment {
     /// Creates an empty assignment over `num_pim_modules` PIM modules.
     pub fn new(num_pim_modules: usize) -> Self {
-        PartitionAssignment { map: HashMap::new(), pim_counts: vec![0; num_pim_modules], host_count: 0 }
+        PartitionAssignment {
+            map: HashMap::new(),
+            pim_counts: vec![0; num_pim_modules],
+            host_count: 0,
+        }
     }
 
     /// Number of PIM modules.
@@ -122,12 +126,7 @@ impl PartitionAssignment {
 
     /// The PIM module with the fewest assigned nodes.
     pub fn least_loaded_pim(&self) -> usize {
-        self.pim_counts
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &c)| c)
-            .map(|(i, _)| i)
-            .unwrap_or(0)
+        self.pim_counts.iter().enumerate().min_by_key(|&(_, &c)| c).map(|(i, _)| i).unwrap_or(0)
     }
 
     /// Iterates over `(node, partition)` pairs in arbitrary order.
@@ -137,12 +136,8 @@ impl PartitionAssignment {
 
     /// All nodes currently assigned to the given partition (sorted).
     pub fn nodes_in(&self, partition: PartitionId) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self
-            .map
-            .iter()
-            .filter(|(_, &p)| p == partition)
-            .map(|(&n, _)| n)
-            .collect();
+        let mut v: Vec<NodeId> =
+            self.map.iter().filter(|(_, &p)| p == partition).map(|(&n, _)| n).collect();
         v.sort();
         v
     }

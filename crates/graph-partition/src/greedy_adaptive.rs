@@ -170,11 +170,12 @@ impl GreedyAdaptivePartitioner {
     /// it crosses the high-degree threshold (labor division).
     fn bump_degree(&mut self, src: NodeId) {
         let crossed = self.degrees.record_insert(src);
-        if crossed && self.config.labor_division {
-            if self.assignment.partition_of(src) != Some(PartitionId::Host) {
-                self.assignment.assign(src, PartitionId::Host);
-                self.promotions.push(src);
-            }
+        if crossed
+            && self.config.labor_division
+            && self.assignment.partition_of(src) != Some(PartitionId::Host)
+        {
+            self.assignment.assign(src, PartitionId::Host);
+            self.promotions.push(src);
         }
     }
 
@@ -193,7 +194,13 @@ impl GreedyAdaptivePartitioner {
     pub fn refine(&mut self, graph: &AdjacencyGraph) -> MigrationReport {
         let mut report = MigrationReport::default();
         let limit = self.capacity_limit();
-        let nodes: Vec<NodeId> = graph.nodes().collect();
+        // Visit nodes in id order: `AdjacencyGraph::nodes()` iterates a
+        // HashMap (per-process random order) and migration decisions are
+        // order-dependent, so an unsorted pass makes the resulting placement
+        // — and every downstream IPC/latency figure — nondeterministic
+        // across runs of the same seeded experiment.
+        let mut nodes: Vec<NodeId> = graph.nodes().collect();
+        nodes.sort_unstable();
         for node in nodes {
             let Some(PartitionId::Pim(current)) = self.assignment.partition_of(node) else {
                 continue; // host-resident or unknown nodes are not refined

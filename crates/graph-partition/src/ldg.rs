@@ -27,7 +27,11 @@ use graph_store::{AdjacencyGraph, NodeId, PartitionId};
 /// let assignment = graph_partition::ldg::partition_graph(&g, 4, 1.05);
 /// assert_eq!(assignment.len(), g.node_count());
 /// ```
-pub fn partition_graph(graph: &AdjacencyGraph, num_modules: usize, slack: f64) -> PartitionAssignment {
+pub fn partition_graph(
+    graph: &AdjacencyGraph,
+    num_modules: usize,
+    slack: f64,
+) -> PartitionAssignment {
     assert!(num_modules > 0, "at least one partition is required");
     let n = graph.node_count();
     let capacity = ((n as f64 / num_modules as f64).ceil() * slack).ceil() as usize;
@@ -45,13 +49,13 @@ pub fn partition_graph(graph: &AdjacencyGraph, num_modules: usize, slack: f64) -
         }
         let mut best = 0usize;
         let mut best_score = f64::NEG_INFINITY;
-        for m in 0..num_modules {
+        for (m, &neighbor_score) in scores.iter().enumerate() {
             let size = assignment.pim_node_count(m);
             if size >= capacity {
                 continue;
             }
             let weight = 1.0 - size as f64 / capacity as f64;
-            let score = scores[m] as f64 * weight + weight * 1e-6;
+            let score = neighbor_score as f64 * weight + weight * 1e-6;
             if score > best_score {
                 best_score = score;
                 best = m;

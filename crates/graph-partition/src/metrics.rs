@@ -54,17 +54,11 @@ impl PartitionMetrics {
             }
         }
         let pim_source_edges = local_edges + cut_edges + to_host_edges;
-        let locality = if pim_source_edges == 0 {
-            1.0
-        } else {
-            local_edges as f64 / pim_source_edges as f64
-        };
+        let locality =
+            if pim_source_edges == 0 { 1.0 } else { local_edges as f64 / pim_source_edges as f64 };
         let mean = assignment.mean_pim_load();
-        let load_balance_factor = if mean == 0.0 {
-            1.0
-        } else {
-            assignment.max_pim_load() as f64 / mean
-        };
+        let load_balance_factor =
+            if mean == 0.0 { 1.0 } else { assignment.max_pim_load() as f64 / mean };
         let host_node_fraction = if assignment.is_empty() {
             0.0
         } else {

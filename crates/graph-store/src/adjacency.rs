@@ -47,11 +47,7 @@ impl AdjacencyGraph {
 
     /// Creates an empty graph with room pre-allocated for `nodes` nodes.
     pub fn with_capacity(nodes: usize) -> Self {
-        AdjacencyGraph {
-            out_edges: HashMap::with_capacity(nodes),
-            edge_count: 0,
-            id_bound: 0,
-        }
+        AdjacencyGraph { out_edges: HashMap::with_capacity(nodes), edge_count: 0, id_bound: 0 }
     }
 
     /// Builds a graph from an iterator of unlabelled `(src, dst)` pairs.
@@ -118,11 +114,7 @@ impl AdjacencyGraph {
 
     /// Out-neighbours of `node` restricted to `label`.
     pub fn neighbors_with_label(&self, node: NodeId, label: Label) -> Vec<NodeId> {
-        self.neighbors(node)
-            .iter()
-            .filter(|&&(_, l)| l == label)
-            .map(|&(d, _)| d)
-            .collect()
+        self.neighbors(node).iter().filter(|&&(_, l)| l == label).map(|&(d, _)| d).collect()
     }
 
     /// Out-degree of `node` (0 if the node is unknown).
@@ -159,9 +151,7 @@ impl AdjacencyGraph {
 
     /// Iterates over every directed edge as `(src, dst, label)`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, Label)> + '_ {
-        self.out_edges
-            .iter()
-            .flat_map(|(&s, row)| row.iter().map(move |&(d, l)| (s, d, l)))
+        self.out_edges.iter().flat_map(|(&s, row)| row.iter().map(move |&(d, l)| (s, d, l)))
     }
 
     /// Collects all edges into a vector sorted by `(src, dst, label)`.
@@ -181,7 +171,8 @@ impl AdjacencyGraph {
     /// Approximate resident bytes of the adjacency data (for memory budgeting).
     pub fn approx_bytes(&self) -> u64 {
         let per_edge = std::mem::size_of::<(NodeId, Label)>() as u64;
-        let per_node = (std::mem::size_of::<NodeId>() + std::mem::size_of::<Vec<(NodeId, Label)>>()) as u64;
+        let per_node =
+            (std::mem::size_of::<NodeId>() + std::mem::size_of::<Vec<(NodeId, Label)>>()) as u64;
         self.edge_count as u64 * per_edge + self.out_edges.len() as u64 * per_node
     }
 }
@@ -271,9 +262,8 @@ mod tests {
 
     #[test]
     fn from_edges_collects_unlabelled_pairs() {
-        let g: AdjacencyGraph = vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(0))]
-            .into_iter()
-            .collect();
+        let g: AdjacencyGraph =
+            vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(0))].into_iter().collect();
         assert_eq!(g.edge_count(), 2);
         assert!(g.has_edge(NodeId(0), NodeId(1), Label::ANY));
     }

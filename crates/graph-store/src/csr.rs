@@ -120,10 +120,7 @@ impl CsrGraph {
 
     /// Maximum out-degree across all rows.
     pub fn max_degree(&self) -> usize {
-        (0..self.node_count())
-            .map(|i| self.offsets[i + 1] - self.offsets[i])
-            .max()
-            .unwrap_or(0)
+        (0..self.node_count()).map(|i| self.offsets[i + 1] - self.offsets[i]).max().unwrap_or(0)
     }
 
     /// Fraction of nodes whose out-degree strictly exceeds `threshold`.

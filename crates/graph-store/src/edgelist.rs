@@ -56,11 +56,15 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<AdjacencyGraph, GraphStor
 /// # Errors
 ///
 /// Returns [`GraphStoreError::ParseEdgeList`] wrapping any I/O error message.
-pub fn write_edge_list<W: Write>(graph: &AdjacencyGraph, mut writer: W) -> Result<(), GraphStoreError> {
+pub fn write_edge_list<W: Write>(
+    graph: &AdjacencyGraph,
+    mut writer: W,
+) -> Result<(), GraphStoreError> {
     let mut edges = graph.to_sorted_edges();
     edges.dedup();
     for (s, d, _) in edges {
-        writeln!(writer, "{} {}", s.0, d.0).map_err(|e| GraphStoreError::ParseEdgeList(e.to_string()))?;
+        writeln!(writer, "{} {}", s.0, d.0)
+            .map_err(|e| GraphStoreError::ParseEdgeList(e.to_string()))?;
     }
     Ok(())
 }

@@ -60,14 +60,8 @@ mod tests {
     fn display_messages_are_lowercase_and_informative() {
         let cases: Vec<(GraphStoreError, &str)> = vec![
             (GraphStoreError::NodeNotFound(NodeId(1)), "node n1 not found"),
-            (
-                GraphStoreError::EdgeNotFound(NodeId(1), NodeId(2)),
-                "edge n1 -> n2 not found",
-            ),
-            (
-                GraphStoreError::DuplicateEdge(NodeId(3), NodeId(4)),
-                "edge n3 -> n4 already exists",
-            ),
+            (GraphStoreError::EdgeNotFound(NodeId(1), NodeId(2)), "edge n1 -> n2 not found"),
+            (GraphStoreError::DuplicateEdge(NodeId(3), NodeId(4)), "edge n3 -> n4 already exists"),
         ];
         for (err, expected) in cases {
             assert_eq!(err.to_string(), expected);
@@ -76,10 +70,7 @@ mod tests {
 
     #[test]
     fn capacity_error_reports_both_sides() {
-        let err = GraphStoreError::CapacityExceeded {
-            required: 100,
-            capacity: 64,
-        };
+        let err = GraphStoreError::CapacityExceeded { required: 100, capacity: 64 };
         let msg = err.to_string();
         assert!(msg.contains("100"));
         assert!(msg.contains("64"));

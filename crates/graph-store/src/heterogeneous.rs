@@ -250,9 +250,9 @@ impl HeterogeneousStorage {
 
     /// Iterates over rows as `(row, live next-hops)`.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, Vec<NodeId>)> + '_ {
-        self.cols.iter().map(|(&r, c)| {
-            (r, c.slots.iter().copied().filter(|&d| d != FREE_SLOT).collect())
-        })
+        self.cols
+            .iter()
+            .map(|(&r, c)| (r, c.slots.iter().copied().filter(|&d| d != FREE_SLOT).collect()))
     }
 
     /// Validates internal consistency between the host-side `cols_vector`s and

@@ -17,7 +17,9 @@ use std::fmt;
 /// assert_eq!(n.index(), 42);
 /// assert_eq!(format!("{n}"), "n42");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct NodeId(pub u64);
 
 impl NodeId {
@@ -113,7 +115,9 @@ impl fmt::Display for PartitionId {
 /// let knows = Label(1);
 /// assert_ne!(knows, Label::default());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Label(pub u16);
 
 impl Label {

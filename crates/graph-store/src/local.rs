@@ -42,7 +42,11 @@ impl LocalGraphStorage {
     /// Creates an empty segment that refuses to grow beyond `capacity_bytes`
     /// (e.g. the 64 MB MRAM of an UPMEM PIM module).
     pub fn with_capacity_bytes(capacity_bytes: u64) -> Self {
-        LocalGraphStorage { rows: HashMap::new(), edge_count: 0, capacity_bytes: Some(capacity_bytes) }
+        LocalGraphStorage {
+            rows: HashMap::new(),
+            edge_count: 0,
+            capacity_bytes: Some(capacity_bytes),
+        }
     }
 
     /// Inserts a directed edge into the row of `src`.
@@ -78,7 +82,8 @@ impl LocalGraphStorage {
     /// Returns [`GraphStoreError::EdgeNotFound`] when the edge is absent.
     pub fn remove_edge(&mut self, src: NodeId, dst: NodeId) -> Result<(), GraphStoreError> {
         let row = self.rows.get_mut(&src).ok_or(GraphStoreError::EdgeNotFound(src, dst))?;
-        let pos = row.iter().position(|&d| d == dst).ok_or(GraphStoreError::EdgeNotFound(src, dst))?;
+        let pos =
+            row.iter().position(|&d| d == dst).ok_or(GraphStoreError::EdgeNotFound(src, dst))?;
         row.swap_remove(pos);
         self.edge_count -= 1;
         if row.is_empty() {

@@ -167,7 +167,12 @@ impl PropertyGraph {
     /// Returns [`GraphStoreError::NodeNotFound`] if either endpoint is unknown
     /// and [`GraphStoreError::DuplicateEdge`] if the relationship already
     /// exists with the same label.
-    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, label: Label) -> Result<(), GraphStoreError> {
+    pub fn add_edge(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        label: Label,
+    ) -> Result<(), GraphStoreError> {
         if !self.nodes.contains_key(&src) {
             return Err(GraphStoreError::NodeNotFound(src));
         }
@@ -191,10 +196,7 @@ impl PropertyGraph {
     /// This is a full scan — property indexes are out of scope for the
     /// reproduction — and is only used by examples for readability.
     pub fn find_by_property(&self, key: &str, value: &PropertyValue) -> Option<NodeId> {
-        self.nodes
-            .iter()
-            .find(|(_, rec)| rec.properties.get(key) == Some(value))
-            .map(|(&id, _)| id)
+        self.nodes.iter().find(|(_, rec)| rec.properties.get(key) == Some(value)).map(|(&id, _)| id)
     }
 
     /// Number of nodes.

@@ -101,10 +101,7 @@ impl PimConfig {
 
     /// A small configuration for unit tests and doc examples (8 modules).
     pub fn small_test() -> Self {
-        PimConfig {
-            num_modules: 8,
-            ..PimConfig::upmem_rank()
-        }
+        PimConfig { num_modules: 8, ..PimConfig::upmem_rank() }
     }
 
     /// Returns a copy with a different module count. Per-module MRAM bandwidth

@@ -60,7 +60,12 @@ impl EnergyModel {
     ///
     /// `host_bytes` and `pim_bytes` are the memory bytes touched on each side;
     /// bus traffic is taken from `transfers` (IPC bytes cross the bus twice).
-    pub fn estimate(&self, host_bytes: u64, pim_bytes: u64, transfers: &TransferStats) -> EnergyEstimate {
+    pub fn estimate(
+        &self,
+        host_bytes: u64,
+        pim_bytes: u64,
+        transfers: &TransferStats,
+    ) -> EnergyEstimate {
         let bus_bytes = transfers.cpc_bytes() + 2 * transfers.inter_pim_bytes;
         EnergyEstimate {
             host_pj: host_bytes as f64 * self.host_dram_pj_per_byte,

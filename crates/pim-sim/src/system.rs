@@ -114,11 +114,7 @@ impl PimSystem {
     ///
     /// Panics if `per_module.len() != module_count()`.
     pub fn parallel_step(&mut self, per_module: &[SimTime]) -> SimTime {
-        assert_eq!(
-            per_module.len(),
-            self.modules.len(),
-            "one time entry per module is required"
-        );
+        assert_eq!(per_module.len(), self.modules.len(), "one time entry per module is required");
         let mut max = SimTime::ZERO;
         for (module, &t) in self.modules.iter_mut().zip(per_module) {
             if !t.is_zero() {
@@ -308,7 +304,9 @@ mod tests {
     fn host_sequential_read_is_fast() {
         let s = sys();
         let bytes = 1 << 20;
-        assert!(s.host_sequential_read_cost(bytes) < s.host_random_access_cost(bytes / 64, 1 << 30));
+        assert!(
+            s.host_sequential_read_cost(bytes) < s.host_random_access_cost(bytes / 64, 1 << 30)
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! PIM-side compute, CPU–PIM communication (CPC), inter-PIM communication
 //! (IPC, forwarded by the CPU), and the final result reduction. [`Timeline`]
 //! accumulates time into those phases and carries the raw
-//! [`TransferStats`](crate::TransferStats) so experiments such as Figure 5
+//! [`TransferStats`] so experiments such as Figure 5
 //! (IPC cost) can be reported directly.
 
 use crate::time::SimTime;
@@ -30,13 +30,8 @@ pub enum Phase {
 
 impl Phase {
     /// All phases, in reporting order.
-    pub const ALL: [Phase; 5] = [
-        Phase::HostCompute,
-        Phase::PimCompute,
-        Phase::Cpc,
-        Phase::Ipc,
-        Phase::Reduce,
-    ];
+    pub const ALL: [Phase; 5] =
+        [Phase::HostCompute, Phase::PimCompute, Phase::Cpc, Phase::Ipc, Phase::Reduce];
 }
 
 impl fmt::Display for Phase {

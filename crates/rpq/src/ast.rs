@@ -138,9 +138,10 @@ impl RpqExpr {
             RpqExpr::Concat(parts) => {
                 parts.iter().map(RpqExpr::max_path_length).try_fold(0usize, |a, b| Some(a + b?))
             }
-            RpqExpr::Alt(branches) => {
-                branches.iter().map(RpqExpr::max_path_length).try_fold(0usize, |a, b| Some(a.max(b?)))
-            }
+            RpqExpr::Alt(branches) => branches
+                .iter()
+                .map(RpqExpr::max_path_length)
+                .try_fold(0usize, |a, b| Some(a.max(b?))),
             RpqExpr::Star(_) | RpqExpr::Plus(_) => None,
             RpqExpr::Optional(inner) => inner.max_path_length(),
             RpqExpr::Repeat { expr, max, .. } => Some(expr.max_path_length()? * max),
@@ -211,7 +212,10 @@ mod tests {
 
     #[test]
     fn path_length_bounds() {
-        let e = RpqExpr::concat(vec![RpqExpr::label(1), RpqExpr::Optional(Box::new(RpqExpr::label(2)))]);
+        let e = RpqExpr::concat(vec![
+            RpqExpr::label(1),
+            RpqExpr::Optional(Box::new(RpqExpr::label(2))),
+        ]);
         assert_eq!(e.min_path_length(), 1);
         assert_eq!(e.max_path_length(), Some(2));
 
@@ -235,7 +239,10 @@ mod tests {
             RpqExpr::label(3),
         ]);
         assert!(matches!(&c, RpqExpr::Concat(parts) if parts.len() == 3));
-        let a = RpqExpr::alt(vec![RpqExpr::alt(vec![RpqExpr::label(1), RpqExpr::label(2)]), RpqExpr::label(3)]);
+        let a = RpqExpr::alt(vec![
+            RpqExpr::alt(vec![RpqExpr::label(1), RpqExpr::label(2)]),
+            RpqExpr::label(3),
+        ]);
         assert!(matches!(&a, RpqExpr::Alt(parts) if parts.len() == 3));
         // Single-element constructors collapse to the element itself.
         assert_eq!(RpqExpr::concat(vec![RpqExpr::label(9)]), RpqExpr::label(9));
@@ -245,14 +252,8 @@ mod tests {
     #[test]
     fn display_is_parseable_syntax() {
         assert_eq!(RpqExpr::k_hop(4).to_string(), "(.){4}");
-        assert_eq!(
-            RpqExpr::concat(vec![RpqExpr::label(1), RpqExpr::label(2)]).to_string(),
-            "1/2"
-        );
-        assert_eq!(
-            RpqExpr::alt(vec![RpqExpr::label(1), RpqExpr::label(2)]).to_string(),
-            "(1|2)"
-        );
+        assert_eq!(RpqExpr::concat(vec![RpqExpr::label(1), RpqExpr::label(2)]).to_string(), "1/2");
+        assert_eq!(RpqExpr::alt(vec![RpqExpr::label(1), RpqExpr::label(2)]).to_string(), "(1|2)");
         let r = RpqExpr::Repeat { expr: Box::new(RpqExpr::any()), min: 1, max: 3 };
         assert_eq!(r.to_string(), "(.){1,3}");
     }

@@ -75,9 +75,10 @@ struct Parser {
 
 impl Parser {
     fn offset(&self) -> usize {
-        self.chars.get(self.pos).map(|&(o, _)| o).unwrap_or_else(|| {
-            self.chars.last().map(|&(o, c)| o + c.len_utf8()).unwrap_or(0)
-        })
+        self.chars
+            .get(self.pos)
+            .map(|&(o, _)| o)
+            .unwrap_or_else(|| self.chars.last().map(|&(o, c)| o + c.len_utf8()).unwrap_or(0))
     }
 
     fn peek(&self) -> Option<char> {
@@ -191,7 +192,9 @@ impl Parser {
                 }
                 Ok(RpqExpr::label(n as u16))
             }
-            other => Err(ParseRpqError::new(format!("expected atom, found {other:?}"), self.offset())),
+            other => {
+                Err(ParseRpqError::new(format!("expected atom, found {other:?}"), self.offset()))
+            }
         }
     }
 
@@ -205,8 +208,7 @@ impl Parser {
             return Err(ParseRpqError::new("expected a number", self.offset()));
         }
         let text: String = self.chars[start..self.pos].iter().map(|&(_, c)| c).collect();
-        text.parse::<usize>()
-            .map_err(|_| ParseRpqError::new("number out of range", self.offset()))
+        text.parse::<usize>().map_err(|_| ParseRpqError::new("number out of range", self.offset()))
     }
 }
 

@@ -160,7 +160,10 @@ impl HostMatrixEngine {
         let mut per_label: HashMap<Label, MatrixBuilder> = HashMap::new();
         for (s, d, l) in graph.edges() {
             any.set(s.index(), d.index());
-            per_label.entry(l).or_insert_with(|| MatrixBuilder::new(n, n)).set(s.index(), d.index());
+            per_label
+                .entry(l)
+                .or_insert_with(|| MatrixBuilder::new(n, n))
+                .set(s.index(), d.index());
         }
         HostMatrixEngine {
             node_bound: n,
@@ -201,7 +204,11 @@ impl HostMatrixEngine {
     /// Panics if the plan contains `Add`/`Sub` operators (updates are applied
     /// through [`HostMatrixEngine::apply_insertions`] /
     /// [`HostMatrixEngine::apply_deletions`]).
-    pub fn run(&self, plan: &ExecutionPlan, sources: &[NodeId]) -> (Vec<Vec<NodeId>>, HostExecutionStats) {
+    pub fn run(
+        &self,
+        plan: &ExecutionPlan,
+        sources: &[NodeId],
+    ) -> (Vec<Vec<NodeId>>, HostExecutionStats) {
         let mut stats = HostExecutionStats::default();
         // Build the Q matrix: one row per query in the batch.
         let mut q_builder = MatrixBuilder::new(sources.len(), self.node_bound);
@@ -274,15 +281,12 @@ impl HostMatrixEngine {
     }
 
     fn delta_matrix(&mut self, edges: &[(NodeId, NodeId)]) -> SparseBoolMatrix {
-        let needed = edges
-            .iter()
-            .map(|&(s, d)| s.index().max(d.index()) + 1)
-            .max()
-            .unwrap_or(0);
+        let needed = edges.iter().map(|&(s, d)| s.index().max(d.index()) + 1).max().unwrap_or(0);
         if needed > self.node_bound {
             self.grow(needed);
         }
-        let triplets: Vec<(usize, usize)> = edges.iter().map(|&(s, d)| (s.index(), d.index())).collect();
+        let triplets: Vec<(usize, usize)> =
+            edges.iter().map(|&(s, d)| (s.index(), d.index())).collect();
         SparseBoolMatrix::from_triplets(self.node_bound, self.node_bound, &triplets)
     }
 
@@ -329,7 +333,11 @@ mod tests {
     #[test]
     fn from_expr_rejects_unbounded_shapes() {
         assert!(ExecutionPlan::from_expr(&RpqExpr::Star(Box::new(RpqExpr::any()))).is_none());
-        assert!(ExecutionPlan::from_expr(&RpqExpr::alt(vec![RpqExpr::label(1), RpqExpr::label(2)])).is_none());
+        assert!(ExecutionPlan::from_expr(&RpqExpr::alt(vec![
+            RpqExpr::label(1),
+            RpqExpr::label(2)
+        ]))
+        .is_none());
         let ranged = RpqExpr::Repeat { expr: Box::new(RpqExpr::any()), min: 1, max: 2 };
         assert!(ExecutionPlan::from_expr(&ranged).is_none());
     }

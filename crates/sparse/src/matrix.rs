@@ -34,12 +34,7 @@ impl SparseBoolMatrix {
 
     /// Creates the identity matrix of size `n`.
     pub fn identity(n: usize) -> Self {
-        SparseBoolMatrix {
-            nrows: n,
-            ncols: n,
-            offsets: (0..=n).collect(),
-            cols: (0..n).collect(),
-        }
+        SparseBoolMatrix { nrows: n, ncols: n, offsets: (0..=n).collect(), cols: (0..n).collect() }
     }
 
     /// Builds a matrix from `(row, col)` triplets; duplicates are collapsed.

@@ -28,7 +28,15 @@ use crate::vector::SparseBoolVector;
 /// assert_eq!(c.nnz(), 1);
 /// ```
 pub fn mxm(a: &SparseBoolMatrix, b: &SparseBoolMatrix) -> SparseBoolMatrix {
-    assert_eq!(a.ncols(), b.nrows(), "dimension mismatch: {}x{} * {}x{}", a.nrows(), a.ncols(), b.nrows(), b.ncols());
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "dimension mismatch: {}x{} * {}x{}",
+        a.nrows(),
+        a.ncols(),
+        b.nrows(),
+        b.ncols()
+    );
     let mut rows: Vec<Vec<usize>> = Vec::with_capacity(a.nrows());
     let mut marker = vec![false; b.ncols()];
     for r in 0..a.nrows() {
@@ -95,12 +103,8 @@ pub fn ewise_difference(a: &SparseBoolMatrix, b: &SparseBoolMatrix) -> SparseBoo
     let mut rows: Vec<Vec<usize>> = Vec::with_capacity(a.nrows());
     for r in 0..a.nrows() {
         let remove = b.row(r);
-        let row: Vec<usize> = a
-            .row(r)
-            .iter()
-            .copied()
-            .filter(|c| remove.binary_search(c).is_err())
-            .collect();
+        let row: Vec<usize> =
+            a.row(r).iter().copied().filter(|c| remove.binary_search(c).is_err()).collect();
         rows.push(row);
     }
     SparseBoolMatrix::from_rows(a.nrows(), a.ncols(), rows)

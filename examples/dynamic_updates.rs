@@ -9,7 +9,6 @@
 //!
 //! Run with: `cargo run --release --example dynamic_updates`
 
-use graph_store::NodeId;
 use moctopus::{GraphEngine, HostBaseline, MoctopusConfig, MoctopusSystem};
 use std::error::Error;
 

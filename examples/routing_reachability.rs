@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut pim_hash = PimHashSystem::from_edge_stream(config, &edges);
     let mut baseline = HostBaseline::from_edge_stream(config, &edges);
 
-    println!("\n{:>4}  {:>14}  {:>14}  {:>14}  {:>9}", "k", "Moctopus", "PIM-hash", "RedisGraph", "speedup");
+    println!(
+        "\n{:>4}  {:>14}  {:>14}  {:>14}  {:>9}",
+        "k", "Moctopus", "PIM-hash", "RedisGraph", "speedup"
+    );
     for k in [2usize, 4, 6, 8] {
         let (_, moc) = moctopus.k_hop_batch(&sources, k);
         let (_, hash) = pim_hash.k_hop_batch(&sources, k);

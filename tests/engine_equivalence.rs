@@ -35,7 +35,8 @@ fn check_graph(graph: &AdjacencyGraph, ks: &[usize], num_sources: u64) {
             for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
                 let w: Vec<NodeId> = w.iter().copied().collect();
                 assert_eq!(
-                    g, &w,
+                    g,
+                    &w,
                     "{} disagrees with the reference for source {} at k = {}",
                     engine.name(),
                     i,

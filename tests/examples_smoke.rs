@@ -1,0 +1,40 @@
+//! Smoke coverage for the documented examples: every example in `examples/`
+//! must build and run to completion, so the README quick-start can never
+//! silently rot. CI additionally runs the examples directly (see
+//! `.github/workflows/ci.yml`); this harness makes plain `cargo test` enough
+//! to catch a broken example locally.
+
+use std::process::Command;
+
+/// Runs one example via the same cargo that is running this test.
+///
+/// The examples self-verify (each ends with an assertion or a consistency
+/// check), so "exit status 0" is a meaningful signal, not just "it started".
+fn run_example(name: &str) {
+    let cargo = env!("CARGO");
+    let output = Command::new(cargo)
+        // Examples were already compiled by `cargo test`; `--release` is not
+        // used here so the smoke run reuses the debug artifacts instead of
+        // triggering a second full build profile.
+        .args(["run", "--example", name])
+        .output()
+        .unwrap_or_else(|err| panic!("failed to spawn cargo for example {name}: {err}"));
+    assert!(
+        output.status.success(),
+        "example {name} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}
+
+// One test running all four examples serially: concurrent `cargo run`
+// invocations would contend on the build lock and interleave output.
+#[test]
+fn all_documented_examples_run() {
+    for example in
+        ["quickstart", "social_recommendation", "routing_reachability", "dynamic_updates"]
+    {
+        run_example(example);
+    }
+}

@@ -3,9 +3,7 @@
 //! absolute numbers.
 
 use graph_store::NodeId;
-use moctopus::{
-    GraphEngine, HostBaseline, MoctopusConfig, MoctopusSystem, Phase, PimHashSystem,
-};
+use moctopus::{GraphEngine, HostBaseline, MoctopusConfig, MoctopusSystem, Phase, PimHashSystem};
 
 fn skewed_graph(nodes: usize, seed: u64) -> (Vec<(NodeId, NodeId)>, graph_store::AdjacencyGraph) {
     let cfg = graph_gen::powerlaw::PowerLawConfig {
@@ -146,8 +144,12 @@ fn more_pim_modules_reduce_pim_compute_time() {
     let (edges, graph) = skewed_graph(3000, 29);
     let sources = graph_gen::stream::sample_start_nodes(&graph, 512, 31);
 
-    let mut small = MoctopusSystem::from_edge_stream(MoctopusConfig::paper_defaults().with_modules(16), &edges);
-    let mut large = MoctopusSystem::from_edge_stream(MoctopusConfig::paper_defaults().with_modules(128), &edges);
+    let mut small =
+        MoctopusSystem::from_edge_stream(MoctopusConfig::paper_defaults().with_modules(16), &edges);
+    let mut large = MoctopusSystem::from_edge_stream(
+        MoctopusConfig::paper_defaults().with_modules(128),
+        &edges,
+    );
     let (_, s) = small.k_hop_batch(&sources, 2);
     let (_, l) = large.k_hop_batch(&sources, 2);
     assert!(

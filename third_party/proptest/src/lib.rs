@@ -1,0 +1,130 @@
+//! Offline stand-in for the `proptest` property-testing framework.
+//!
+//! The workspace builds hermetically (no crates.io), so this shim provides
+//! the subset of proptest the integration tests use:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, implemented for integer ranges,
+//!   tuples of strategies, boxed strategies, and `&str` regex patterns
+//!   (a small generator covering literals, escapes, classes, groups,
+//!   alternation, and `{m,n}` / `*` / `+` / `?` repetition);
+//! * [`collection::vec`] and weighted [`strategy::Union`] (via
+//!   [`prop_oneof!`]);
+//! * the [`proptest!`] macro with `#![proptest_config(...)]`,
+//!   [`prop_assert!`], and [`prop_assert_eq!`];
+//! * a deterministic [`test_runner::TestRng`], so failures always reproduce.
+//!
+//! Unlike real proptest there is **no shrinking** and no failure persistence:
+//! a failing case panics immediately with the assertion's message, and the
+//! fixed-seed RNG makes every run reproduce the same cases. The
+//! test sources are byte-for-byte compatible with the real crate; point the
+//! workspace manifest back at crates.io to upgrade.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror so `prop::collection::vec` works after
+/// `use proptest::prelude::*`, as with the real crate.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current case
+/// (rather than panicking directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body, reporting both operands on
+/// failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}\n  left: `{:?}`\n right: `{:?}`",
+            format!($($fmt)*),
+            left,
+            right
+        );
+    }};
+}
+
+/// Builds a weighted choice between strategies producing the same value type,
+/// mirroring `proptest::prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strategy),+]
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples the strategies `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr;) => {};
+    ($config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic();
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);)+
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(err) = outcome {
+                    panic!("proptest case {}/{} failed: {}", case + 1, config.cases, err);
+                }
+            }
+        }
+        $crate::__proptest_impl!($config; $($rest)*);
+    };
+}

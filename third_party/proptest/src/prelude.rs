@@ -1,0 +1,6 @@
+//! The glob-import surface: `use proptest::prelude::*;`.
+
+pub use crate::prop;
+pub use crate::strategy::{BoxedStrategy, Strategy, Union};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};

@@ -1,0 +1,328 @@
+//! The [`Strategy`] trait and the built-in strategies the workspace uses.
+
+use crate::test_runner::TestRng;
+use core::ops::Range;
+
+/// A recipe for generating random values of one type.
+///
+/// Unlike real proptest there is no value tree and no shrinking: `sample`
+/// draws a value directly.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Weighted choice between strategies of one value type; built by
+/// [`prop_oneof!`](crate::prop_oneof).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    /// Builds a union from `(weight, strategy)` arms. Panics if no arm has a
+    /// positive weight.
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total_weight: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof! needs at least one positive weight");
+        Union { arms, total_weight }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total_weight);
+        for (weight, strategy) in &self.arms {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return strategy.sample(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weighted pick exceeded total weight")
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),+) => {
+        $(impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                assert!(
+                    self.start < self.end,
+                    "cannot sample from empty range {:?}",
+                    self
+                );
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + rng.below(span) as $ty
+            }
+        })+
+    };
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))+) => {
+        $(impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        })+
+    };
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+}
+
+/// `&str` regex patterns are strategies generating matching strings.
+///
+/// The generator supports the subset the tests use: literal characters,
+/// `\`-escapes, `[a-z0-9]` classes, `(...)` groups, `|` alternation, and
+/// `{n}` / `{m,n}` / `*` / `+` / `?` repetition (unbounded repeats are capped
+/// at 8).
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let pattern = regex::parse(self)
+            .unwrap_or_else(|err| panic!("invalid regex strategy {self:?}: {err}"));
+        let mut out = String::new();
+        regex::generate(&pattern, rng, &mut out);
+        out
+    }
+}
+
+mod regex {
+    //! A miniature regex *generator*: parses a pattern into an AST and samples
+    //! strings matching it.
+
+    use crate::test_runner::TestRng;
+
+    /// Cap applied to `*` and `+` repetitions.
+    const UNBOUNDED_CAP: u32 = 8;
+
+    pub(super) enum Node {
+        /// Ordered alternatives (`a|b|c`).
+        Alternation(Vec<Node>),
+        /// Concatenation.
+        Sequence(Vec<Node>),
+        /// `node{min,max}`.
+        Repeat(Box<Node>, u32, u32),
+        /// Character class: inclusive ranges (single chars are `(c, c)`).
+        Class(Vec<(char, char)>),
+        /// One literal character.
+        Literal(char),
+    }
+
+    pub(super) fn parse(pattern: &str) -> Result<Node, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let node = parse_alternation(&chars, &mut pos)?;
+        if pos != chars.len() {
+            return Err(format!("unexpected `{}` at offset {pos}", chars[pos]));
+        }
+        Ok(node)
+    }
+
+    fn parse_alternation(chars: &[char], pos: &mut usize) -> Result<Node, String> {
+        let mut alternatives = vec![parse_sequence(chars, pos)?];
+        while *pos < chars.len() && chars[*pos] == '|' {
+            *pos += 1;
+            alternatives.push(parse_sequence(chars, pos)?);
+        }
+        if alternatives.len() == 1 {
+            Ok(alternatives.pop().expect("one alternative"))
+        } else {
+            Ok(Node::Alternation(alternatives))
+        }
+    }
+
+    fn parse_sequence(chars: &[char], pos: &mut usize) -> Result<Node, String> {
+        let mut items = Vec::new();
+        while *pos < chars.len() && chars[*pos] != '|' && chars[*pos] != ')' {
+            let atom = parse_atom(chars, pos)?;
+            items.push(parse_quantifier(chars, pos, atom)?);
+        }
+        Ok(Node::Sequence(items))
+    }
+
+    fn parse_atom(chars: &[char], pos: &mut usize) -> Result<Node, String> {
+        match chars[*pos] {
+            '(' => {
+                *pos += 1;
+                let inner = parse_alternation(chars, pos)?;
+                if *pos >= chars.len() || chars[*pos] != ')' {
+                    return Err("unclosed group".into());
+                }
+                *pos += 1;
+                Ok(inner)
+            }
+            '[' => {
+                *pos += 1;
+                let mut ranges = Vec::new();
+                while *pos < chars.len() && chars[*pos] != ']' {
+                    let low = chars[*pos];
+                    *pos += 1;
+                    if *pos + 1 < chars.len() && chars[*pos] == '-' && chars[*pos + 1] != ']' {
+                        let high = chars[*pos + 1];
+                        *pos += 2;
+                        ranges.push((low, high));
+                    } else {
+                        ranges.push((low, low));
+                    }
+                }
+                if *pos >= chars.len() {
+                    return Err("unclosed character class".into());
+                }
+                *pos += 1;
+                if ranges.is_empty() {
+                    return Err("empty character class".into());
+                }
+                Ok(Node::Class(ranges))
+            }
+            '\\' => {
+                *pos += 1;
+                if *pos >= chars.len() {
+                    return Err("dangling escape".into());
+                }
+                let c = chars[*pos];
+                *pos += 1;
+                Ok(Node::Literal(c))
+            }
+            '.' => {
+                *pos += 1;
+                // "Any character": printable ASCII is enough for a generator.
+                Ok(Node::Class(vec![(' ', '~')]))
+            }
+            c => {
+                *pos += 1;
+                Ok(Node::Literal(c))
+            }
+        }
+    }
+
+    fn parse_quantifier(chars: &[char], pos: &mut usize, atom: Node) -> Result<Node, String> {
+        if *pos >= chars.len() {
+            return Ok(atom);
+        }
+        let (min, max) = match chars[*pos] {
+            '*' => (0, UNBOUNDED_CAP),
+            '+' => (1, UNBOUNDED_CAP),
+            '?' => (0, 1),
+            '{' => {
+                let close =
+                    chars[*pos..].iter().position(|&c| c == '}').ok_or("unclosed repetition")?
+                        + *pos;
+                let body: String = chars[*pos + 1..close].iter().collect();
+                *pos = close; // consumed below alongside the other forms
+                let (min, max) = match body.split_once(',') {
+                    Some((min, max)) => (
+                        min.trim().parse().map_err(|_| "bad repetition bound")?,
+                        max.trim().parse().map_err(|_| "bad repetition bound")?,
+                    ),
+                    None => {
+                        let n = body.trim().parse().map_err(|_| "bad repetition bound")?;
+                        (n, n)
+                    }
+                };
+                if min > max {
+                    return Err(format!("repetition {{{min},{max}}} has min > max"));
+                }
+                (min, max)
+            }
+            _ => return Ok(atom),
+        };
+        *pos += 1;
+        Ok(Node::Repeat(Box::new(atom), min, max))
+    }
+
+    pub(super) fn generate(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Alternation(alternatives) => {
+                let pick = rng.below(alternatives.len() as u64) as usize;
+                generate(&alternatives[pick], rng, out);
+            }
+            Node::Sequence(items) => {
+                for item in items {
+                    generate(item, rng, out);
+                }
+            }
+            Node::Repeat(inner, min, max) => {
+                let count = min + rng.below(u64::from(max - min) + 1) as u32;
+                for _ in 0..count {
+                    generate(inner, rng, out);
+                }
+            }
+            Node::Class(ranges) => {
+                let pick = rng.below(ranges.len() as u64) as usize;
+                let (low, high) = ranges[pick];
+                let span = (high as u32) - (low as u32) + 1;
+                let code = low as u32 + rng.below(u64::from(span)) as u32;
+                out.push(char::from_u32(code).unwrap_or(low));
+            }
+            Node::Literal(c) => out.push(*c),
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Deterministic test-runner plumbing: configuration, RNG, and case errors.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+use std::fmt;
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The random source strategies sample from. Deterministic: every test run
+/// sees the same case sequence, so failures always reproduce.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// A fixed-seed generator (the shim has no failure-persistence files to
+    /// replay from, so determinism is the reproduction story).
+    pub fn deterministic() -> Self {
+        TestRng { inner: SmallRng::seed_from_u64(0x5eed_5eed_5eed_5eed) }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform value in `[0, n)`; panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        use rand::Rng;
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        use rand::Rng;
+        self.inner.gen::<f64>()
+    }
+}
+
+/// A failed property case (produced by `prop_assert!` and friends).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Wraps a failure message.
+    pub fn fail<S: Into<String>>(message: S) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}

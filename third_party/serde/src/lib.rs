@@ -1,0 +1,30 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace builds hermetically (no crates.io access), and its only use
+//! of serde is `#[derive(Serialize, Deserialize)]` on plain-old-data structs —
+//! nothing serializes at runtime yet. This shim keeps those derives compiling:
+//!
+//! * [`Serialize`] and [`Deserialize`] are marker traits, blanket-implemented
+//!   for every type;
+//! * the derive macros (re-exported from the sibling `serde_derive` shim)
+//!   expand to nothing.
+//!
+//! When a future change actually needs wire formats, replace the
+//! `third_party/serde*` path dependencies in the workspace manifest with the
+//! real crates; no downstream code changes.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types. The real trait carries a `'de` lifetime; the shim drops it because
+/// no bound in the workspace names it.
+pub trait Deserialize {}
+
+impl<T: ?Sized> Deserialize for T {}

@@ -1,0 +1,23 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The Moctopus workspace builds in a hermetic environment with no access to
+//! crates.io, so the real `serde` stack is replaced by a minimal shim (see
+//! `third_party/serde`). The workspace only ever *derives* `Serialize` /
+//! `Deserialize` — it never serializes at runtime — so the derives here simply
+//! validate that they are attached to a type and expand to nothing. Swapping
+//! the shim for the real crates is a one-line change in the workspace
+//! manifest.
+
+use proc_macro::TokenStream;
+
+/// No-op derive for `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op derive for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
