@@ -1,15 +1,24 @@
 //! The node-to-partition assignment (the paper's `node_partition_vector`).
 
 use graph_store::{NodeId, PartitionId};
-use std::collections::HashMap;
+
+/// Slot value for a node that has never been assigned.
+const NONE_SLOT: u32 = u32::MAX;
+/// Slot value for a node assigned to the host CPU (the paper's `-1`).
+const HOST_SLOT: u32 = u32::MAX - 1;
 
 /// Mapping from graph node to the computing node (host or PIM module) that
 /// owns its adjacency-matrix row.
 ///
-/// The paper stores this as a dense vector indexed by node id with `-1`
-/// marking the host; the reproduction uses a hash map keyed by [`NodeId`] so
-/// sparse and dynamically growing id spaces work unchanged, plus per-partition
-/// counters so the 1.05× capacity constraint can be evaluated in O(1).
+/// Stored exactly as the paper describes: a dense vector indexed by node id
+/// (`node_partition_vector`), with a sentinel for the host and another for
+/// ids that have not been seen yet. `partition_of` is therefore a single
+/// bounds-checked array load — the operation the distributed query engine
+/// performs once per expanded edge, where a hash lookup would dominate the
+/// hop loop. Per-partition counters keep the 1.05× capacity constraint O(1).
+///
+/// The vector grows to the largest assigned node id plus one; ids are dense
+/// (assigned by the ingestion layer), so this matches the graph size.
 ///
 /// # Examples
 ///
@@ -26,24 +35,50 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone)]
 pub struct PartitionAssignment {
-    map: HashMap<NodeId, PartitionId>,
+    /// The dense `node_partition_vector`: one slot per node id.
+    slots: Vec<u32>,
     pim_counts: Vec<usize>,
     host_count: usize,
+    /// Number of assigned nodes (slots not holding the NONE sentinel).
+    assigned: usize,
+}
+
+#[inline]
+fn encode(partition: PartitionId) -> u32 {
+    match partition {
+        PartitionId::Host => HOST_SLOT,
+        PartitionId::Pim(i) => i,
+    }
+}
+
+#[inline]
+fn decode(slot: u32) -> Option<PartitionId> {
+    match slot {
+        NONE_SLOT => None,
+        HOST_SLOT => Some(PartitionId::Host),
+        i => Some(PartitionId::Pim(i)),
+    }
 }
 
 impl PartitionAssignment {
     /// Creates an empty assignment over `num_pim_modules` PIM modules.
     pub fn new(num_pim_modules: usize) -> Self {
         PartitionAssignment {
-            map: HashMap::new(),
+            slots: Vec::new(),
             pim_counts: vec![0; num_pim_modules],
             host_count: 0,
+            assigned: 0,
         }
     }
 
     /// Number of PIM modules.
     pub fn num_pim_modules(&self) -> usize {
         self.pim_counts.len()
+    }
+
+    /// One past the largest node id the directory covers (its dense length).
+    pub fn id_bound(&self) -> u64 {
+        self.slots.len() as u64
     }
 
     /// Assigns (or reassigns) a node to a partition.
@@ -55,9 +90,15 @@ impl PartitionAssignment {
         if let PartitionId::Pim(i) = partition {
             assert!((i as usize) < self.pim_counts.len(), "pim module {i} out of range");
         }
-        if let Some(old) = self.map.insert(node, partition) {
-            self.decrement(old);
+        let idx = node.index();
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, NONE_SLOT);
         }
+        match decode(self.slots[idx]) {
+            Some(old) => self.decrement(old),
+            None => self.assigned += 1,
+        }
+        self.slots[idx] = encode(partition);
         self.increment(partition);
     }
 
@@ -75,14 +116,16 @@ impl PartitionAssignment {
         }
     }
 
-    /// The partition of a node, if assigned.
+    /// The partition of a node, if assigned. A single dense-vector load.
+    #[inline]
     pub fn partition_of(&self, node: NodeId) -> Option<PartitionId> {
-        self.map.get(&node).copied()
+        self.slots.get(node.index()).copied().and_then(decode)
     }
 
     /// Returns `true` if the node has been assigned.
+    #[inline]
     pub fn contains(&self, node: NodeId) -> bool {
-        self.map.contains_key(&node)
+        self.slots.get(node.index()).is_some_and(|&s| s != NONE_SLOT)
     }
 
     /// Number of nodes assigned to PIM module `i`.
@@ -97,17 +140,17 @@ impl PartitionAssignment {
 
     /// Total number of assigned nodes.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.assigned
     }
 
     /// Returns `true` if no node has been assigned.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.assigned == 0
     }
 
     /// Number of nodes assigned to PIM modules (excludes the host).
     pub fn pim_total(&self) -> usize {
-        self.len() - self.host_count
+        self.assigned - self.host_count
     }
 
     /// Mean number of nodes per PIM module.
@@ -129,17 +172,14 @@ impl PartitionAssignment {
         self.pim_counts.iter().enumerate().min_by_key(|&(_, &c)| c).map(|(i, _)| i).unwrap_or(0)
     }
 
-    /// Iterates over `(node, partition)` pairs in arbitrary order.
+    /// Iterates over `(node, partition)` pairs in ascending node-id order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, PartitionId)> + '_ {
-        self.map.iter().map(|(&n, &p)| (n, p))
+        self.slots.iter().enumerate().filter_map(|(i, &s)| decode(s).map(|p| (NodeId(i as u64), p)))
     }
 
     /// All nodes currently assigned to the given partition (sorted).
     pub fn nodes_in(&self, partition: PartitionId) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> =
-            self.map.iter().filter(|(_, &p)| p == partition).map(|(&n, _)| n).collect();
-        v.sort();
-        v
+        self.iter().filter(|&(_, p)| p == partition).map(|(n, _)| n).collect()
     }
 }
 
@@ -200,6 +240,7 @@ mod tests {
         assert_eq!(a.mean_pim_load(), 0.0);
         assert_eq!(a.max_pim_load(), 0);
         assert_eq!(a.least_loaded_pim(), 0);
+        assert_eq!(a.id_bound(), 0);
     }
 
     #[test]
@@ -207,8 +248,19 @@ mod tests {
         let mut a = PartitionAssignment::new(2);
         a.assign(NodeId(0), PartitionId::Pim(0));
         a.assign(NodeId(1), PartitionId::Host);
-        let mut pairs: Vec<_> = a.iter().collect();
-        pairs.sort();
+        let pairs: Vec<_> = a.iter().collect();
         assert_eq!(pairs, vec![(NodeId(0), PartitionId::Pim(0)), (NodeId(1), PartitionId::Host)]);
+    }
+
+    #[test]
+    fn sparse_ids_leave_unassigned_holes() {
+        let mut a = PartitionAssignment::new(2);
+        a.assign(NodeId(10), PartitionId::Pim(1));
+        assert_eq!(a.partition_of(NodeId(5)), None);
+        assert!(!a.contains(NodeId(5)));
+        assert_eq!(a.partition_of(NodeId(10_000)), None);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.id_bound(), 11);
+        assert_eq!(a.iter().count(), 1);
     }
 }

@@ -134,20 +134,25 @@ impl GreedyAdaptivePartitioner {
     }
 
     /// Hash fallback over the modules currently below the capacity constraint.
+    ///
+    /// Runs on every new node that cannot inherit its first neighbour's
+    /// placement, so it counts and indexes the under-capacity modules in two
+    /// passes instead of materialising a candidate vector per call. The
+    /// selected module is identical to indexing the ascending candidate list.
     fn fallback_module(&self, node: NodeId) -> u32 {
         let limit = self.capacity_limit();
-        let under: Vec<u32> = (0..self.config.num_pim_modules as u32)
-            .filter(|&m| self.assignment.pim_node_count(m as usize) < limit)
-            .collect();
-        let candidates = if under.is_empty() {
+        let modules = self.config.num_pim_modules;
+        let under = (0..modules).filter(|&m| self.assignment.pim_node_count(m) < limit).count();
+        let h = node.0.wrapping_mul(0x9e37_79b9_7f4a_7c15) as usize;
+        if under == 0 {
             // Everyone is at the limit (e.g. perfectly balanced); fall back to
             // plain hashing over all modules.
-            (0..self.config.num_pim_modules as u32).collect::<Vec<u32>>()
-        } else {
-            under
-        };
-        let h = node.0.wrapping_mul(0x9e37_79b9_7f4a_7c15) as usize;
-        candidates[h % candidates.len()]
+            return (h % modules) as u32;
+        }
+        (0..modules)
+            .filter(|&m| self.assignment.pim_node_count(m) < limit)
+            .nth(h % under)
+            .expect("nth < count of under-capacity modules") as u32
     }
 
     /// Assigns a brand-new node given its first neighbour (the other endpoint
@@ -201,6 +206,9 @@ impl GreedyAdaptivePartitioner {
         // across runs of the same seeded experiment.
         let mut nodes: Vec<NodeId> = graph.nodes().collect();
         nodes.sort_unstable();
+        // Histogram of neighbour placements across PIM modules, reused (and
+        // re-zeroed) across the whole pass instead of allocated per node.
+        let mut counts = vec![0usize; self.config.num_pim_modules];
         for node in nodes {
             let Some(PartitionId::Pim(current)) = self.assignment.partition_of(node) else {
                 continue; // host-resident or unknown nodes are not refined
@@ -210,8 +218,7 @@ impl GreedyAdaptivePartitioner {
                 continue;
             }
             report.examined += 1;
-            // Histogram of neighbour placements across PIM modules.
-            let mut counts = vec![0usize; self.config.num_pim_modules];
+            counts.fill(0);
             let mut pim_neighbors = 0usize;
             for &(dst, _) in neighbors {
                 if let Some(PartitionId::Pim(m)) = self.assignment.partition_of(dst) {

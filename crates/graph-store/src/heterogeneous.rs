@@ -218,10 +218,16 @@ impl HeterogeneousStorage {
 
     /// Live next-hops of `src` (host-side sequential read).
     pub fn neighbors(&self, src: NodeId) -> Vec<NodeId> {
+        self.neighbors_iter(src).collect()
+    }
+
+    /// Iterates the live next-hops of `src` (slot order) without
+    /// materialising them — the query hop loop scans hub rows this way.
+    pub fn neighbors_iter(&self, src: NodeId) -> impl Iterator<Item = NodeId> + '_ {
         self.cols
             .get(&src)
-            .map(|c| c.slots.iter().copied().filter(|&d| d != FREE_SLOT).collect())
-            .unwrap_or_default()
+            .into_iter()
+            .flat_map(|c| c.slots.iter().copied().filter(|&d| d != FREE_SLOT))
     }
 
     /// Bytes the host reads to fetch the full row of `src` (one contiguous
@@ -246,6 +252,15 @@ impl HeterogeneousStorage {
     /// Number of live edges across all rows.
     pub fn edge_count(&self) -> usize {
         self.edge_count
+    }
+
+    /// Bytes of live next-hop ids resident on the host across all rows.
+    ///
+    /// Derived from the incrementally maintained edge counter, so the query
+    /// engine can charge host random accesses against the resident set size
+    /// without iterating every row per query.
+    pub fn live_bytes(&self) -> u64 {
+        (self.edge_count * std::mem::size_of::<NodeId>()) as u64
     }
 
     /// Iterates over rows as `(row, live next-hops)`.
@@ -390,6 +405,17 @@ mod tests {
         assert_eq!(s.row_bytes(NodeId(1)), before_bytes); // slot reused, no growth
         assert!(s.has_edge(NodeId(1), NodeId(2)));
         s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn live_bytes_tracks_the_full_iteration() {
+        let mut s = HeterogeneousStorage::new();
+        s.install_row(NodeId(1), vec![NodeId(2), NodeId(3)]);
+        s.insert_edge(NodeId(4), NodeId(5));
+        s.delete_edge(NodeId(1), NodeId(2));
+        let iterated: u64 = s.iter().map(|(_, hops)| hops.len() as u64 * 8).sum();
+        assert_eq!(s.live_bytes(), iterated);
+        assert_eq!(s.live_bytes(), 16);
     }
 
     #[test]

@@ -14,6 +14,11 @@ use std::collections::HashMap;
 
 /// Hash-map based adjacency-matrix segment held by one PIM module.
 ///
+/// Rows are kept **sorted** (strictly ascending next-hop ids): duplicate
+/// detection on insert and the membership test on delete are binary searches
+/// instead of linear scans, and rows migrated between modules can be
+/// installed without re-normalising them.
+///
 /// # Examples
 ///
 /// ```
@@ -22,7 +27,7 @@ use std::collections::HashMap;
 /// let mut s = LocalGraphStorage::new();
 /// s.insert_edge(NodeId(4), NodeId(9))?;
 /// s.insert_edge(NodeId(4), NodeId(7))?;
-/// assert_eq!(s.row(NodeId(4)).unwrap().len(), 2);
+/// assert_eq!(s.row(NodeId(4)).unwrap(), &[NodeId(7), NodeId(9)]);
 /// assert_eq!(s.edge_count(), 2);
 /// # Ok::<(), graph_store::GraphStoreError>(())
 /// ```
@@ -67,12 +72,14 @@ impl LocalGraphStorage {
             }
         }
         let row = self.rows.entry(src).or_default();
-        if row.contains(&dst) {
-            return Err(GraphStoreError::DuplicateEdge(src, dst));
+        match row.binary_search(&dst) {
+            Ok(_) => Err(GraphStoreError::DuplicateEdge(src, dst)),
+            Err(pos) => {
+                row.insert(pos, dst);
+                self.edge_count += 1;
+                Ok(())
+            }
         }
-        row.push(dst);
-        self.edge_count += 1;
-        Ok(())
     }
 
     /// Removes a directed edge from the row of `src`.
@@ -82,9 +89,8 @@ impl LocalGraphStorage {
     /// Returns [`GraphStoreError::EdgeNotFound`] when the edge is absent.
     pub fn remove_edge(&mut self, src: NodeId, dst: NodeId) -> Result<(), GraphStoreError> {
         let row = self.rows.get_mut(&src).ok_or(GraphStoreError::EdgeNotFound(src, dst))?;
-        let pos =
-            row.iter().position(|&d| d == dst).ok_or(GraphStoreError::EdgeNotFound(src, dst))?;
-        row.swap_remove(pos);
+        let pos = row.binary_search(&dst).map_err(|_| GraphStoreError::EdgeNotFound(src, dst))?;
+        row.remove(pos);
         self.edge_count -= 1;
         if row.is_empty() {
             self.rows.remove(&src);
@@ -92,7 +98,8 @@ impl LocalGraphStorage {
         Ok(())
     }
 
-    /// Returns the row (next-hop NodeIds) for `src`, if stored locally.
+    /// Returns the row (next-hop NodeIds, ascending) for `src`, if stored
+    /// locally.
     pub fn row(&self, src: NodeId) -> Option<&[NodeId]> {
         self.rows.get(&src).map(Vec::as_slice)
     }
@@ -102,8 +109,8 @@ impl LocalGraphStorage {
         self.rows.contains_key(&src)
     }
 
-    /// Removes an entire row and returns its next-hop data (used when a node
-    /// is migrated to another computing node).
+    /// Removes an entire row and returns its next-hop data, strictly sorted
+    /// (used when a node is migrated to another computing node).
     pub fn take_row(&mut self, src: NodeId) -> Option<Vec<NodeId>> {
         let row = self.rows.remove(&src);
         if let Some(ref r) = row {
@@ -114,10 +121,15 @@ impl LocalGraphStorage {
 
     /// Installs a full row received from another computing node.
     ///
-    /// Any existing row for `src` is replaced.
+    /// Any existing row for `src` is replaced. Rows handed over by
+    /// [`LocalGraphStorage::take_row`] are already strictly sorted, so the
+    /// common migration path skips normalisation entirely; unsorted input is
+    /// still accepted and normalised.
     pub fn install_row(&mut self, src: NodeId, mut next_hops: Vec<NodeId>) {
-        next_hops.sort();
-        next_hops.dedup();
+        if !next_hops.windows(2).all(|w| w[0] < w[1]) {
+            next_hops.sort();
+            next_hops.dedup();
+        }
         if let Some(old) = self.rows.insert(src, next_hops) {
             self.edge_count -= old.len();
         }
@@ -229,6 +241,33 @@ mod tests {
         assert_eq!(s.edge_count(), 2);
         s.install_row(NodeId(1), vec![NodeId(9)]);
         assert_eq!(s.edge_count(), 1);
+    }
+
+    #[test]
+    fn rows_stay_sorted_under_churn() {
+        let mut s = LocalGraphStorage::new();
+        for dst in [9u64, 3, 7, 1, 5] {
+            s.insert_edge(NodeId(0), NodeId(dst)).unwrap();
+        }
+        assert_eq!(
+            s.row(NodeId(0)).unwrap(),
+            &[NodeId(1), NodeId(3), NodeId(5), NodeId(7), NodeId(9)]
+        );
+        s.remove_edge(NodeId(0), NodeId(5)).unwrap();
+        assert_eq!(s.row(NodeId(0)).unwrap(), &[NodeId(1), NodeId(3), NodeId(7), NodeId(9)]);
+        s.insert_edge(NodeId(0), NodeId(4)).unwrap();
+        assert_eq!(
+            s.row(NodeId(0)).unwrap(),
+            &[NodeId(1), NodeId(3), NodeId(4), NodeId(7), NodeId(9)]
+        );
+    }
+
+    #[test]
+    fn install_row_accepts_presorted_input_unchanged() {
+        let mut s = LocalGraphStorage::new();
+        s.install_row(NodeId(2), vec![NodeId(1), NodeId(4), NodeId(8)]);
+        assert_eq!(s.row(NodeId(2)).unwrap(), &[NodeId(1), NodeId(4), NodeId(8)]);
+        assert_eq!(s.edge_count(), 3);
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   single-source frontiers.
 //! * [`ops`] — `mxm` (matrix × matrix), `vxm` (vector × matrix), element-wise
 //!   union/difference, and reductions, all over the boolean semiring.
+//! * [`EpochMarks`] — the SuiteSparse-style generation-stamped scratch set the
+//!   kernels (and the distributed query engine in `moctopus`) use to
+//!   deduplicate produced entries without per-row clearing.
 //!
 //! # Examples
 //!
@@ -38,8 +41,10 @@
 pub mod builder;
 pub mod matrix;
 pub mod ops;
+pub mod scratch;
 pub mod vector;
 
 pub use builder::MatrixBuilder;
 pub use matrix::SparseBoolMatrix;
+pub use scratch::EpochMarks;
 pub use vector::SparseBoolVector;

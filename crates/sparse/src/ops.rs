@@ -6,12 +6,15 @@
 //! row reduction implements the `mwait` result gathering.
 
 use crate::matrix::SparseBoolMatrix;
+use crate::scratch::EpochMarks;
 use crate::vector::SparseBoolVector;
 
 /// Boolean sparse matrix × matrix product (`C = A ⊕.⊗ B` over OR/AND).
 ///
-/// Runs Gustavson's row-wise algorithm with a dense boolean scratch row,
-/// the same strategy SuiteSparse:GraphBLAS uses for boolean `mxm`.
+/// Runs Gustavson's row-wise algorithm with an epoch-stamped dense scratch
+/// row ([`EpochMarks`]), the same strategy SuiteSparse:GraphBLAS uses for
+/// boolean `mxm`: bumping the generation counter clears the scratch in O(1)
+/// instead of unmarking every produced column.
 ///
 /// # Panics
 ///
@@ -38,19 +41,16 @@ pub fn mxm(a: &SparseBoolMatrix, b: &SparseBoolMatrix) -> SparseBoolMatrix {
         b.ncols()
     );
     let mut rows: Vec<Vec<usize>> = Vec::with_capacity(a.nrows());
-    let mut marker = vec![false; b.ncols()];
+    let mut marks = EpochMarks::with_capacity(b.ncols());
     for r in 0..a.nrows() {
         let mut out = Vec::new();
+        marks.next_epoch();
         for &k in a.row(r) {
             for &c in b.row(k) {
-                if !marker[c] {
-                    marker[c] = true;
+                if marks.mark(c) {
                     out.push(c);
                 }
             }
-        }
-        for &c in &out {
-            marker[c] = false;
         }
         rows.push(out);
     }
@@ -65,11 +65,11 @@ pub fn mxm(a: &SparseBoolMatrix, b: &SparseBoolMatrix) -> SparseBoolMatrix {
 pub fn vxm(v: &SparseBoolVector, a: &SparseBoolMatrix) -> SparseBoolVector {
     assert_eq!(v.len(), a.nrows(), "dimension mismatch: |v|={} vs {} rows", v.len(), a.nrows());
     let mut out = Vec::new();
-    let mut marker = vec![false; a.ncols()];
+    let mut marks = EpochMarks::with_capacity(a.ncols());
+    marks.next_epoch();
     for &i in v.indices() {
         for &c in a.row(i) {
-            if !marker[c] {
-                marker[c] = true;
+            if marks.mark(c) {
                 out.push(c);
             }
         }
