@@ -10,13 +10,15 @@
 //! Run with: `cargo run --release --bin summary [--scale S] [--json [PATH]]`
 //!
 //! `--json` additionally records the harness's own *wall-clock* time per
-//! engine and trace (graph build, each k-hop batch, each update batch) and
-//! writes it as a machine-readable bench baseline (default `BENCH_PR2.json`),
-//! so reproduction-speed regressions are visible in review. The simulated
-//! numbers printed to stdout are unaffected.
+//! engine and trace (graph build, each k-hop batch, each update batch), plus
+//! one labelled-RPQ sweep (the `rpq` binary's power-law workload and query
+//! set, wall-clock and simulated ms per engine), and writes it all as a
+//! machine-readable bench baseline (default `BENCH_PR3.json`), so both
+//! reproduction-speed and labelled-workload regressions are visible in
+//! review. The simulated numbers printed to stdout are unaffected.
 
 use moctopus::GraphEngine;
-use moctopus_bench::{geometric_mean, HarnessOptions, TraceWorkload};
+use moctopus_bench::{geometric_mean, HarnessOptions, RpqWorkload, TraceWorkload, RPQ_QUERY_SET};
 use std::time::Instant;
 
 /// Wall-clock milliseconds of the harness itself, for one trace.
@@ -47,6 +49,38 @@ impl EngineWallClock {
     }
 }
 
+/// One labelled-RPQ query's measurements across the three engines.
+#[derive(Debug, Clone)]
+struct RpqQueryClock {
+    query: &'static str,
+    /// Per engine: (name, wall-clock ms, simulated ms).
+    engines: Vec<(&'static str, f64, f64)>,
+}
+
+/// Runs the labelled-RPQ sweep recorded in the JSON baseline: the `rpq`
+/// binary's power-law workload and query set, one batch per engine per query.
+fn measure_rpq_sweep(options: &HarnessOptions) -> Vec<RpqQueryClock> {
+    let workload = RpqWorkload::power_law(options);
+    let mut engines = workload.all_engines(options);
+    let names = ["moctopus", "pim_hash", "redisgraph_like"];
+    RPQ_QUERY_SET
+        .iter()
+        .map(|text| {
+            let expr = rpq::parser::parse(text).expect("query set must parse");
+            let measurements = engines
+                .iter_mut()
+                .zip(names)
+                .map(|(engine, name)| {
+                    let t0 = Instant::now();
+                    let (_, stats) = engine.rpq_batch(&expr, &workload.sources);
+                    (name, ms(t0), stats.latency().as_millis())
+                })
+                .collect();
+            RpqQueryClock { query: text, engines: measurements }
+        })
+        .collect()
+}
+
 /// Renders an optional measurement as JSON: a number, or `null` if not taken.
 fn opt_ms(v: Option<f64>) -> String {
     v.map_or_else(|| "null".to_string(), |v| format!("{v:.3}"))
@@ -63,7 +97,7 @@ fn json_path_from_args() -> Option<String> {
     let pos = args.iter().position(|a| a == "--json")?;
     match args.get(pos + 1) {
         Some(next) if !next.starts_with("--") => Some(next.clone()),
-        _ => Some("BENCH_PR2.json".to_string()),
+        _ => Some("BENCH_PR3.json".to_string()),
     }
 }
 
@@ -72,7 +106,11 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Renders the wall-clock record as JSON (two-space indent, stable order).
-fn render_json(options: &HarnessOptions, traces: &[TraceWallClock]) -> String {
+fn render_json(
+    options: &HarnessOptions,
+    traces: &[TraceWallClock],
+    rpq: &[RpqQueryClock],
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"summary\",\n");
@@ -116,7 +154,28 @@ fn render_json(options: &HarnessOptions, traces: &[TraceWallClock]) -> String {
         out.push_str("      ]\n");
         out.push_str(&format!("    }}{}\n", if ti + 1 == traces.len() { "" } else { "," }));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    // Labelled-RPQ sweep: the `rpq` binary's power-law workload and query
+    // set, so the labelled workload's trajectory is tracked alongside k-hop.
+    out.push_str("  \"rpq\": {\n");
+    out.push_str("    \"workload\": \"power-law\",\n");
+    out.push_str(&format!(
+        "    \"label_mix\": \"{}\",\n",
+        json_escape(&RpqWorkload::label_mix().describe())
+    ));
+    out.push_str("    \"queries\": [\n");
+    for (qi, q) in rpq.iter().enumerate() {
+        out.push_str(&format!("      {{\"query\": \"{}\", \"engines\": [", json_escape(q.query)));
+        for (ei, &(engine, wall_ms, sim_ms)) in q.engines.iter().enumerate() {
+            out.push_str(&format!(
+                "{}{{\"engine\": \"{engine}\", \"wall_ms\": {wall_ms:.3}, \"sim_ms\": {sim_ms:.3}}}",
+                if ei == 0 { "" } else { ", " }
+            ));
+        }
+        out.push_str(&format!("]}}{}\n", if qi + 1 == rpq.len() { "" } else { "," }));
+    }
+    out.push_str("    ]\n");
+    out.push_str("  }\n}\n");
     out
 }
 
@@ -276,7 +335,8 @@ fn main() {
     );
 
     if let Some(path) = json_path {
-        let json = render_json(&options, &wall_clock);
+        let rpq_sweep = measure_rpq_sweep(&options);
+        let json = render_json(&options, &wall_clock, &rpq_sweep);
         match std::fs::write(&path, &json) {
             Ok(()) => println!("\nWall-clock bench baseline written to {path}"),
             Err(e) => eprintln!("\nFailed to write {path}: {e}"),

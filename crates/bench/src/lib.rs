@@ -14,8 +14,9 @@
 //! * all latencies reported by the binaries are **simulated times** from the
 //!   [`pim_sim`] cost model, the quantity the paper's figures plot.
 
+use graph_gen::labels::LabelMixConfig;
 use graph_gen::traces::TraceSpec;
-use graph_store::{AdjacencyGraph, NodeId};
+use graph_store::{AdjacencyGraph, Label, NodeId};
 use moctopus::{GraphEngine, HostBaseline, MoctopusConfig, MoctopusSystem, PimHashSystem};
 
 /// Command-line options shared by every experiment binary.
@@ -171,6 +172,93 @@ impl TraceWorkload {
     }
 }
 
+/// The labelled query set swept by the `rpq` experiment binary (and recorded
+/// in the `summary --json` bench baseline): a fixed-length label chain, a
+/// star/alternation pattern, a plain k-hop, and a transitive closure — one
+/// representative of every execution strategy the engines implement.
+pub const RPQ_QUERY_SET: [&str; 4] = ["1/2/3", "1/(2|3)*/4", ".{2}", "1+"];
+
+/// A generated labelled workload: a Zipf label mix layered over one of the
+/// standard topologies, plus the labelled ingestion stream and query sources.
+#[derive(Debug, Clone)]
+pub struct RpqWorkload {
+    /// Topology family name used in experiment output.
+    pub name: &'static str,
+    /// The labelled stand-in graph.
+    pub graph: AdjacencyGraph,
+    /// The graph's labelled edges in ingestion order.
+    pub edges: Vec<(NodeId, NodeId, Label)>,
+    /// Randomly selected start nodes (batch of queries).
+    pub sources: Vec<NodeId>,
+}
+
+impl RpqWorkload {
+    /// Node cap of the labelled workloads: unlike k-hop batches, closure
+    /// queries (`1+`, `(2|3)*`) materialise a per-source *reachable set*, so
+    /// answer size — and the engines' product-frontier working set — grows
+    /// with `nodes × batch` instead of staying frontier-sized.
+    const MAX_NODES: usize = 32 * 1024;
+
+    /// Batch cap of the labelled workloads, for the same reason (the k-hop
+    /// harness floor).
+    const MAX_BATCH: usize = 1024;
+
+    /// Paper-like node budget of the labelled workloads at `scale`, capped at
+    /// [`RpqWorkload::MAX_NODES`].
+    fn scaled_nodes(scale: f64) -> usize {
+        ((128.0 * 1024.0 * scale) as usize).clamp(256, Self::MAX_NODES)
+    }
+
+    /// The label mix every labelled workload draws from (one source of truth
+    /// for the generators and the metadata the binaries print/record).
+    pub fn label_mix() -> LabelMixConfig {
+        LabelMixConfig::default()
+    }
+
+    /// A labelled uniform (low-skew) workload.
+    pub fn uniform(options: &HarnessOptions) -> Self {
+        let topology =
+            graph_gen::uniform::generate(Self::scaled_nodes(options.scale), 6.0, options.seed);
+        Self::from_topology("uniform", topology, options)
+    }
+
+    /// A labelled power-law (skewed, community-structured) workload.
+    pub fn power_law(options: &HarnessOptions) -> Self {
+        let cfg = graph_gen::powerlaw::PowerLawConfig {
+            nodes: Self::scaled_nodes(options.scale),
+            high_degree_fraction: 0.02,
+            ..Default::default()
+        };
+        let topology = graph_gen::powerlaw::generate(&cfg, options.seed);
+        Self::from_topology("power-law", topology, options)
+    }
+
+    fn from_topology(
+        name: &'static str,
+        topology: AdjacencyGraph,
+        options: &HarnessOptions,
+    ) -> Self {
+        let graph = graph_gen::labels::relabel(&topology, &Self::label_mix(), options.seed);
+        let edges = graph_gen::labels::labeled_edge_stream(&graph);
+        let batch = options.batch.min(Self::MAX_BATCH);
+        let sources = graph_gen::stream::sample_start_nodes(&graph, batch, options.seed);
+        RpqWorkload { name, graph, edges, sources }
+    }
+
+    /// Builds all three engines loaded with the labelled stream, in the order
+    /// the paper plots them (Moctopus refined once, as in the k-hop harness).
+    pub fn all_engines(&self, options: &HarnessOptions) -> Vec<Box<dyn GraphEngine>> {
+        let mut moctopus = MoctopusSystem::new(options.system_config());
+        moctopus.insert_labeled_edges(&self.edges);
+        moctopus.refine_locality();
+        let mut pim_hash = PimHashSystem::new(options.system_config());
+        pim_hash.insert_labeled_edges(&self.edges);
+        let mut baseline = HostBaseline::new(options.system_config());
+        baseline.insert_labeled_edges(&self.edges);
+        vec![Box::new(moctopus), Box::new(pim_hash), Box::new(baseline)]
+    }
+}
+
 /// Geometric mean of a slice of positive ratios (1.0 for an empty slice).
 pub fn geometric_mean(values: &[f64]) -> f64 {
     if values.is_empty() {
@@ -271,5 +359,30 @@ mod tests {
         let cfg = options.system_config();
         assert!(cfg.pim.host.cache_capacity_bytes < 22 * 1024 * 1024);
         assert!(cfg.pim.host.cache_capacity_bytes >= 64 * 1024);
+    }
+
+    #[test]
+    fn rpq_workload_is_labelled_and_capped() {
+        let options = HarnessOptions { scale: 1.0, ..HarnessOptions::default() };
+        let w = RpqWorkload::power_law(&options);
+        assert!(w.graph.node_count() <= RpqWorkload::MAX_NODES);
+        assert_eq!(w.sources.len(), RpqWorkload::MAX_BATCH, "batch capped at the harness floor");
+        assert!(w.graph.edges().all(|(_, _, l)| l.0 >= 1), "every edge carries a real label");
+        assert_eq!(w.edges.len(), w.graph.edge_count());
+    }
+
+    #[test]
+    fn rpq_engines_agree_on_the_query_set() {
+        let options = HarnessOptions { scale: 0.001, batch: 16, ..HarnessOptions::default() };
+        let w = RpqWorkload::uniform(&options);
+        let mut engines = w.all_engines(&options);
+        for text in RPQ_QUERY_SET {
+            let expr = rpq::parser::parse(text).expect("query set must parse");
+            let (reference, _) = engines[2].rpq_batch(&expr, &w.sources);
+            for engine in engines.iter_mut().take(2) {
+                let (r, _) = engine.rpq_batch(&expr, &w.sources);
+                assert_eq!(r, reference, "{} differs from the baseline on {text:?}", engine.name());
+            }
+        }
     }
 }

@@ -16,8 +16,14 @@
 //!   CPU), and each hop's PIM latency is the *slowest* module (stragglers from
 //!   load imbalance are therefore visible in the result, exactly as on the
 //!   real platform);
+//! * general regular path queries run the same hop loop over the *product* of
+//!   the graph and the query automaton: frontier entries become
+//!   `(node, nfa_state)` pairs and rows are filtered by edge label
+//!   ([`DistributedPimEngine::rpq_batch`]); plain `.{k}` shapes take the
+//!   k-hop fast path unchanged;
 //! * batch updates are routed to the owning computing node and charged to the
-//!   narrow CPU↔PIM bus plus the owner's compute budget.
+//!   narrow CPU↔PIM bus plus the owner's compute budget; edge labels ride
+//!   along, with the default label elided on the wire.
 
 use crate::config::MoctopusConfig;
 use crate::stats::{QueryStats, UpdateStats};
@@ -29,16 +35,42 @@ use graph_store::{
     AdjacencyGraph, HeterogeneousStorage, Label, LocalGraphStorage, NodeId, PartitionId,
 };
 use pim_sim::{Phase, PimSystem, SimTime, Timeline};
+use rpq::{Nfa, RpqExpr};
 use sparse::EpochMarks;
+use std::collections::HashSet;
 
 /// Bytes of one routed frontier entry: the destination node id. Query
 /// membership is implicit in the per-query transfer buffers, so only the node
 /// id crosses the bus (as in the paper's column-index result matrices).
 const ENTRY_BYTES: u64 = 8;
-/// Bytes of one routed edge: (source id, destination id).
+/// Bytes of one routed edge: (source id, destination id). Labelled edges
+/// additionally carry [`LABEL_BYTES`]; the default [`Label::ANY`] is elided
+/// on the wire (the untyped relationship is the protocol default).
 const EDGE_BYTES: u64 = 16;
 /// Bytes of one node id.
 const ID_BYTES: u64 = 8;
+/// Bytes of one edge label (`u16`), charged explicitly whenever a non-default
+/// label crosses a bus or is scanned by a label-constrained traversal.
+const LABEL_BYTES: u64 = 2;
+/// Bytes of one NFA state id attached to a routed product-frontier entry
+/// during general RPQ evaluation (`u16` state index).
+const STATE_BYTES: u64 = 2;
+
+/// Wire bytes of one edge label: the default label is elided, every other
+/// label costs [`LABEL_BYTES`].
+fn label_wire_bytes(label: Label) -> u64 {
+    if label == Label::ANY {
+        0
+    } else {
+        LABEL_BYTES
+    }
+}
+
+/// Wire bytes of the label array of a whole migrated row (default labels
+/// elided, as on the per-edge paths).
+fn row_label_wire_bytes(row: &[(NodeId, Label)]) -> u64 {
+    row.iter().map(|&(_, l)| label_wire_bytes(l)).sum()
+}
 
 /// The placement policy driving a [`DistributedPimEngine`].
 #[derive(Debug, Clone)]
@@ -187,9 +219,27 @@ impl DistributedPimEngine {
     // Updates
     // ------------------------------------------------------------------
 
-    /// Inserts a batch of edges, routing each one to the computing node that
-    /// owns the source row and charging the work to the cost model.
+    /// Inserts a batch of unlabelled edges (they receive [`Label::ANY`]),
+    /// routing each one to the computing node that owns the source row and
+    /// charging the work to the cost model.
     pub fn insert_edges(&mut self, edges: &[(NodeId, NodeId)]) -> UpdateStats {
+        self.insert_edges_impl(edges.iter().map(|&(s, d)| (s, d, Label::ANY)), edges.len())
+    }
+
+    /// Inserts a batch of labelled edges. The default label travels for free
+    /// (it is elided on the wire); every other label is charged
+    /// `LABEL_BYTES` on the CPU→PIM bus and in the MRAM write.
+    pub fn insert_labeled_edges(&mut self, edges: &[(NodeId, NodeId, Label)]) -> UpdateStats {
+        self.insert_edges_impl(edges.iter().copied(), edges.len())
+    }
+
+    /// The shared insert loop; the unlabelled entry point streams `Label::ANY`
+    /// in without materialising a labelled copy of the batch.
+    fn insert_edges_impl(
+        &mut self,
+        edges: impl Iterator<Item = (NodeId, NodeId, Label)>,
+        batch_len: usize,
+    ) -> UpdateStats {
         let module_count = self.config.pim.num_modules;
         let mut per_module = vec![SimTime::ZERO; module_count];
         let mut host_time = SimTime::ZERO;
@@ -198,7 +248,7 @@ impl DistributedPimEngine {
         let mut applied = 0usize;
         let mut timeline = Timeline::new();
 
-        for &(src, dst) in edges {
+        for (src, dst, label) in edges {
             // Partitioning decision happens on edge arrival (radical greedy).
             let before = self.owner(src);
             self.policy.on_edge(src, dst);
@@ -218,7 +268,7 @@ impl DistributedPimEngine {
                 PartitionId::Host => {
                     // Heterogeneous storage: PIM side checks existence and
                     // allocates the slot, host writes one position.
-                    let outcome = self.host_store.insert_edge(src, dst);
+                    let outcome = self.host_store.insert_edge(src, dst, label);
                     let aux = self.aux_module(src);
                     per_module[aux] += self.pim.pim_hash_lookup_cost(ID_BYTES)
                         * outcome.cost.pim_lookups as f64
@@ -228,7 +278,7 @@ impl DistributedPimEngine {
                             + self.pim.host_instructions_cost(40);
                     // The host exchanges a small request/response with the PIM
                     // side to learn the slot position.
-                    cpu_to_pim_bytes += EDGE_BYTES;
+                    cpu_to_pim_bytes += EDGE_BYTES + label_wire_bytes(label);
                     pim_to_cpu_bytes += ID_BYTES;
                     if outcome.changed {
                         applied += 1;
@@ -237,14 +287,14 @@ impl DistributedPimEngine {
                 }
                 PartitionId::Pim(m) => {
                     let m = m as usize;
-                    cpu_to_pim_bytes += EDGE_BYTES;
+                    cpu_to_pim_bytes += EDGE_BYTES + label_wire_bytes(label);
                     let row_bytes = self.local_stores[m]
                         .row(src)
                         .map(|r| r.len() as u64 * ID_BYTES)
                         .unwrap_or(0);
                     per_module[m] += self.pim.pim_hash_lookup_cost(row_bytes)
-                        + self.pim.mram_write_cost(ID_BYTES);
-                    if self.local_stores[m].insert_edge(src, dst).is_ok() {
+                        + self.pim.mram_write_cost(ID_BYTES + label_wire_bytes(label));
+                    if self.local_stores[m].insert_edge(src, dst, label).is_ok() {
                         applied += 1;
                         self.edge_count += 1;
                     }
@@ -260,13 +310,28 @@ impl DistributedPimEngine {
             self.pim.cpc_transfer_cost(cpu_to_pim_bytes)
                 + self.pim.cpc_transfer_cost(pim_to_cpu_bytes),
         );
-        timeline.transfers.record_cpu_to_pim(cpu_to_pim_bytes, edges.len() as u64);
+        timeline.transfers.record_cpu_to_pim(cpu_to_pim_bytes, batch_len as u64);
         timeline.transfers.record_pim_to_cpu(pim_to_cpu_bytes, 1);
-        UpdateStats { timeline, requested: edges.len(), applied }
+        UpdateStats { timeline, requested: batch_len, applied }
     }
 
-    /// Deletes a batch of edges.
+    /// Deletes a batch of unlabelled ([`Label::ANY`]) edges.
     pub fn delete_edges(&mut self, edges: &[(NodeId, NodeId)]) -> UpdateStats {
+        self.delete_edges_impl(edges.iter().map(|&(s, d)| (s, d, Label::ANY)), edges.len())
+    }
+
+    /// Deletes a batch of labelled edges (label-byte accounting as on the
+    /// insert path).
+    pub fn delete_labeled_edges(&mut self, edges: &[(NodeId, NodeId, Label)]) -> UpdateStats {
+        self.delete_edges_impl(edges.iter().copied(), edges.len())
+    }
+
+    /// The shared delete loop; see [`DistributedPimEngine::insert_edges_impl`].
+    fn delete_edges_impl(
+        &mut self,
+        edges: impl Iterator<Item = (NodeId, NodeId, Label)>,
+        batch_len: usize,
+    ) -> UpdateStats {
         let module_count = self.config.pim.num_modules;
         let mut per_module = vec![SimTime::ZERO; module_count];
         let mut host_time = SimTime::ZERO;
@@ -275,12 +340,12 @@ impl DistributedPimEngine {
         let mut applied = 0usize;
         let mut timeline = Timeline::new();
 
-        for &(src, dst) in edges {
+        for (src, dst, label) in edges {
             self.policy.on_edge_delete(src, dst);
             let Some(owner) = self.owner(src) else { continue };
             match owner {
                 PartitionId::Host => {
-                    let outcome = self.host_store.delete_edge(src, dst);
+                    let outcome = self.host_store.delete_edge(src, dst, label);
                     let aux = self.aux_module(src);
                     per_module[aux] += self.pim.pim_hash_lookup_cost(ID_BYTES)
                         * outcome.cost.pim_lookups.max(1) as f64
@@ -288,7 +353,7 @@ impl DistributedPimEngine {
                     host_time +=
                         self.pim.host_sequential_read_cost(outcome.cost.host_bytes_written)
                             + self.pim.host_instructions_cost(40);
-                    cpu_to_pim_bytes += EDGE_BYTES;
+                    cpu_to_pim_bytes += EDGE_BYTES + label_wire_bytes(label);
                     pim_to_cpu_bytes += ID_BYTES;
                     if outcome.changed {
                         applied += 1;
@@ -297,14 +362,14 @@ impl DistributedPimEngine {
                 }
                 PartitionId::Pim(m) => {
                     let m = m as usize;
-                    cpu_to_pim_bytes += EDGE_BYTES;
+                    cpu_to_pim_bytes += EDGE_BYTES + label_wire_bytes(label);
                     let row_bytes = self.local_stores[m]
                         .row(src)
                         .map(|r| r.len() as u64 * ID_BYTES)
                         .unwrap_or(0);
                     per_module[m] += self.pim.pim_hash_lookup_cost(row_bytes)
-                        + self.pim.mram_write_cost(ID_BYTES);
-                    if self.local_stores[m].remove_edge(src, dst).is_ok() {
+                        + self.pim.mram_write_cost(ID_BYTES + label_wire_bytes(label));
+                    if self.local_stores[m].remove_edge(src, dst, label).is_ok() {
                         applied += 1;
                         self.edge_count -= 1;
                     }
@@ -320,9 +385,9 @@ impl DistributedPimEngine {
             self.pim.cpc_transfer_cost(cpu_to_pim_bytes)
                 + self.pim.cpc_transfer_cost(pim_to_cpu_bytes),
         );
-        timeline.transfers.record_cpu_to_pim(cpu_to_pim_bytes, edges.len() as u64);
+        timeline.transfers.record_cpu_to_pim(cpu_to_pim_bytes, batch_len as u64);
         timeline.transfers.record_pim_to_cpu(pim_to_cpu_bytes, 1);
-        UpdateStats { timeline, requested: edges.len(), applied }
+        UpdateStats { timeline, requested: batch_len, applied }
     }
 
     /// Moves a newly promoted high-degree row from its PIM module to the host
@@ -336,7 +401,7 @@ impl DistributedPimEngine {
         pim_to_cpu_bytes: &mut u64,
     ) {
         if let Some(row) = self.local_stores[old_module].take_row(node) {
-            let bytes = row.len() as u64 * ID_BYTES;
+            let bytes = row.len() as u64 * ID_BYTES + row_label_wire_bytes(&row);
             per_module[old_module] += self.pim.mram_read_cost(bytes);
             *pim_to_cpu_bytes += bytes;
             let cost = self.host_store.install_row(node, row);
@@ -413,7 +478,7 @@ impl DistributedPimEngine {
                             let row_bytes = self.host_store.row_bytes(v);
                             host_time += self.pim.host_random_access_cost(1, host_resident_bytes)
                                 + self.pim.host_sequential_read_cost(row_bytes);
-                            for u in self.host_store.neighbors_iter(v) {
+                            for (u, _) in self.host_store.neighbors_iter(v) {
                                 // The host forwards the produced entry to the
                                 // module owning it (or keeps it if the next
                                 // row is also host-resident).
@@ -430,7 +495,7 @@ impl DistributedPimEngine {
                             let row = self.local_stores[m].row(v).unwrap_or(&[]);
                             let row_bytes = row.len() as u64 * ID_BYTES;
                             per_module[m] += self.pim.pim_hash_lookup_cost(row_bytes);
-                            for &u in row {
+                            for &(u, _) in row {
                                 match self.owner(u) {
                                     Some(PartitionId::Pim(m2)) if m2 as usize == m => {}
                                     Some(PartitionId::Pim(_)) => {
@@ -499,6 +564,207 @@ impl DistributedPimEngine {
         (frontiers, stats)
     }
 
+    /// Answers a batch of general regular path queries with full cost
+    /// accounting.
+    ///
+    /// Plain k-hop expressions (`.{k}` and concatenations of `.`) take the
+    /// [`DistributedPimEngine::k_hop_batch`] fast path, whose cost model is
+    /// untouched — same-seed experiment outputs do not move. Everything else
+    /// is evaluated as an NFA product ([`DistributedPimEngine::nfa_product_batch`]).
+    pub fn rpq_batch(
+        &mut self,
+        expr: &RpqExpr,
+        sources: &[NodeId],
+    ) -> (Vec<Vec<NodeId>>, QueryStats) {
+        if let Some(k) = expr.as_k_hop() {
+            return self.k_hop_batch(sources, k);
+        }
+        let nfa = Nfa::from_expr(expr);
+        self.nfa_product_batch(&nfa, sources)
+    }
+
+    /// Batch NFA-product evaluation: the generalisation of the k-hop loop to
+    /// arbitrary label automata.
+    ///
+    /// Frontier entries become `(node, nfa_state)` pairs — the product of the
+    /// data graph and the query automaton — deduplicated per query with a
+    /// *global* visited set over `state × node` (required for termination on
+    /// cyclic graphs under `*`/`+`). The per-hop structure is identical to
+    /// [`DistributedPimEngine::k_hop_batch`]: each entry is expanded by the
+    /// computing node owning its row, every produced entry that leaves the
+    /// module is charged to the inter-PIM or CPC bus (`ENTRY_BYTES` plus
+    /// `STATE_BYTES` for the automaton state riding along), each hop's PIM
+    /// latency is the slowest module, and the final result is gathered and
+    /// reduced on the host. Label-constrained row scans read both the id
+    /// array and the label array, so they cost
+    /// `row_len × (ID_BYTES + LABEL_BYTES)` instead of the k-hop loop's
+    /// id-array-only `row_len × ID_BYTES`.
+    ///
+    /// A node is reported for a query as soon as *some* visited product state
+    /// is accepting; if the automaton accepts the empty path the source
+    /// itself is part of the answer, as in [`rpq::ReferenceEvaluator`].
+    pub fn nfa_product_batch(
+        &mut self,
+        nfa: &Nfa,
+        sources: &[NodeId],
+    ) -> (Vec<Vec<NodeId>>, QueryStats) {
+        let module_count = self.config.pim.num_modules;
+        let host_resident_bytes: u64 = self.host_store.live_bytes();
+        let mut timeline = Timeline::new();
+        let mut expansions = 0usize;
+
+        // Dispatch: every PIM-resident source is shipped to its module
+        // together with the automaton start state.
+        let dispatch_bytes: u64 =
+            sources.iter().filter(|&&s| matches!(self.owner(s), Some(PartitionId::Pim(_)))).count()
+                as u64
+                * (ENTRY_BYTES + STATE_BYTES);
+        timeline.charge(Phase::Cpc, self.pim.cpc_transfer_cost(dispatch_bytes));
+        timeline.transfers.record_cpu_to_pim(dispatch_bytes, 1);
+
+        // Per-query visited sets are hash sets, not the k-hop loop's
+        // `EpochMarks`: those dedup per `(query, hop)` generation, but the
+        // product traversal needs every query's set to *persist across hops*
+        // simultaneously, and one shared generation-stamped array cannot hold
+        // `batch` interleaved persistent sets (per-query stamp arrays would
+        // cost `nodes × states × batch` memory, where hash sets stay
+        // proportional to what each query actually visits).
+        let start = nfa.start() as u32;
+        let mut visited: Vec<HashSet<(NodeId, u32)>> = sources
+            .iter()
+            .map(|&s| {
+                let mut seen = HashSet::new();
+                seen.insert((s, start));
+                seen
+            })
+            .collect();
+        let mut frontiers: Vec<Vec<(NodeId, u32)>> =
+            sources.iter().map(|&s| vec![(s, start)]).collect();
+        let mut next_frontiers: Vec<Vec<(NodeId, u32)>> = vec![Vec::new(); frontiers.len()];
+        let mut hops = 0usize;
+
+        while frontiers.iter().any(|f| !f.is_empty()) {
+            hops += 1;
+            let mut per_module = vec![SimTime::ZERO; module_count];
+            let mut host_time = SimTime::ZERO;
+            let mut ipc_bytes = 0u64;
+            let mut ipc_messages = 0u64;
+            let mut cpc_bytes = 0u64;
+            for buf in next_frontiers.iter_mut() {
+                buf.clear();
+            }
+
+            for (q, frontier) in frontiers.iter().enumerate() {
+                let next = &mut next_frontiers[q];
+                let seen = &mut visited[q];
+                for &(v, state) in frontier {
+                    expansions += 1;
+                    let transitions = nfa.transitions_from(state as usize);
+                    match self.owner(v) {
+                        Some(PartitionId::Host) => {
+                            let scan_bytes =
+                                self.host_store.slot_count(v) as u64 * (ID_BYTES + LABEL_BYTES);
+                            host_time += self.pim.host_random_access_cost(1, host_resident_bytes)
+                                + self.pim.host_sequential_read_cost(scan_bytes);
+                            for (u, label) in self.host_store.neighbors_iter(v) {
+                                for &(spec, next_state) in transitions {
+                                    if !spec.matches(label) {
+                                        continue;
+                                    }
+                                    if matches!(self.owner(u), Some(PartitionId::Pim(_))) {
+                                        cpc_bytes += ENTRY_BYTES + STATE_BYTES;
+                                    }
+                                    if seen.insert((u, next_state as u32)) {
+                                        next.push((u, next_state as u32));
+                                    }
+                                }
+                            }
+                        }
+                        Some(PartitionId::Pim(m)) => {
+                            let m = m as usize;
+                            let row = self.local_stores[m].row(v).unwrap_or(&[]);
+                            let scan_bytes = row.len() as u64 * (ID_BYTES + LABEL_BYTES);
+                            per_module[m] += self.pim.pim_hash_lookup_cost(scan_bytes);
+                            for &(u, label) in row {
+                                for &(spec, next_state) in transitions {
+                                    if !spec.matches(label) {
+                                        continue;
+                                    }
+                                    match self.owner(u) {
+                                        Some(PartitionId::Pim(m2)) if m2 as usize == m => {}
+                                        Some(PartitionId::Pim(_)) => {
+                                            ipc_bytes += ENTRY_BYTES + STATE_BYTES;
+                                            ipc_messages += 1;
+                                        }
+                                        _ => {
+                                            cpc_bytes += ENTRY_BYTES + STATE_BYTES;
+                                        }
+                                    }
+                                    if seen.insert((u, next_state as u32)) {
+                                        next.push((u, next_state as u32));
+                                    }
+                                }
+                            }
+                        }
+                        None => {
+                            // The node has never appeared in the edge stream;
+                            // it has no outgoing edges.
+                        }
+                    }
+                }
+                // Deterministic frontier order (and therefore deterministic
+                // float-charge accumulation order next hop).
+                next.sort_unstable();
+            }
+
+            let pim_time = self.pim.parallel_step(&per_module);
+            timeline.charge(Phase::PimCompute, pim_time);
+            timeline.charge(Phase::HostCompute, host_time);
+            timeline.charge(Phase::Cpc, self.pim.cpc_transfer_cost(cpc_bytes));
+            timeline.charge(
+                Phase::Ipc,
+                self.pim.ipc_transfer_cost(ipc_bytes)
+                    + self.pim.host_instructions_cost(ipc_messages * 25),
+            );
+            timeline.transfers.record_pim_to_cpu(cpc_bytes, 1);
+            timeline.transfers.record_inter_pim(ipc_bytes, ipc_messages);
+            std::mem::swap(&mut frontiers, &mut next_frontiers);
+        }
+
+        // Every visited accepting product state contributes its node to the
+        // query's answer; a node reached in several accepting states is
+        // reported once.
+        let results: Vec<Vec<NodeId>> = visited
+            .iter()
+            .map(|seen| {
+                let mut nodes: Vec<NodeId> = seen
+                    .iter()
+                    .filter(|&&(_, state)| nfa.is_accepting(state as usize))
+                    .map(|&(node, _)| node)
+                    .collect();
+                nodes.sort_unstable();
+                nodes.dedup();
+                nodes
+            })
+            .collect();
+
+        // Reduction (`mwait`): gather every query's accepted destinations to
+        // the host and merge the per-module partial results.
+        let matched_pairs: usize = results.iter().map(Vec::len).sum();
+        let gather_bytes = matched_pairs as u64 * ENTRY_BYTES;
+        timeline.charge(Phase::Cpc, self.pim.cpc_transfer_cost(gather_bytes));
+        timeline.transfers.record_pim_to_cpu(gather_bytes, 1);
+        timeline.charge(
+            Phase::Reduce,
+            self.pim.host_sequential_read_cost(gather_bytes)
+                + self.pim.host_instructions_cost(matched_pairs as u64 * 8),
+        );
+
+        let stats =
+            QueryStats { timeline, batch_size: sources.len(), hops, matched_pairs, expansions };
+        (results, stats)
+    }
+
     // ------------------------------------------------------------------
     // Refinement and inspection
     // ------------------------------------------------------------------
@@ -511,14 +777,14 @@ impl DistributedPimEngine {
         let mut g = AdjacencyGraph::new();
         for store in &self.local_stores {
             for (src, row) in store.iter() {
-                for &dst in row {
-                    g.insert_edge(src, dst, Label::ANY);
+                for &(dst, label) in row {
+                    g.insert_edge(src, dst, label);
                 }
             }
         }
         for (src, row) in self.host_store.iter() {
-            for dst in row {
-                g.insert_edge(src, dst, Label::ANY);
+            for (dst, label) in row {
+                g.insert_edge(src, dst, label);
             }
         }
         g
@@ -554,7 +820,7 @@ impl DistributedPimEngine {
             for &(node, from, to) in &report.migrations {
                 let (PartitionId::Pim(from), PartitionId::Pim(to)) = (from, to) else { continue };
                 if let Some(row) = self.local_stores[from as usize].take_row(node) {
-                    let bytes = row.len() as u64 * ID_BYTES + ID_BYTES;
+                    let bytes = row.len() as u64 * ID_BYTES + row_label_wire_bytes(&row) + ID_BYTES;
                     ipc_bytes += bytes;
                     self.local_stores[to as usize].install_row(node, row);
                 }
@@ -773,5 +1039,106 @@ mod tests {
         e.insert_edges(&ring_edges(8));
         let (results, _) = e.k_hop_batch(&[NodeId(999)], 2);
         assert!(results[0].is_empty());
+    }
+
+    #[test]
+    fn rpq_k_hop_fast_path_charges_exactly_like_k_hop_batch() {
+        let graph = graph_gen::uniform::generate(300, 4.0, 7);
+        let edges: Vec<(NodeId, NodeId)> = graph.edges().map(|(s, d, _)| (s, d)).collect();
+        let sources: Vec<NodeId> = (0..32u64).map(NodeId).collect();
+        let mut a = moctopus_engine();
+        let mut b = moctopus_engine();
+        a.insert_edges(&edges);
+        b.insert_edges(&edges);
+        let (ra, sa) = a.rpq_batch(&rpq::RpqExpr::k_hop(3), &sources);
+        let (rb, sb) = b.k_hop_batch(&sources, 3);
+        assert_eq!(ra, rb);
+        assert_eq!(sa, sb, "`.{{3}}` must take the k-hop path, cost model included");
+    }
+
+    #[test]
+    fn labelled_rpq_follows_label_constraints() {
+        let mut e = moctopus_engine();
+        // 0 -1-> 1 -2-> 2, plus a decoy 0 -3-> 3 -2-> 4.
+        e.insert_labeled_edges(&[
+            (NodeId(0), NodeId(1), Label(1)),
+            (NodeId(1), NodeId(2), Label(2)),
+            (NodeId(0), NodeId(3), Label(3)),
+            (NodeId(3), NodeId(4), Label(2)),
+        ]);
+        let expr = rpq::parser::parse("1/2").unwrap();
+        let (results, stats) = e.rpq_batch(&expr, &[NodeId(0)]);
+        assert_eq!(results[0], vec![NodeId(2)]);
+        assert_eq!(stats.matched_pairs, 1);
+        assert!(stats.latency() > SimTime::ZERO);
+
+        // Transitive closure over any label reaches everything.
+        let star = rpq::parser::parse(".*").unwrap();
+        let (closure, _) = e.rpq_batch(&star, &[NodeId(0)]);
+        assert_eq!(closure[0].len(), 5, "star includes the source itself");
+    }
+
+    #[test]
+    fn labelled_updates_change_rpq_answers() {
+        let mut e = moctopus_engine();
+        e.insert_labeled_edges(&[(NodeId(0), NodeId(1), Label(1))]);
+        let expr = rpq::parser::parse("1+").unwrap();
+        let (before, _) = e.rpq_batch(&expr, &[NodeId(0)]);
+        assert_eq!(before[0], vec![NodeId(1)]);
+
+        e.insert_labeled_edges(&[(NodeId(1), NodeId(2), Label(1))]);
+        let (extended, _) = e.rpq_batch(&expr, &[NodeId(0)]);
+        assert_eq!(extended[0], vec![NodeId(1), NodeId(2)]);
+
+        let del = e.delete_labeled_edges(&[(NodeId(1), NodeId(2), Label(1))]);
+        assert_eq!(del.applied, 1);
+        let (after, _) = e.rpq_batch(&expr, &[NodeId(0)]);
+        assert_eq!(after[0], vec![NodeId(1)]);
+        // Deleting under the wrong label is a no-op.
+        let miss = e.delete_labeled_edges(&[(NodeId(0), NodeId(1), Label(9))]);
+        assert_eq!(miss.applied, 0);
+    }
+
+    #[test]
+    fn rpq_handles_cycles_and_hub_rows() {
+        let mut e = moctopus_engine();
+        // A hub that gets promoted to the host, with a label-1 cycle.
+        let mut edges: Vec<(NodeId, NodeId, Label)> =
+            (1..=20u64).map(|i| (NodeId(0), NodeId(i), Label(1))).collect();
+        edges.push((NodeId(1), NodeId(0), Label(1)));
+        e.insert_labeled_edges(&edges);
+        assert_eq!(e.assignment().partition_of(NodeId(0)), Some(PartitionId::Host));
+        let expr = rpq::parser::parse("1+").unwrap();
+        let (results, stats) = e.rpq_batch(&expr, &[NodeId(1)]);
+        // 1 -> 0 -> everything (including 0 and 1 themselves via the cycle).
+        assert_eq!(results[0].len(), 21);
+        assert!(stats.hops >= 2);
+    }
+
+    #[test]
+    fn wire_charges_elide_the_default_label() {
+        // The same topology inserted unlabelled and with Label::ANY must
+        // charge identical transfer bytes; a non-default label pays extra.
+        let edges: Vec<(NodeId, NodeId)> = ring_edges(16);
+        let any: Vec<(NodeId, NodeId, Label)> =
+            edges.iter().map(|&(s, d)| (s, d, Label::ANY)).collect();
+        let labelled: Vec<(NodeId, NodeId, Label)> =
+            edges.iter().map(|&(s, d)| (s, d, Label(5))).collect();
+
+        let mut a = hash_engine();
+        let mut b = hash_engine();
+        let mut c = hash_engine();
+        let sa = a.insert_edges(&edges);
+        let sb = b.insert_labeled_edges(&any);
+        let sc = c.insert_labeled_edges(&labelled);
+        assert_eq!(
+            sa.timeline.transfers, sb.timeline.transfers,
+            "ANY-labelled inserts must charge like unlabelled ones"
+        );
+        assert_eq!(
+            sc.timeline.transfers.cpu_to_pim_bytes,
+            sb.timeline.transfers.cpu_to_pim_bytes + edges.len() as u64 * 2,
+            "each non-default label costs LABEL_BYTES on the CPU->PIM bus"
+        );
     }
 }

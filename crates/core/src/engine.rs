@@ -1,10 +1,12 @@
 //! The common interface implemented by every evaluated engine.
 
 use crate::stats::{QueryStats, UpdateStats};
-use graph_store::NodeId;
+use graph_store::{Label, NodeId};
+use rpq::RpqExpr;
 
-/// A graph engine that can ingest edges, apply updates, and answer batch
-/// k-hop path queries, reporting simulated costs for each operation.
+/// A graph engine that can ingest labelled edges, apply updates, and answer
+/// batch path queries — from the paper's k-hop workhorse to general regular
+/// path queries — reporting simulated costs for each operation.
 ///
 /// [`MoctopusSystem`](crate::MoctopusSystem),
 /// [`PimHashSystem`](crate::PimHashSystem) and
@@ -15,18 +17,49 @@ pub trait GraphEngine {
     /// Short human-readable engine name used in experiment output.
     fn name(&self) -> &'static str;
 
-    /// Inserts a batch of directed edges, returning simulated update costs.
-    fn insert_edges(&mut self, edges: &[(NodeId, NodeId)]) -> UpdateStats;
+    /// Inserts a batch of directed unlabelled edges (they receive
+    /// [`Label::ANY`]), returning simulated update costs.
+    ///
+    /// The default materialises a labelled copy of the batch; the in-tree
+    /// engines override it with an allocation-free streaming path.
+    fn insert_edges(&mut self, edges: &[(NodeId, NodeId)]) -> UpdateStats {
+        let labelled: Vec<(NodeId, NodeId, Label)> =
+            edges.iter().map(|&(s, d)| (s, d, Label::ANY)).collect();
+        self.insert_labeled_edges(&labelled)
+    }
 
-    /// Deletes a batch of directed edges, returning simulated update costs.
-    fn delete_edges(&mut self, edges: &[(NodeId, NodeId)]) -> UpdateStats;
+    /// Deletes a batch of directed unlabelled ([`Label::ANY`]) edges,
+    /// returning simulated update costs.
+    fn delete_edges(&mut self, edges: &[(NodeId, NodeId)]) -> UpdateStats {
+        let labelled: Vec<(NodeId, NodeId, Label)> =
+            edges.iter().map(|&(s, d)| (s, d, Label::ANY)).collect();
+        self.delete_labeled_edges(&labelled)
+    }
+
+    /// Inserts a batch of directed labelled edges, returning simulated update
+    /// costs.
+    fn insert_labeled_edges(&mut self, edges: &[(NodeId, NodeId, Label)]) -> UpdateStats;
+
+    /// Deletes a batch of directed labelled edges, returning simulated update
+    /// costs.
+    fn delete_labeled_edges(&mut self, edges: &[(NodeId, NodeId, Label)]) -> UpdateStats;
 
     /// Answers a batch k-hop path query: for every start node, the set of
-    /// nodes reachable by a path of exactly `k` edges (boolean semantics),
-    /// sorted ascending. Also returns the simulated query costs.
+    /// nodes reachable by a path of exactly `k` edges (boolean semantics,
+    /// any label), sorted ascending. Also returns the simulated query costs.
     fn k_hop_batch(&mut self, sources: &[NodeId], k: usize) -> (Vec<Vec<NodeId>>, QueryStats);
 
-    /// Number of directed edges currently stored.
+    /// Answers a batch regular path query: for every start node, the sorted
+    /// set of nodes reachable by a path whose label sequence matches `expr`.
+    ///
+    /// Results must agree with [`rpq::ReferenceEvaluator::evaluate`]; plain
+    /// k-hop shapes (`.{k}`) must take the same execution path — and charge
+    /// the same simulated costs — as
+    /// [`GraphEngine::k_hop_batch`].
+    fn rpq_batch(&mut self, expr: &RpqExpr, sources: &[NodeId]) -> (Vec<Vec<NodeId>>, QueryStats);
+
+    /// Number of directed edges currently stored (labelled parallel edges
+    /// count once per label).
     fn edge_count(&self) -> usize;
 }
 

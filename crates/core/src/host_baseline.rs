@@ -18,8 +18,8 @@ use crate::engine::GraphEngine;
 use crate::stats::{QueryStats, UpdateStats};
 use graph_store::{AdjacencyGraph, Label, NodeId};
 use pim_sim::{Phase, PimSystem, Timeline};
-use rpq::plan::HostMatrixEngine;
-use rpq::ExecutionPlan;
+use rpq::plan::{HostExecutionStats, HostMatrixEngine};
+use rpq::{ExecutionPlan, Nfa, RpqExpr};
 
 /// Instructions charged per inserted edge for sparse-matrix bookkeeping
 /// (duplicate check, delta-matrix maintenance, property bookkeeping). The
@@ -89,20 +89,20 @@ impl HostBaseline {
     fn resident_bytes(&self) -> u64 {
         self.graph.approx_bytes()
     }
-}
 
-impl GraphEngine for HostBaseline {
-    fn name(&self) -> &'static str {
-        "RedisGraph-like"
-    }
-
-    fn insert_edges(&mut self, edges: &[(NodeId, NodeId)]) -> UpdateStats {
+    /// The shared insert loop; the unlabelled entry point streams
+    /// [`Label::ANY`] in without materialising a labelled copy of the batch.
+    fn insert_edges_impl(
+        &mut self,
+        edges: impl Iterator<Item = (NodeId, NodeId, Label)>,
+        batch_len: usize,
+    ) -> UpdateStats {
         let mut applied = 0usize;
         let resident = self.resident_bytes().max(1);
         let mut row_bytes_touched = 0u64;
-        for &(s, d) in edges {
+        for (s, d, l) in edges {
             row_bytes_touched += (self.graph.out_degree(s) as u64 + 1) * 8;
-            if self.graph.insert_edge(s, d, Label::ANY) {
+            if self.graph.insert_edge(s, d, l) {
                 applied += 1;
             }
         }
@@ -113,25 +113,28 @@ impl GraphEngine for HostBaseline {
         // per-edge bookkeeping of the delta-matrix machinery.
         timeline.charge(
             Phase::HostCompute,
-            self.pim.host_random_access_cost(edges.len() as u64, resident)
+            self.pim.host_random_access_cost(batch_len as u64, resident)
                 + self.pim.host_sequential_read_cost(row_bytes_touched)
-                + self
-                    .pim
-                    .host_instructions_cost(edges.len() as u64 * UPDATE_INSTRUCTIONS_PER_EDGE),
+                + self.pim.host_instructions_cost(batch_len as u64 * UPDATE_INSTRUCTIONS_PER_EDGE),
         );
         // Amortised delta merge: the whole matrix is eventually rewritten once
         // per update batch when the pending delta is flushed.
         timeline.charge(Phase::HostCompute, self.pim.host_sequential_read_cost(2 * resident));
-        UpdateStats { timeline, requested: edges.len(), applied }
+        UpdateStats { timeline, requested: batch_len, applied }
     }
 
-    fn delete_edges(&mut self, edges: &[(NodeId, NodeId)]) -> UpdateStats {
+    /// The shared delete loop; see [`HostBaseline::insert_edges_impl`].
+    fn delete_edges_impl(
+        &mut self,
+        edges: impl Iterator<Item = (NodeId, NodeId, Label)>,
+        batch_len: usize,
+    ) -> UpdateStats {
         let mut applied = 0usize;
         let resident = self.resident_bytes().max(1);
         let mut row_bytes_touched = 0u64;
-        for &(s, d) in edges {
+        for (s, d, l) in edges {
             row_bytes_touched += (self.graph.out_degree(s) as u64).max(1) * 8;
-            if self.graph.remove_edge(s, d, Label::ANY) {
+            if self.graph.remove_edge(s, d, l) {
                 applied += 1;
             }
         }
@@ -140,23 +143,23 @@ impl GraphEngine for HostBaseline {
         let mut timeline = Timeline::new();
         timeline.charge(
             Phase::HostCompute,
-            self.pim.host_random_access_cost(edges.len() as u64, resident)
+            self.pim.host_random_access_cost(batch_len as u64, resident)
                 + self.pim.host_sequential_read_cost(row_bytes_touched)
                 + self.pim.host_instructions_cost(
-                    edges.len() as u64
+                    batch_len as u64
                         * (UPDATE_INSTRUCTIONS_PER_EDGE + DELETE_EXTRA_INSTRUCTIONS_PER_EDGE),
                 ),
         );
         timeline.charge(Phase::HostCompute, self.pim.host_sequential_read_cost(2 * resident));
-        UpdateStats { timeline, requested: edges.len(), applied }
+        UpdateStats { timeline, requested: batch_len, applied }
     }
 
-    fn k_hop_batch(&mut self, sources: &[NodeId], k: usize) -> (Vec<Vec<NodeId>>, QueryStats) {
-        self.refresh_matrix();
-        let plan = ExecutionPlan::k_hop(k);
-        let (results, exec) = self.matrix.run(&plan, sources);
+    /// Charges one executed plan's statistics to the host cost model —
+    /// shared by the k-hop path and the general RPQ path so both execution
+    /// strategies (matrix chain and automaton sweep) are priced identically
+    /// per row fetch and per byte.
+    fn charge_query(&self, exec: &HostExecutionStats) -> Timeline {
         let resident = self.resident_bytes().max(1);
-
         let mut timeline = Timeline::new();
         // Each fetched adjacency row also pays the GraphBLAS kernel overhead
         // (index arithmetic, scatter/gather into the accumulator) measured at
@@ -174,12 +177,68 @@ impl GraphEngine for HostBaseline {
             self.pim.host_sequential_read_cost(exec.result_entries as u64 * 8)
                 + self.pim.host_instructions_cost(exec.result_entries as u64 * 8),
         );
+        timeline
+    }
+}
+
+impl GraphEngine for HostBaseline {
+    fn name(&self) -> &'static str {
+        "RedisGraph-like"
+    }
+
+    fn insert_edges(&mut self, edges: &[(NodeId, NodeId)]) -> UpdateStats {
+        self.insert_edges_impl(edges.iter().map(|&(s, d)| (s, d, Label::ANY)), edges.len())
+    }
+
+    fn delete_edges(&mut self, edges: &[(NodeId, NodeId)]) -> UpdateStats {
+        self.delete_edges_impl(edges.iter().map(|&(s, d)| (s, d, Label::ANY)), edges.len())
+    }
+
+    fn insert_labeled_edges(&mut self, edges: &[(NodeId, NodeId, Label)]) -> UpdateStats {
+        self.insert_edges_impl(edges.iter().copied(), edges.len())
+    }
+
+    fn delete_labeled_edges(&mut self, edges: &[(NodeId, NodeId, Label)]) -> UpdateStats {
+        self.delete_edges_impl(edges.iter().copied(), edges.len())
+    }
+
+    fn k_hop_batch(&mut self, sources: &[NodeId], k: usize) -> (Vec<Vec<NodeId>>, QueryStats) {
+        self.refresh_matrix();
+        let plan = ExecutionPlan::k_hop(k);
+        let (results, exec) = self.matrix.run(&plan, sources);
+        let timeline = self.charge_query(&exec);
 
         let matched_pairs = results.iter().map(Vec::len).sum();
         let stats = QueryStats {
             timeline,
             batch_size: sources.len(),
             hops: k,
+            matched_pairs,
+            expansions: exec.row_fetches as usize,
+        };
+        (results, stats)
+    }
+
+    fn rpq_batch(&mut self, expr: &RpqExpr, sources: &[NodeId]) -> (Vec<Vec<NodeId>>, QueryStats) {
+        // Plain k-hop shapes take the exact same path (and charges) as
+        // `k_hop_batch`.
+        if let Some(k) = expr.as_k_hop() {
+            return self.k_hop_batch(sources, k);
+        }
+        self.refresh_matrix();
+        // Fixed-length expressions stay matrix chains (`Q × A_l1 × … × A_lk`);
+        // everything else sweeps the automaton over the per-label matrices.
+        let (results, exec) = match ExecutionPlan::from_expr(expr) {
+            Some(plan) => self.matrix.run(&plan, sources),
+            None => self.matrix.run_nfa(&Nfa::from_expr(expr), sources),
+        };
+        let timeline = self.charge_query(&exec);
+
+        let matched_pairs = results.iter().map(Vec::len).sum();
+        let stats = QueryStats {
+            timeline,
+            batch_size: sources.len(),
+            hops: exec.frontier_levels,
             matched_pairs,
             expansions: exec.row_fetches as usize,
         };

@@ -5,7 +5,8 @@ use crate::distributed::{DistributedPimEngine, PlacementPolicy};
 use crate::engine::GraphEngine;
 use crate::stats::{QueryStats, UpdateStats};
 use graph_partition::{HashPartitioner, PartitionMetrics};
-use graph_store::NodeId;
+use graph_store::{Label, NodeId};
+use rpq::RpqExpr;
 
 /// The PIM-hash contrast system evaluated in the paper: the same PIM execution
 /// engine as Moctopus but with every graph node assigned to a PIM module by a
@@ -77,8 +78,20 @@ impl GraphEngine for PimHashSystem {
         self.engine.delete_edges(edges)
     }
 
+    fn insert_labeled_edges(&mut self, edges: &[(NodeId, NodeId, Label)]) -> UpdateStats {
+        self.engine.insert_labeled_edges(edges)
+    }
+
+    fn delete_labeled_edges(&mut self, edges: &[(NodeId, NodeId, Label)]) -> UpdateStats {
+        self.engine.delete_labeled_edges(edges)
+    }
+
     fn k_hop_batch(&mut self, sources: &[NodeId], k: usize) -> (Vec<Vec<NodeId>>, QueryStats) {
         self.engine.k_hop_batch(sources, k)
+    }
+
+    fn rpq_batch(&mut self, expr: &RpqExpr, sources: &[NodeId]) -> (Vec<Vec<NodeId>>, QueryStats) {
+        self.engine.rpq_batch(expr, sources)
     }
 
     fn edge_count(&self) -> usize {

@@ -5,8 +5,9 @@ use crate::distributed::{DistributedPimEngine, PlacementPolicy};
 use crate::engine::GraphEngine;
 use crate::stats::{QueryStats, UpdateStats};
 use graph_partition::{GreedyAdaptivePartitioner, MigrationReport, PartitionMetrics};
-use graph_store::{NodeId, PartitionId};
+use graph_store::{Label, NodeId, PartitionId};
 use pim_sim::Timeline;
+use rpq::RpqExpr;
 
 /// The Moctopus PIM-based graph data management system.
 ///
@@ -103,8 +104,20 @@ impl GraphEngine for MoctopusSystem {
         self.engine.delete_edges(edges)
     }
 
+    fn insert_labeled_edges(&mut self, edges: &[(NodeId, NodeId, Label)]) -> UpdateStats {
+        self.engine.insert_labeled_edges(edges)
+    }
+
+    fn delete_labeled_edges(&mut self, edges: &[(NodeId, NodeId, Label)]) -> UpdateStats {
+        self.engine.delete_labeled_edges(edges)
+    }
+
     fn k_hop_batch(&mut self, sources: &[NodeId], k: usize) -> (Vec<Vec<NodeId>>, QueryStats) {
         self.engine.k_hop_batch(sources, k)
+    }
+
+    fn rpq_batch(&mut self, expr: &RpqExpr, sources: &[NodeId]) -> (Vec<Vec<NodeId>>, QueryStats) {
+        self.engine.rpq_batch(expr, sources)
     }
 
     fn edge_count(&self) -> usize {

@@ -1,0 +1,203 @@
+//! Labelled-edge workload generator: a per-label Zipf mix layered over any of
+//! the existing topology generators.
+//!
+//! Regular path queries constrain the *labels* along a path, so a labelled
+//! benchmark needs control over the label distribution independently of the
+//! topology (skew, locality). Real property graphs have heavily skewed
+//! relationship-type frequencies — a handful of types (`follows`, `likes`)
+//! dominate while the long tail is rare — which a Zipf mix captures with one
+//! exponent knob. [`relabel`] keeps the input graph's *connected node pairs*
+//! intact and draws exactly one label per pair, so labelled experiments stay
+//! directly comparable to the unlabelled ones on the same seed. (Feed it the
+//! unlabelled topology generators' output: a multigraph that already carries
+//! several labels on one pair collapses to a single labelled edge per pair.)
+
+use graph_store::{AdjacencyGraph, Label, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the label mix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabelMixConfig {
+    /// Number of distinct labels; edges draw from `Label(1)..=Label(n)`.
+    pub num_labels: u16,
+    /// Zipf exponent `s` of the label frequencies (`P(rank r) ∝ 1 / r^s`).
+    /// `0.0` is a uniform mix; `1.0` is the classic heavy skew.
+    pub zipf_exponent: f64,
+}
+
+impl Default for LabelMixConfig {
+    fn default() -> Self {
+        LabelMixConfig { num_labels: 8, zipf_exponent: 1.0 }
+    }
+}
+
+impl LabelMixConfig {
+    /// Human-readable summary of the mix, used in experiment output and the
+    /// bench-baseline metadata (derived from the fields so it can never go
+    /// stale).
+    pub fn describe(&self) -> String {
+        format!("zipf({:.1}) over {} labels", self.zipf_exponent, self.num_labels)
+    }
+
+    /// The cumulative label-selection weights, normalised to end at 1.0.
+    fn cumulative_weights(&self) -> Vec<f64> {
+        let n = self.num_labels.max(1) as usize;
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(self.zipf_exponent);
+            cumulative.push(total);
+        }
+        for w in &mut cumulative {
+            *w /= total;
+        }
+        cumulative
+    }
+}
+
+/// Re-draws every edge label of `graph` from the configured Zipf mix,
+/// returning a new graph with the same connected node pairs and exactly one
+/// labelled edge per pair (see the module docs for multigraph inputs).
+///
+/// Deterministic per seed: edges are visited in sorted order, so two calls
+/// with the same inputs produce the same labelled graph.
+///
+/// # Examples
+///
+/// ```
+/// use graph_gen::labels::{relabel, LabelMixConfig};
+///
+/// let g = graph_gen::uniform::generate(500, 4.0, 7);
+/// let labelled = relabel(&g, &LabelMixConfig::default(), 7);
+/// assert_eq!(labelled.edge_count(), g.edge_count());
+/// assert!(labelled.edges().all(|(_, _, l)| (1..=8).contains(&l.0)));
+/// ```
+pub fn relabel(graph: &AdjacencyGraph, config: &LabelMixConfig, seed: u64) -> AdjacencyGraph {
+    let cumulative = config.cumulative_weights();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xc2b2_ae3d_27d4_eb4f);
+    let mut out = AdjacencyGraph::with_capacity(graph.node_count());
+    for node in 0..graph.id_bound() {
+        out.note_node(NodeId(node));
+    }
+    for (src, dst, _) in sorted_topology(graph) {
+        let draw: f64 = rng.gen();
+        let rank = cumulative.iter().position(|&w| draw < w).unwrap_or(cumulative.len() - 1);
+        out.insert_edge(src, dst, Label(rank as u16 + 1));
+    }
+    out
+}
+
+/// The labelled edges of `graph` in deterministic sorted order — the
+/// ingestion stream the engine builders consume.
+pub fn labeled_edge_stream(graph: &AdjacencyGraph) -> Vec<(NodeId, NodeId, Label)> {
+    graph.to_sorted_edges()
+}
+
+/// Sorted topology of `graph` with duplicate `(src, dst)` pairs collapsed
+/// (relabelling assigns exactly one label per connected pair).
+fn sorted_topology(graph: &AdjacencyGraph) -> Vec<(NodeId, NodeId, Label)> {
+    let mut edges = graph.to_sorted_edges();
+    edges.dedup_by_key(|&mut (s, d, _)| (s, d));
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_graph() -> AdjacencyGraph {
+        crate::uniform::generate(2000, 5.0, 3)
+    }
+
+    #[test]
+    fn topology_is_preserved() {
+        let g = base_graph();
+        let labelled = relabel(&g, &LabelMixConfig::default(), 11);
+        assert_eq!(labelled.edge_count(), g.edge_count());
+        assert_eq!(labelled.node_count(), g.node_count());
+        let strip = |g: &AdjacencyGraph| {
+            let mut e: Vec<(NodeId, NodeId)> = g.edges().map(|(s, d, _)| (s, d)).collect();
+            e.sort();
+            e
+        };
+        assert_eq!(strip(&labelled), strip(&g));
+    }
+
+    #[test]
+    fn relabelling_is_deterministic_per_seed() {
+        let g = base_graph();
+        let cfg = LabelMixConfig::default();
+        assert_eq!(relabel(&g, &cfg, 5).to_sorted_edges(), relabel(&g, &cfg, 5).to_sorted_edges());
+        assert_ne!(relabel(&g, &cfg, 5).to_sorted_edges(), relabel(&g, &cfg, 6).to_sorted_edges());
+    }
+
+    #[test]
+    fn zipf_mix_is_skewed_towards_low_ranks() {
+        let g = base_graph();
+        let labelled = relabel(&g, &LabelMixConfig { num_labels: 8, zipf_exponent: 1.0 }, 2);
+        let mut counts = [0usize; 9];
+        for (_, _, l) in labelled.edges() {
+            counts[l.0 as usize] += 1;
+        }
+        assert_eq!(counts[0], 0, "label 0 (ANY) is never drawn");
+        assert!(
+            counts[1] > 2 * counts[8],
+            "rank 1 ({}) should dominate rank 8 ({})",
+            counts[1],
+            counts[8]
+        );
+        // Every label appears on a reasonably sized graph.
+        assert!(counts[1..].iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn uniform_mix_spreads_labels_evenly() {
+        let g = base_graph();
+        let labelled = relabel(&g, &LabelMixConfig { num_labels: 4, zipf_exponent: 0.0 }, 9);
+        let mut counts = [0usize; 5];
+        for (_, _, l) in labelled.edges() {
+            counts[l.0 as usize] += 1;
+        }
+        let expected = labelled.edge_count() / 4;
+        for (label, &c) in counts.iter().enumerate().skip(1) {
+            assert!(
+                c > expected / 2 && c < expected * 2,
+                "label {label} count {c} is far from the uniform expectation {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn labeled_edge_stream_is_sorted_and_complete() {
+        let g = relabel(&base_graph(), &LabelMixConfig::default(), 4);
+        let stream = labeled_edge_stream(&g);
+        assert_eq!(stream.len(), g.edge_count());
+        assert!(stream.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn multigraph_input_collapses_to_one_label_per_pair() {
+        use graph_store::Label;
+        let mut g = AdjacencyGraph::new();
+        g.insert_edge(NodeId(0), NodeId(1), Label(1));
+        g.insert_edge(NodeId(0), NodeId(1), Label(2)); // same pair, second label
+        g.insert_edge(NodeId(1), NodeId(2), Label(1));
+        let labelled = relabel(&g, &LabelMixConfig::default(), 1);
+        assert_eq!(labelled.edge_count(), 2, "one labelled edge per connected pair");
+    }
+
+    #[test]
+    fn describe_reflects_the_configured_mix() {
+        assert_eq!(LabelMixConfig::default().describe(), "zipf(1.0) over 8 labels");
+        let custom = LabelMixConfig { num_labels: 16, zipf_exponent: 0.75 };
+        assert_eq!(custom.describe(), "zipf(0.8) over 16 labels");
+    }
+
+    #[test]
+    fn single_label_mix_collapses_to_that_label() {
+        let g = base_graph();
+        let labelled = relabel(&g, &LabelMixConfig { num_labels: 1, zipf_exponent: 1.0 }, 1);
+        assert!(labelled.edges().all(|(_, _, l)| l == Label(1)));
+    }
+}

@@ -15,8 +15,9 @@
 //!
 //! The crate exposes three generator families ([`road`], [`powerlaw`],
 //! [`uniform`]), the per-trace specifications of Table 1 ([`traces`]),
-//! graph statistics for regenerating Table 1 ([`stats`]), and helpers for
-//! building dynamic update workloads ([`stream`]).
+//! graph statistics for regenerating Table 1 ([`stats`]), helpers for
+//! building dynamic update workloads ([`stream`]), and a Zipf-mix edge-label
+//! generator for regular-path-query workloads ([`labels`]).
 //!
 //! # Examples
 //!
@@ -31,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub mod labels;
 pub mod powerlaw;
 pub mod rmat;
 pub mod road;

@@ -6,20 +6,21 @@
 //! splits the structure across the two sides:
 //!
 //! * **Host side** — `cols_vector`: one contiguous array of next-hop NodeIds
-//!   per high-degree row, with a size and a capacity. Queries read it with a
-//!   single sequential fetch; updates only write one slot.
-//! * **PIM side** — `elem_position_map`: a hash map from edge `(row, col)` to
-//!   its position inside the row's `cols_vector`; and `free_list_map`: a hash
-//!   map from row to the list of free positions. The PIM module performs the
-//!   existence check and the free-slot allocation, amortising the host's
-//!   update cost.
+//!   per high-degree row (with a parallel 2-byte label array for the
+//!   property-graph edge labels), with a size and a capacity. Queries read it
+//!   with a single sequential fetch; updates only write one slot.
+//! * **PIM side** — `elem_position_map`: a hash map from labelled edge
+//!   `(row, col, label)` to its position inside the row's `cols_vector`; and
+//!   `free_list_map`: a hash map from row to the list of free positions. The
+//!   PIM module performs the existence check and the free-slot allocation,
+//!   amortising the host's update cost.
 //!
 //! [`HeterogeneousStorage`] models both halves and reports, for every update,
 //! how much work landed on each side ([`UpdateCost`]) so the simulator can
 //! charge the host and the PIM module separately.
 
 use crate::error::GraphStoreError;
-use crate::ids::{EdgeKey, NodeId};
+use crate::ids::{Label, LabeledEdgeKey, NodeId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -27,6 +28,18 @@ use std::collections::HashMap;
 ///
 /// The paper's Figure 3 marks free positions with `-1`; we use `u64::MAX`.
 const FREE_SLOT: NodeId = NodeId(u64::MAX);
+
+/// Host bytes written for one slot's label: the default [`Label::ANY`] is
+/// elided (only the 8-byte id array is touched), every other label also
+/// writes its 2-byte entry in the parallel label array — matching the
+/// PIM-side MRAM-write accounting of the local stores.
+fn label_slot_bytes(label: Label) -> u64 {
+    if label == Label::ANY {
+        0
+    } else {
+        std::mem::size_of::<Label>() as u64
+    }
+}
 
 /// Where the work of one storage operation landed.
 ///
@@ -62,10 +75,11 @@ pub struct UpdateOutcome {
     pub cost: UpdateCost,
 }
 
-/// One high-degree row: the host-resident contiguous `cols_vector`.
+/// One high-degree row: the host-resident contiguous `cols_vector` (next-hop
+/// ids plus the parallel label array).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 struct ColsVector {
-    slots: Vec<NodeId>,
+    slots: Vec<(NodeId, Label)>,
     live: usize,
 }
 
@@ -74,21 +88,21 @@ struct ColsVector {
 /// # Examples
 ///
 /// ```
-/// use graph_store::{HeterogeneousStorage, NodeId};
+/// use graph_store::{HeterogeneousStorage, Label, NodeId};
 ///
 /// let mut s = HeterogeneousStorage::new();
-/// let outcome = s.insert_edge(NodeId(1), NodeId(2));
+/// let outcome = s.insert_edge(NodeId(1), NodeId(2), Label::ANY);
 /// assert!(outcome.changed);
-/// assert_eq!(s.neighbors(NodeId(1)), vec![NodeId(2)]);
-/// // A second insert of the same edge is detected on the PIM side.
-/// assert!(!s.insert_edge(NodeId(1), NodeId(2)).changed);
+/// assert_eq!(s.neighbors(NodeId(1)), vec![(NodeId(2), Label::ANY)]);
+/// // A second insert of the same labelled edge is detected on the PIM side.
+/// assert!(!s.insert_edge(NodeId(1), NodeId(2), Label::ANY).changed);
 /// ```
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct HeterogeneousStorage {
     /// Host side: contiguous next-hop arrays.
     cols: HashMap<NodeId, ColsVector>,
-    /// PIM side: edge -> position within the row's cols_vector.
-    elem_position_map: HashMap<EdgeKey, usize>,
+    /// PIM side: labelled edge -> position within the row's cols_vector.
+    elem_position_map: HashMap<LabeledEdgeKey, usize>,
     /// PIM side: row -> free positions inside its cols_vector.
     free_list_map: HashMap<NodeId, Vec<usize>>,
     /// Number of live edges across all rows.
@@ -104,15 +118,14 @@ impl HeterogeneousStorage {
     /// Installs a complete row (used when a node is promoted to the host).
     ///
     /// Returns the cost of building the auxiliary PIM-side maps.
-    pub fn install_row(&mut self, row: NodeId, next_hops: Vec<NodeId>) -> UpdateCost {
+    pub fn install_row(&mut self, row: NodeId, next_hops: Vec<(NodeId, Label)>) -> UpdateCost {
         let mut cost = UpdateCost::default();
         // Drop any previous contents of the row.
         if let Some(old) = self.cols.remove(&row) {
-            for (pos, &dst) in old.slots.iter().enumerate() {
+            for &(dst, label) in &old.slots {
                 if dst != FREE_SLOT {
-                    self.elem_position_map.remove(&(row, dst));
+                    self.elem_position_map.remove(&(row, dst, label));
                     cost.pim_mutations += 1;
-                    let _ = pos;
                 }
             }
             self.edge_count -= old.live;
@@ -120,14 +133,15 @@ impl HeterogeneousStorage {
         self.free_list_map.remove(&row);
 
         let mut slots = Vec::with_capacity(next_hops.len());
-        for dst in next_hops {
-            if self.elem_position_map.contains_key(&(row, dst)) {
+        for (dst, label) in next_hops {
+            if self.elem_position_map.contains_key(&(row, dst, label)) {
                 continue; // duplicate within the provided row
             }
             let pos = slots.len();
-            slots.push(dst);
-            self.elem_position_map.insert((row, dst), pos);
+            slots.push((dst, label));
+            self.elem_position_map.insert((row, dst, label), pos);
             cost.pim_mutations += 1;
+            cost.host_bytes_written += label_slot_bytes(label);
         }
         let live = slots.len();
         cost.host_bytes_written += (live * std::mem::size_of::<NodeId>()) as u64;
@@ -136,15 +150,15 @@ impl HeterogeneousStorage {
         cost
     }
 
-    /// Removes a row entirely and returns its live next-hops (used when a node
-    /// is demoted back to a PIM module).
-    pub fn take_row(&mut self, row: NodeId) -> Option<Vec<NodeId>> {
+    /// Removes a row entirely and returns its live labelled next-hops (used
+    /// when a node is demoted back to a PIM module).
+    pub fn take_row(&mut self, row: NodeId) -> Option<Vec<(NodeId, Label)>> {
         let cols = self.cols.remove(&row)?;
         let mut hops = Vec::with_capacity(cols.live);
-        for &dst in &cols.slots {
+        for &(dst, label) in &cols.slots {
             if dst != FREE_SLOT {
-                self.elem_position_map.remove(&(row, dst));
-                hops.push(dst);
+                self.elem_position_map.remove(&(row, dst, label));
+                hops.push((dst, label));
             }
         }
         self.free_list_map.remove(&row);
@@ -152,14 +166,14 @@ impl HeterogeneousStorage {
         Some(hops)
     }
 
-    /// Inserts an edge following the paper's four-step protocol:
+    /// Inserts a labelled edge following the paper's four-step protocol:
     /// existence check (PIM), free-slot allocation (PIM), position-map update
     /// (PIM), and a single host write into `cols_vector`.
-    pub fn insert_edge(&mut self, src: NodeId, dst: NodeId) -> UpdateOutcome {
+    pub fn insert_edge(&mut self, src: NodeId, dst: NodeId, label: Label) -> UpdateOutcome {
         let mut cost = UpdateCost::default();
         // Step 1: PIM-side existence check.
         cost.pim_lookups += 1;
-        if self.elem_position_map.contains_key(&(src, dst)) {
+        if self.elem_position_map.contains_key(&(src, dst, label)) {
             return UpdateOutcome { changed: false, cost };
         }
         let cols = self.cols.entry(src).or_default();
@@ -172,32 +186,33 @@ impl HeterogeneousStorage {
             }
             None => {
                 // Grow the cols_vector; the host appends a slot.
-                cols.slots.push(FREE_SLOT);
+                cols.slots.push((FREE_SLOT, Label::ANY));
                 cols.slots.len() - 1
             }
         };
         // Step 3: PIM-side position-map update.
-        self.elem_position_map.insert((src, dst), pos);
+        self.elem_position_map.insert((src, dst, label), pos);
         cost.pim_mutations += 1;
-        // Step 4: host writes the NodeId into the slot.
-        cols.slots[pos] = dst;
+        // Step 4: host writes the slot (id array, plus the label array for
+        // non-default labels).
+        cols.slots[pos] = (dst, label);
         cols.live += 1;
-        cost.host_bytes_written += std::mem::size_of::<NodeId>() as u64;
+        cost.host_bytes_written += std::mem::size_of::<NodeId>() as u64 + label_slot_bytes(label);
         self.edge_count += 1;
         UpdateOutcome { changed: true, cost }
     }
 
-    /// Deletes an edge: the PIM side locates the slot and returns it to the
-    /// free list, the host overwrites the slot with the free marker.
-    pub fn delete_edge(&mut self, src: NodeId, dst: NodeId) -> UpdateOutcome {
+    /// Deletes a labelled edge: the PIM side locates the slot and returns it
+    /// to the free list, the host overwrites the slot with the free marker.
+    pub fn delete_edge(&mut self, src: NodeId, dst: NodeId, label: Label) -> UpdateOutcome {
         let mut cost = UpdateCost::default();
         cost.pim_lookups += 1;
-        let Some(pos) = self.elem_position_map.remove(&(src, dst)) else {
+        let Some(pos) = self.elem_position_map.remove(&(src, dst, label)) else {
             return UpdateOutcome { changed: false, cost };
         };
         cost.pim_mutations += 1;
         let cols = self.cols.get_mut(&src).expect("row must exist for a mapped edge");
-        cols.slots[pos] = FREE_SLOT;
+        cols.slots[pos] = (FREE_SLOT, Label::ANY);
         cols.live -= 1;
         cost.host_bytes_written += std::mem::size_of::<NodeId>() as u64;
         self.free_list_map.entry(src).or_default().push(pos);
@@ -206,9 +221,9 @@ impl HeterogeneousStorage {
         UpdateOutcome { changed: true, cost }
     }
 
-    /// Returns `true` if the edge exists (PIM-side lookup).
-    pub fn has_edge(&self, src: NodeId, dst: NodeId) -> bool {
-        self.elem_position_map.contains_key(&(src, dst))
+    /// Returns `true` if the labelled edge exists (PIM-side lookup).
+    pub fn has_edge(&self, src: NodeId, dst: NodeId, label: Label) -> bool {
+        self.elem_position_map.contains_key(&(src, dst, label))
     }
 
     /// Returns `true` if a row is stored for `src`.
@@ -216,27 +231,31 @@ impl HeterogeneousStorage {
         self.cols.contains_key(&src)
     }
 
-    /// Live next-hops of `src` (host-side sequential read).
-    pub fn neighbors(&self, src: NodeId) -> Vec<NodeId> {
+    /// Live labelled next-hops of `src` (host-side sequential read).
+    pub fn neighbors(&self, src: NodeId) -> Vec<(NodeId, Label)> {
         self.neighbors_iter(src).collect()
     }
 
-    /// Iterates the live next-hops of `src` (slot order) without
+    /// Iterates the live labelled next-hops of `src` (slot order) without
     /// materialising them — the query hop loop scans hub rows this way.
-    pub fn neighbors_iter(&self, src: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+    pub fn neighbors_iter(&self, src: NodeId) -> impl Iterator<Item = (NodeId, Label)> + '_ {
         self.cols
             .get(&src)
             .into_iter()
-            .flat_map(|c| c.slots.iter().copied().filter(|&d| d != FREE_SLOT))
+            .flat_map(|c| c.slots.iter().copied().filter(|&(d, _)| d != FREE_SLOT))
     }
 
-    /// Bytes the host reads to fetch the full row of `src` (one contiguous
-    /// fetch over the whole `cols_vector`, including free slots).
+    /// Bytes the host reads to fetch the id array of `src`'s row (one
+    /// contiguous fetch over the whole `cols_vector`, including free slots;
+    /// the parallel label array is charged separately via
+    /// [`HeterogeneousStorage::slot_count`] when a scan is label-constrained).
     pub fn row_bytes(&self, src: NodeId) -> u64 {
-        self.cols
-            .get(&src)
-            .map(|c| (c.slots.len() * std::mem::size_of::<NodeId>()) as u64)
-            .unwrap_or(0)
+        (self.slot_count(src) * std::mem::size_of::<NodeId>()) as u64
+    }
+
+    /// Number of slots (live + free) in `src`'s `cols_vector`.
+    pub fn slot_count(&self, src: NodeId) -> usize {
+        self.cols.get(&src).map(|c| c.slots.len()).unwrap_or(0)
     }
 
     /// Live out-degree of `src`.
@@ -258,16 +277,18 @@ impl HeterogeneousStorage {
     ///
     /// Derived from the incrementally maintained edge counter, so the query
     /// engine can charge host random accesses against the resident set size
-    /// without iterating every row per query.
+    /// without iterating every row per query. Counts the 8-byte id arrays
+    /// (the structures random accesses chase); label arrays are charged at
+    /// scan time.
     pub fn live_bytes(&self) -> u64 {
         (self.edge_count * std::mem::size_of::<NodeId>()) as u64
     }
 
-    /// Iterates over rows as `(row, live next-hops)`.
-    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Vec<NodeId>)> + '_ {
+    /// Iterates over rows as `(row, live labelled next-hops)`.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Vec<(NodeId, Label)>)> + '_ {
         self.cols
             .iter()
-            .map(|(&r, c)| (r, c.slots.iter().copied().filter(|&d| d != FREE_SLOT).collect()))
+            .map(|(&r, c)| (r, c.slots.iter().copied().filter(|&(d, _)| d != FREE_SLOT).collect()))
     }
 
     /// Validates internal consistency between the host-side `cols_vector`s and
@@ -281,12 +302,12 @@ impl HeterogeneousStorage {
         let mut live_total = 0usize;
         for (&row, cols) in &self.cols {
             let mut live = 0usize;
-            for (pos, &dst) in cols.slots.iter().enumerate() {
+            for (pos, &(dst, label)) in cols.slots.iter().enumerate() {
                 if dst == FREE_SLOT {
                     continue;
                 }
                 live += 1;
-                match self.elem_position_map.get(&(row, dst)) {
+                match self.elem_position_map.get(&(row, dst, label)) {
                     Some(&p) if p == pos => {}
                     _ => return Err(GraphStoreError::EdgeNotFound(row, dst)),
                 }
@@ -297,7 +318,7 @@ impl HeterogeneousStorage {
             live_total += live;
             if let Some(free) = self.free_list_map.get(&row) {
                 for &pos in free {
-                    if pos >= cols.slots.len() || cols.slots[pos] != FREE_SLOT {
+                    if pos >= cols.slots.len() || cols.slots[pos].0 != FREE_SLOT {
                         return Err(GraphStoreError::NodeNotFound(row));
                     }
                 }
@@ -314,16 +335,18 @@ impl HeterogeneousStorage {
 mod tests {
     use super::*;
 
+    const ANY: Label = Label::ANY;
+
     #[test]
     fn insert_appends_then_reuses_free_slots() {
         let mut s = HeterogeneousStorage::new();
-        assert!(s.insert_edge(NodeId(1), NodeId(5)).changed);
-        assert!(s.insert_edge(NodeId(1), NodeId(6)).changed);
-        assert!(s.delete_edge(NodeId(1), NodeId(5)).changed);
+        assert!(s.insert_edge(NodeId(1), NodeId(5), ANY).changed);
+        assert!(s.insert_edge(NodeId(1), NodeId(6), ANY).changed);
+        assert!(s.delete_edge(NodeId(1), NodeId(5), ANY).changed);
         // The freed slot (position 0) must be reused by the next insert.
-        assert!(s.insert_edge(NodeId(1), NodeId(7)).changed);
+        assert!(s.insert_edge(NodeId(1), NodeId(7), ANY).changed);
         assert_eq!(s.row_bytes(NodeId(1)), 16); // still only two slots
-        let mut n = s.neighbors(NodeId(1));
+        let mut n: Vec<NodeId> = s.neighbors(NodeId(1)).into_iter().map(|(d, _)| d).collect();
         n.sort();
         assert_eq!(n, vec![NodeId(6), NodeId(7)]);
         s.check_invariants().unwrap();
@@ -332,8 +355,8 @@ mod tests {
     #[test]
     fn duplicate_insert_only_costs_a_pim_lookup() {
         let mut s = HeterogeneousStorage::new();
-        s.insert_edge(NodeId(1), NodeId(2));
-        let outcome = s.insert_edge(NodeId(1), NodeId(2));
+        s.insert_edge(NodeId(1), NodeId(2), ANY);
+        let outcome = s.insert_edge(NodeId(1), NodeId(2), ANY);
         assert!(!outcome.changed);
         assert_eq!(outcome.cost.host_bytes_written, 0);
         assert_eq!(outcome.cost.pim_lookups, 1);
@@ -341,9 +364,35 @@ mod tests {
     }
 
     #[test]
+    fn labelled_insert_charges_the_label_array_write() {
+        let mut s = HeterogeneousStorage::new();
+        // Default label: id array only (byte-identical to the unlabelled path).
+        assert_eq!(s.insert_edge(NodeId(1), NodeId(2), ANY).cost.host_bytes_written, 8);
+        // Non-default label: id array + 2-byte label array entry, matching the
+        // PIM local store's MRAM-write accounting.
+        assert_eq!(s.insert_edge(NodeId(1), NodeId(3), Label(5)).cost.host_bytes_written, 10);
+        let install = s.install_row(NodeId(9), vec![(NodeId(1), ANY), (NodeId(2), Label(3))]);
+        assert_eq!(install.host_bytes_written, 16 + 2);
+    }
+
+    #[test]
+    fn same_pair_under_a_new_label_is_a_distinct_edge() {
+        let mut s = HeterogeneousStorage::new();
+        assert!(s.insert_edge(NodeId(1), NodeId(2), Label(1)).changed);
+        assert!(s.insert_edge(NodeId(1), NodeId(2), Label(2)).changed);
+        assert_eq!(s.edge_count(), 2);
+        assert!(s.has_edge(NodeId(1), NodeId(2), Label(1)));
+        assert!(!s.has_edge(NodeId(1), NodeId(2), Label(3)));
+        assert!(s.delete_edge(NodeId(1), NodeId(2), Label(1)).changed);
+        assert!(!s.delete_edge(NodeId(1), NodeId(2), Label(1)).changed);
+        assert_eq!(s.out_degree(NodeId(1)), 1);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
     fn delete_missing_edge_is_a_noop() {
         let mut s = HeterogeneousStorage::new();
-        let outcome = s.delete_edge(NodeId(3), NodeId(4));
+        let outcome = s.delete_edge(NodeId(3), NodeId(4), ANY);
         assert!(!outcome.changed);
         assert_eq!(s.edge_count(), 0);
     }
@@ -351,7 +400,7 @@ mod tests {
     #[test]
     fn insert_cost_splits_work_between_sides() {
         let mut s = HeterogeneousStorage::new();
-        let outcome = s.insert_edge(NodeId(1), NodeId(2));
+        let outcome = s.insert_edge(NodeId(1), NodeId(2), ANY);
         // Host does exactly one 8-byte write; PIM does the lookups/updates.
         assert_eq!(outcome.cost.host_bytes_written, 8);
         assert!(outcome.cost.pim_lookups >= 2);
@@ -361,13 +410,13 @@ mod tests {
     #[test]
     fn install_and_take_row_roundtrip() {
         let mut s = HeterogeneousStorage::new();
-        s.install_row(NodeId(9), vec![NodeId(1), NodeId(2), NodeId(3)]);
+        s.install_row(NodeId(9), vec![(NodeId(1), ANY), (NodeId(2), Label(3)), (NodeId(3), ANY)]);
         assert_eq!(s.out_degree(NodeId(9)), 3);
         assert_eq!(s.edge_count(), 3);
         s.check_invariants().unwrap();
         let mut row = s.take_row(NodeId(9)).unwrap();
         row.sort();
-        assert_eq!(row, vec![NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(row, vec![(NodeId(1), ANY), (NodeId(2), Label(3)), (NodeId(3), ANY)]);
         assert_eq!(s.edge_count(), 0);
         assert!(s.take_row(NodeId(9)).is_none());
     }
@@ -375,18 +424,18 @@ mod tests {
     #[test]
     fn install_row_replaces_previous_contents() {
         let mut s = HeterogeneousStorage::new();
-        s.install_row(NodeId(1), vec![NodeId(2), NodeId(3)]);
-        s.install_row(NodeId(1), vec![NodeId(4)]);
-        assert_eq!(s.neighbors(NodeId(1)), vec![NodeId(4)]);
+        s.install_row(NodeId(1), vec![(NodeId(2), ANY), (NodeId(3), ANY)]);
+        s.install_row(NodeId(1), vec![(NodeId(4), ANY)]);
+        assert_eq!(s.neighbors(NodeId(1)), vec![(NodeId(4), ANY)]);
         assert_eq!(s.edge_count(), 1);
-        assert!(!s.has_edge(NodeId(1), NodeId(2)));
+        assert!(!s.has_edge(NodeId(1), NodeId(2), ANY));
         s.check_invariants().unwrap();
     }
 
     #[test]
     fn install_row_ignores_duplicates_in_input() {
         let mut s = HeterogeneousStorage::new();
-        s.install_row(NodeId(1), vec![NodeId(2), NodeId(2), NodeId(3)]);
+        s.install_row(NodeId(1), vec![(NodeId(2), ANY), (NodeId(2), ANY), (NodeId(3), ANY)]);
         assert_eq!(s.out_degree(NodeId(1)), 2);
         s.check_invariants().unwrap();
     }
@@ -396,23 +445,26 @@ mod tests {
         // Paper Figure 3: inserting edge <1, 2>: the free list hands out a
         // position, the position map records it, the host writes one slot.
         let mut s = HeterogeneousStorage::new();
-        s.install_row(NodeId(1), vec![NodeId(5), NodeId(6), NodeId(7), NodeId(4)]);
-        s.delete_edge(NodeId(1), NodeId(6)).changed.then_some(()).unwrap();
+        s.install_row(
+            NodeId(1),
+            vec![(NodeId(5), ANY), (NodeId(6), ANY), (NodeId(7), ANY), (NodeId(4), ANY)],
+        );
+        s.delete_edge(NodeId(1), NodeId(6), ANY).changed.then_some(()).unwrap();
         let before_bytes = s.row_bytes(NodeId(1));
-        let outcome = s.insert_edge(NodeId(1), NodeId(2));
+        let outcome = s.insert_edge(NodeId(1), NodeId(2), ANY);
         assert!(outcome.changed);
         assert_eq!(outcome.cost.host_bytes_written, 8);
         assert_eq!(s.row_bytes(NodeId(1)), before_bytes); // slot reused, no growth
-        assert!(s.has_edge(NodeId(1), NodeId(2)));
+        assert!(s.has_edge(NodeId(1), NodeId(2), ANY));
         s.check_invariants().unwrap();
     }
 
     #[test]
     fn live_bytes_tracks_the_full_iteration() {
         let mut s = HeterogeneousStorage::new();
-        s.install_row(NodeId(1), vec![NodeId(2), NodeId(3)]);
-        s.insert_edge(NodeId(4), NodeId(5));
-        s.delete_edge(NodeId(1), NodeId(2));
+        s.install_row(NodeId(1), vec![(NodeId(2), ANY), (NodeId(3), ANY)]);
+        s.insert_edge(NodeId(4), NodeId(5), ANY);
+        s.delete_edge(NodeId(1), NodeId(2), ANY);
         let iterated: u64 = s.iter().map(|(_, hops)| hops.len() as u64 * 8).sum();
         assert_eq!(s.live_bytes(), iterated);
         assert_eq!(s.live_bytes(), 16);
@@ -421,8 +473,8 @@ mod tests {
     #[test]
     fn iter_reports_live_rows() {
         let mut s = HeterogeneousStorage::new();
-        s.install_row(NodeId(1), vec![NodeId(2)]);
-        s.install_row(NodeId(3), vec![NodeId(4), NodeId(5)]);
+        s.install_row(NodeId(1), vec![(NodeId(2), ANY)]);
+        s.install_row(NodeId(3), vec![(NodeId(4), ANY), (NodeId(5), ANY)]);
         let mut rows: Vec<_> = s.iter().map(|(r, hops)| (r, hops.len())).collect();
         rows.sort();
         assert_eq!(rows, vec![(NodeId(1), 1), (NodeId(3), 2)]);

@@ -138,9 +138,15 @@ impl From<u16> for Label {
 }
 
 /// A directed edge expressed as a `(source, destination)` pair.
-///
-/// Used as the key of the heterogeneous storage's `elem_position_map`.
 pub type EdgeKey = (NodeId, NodeId);
+
+/// A directed labelled edge expressed as a `(source, destination, label)`
+/// triple.
+///
+/// Used as the key of the heterogeneous storage's `elem_position_map`: the
+/// same node pair may be connected under several labels, and each such edge
+/// occupies its own slot.
+pub type LabeledEdgeKey = (NodeId, NodeId, Label);
 
 #[cfg(test)]
 mod tests {

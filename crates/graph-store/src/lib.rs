@@ -9,8 +9,8 @@
 //!   logical "whole graph" view used by generators and baselines.
 //! * [`csr`] — an immutable compressed-sparse-row snapshot for analytics.
 //! * [`local`] — the per-PIM-module *local graph storage*: a hash map from row
-//!   id (NodeId) to row data (next-hop NodeIds), exactly as described in
-//!   Section 3.1 of the paper.
+//!   id (NodeId) to row data (labelled next-hop pairs), exactly as described
+//!   in Section 3.1 of the paper.
 //! * [`heterogeneous`] — the *heterogeneous graph storage* of Section 3.3 for
 //!   high-degree nodes kept on the host: a contiguous `cols_vector` on the
 //!   host plus `elem_position_map` / `free_list_map` hash maps on the PIM side.
@@ -46,7 +46,7 @@ pub use csr::CsrGraph;
 pub use degree::{DegreeTracker, HIGH_DEGREE_THRESHOLD};
 pub use error::GraphStoreError;
 pub use heterogeneous::{HeterogeneousStorage, UpdateCost, UpdateOutcome};
-pub use ids::{Label, NodeId, PartitionId};
+pub use ids::{EdgeKey, Label, LabeledEdgeKey, NodeId, PartitionId};
 pub use local::LocalGraphStorage;
 pub use property::{PropertyGraph, PropertyValue};
 

@@ -6,37 +6,49 @@
 //! scalability on the wimpy PIM cores. [`LocalGraphStorage`] reproduces that
 //! structure and additionally tracks the resident bytes so the simulator can
 //! enforce the 64 MB MRAM capacity of an UPMEM module.
+//!
+//! Rows carry the property-graph edge label alongside each next-hop id, so
+//! regular path queries can match label constraints inside the module without
+//! a second lookup structure. Conceptually the row is stored
+//! struct-of-arrays: an 8-byte id array that plain k-hop traversals stream,
+//! and a 2-byte label array that only label-constrained scans touch — the
+//! cost model charges the two arrays separately.
 
 use crate::error::GraphStoreError;
-use crate::ids::NodeId;
+use crate::ids::{Label, NodeId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Hash-map based adjacency-matrix segment held by one PIM module.
 ///
-/// Rows are kept **sorted** (strictly ascending next-hop ids): duplicate
-/// detection on insert and the membership test on delete are binary searches
-/// instead of linear scans, and rows migrated between modules can be
-/// installed without re-normalising them.
+/// Rows are kept **sorted** (strictly ascending `(next-hop, label)` pairs):
+/// duplicate detection on insert and the membership test on delete are binary
+/// searches instead of linear scans, and rows migrated between modules can be
+/// installed without re-normalising them. The same node pair may appear with
+/// several distinct labels (one boolean adjacency matrix per label).
 ///
 /// # Examples
 ///
 /// ```
-/// use graph_store::{LocalGraphStorage, NodeId};
+/// use graph_store::{Label, LocalGraphStorage, NodeId};
 ///
 /// let mut s = LocalGraphStorage::new();
-/// s.insert_edge(NodeId(4), NodeId(9))?;
-/// s.insert_edge(NodeId(4), NodeId(7))?;
-/// assert_eq!(s.row(NodeId(4)).unwrap(), &[NodeId(7), NodeId(9)]);
+/// s.insert_edge(NodeId(4), NodeId(9), Label::ANY)?;
+/// s.insert_edge(NodeId(4), NodeId(7), Label(2))?;
+/// assert_eq!(s.row(NodeId(4)).unwrap(), &[(NodeId(7), Label(2)), (NodeId(9), Label::ANY)]);
 /// assert_eq!(s.edge_count(), 2);
 /// # Ok::<(), graph_store::GraphStoreError>(())
 /// ```
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct LocalGraphStorage {
-    rows: HashMap<NodeId, Vec<NodeId>>,
+    rows: HashMap<NodeId, Vec<(NodeId, Label)>>,
     edge_count: usize,
     capacity_bytes: Option<u64>,
 }
+
+/// Modeled MRAM bytes per stored edge: an 8-byte next-hop id plus a 2-byte
+/// label in the row's parallel label array.
+const EDGE_SLOT_BYTES: u64 = (std::mem::size_of::<NodeId>() + std::mem::size_of::<Label>()) as u64;
 
 impl LocalGraphStorage {
     /// Creates an empty segment without a capacity limit.
@@ -54,42 +66,54 @@ impl LocalGraphStorage {
         }
     }
 
-    /// Inserts a directed edge into the row of `src`.
+    /// Inserts a directed labelled edge into the row of `src`.
     ///
-    /// Duplicate edges are ignored (the adjacency matrix is boolean) and
-    /// reported via [`GraphStoreError::DuplicateEdge`].
+    /// Duplicate edges are ignored (each per-label adjacency matrix is
+    /// boolean) and reported via [`GraphStoreError::DuplicateEdge`].
     ///
     /// # Errors
     ///
     /// Returns [`GraphStoreError::CapacityExceeded`] when the insertion would
     /// overflow the configured MRAM capacity, and
     /// [`GraphStoreError::DuplicateEdge`] when the edge already exists.
-    pub fn insert_edge(&mut self, src: NodeId, dst: NodeId) -> Result<(), GraphStoreError> {
+    pub fn insert_edge(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        label: Label,
+    ) -> Result<(), GraphStoreError> {
         if let Some(cap) = self.capacity_bytes {
-            let needed = self.resident_bytes() + std::mem::size_of::<NodeId>() as u64;
+            let needed = self.resident_bytes() + EDGE_SLOT_BYTES;
             if needed > cap {
                 return Err(GraphStoreError::CapacityExceeded { required: needed, capacity: cap });
             }
         }
         let row = self.rows.entry(src).or_default();
-        match row.binary_search(&dst) {
+        match row.binary_search(&(dst, label)) {
             Ok(_) => Err(GraphStoreError::DuplicateEdge(src, dst)),
             Err(pos) => {
-                row.insert(pos, dst);
+                row.insert(pos, (dst, label));
                 self.edge_count += 1;
                 Ok(())
             }
         }
     }
 
-    /// Removes a directed edge from the row of `src`.
+    /// Removes a directed labelled edge from the row of `src`.
     ///
     /// # Errors
     ///
     /// Returns [`GraphStoreError::EdgeNotFound`] when the edge is absent.
-    pub fn remove_edge(&mut self, src: NodeId, dst: NodeId) -> Result<(), GraphStoreError> {
+    pub fn remove_edge(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        label: Label,
+    ) -> Result<(), GraphStoreError> {
         let row = self.rows.get_mut(&src).ok_or(GraphStoreError::EdgeNotFound(src, dst))?;
-        let pos = row.binary_search(&dst).map_err(|_| GraphStoreError::EdgeNotFound(src, dst))?;
+        let pos = row
+            .binary_search(&(dst, label))
+            .map_err(|_| GraphStoreError::EdgeNotFound(src, dst))?;
         row.remove(pos);
         self.edge_count -= 1;
         if row.is_empty() {
@@ -98,9 +122,9 @@ impl LocalGraphStorage {
         Ok(())
     }
 
-    /// Returns the row (next-hop NodeIds, ascending) for `src`, if stored
-    /// locally.
-    pub fn row(&self, src: NodeId) -> Option<&[NodeId]> {
+    /// Returns the row (`(next-hop, label)` pairs, ascending) for `src`, if
+    /// stored locally.
+    pub fn row(&self, src: NodeId) -> Option<&[(NodeId, Label)]> {
         self.rows.get(&src).map(Vec::as_slice)
     }
 
@@ -109,9 +133,9 @@ impl LocalGraphStorage {
         self.rows.contains_key(&src)
     }
 
-    /// Removes an entire row and returns its next-hop data, strictly sorted
-    /// (used when a node is migrated to another computing node).
-    pub fn take_row(&mut self, src: NodeId) -> Option<Vec<NodeId>> {
+    /// Removes an entire row and returns its labelled next-hop data, strictly
+    /// sorted (used when a node is migrated to another computing node).
+    pub fn take_row(&mut self, src: NodeId) -> Option<Vec<(NodeId, Label)>> {
         let row = self.rows.remove(&src);
         if let Some(ref r) = row {
             self.edge_count -= r.len();
@@ -125,7 +149,7 @@ impl LocalGraphStorage {
     /// [`LocalGraphStorage::take_row`] are already strictly sorted, so the
     /// common migration path skips normalisation entirely; unsorted input is
     /// still accepted and normalised.
-    pub fn install_row(&mut self, src: NodeId, mut next_hops: Vec<NodeId>) {
+    pub fn install_row(&mut self, src: NodeId, mut next_hops: Vec<(NodeId, Label)>) {
         if !next_hops.windows(2).all(|w| w[0] < w[1]) {
             next_hops.sort();
             next_hops.dedup();
@@ -152,16 +176,17 @@ impl LocalGraphStorage {
     }
 
     /// Iterates over the locally stored rows in arbitrary order.
-    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &[NodeId])> + '_ {
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &[(NodeId, Label)])> + '_ {
         self.rows.iter().map(|(&n, v)| (n, v.as_slice()))
     }
 
     /// Approximate bytes resident in MRAM for this segment.
     ///
-    /// Counts 8 bytes per stored next-hop id plus 16 bytes of hash-map entry
-    /// overhead per row, a close-enough model for capacity enforcement.
+    /// Counts 8 bytes of next-hop id plus 2 bytes of label per stored edge,
+    /// and 16 bytes of hash-map entry overhead per row — a close-enough model
+    /// for capacity enforcement.
     pub fn resident_bytes(&self) -> u64 {
-        let edge_bytes = self.edge_count as u64 * std::mem::size_of::<NodeId>() as u64;
+        let edge_bytes = self.edge_count as u64 * EDGE_SLOT_BYTES;
         let row_overhead = self.rows.len() as u64 * 16;
         edge_bytes + row_overhead
     }
@@ -176,45 +201,61 @@ impl LocalGraphStorage {
 mod tests {
     use super::*;
 
+    const ANY: Label = Label::ANY;
+
     #[test]
     fn insert_and_lookup_rows() {
         let mut s = LocalGraphStorage::new();
-        s.insert_edge(NodeId(1), NodeId(2)).unwrap();
-        s.insert_edge(NodeId(1), NodeId(3)).unwrap();
-        s.insert_edge(NodeId(2), NodeId(1)).unwrap();
+        s.insert_edge(NodeId(1), NodeId(2), ANY).unwrap();
+        s.insert_edge(NodeId(1), NodeId(3), ANY).unwrap();
+        s.insert_edge(NodeId(2), NodeId(1), ANY).unwrap();
         assert_eq!(s.row_count(), 2);
         assert_eq!(s.edge_count(), 3);
-        assert_eq!(s.row(NodeId(1)).unwrap(), &[NodeId(2), NodeId(3)]);
+        assert_eq!(s.row(NodeId(1)).unwrap(), &[(NodeId(2), ANY), (NodeId(3), ANY)]);
         assert!(s.row(NodeId(9)).is_none());
     }
 
     #[test]
     fn duplicate_insert_is_an_error() {
         let mut s = LocalGraphStorage::new();
-        s.insert_edge(NodeId(1), NodeId(2)).unwrap();
-        let err = s.insert_edge(NodeId(1), NodeId(2)).unwrap_err();
+        s.insert_edge(NodeId(1), NodeId(2), ANY).unwrap();
+        let err = s.insert_edge(NodeId(1), NodeId(2), ANY).unwrap_err();
         assert_eq!(err, GraphStoreError::DuplicateEdge(NodeId(1), NodeId(2)));
         assert_eq!(s.edge_count(), 1);
     }
 
     #[test]
+    fn same_pair_with_another_label_is_a_new_edge() {
+        let mut s = LocalGraphStorage::new();
+        s.insert_edge(NodeId(1), NodeId(2), Label(1)).unwrap();
+        s.insert_edge(NodeId(1), NodeId(2), Label(2)).unwrap();
+        assert_eq!(s.edge_count(), 2);
+        assert_eq!(s.row(NodeId(1)).unwrap(), &[(NodeId(2), Label(1)), (NodeId(2), Label(2))]);
+        s.remove_edge(NodeId(1), NodeId(2), Label(1)).unwrap();
+        assert_eq!(s.row(NodeId(1)).unwrap(), &[(NodeId(2), Label(2))]);
+    }
+
+    #[test]
     fn remove_edge_and_row_cleanup() {
         let mut s = LocalGraphStorage::new();
-        s.insert_edge(NodeId(1), NodeId(2)).unwrap();
-        s.remove_edge(NodeId(1), NodeId(2)).unwrap();
+        s.insert_edge(NodeId(1), NodeId(2), ANY).unwrap();
+        s.remove_edge(NodeId(1), NodeId(2), ANY).unwrap();
         assert!(!s.contains_row(NodeId(1)));
         assert_eq!(s.edge_count(), 0);
         assert!(matches!(
-            s.remove_edge(NodeId(1), NodeId(2)),
+            s.remove_edge(NodeId(1), NodeId(2), ANY),
             Err(GraphStoreError::EdgeNotFound(_, _))
         ));
+        // Removing a present pair under the wrong label is also not found.
+        s.insert_edge(NodeId(1), NodeId(2), Label(3)).unwrap();
+        assert!(s.remove_edge(NodeId(1), NodeId(2), Label(4)).is_err());
     }
 
     #[test]
     fn capacity_is_enforced() {
         let mut s = LocalGraphStorage::with_capacity_bytes(30);
-        s.insert_edge(NodeId(0), NodeId(1)).unwrap(); // 8 + 16 = 24 bytes
-        let err = s.insert_edge(NodeId(0), NodeId(2)).unwrap_err();
+        s.insert_edge(NodeId(0), NodeId(1), ANY).unwrap(); // 10 + 16 = 26 bytes
+        let err = s.insert_edge(NodeId(0), NodeId(2), ANY).unwrap_err();
         assert!(matches!(err, GraphStoreError::CapacityExceeded { .. }));
         assert_eq!(s.edge_count(), 1);
     }
@@ -222,24 +263,24 @@ mod tests {
     #[test]
     fn take_and_install_row_preserve_edge_count() {
         let mut a = LocalGraphStorage::new();
-        a.insert_edge(NodeId(5), NodeId(6)).unwrap();
-        a.insert_edge(NodeId(5), NodeId(7)).unwrap();
+        a.insert_edge(NodeId(5), NodeId(6), ANY).unwrap();
+        a.insert_edge(NodeId(5), NodeId(7), Label(1)).unwrap();
         let row = a.take_row(NodeId(5)).unwrap();
         assert_eq!(a.edge_count(), 0);
 
         let mut b = LocalGraphStorage::new();
         b.install_row(NodeId(5), row);
         assert_eq!(b.edge_count(), 2);
-        assert_eq!(b.row(NodeId(5)).unwrap(), &[NodeId(6), NodeId(7)]);
+        assert_eq!(b.row(NodeId(5)).unwrap(), &[(NodeId(6), ANY), (NodeId(7), Label(1))]);
     }
 
     #[test]
     fn install_row_dedups_and_replaces() {
         let mut s = LocalGraphStorage::new();
-        s.install_row(NodeId(1), vec![NodeId(3), NodeId(2), NodeId(3)]);
-        assert_eq!(s.row(NodeId(1)).unwrap(), &[NodeId(2), NodeId(3)]);
+        s.install_row(NodeId(1), vec![(NodeId(3), ANY), (NodeId(2), ANY), (NodeId(3), ANY)]);
+        assert_eq!(s.row(NodeId(1)).unwrap(), &[(NodeId(2), ANY), (NodeId(3), ANY)]);
         assert_eq!(s.edge_count(), 2);
-        s.install_row(NodeId(1), vec![NodeId(9)]);
+        s.install_row(NodeId(1), vec![(NodeId(9), ANY)]);
         assert_eq!(s.edge_count(), 1);
     }
 
@@ -247,26 +288,21 @@ mod tests {
     fn rows_stay_sorted_under_churn() {
         let mut s = LocalGraphStorage::new();
         for dst in [9u64, 3, 7, 1, 5] {
-            s.insert_edge(NodeId(0), NodeId(dst)).unwrap();
+            s.insert_edge(NodeId(0), NodeId(dst), ANY).unwrap();
         }
-        assert_eq!(
-            s.row(NodeId(0)).unwrap(),
-            &[NodeId(1), NodeId(3), NodeId(5), NodeId(7), NodeId(9)]
-        );
-        s.remove_edge(NodeId(0), NodeId(5)).unwrap();
-        assert_eq!(s.row(NodeId(0)).unwrap(), &[NodeId(1), NodeId(3), NodeId(7), NodeId(9)]);
-        s.insert_edge(NodeId(0), NodeId(4)).unwrap();
-        assert_eq!(
-            s.row(NodeId(0)).unwrap(),
-            &[NodeId(1), NodeId(3), NodeId(4), NodeId(7), NodeId(9)]
-        );
+        let dsts: Vec<u64> = s.row(NodeId(0)).unwrap().iter().map(|&(d, _)| d.0).collect();
+        assert_eq!(dsts, vec![1, 3, 5, 7, 9]);
+        s.remove_edge(NodeId(0), NodeId(5), ANY).unwrap();
+        s.insert_edge(NodeId(0), NodeId(4), ANY).unwrap();
+        let dsts: Vec<u64> = s.row(NodeId(0)).unwrap().iter().map(|&(d, _)| d.0).collect();
+        assert_eq!(dsts, vec![1, 3, 4, 7, 9]);
     }
 
     #[test]
     fn install_row_accepts_presorted_input_unchanged() {
         let mut s = LocalGraphStorage::new();
-        s.install_row(NodeId(2), vec![NodeId(1), NodeId(4), NodeId(8)]);
-        assert_eq!(s.row(NodeId(2)).unwrap(), &[NodeId(1), NodeId(4), NodeId(8)]);
+        s.install_row(NodeId(2), vec![(NodeId(1), ANY), (NodeId(4), ANY), (NodeId(8), ANY)]);
+        assert_eq!(s.row(NodeId(2)).unwrap().len(), 3);
         assert_eq!(s.edge_count(), 3);
     }
 
@@ -274,7 +310,7 @@ mod tests {
     fn resident_bytes_reflects_contents() {
         let mut s = LocalGraphStorage::new();
         assert_eq!(s.resident_bytes(), 0);
-        s.insert_edge(NodeId(0), NodeId(1)).unwrap();
-        assert_eq!(s.resident_bytes(), 8 + 16);
+        s.insert_edge(NodeId(0), NodeId(1), ANY).unwrap();
+        assert_eq!(s.resident_bytes(), 10 + 16);
     }
 }

@@ -148,6 +148,27 @@ impl RpqExpr {
         }
     }
 
+    /// Number of atom copies this expression expands to during NFA
+    /// construction (saturating): bounded repeats unroll into `max` copies of
+    /// their body, so nested repeats multiply. The parser bounds this per
+    /// repetition construct ([`crate::parser::MAX_REPEAT`]) and
+    /// [`crate::Nfa::from_expr`] guards the total
+    /// ([`crate::nfa::MAX_NFA_EXPANSION`]).
+    pub fn expansion_weight(&self) -> usize {
+        match self {
+            RpqExpr::Atom(_) => 1,
+            RpqExpr::Concat(parts) | RpqExpr::Alt(parts) => {
+                parts.iter().map(RpqExpr::expansion_weight).fold(0usize, usize::saturating_add)
+            }
+            RpqExpr::Star(inner) | RpqExpr::Plus(inner) | RpqExpr::Optional(inner) => {
+                inner.expansion_weight()
+            }
+            RpqExpr::Repeat { expr, max, .. } => {
+                expr.expansion_weight().saturating_mul((*max).max(1))
+            }
+        }
+    }
+
     /// Returns `true` if the expression is a plain k-hop query over any label,
     /// the shape the matrix planner compiles into a chain of `smxm` operators.
     pub fn as_k_hop(&self) -> Option<usize> {

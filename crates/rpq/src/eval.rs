@@ -60,13 +60,14 @@ impl<'g> ReferenceEvaluator<'g> {
                     if !spec.matches(label) {
                         continue;
                     }
+                    // An already-visited product state has contributed its
+                    // destination to `results` on first visit, so only new
+                    // states need any work.
                     if visited.insert((dst, next_state)) {
                         if nfa.is_accepting(next_state) {
                             results.insert(dst);
                         }
                         queue.push_back((dst, next_state));
-                    } else if nfa.is_accepting(next_state) {
-                        results.insert(dst);
                     }
                 }
             }

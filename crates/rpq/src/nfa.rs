@@ -7,6 +7,17 @@
 //! product-graph evaluator traverses.
 
 use crate::ast::{LabelSpec, RpqExpr};
+use std::collections::HashSet;
+
+/// Largest expression expansion (atom copies after unrolling bounded
+/// repeats, [`RpqExpr::expansion_weight`]) [`Nfa::from_expr`] accepts.
+///
+/// The text parser already rejects queries past [`crate::parser::MAX_REPEAT`]
+/// per repetition construct; this larger cap is the defence for
+/// *programmatically built* expressions, where a single
+/// `Repeat { min: 1e9, max: 1e9 }` node would otherwise allocate ~1e9 NFA
+/// states before construction even finishes.
+pub const MAX_NFA_EXPANSION: usize = 1 << 20;
 
 /// An ε-free non-deterministic finite automaton over edge labels.
 ///
@@ -28,7 +39,21 @@ pub struct Nfa {
 
 impl Nfa {
     /// Compiles an expression into an ε-free NFA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression expands past [`MAX_NFA_EXPANSION`] atoms —
+    /// a deliberate guard so an adversarial programmatic `Repeat` fails fast
+    /// with a message instead of exhausting memory mid-construction. Parsed
+    /// queries can never hit this: [`crate::parser::parse`] rejects any
+    /// expression whose total expansion exceeds the same cap.
     pub fn from_expr(expr: &RpqExpr) -> Self {
+        let weight = expr.expansion_weight();
+        assert!(
+            weight <= MAX_NFA_EXPANSION,
+            "expression expands to {weight} atoms, past the NFA construction cap of \
+             {MAX_NFA_EXPANSION}"
+        );
         let mut builder = EpsilonNfa::new();
         let start = builder.new_state();
         let accept = builder.new_state();
@@ -188,14 +213,20 @@ impl EpsilonNfa {
         let n = self.labelled.len();
         let mut transitions = vec![Vec::new(); n];
         let mut accepting = vec![false; n];
+        // Dedup per state with a hash set instead of `Vec::contains`: states
+        // in alternation-heavy expressions accumulate hundreds of transitions
+        // through their ε-closures, and the linear re-scan per candidate made
+        // construction quadratic in that degree.
+        let mut seen: HashSet<(LabelSpec, usize)> = HashSet::new();
         for s in 0..n {
             let closure = self.closure(s);
             if closure.contains(&accept) {
                 accepting[s] = true;
             }
+            seen.clear();
             for &c in &closure {
                 for &(spec, to) in &self.labelled[c] {
-                    if !transitions[s].contains(&(spec, to)) {
+                    if seen.insert((spec, to)) {
                         transitions[s].push((spec, to));
                     }
                 }
@@ -297,6 +328,16 @@ mod tests {
         assert!(accepts(&nfa, &[Label(1); 2]));
         assert!(accepts(&nfa, &[Label(1); 3]));
         assert!(!accepts(&nfa, &[Label(1); 4]));
+    }
+
+    #[test]
+    #[should_panic(expected = "NFA construction cap")]
+    fn oversized_programmatic_repeat_panics_instead_of_allocating() {
+        // Programmatic expressions bypass the parser's MAX_REPEAT check; the
+        // construction cap turns the would-be OOM into a fast panic.
+        let expr =
+            RpqExpr::Repeat { expr: Box::new(RpqExpr::label(1)), min: 1 << 30, max: 1 << 30 };
+        let _ = Nfa::from_expr(&expr);
     }
 
     #[test]

@@ -12,10 +12,24 @@
 //!
 //! `NUMBER` is an edge-label id, `.` matches any label. Whitespace is ignored.
 //! A plain k-hop query is written `.{k}`.
+//!
+//! Repetition bounds are capped at [`MAX_REPEAT`]: the automaton builder
+//! expands `e{min,max}` into `max` copies of `e`, so an unbounded count would
+//! let a ten-character query allocate billions of NFA states.
 
 use crate::ast::RpqExpr;
 use std::error::Error;
 use std::fmt;
+
+/// Largest allowed *expansion* of a repetition: the bound in `{n}` /
+/// `{min,max}` multiplied by the expanded size of the repeated
+/// sub-expression, so nesting cannot multiply past the cap
+/// (`(.{1024}){1024}` is rejected just like `.{1048576}` would be).
+///
+/// Path queries in practice use single-digit repetition counts; the cap only
+/// exists to keep adversarial inputs like `.{1000000000}` from exhausting
+/// memory during NFA construction, which expands bounded repeats by copying.
+pub const MAX_REPEAT: usize = 1024;
 
 /// Error produced when parsing an RPQ string fails.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,6 +78,20 @@ pub fn parse(input: &str) -> Result<RpqExpr, ParseRpqError> {
     parser.skip_ws();
     if parser.pos < parser.chars.len() {
         return Err(ParseRpqError::new("unexpected trailing input", parser.offset()));
+    }
+    // The per-construct MAX_REPEAT check bounds each repetition, but
+    // concatenating/alternating many maximal repeats still sums; bound the
+    // whole expression so NFA construction can never trip its own guard on
+    // parsed input.
+    let weight = expr.expansion_weight();
+    if weight > crate::nfa::MAX_NFA_EXPANSION {
+        return Err(ParseRpqError::new(
+            format!(
+                "query expands to {weight} atoms, exceeding the construction cap of {}",
+                crate::nfa::MAX_NFA_EXPANSION
+            ),
+            0,
+        ));
     }
     Ok(expr)
 }
@@ -152,18 +180,37 @@ impl Parser {
                 }
                 Some('{') => {
                     self.pos += 1;
-                    let min = self.parse_number()?;
                     self.skip_ws();
-                    let max = if self.peek() == Some(',') {
+                    let min_offset = self.offset();
+                    let min = self.parse_bounded_repeat_count(min_offset)?;
+                    self.skip_ws();
+                    let (max, max_offset) = if self.peek() == Some(',') {
                         self.pos += 1;
-                        self.parse_number()?
+                        self.skip_ws();
+                        let offset = self.offset();
+                        (self.parse_bounded_repeat_count(offset)?, offset)
                     } else {
-                        min
+                        (min, min_offset)
                     };
-                    self.expect('}')?;
+                    // Validate the bounds *before* consuming the closing
+                    // brace, so the reported offset points at the offending
+                    // bound instead of past the whole construct.
                     if max < min {
-                        return Err(ParseRpqError::new("repetition max below min", self.offset()));
+                        return Err(ParseRpqError::new("repetition max below min", max_offset));
                     }
+                    // The cap bounds the *total* expansion: nested repeats
+                    // multiply, so each construct's `max × inner weight`
+                    // must stay within MAX_REPEAT.
+                    let weight = expr.expansion_weight().saturating_mul(max.max(1));
+                    if weight > MAX_REPEAT {
+                        return Err(ParseRpqError::new(
+                            format!(
+                                "repetition expands to {weight} atoms, exceeding the maximum of {MAX_REPEAT}"
+                            ),
+                            max_offset,
+                        ));
+                    }
+                    self.expect('}')?;
                     expr = RpqExpr::Repeat { expr: Box::new(expr), min, max };
                 }
                 _ => break,
@@ -196,6 +243,19 @@ impl Parser {
                 Err(ParseRpqError::new(format!("expected atom, found {other:?}"), self.offset()))
             }
         }
+    }
+
+    /// Parses one `{...}` repetition bound and enforces [`MAX_REPEAT`],
+    /// reporting the error at the bound's own offset.
+    fn parse_bounded_repeat_count(&mut self, offset: usize) -> Result<usize, ParseRpqError> {
+        let count = self.parse_number()?;
+        if count > MAX_REPEAT {
+            return Err(ParseRpqError::new(
+                format!("repetition count {count} exceeds the maximum of {MAX_REPEAT}"),
+                offset,
+            ));
+        }
+        Ok(count)
     }
 
     fn parse_number(&mut self) -> Result<usize, ParseRpqError> {
@@ -285,6 +345,57 @@ mod tests {
         let err = parse("1/(2|)").unwrap_err();
         assert!(err.position() > 0);
         assert!(err.to_string().contains("offset"));
+    }
+
+    #[test]
+    fn repetition_counts_are_capped() {
+        // The classic OOM input: a billion-state NFA from ten characters.
+        let err = parse(".{1000000000}").unwrap_err();
+        assert!(err.to_string().contains("exceeds the maximum"));
+        assert_eq!(err.position(), 2, "error points at the offending bound");
+        // The cap itself is accepted; one past it is not, on either bound.
+        assert!(parse(&format!(".{{{MAX_REPEAT}}}")).is_ok());
+        assert!(parse(&format!(".{{{}}}", MAX_REPEAT + 1)).is_err());
+        let err = parse(&format!(".{{1,{}}}", MAX_REPEAT + 1)).unwrap_err();
+        assert_eq!(err.position(), 4);
+    }
+
+    #[test]
+    fn nested_repetitions_cannot_multiply_past_the_cap() {
+        // Each bound is individually within MAX_REPEAT, but the expansions
+        // multiply: ((.{1024}){1024}){1024} would build ~2^30 NFA states.
+        assert!(parse("((.{1024}){1024}){1024}").is_err());
+        let err = parse("(.{64}){64}").unwrap_err(); // 4096 atoms > 1024
+        assert!(err.to_string().contains("expands to 4096 atoms"));
+        // Small nested products stay legal, as do closures over repeats.
+        assert!(parse("(.{4}){4}").is_ok());
+        assert!(parse("(.{2}){512}").is_ok()); // exactly the cap
+        assert!(parse("((1|2){8})*").is_ok());
+    }
+
+    #[test]
+    fn concatenated_repeats_cannot_sum_past_the_construction_cap() {
+        // Each construct is within MAX_REPEAT, but 1025 concatenated maximal
+        // repeats sum past the whole-expression cap — this must be a parse
+        // error, not an NFA-construction panic.
+        let query = vec![".{1024}"; 1025].join("/");
+        let err = parse(&query).unwrap_err();
+        assert!(err.to_string().contains("construction cap"), "{err}");
+        // A large-but-legal sum still parses (and builds an NFA).
+        let legal = [".{1024}"; 4].join("/");
+        assert!(parse(&legal).is_ok());
+    }
+
+    #[test]
+    fn inverted_repetition_range_reports_the_max_bound() {
+        // "1{2,1}": the offending max bound "1" sits at byte offset 4; the
+        // error used to be raised only after consuming '}' (offset 6).
+        let err = parse("1{2,1}").unwrap_err();
+        assert!(err.to_string().contains("repetition max below min"));
+        assert_eq!(err.position(), 4);
+        // Whitespace before the bound does not shift the blame.
+        let err = parse("1{2, 1}").unwrap_err();
+        assert_eq!(err.position(), 5);
     }
 
     #[test]

@@ -11,9 +11,10 @@
 //! charge memory-system costs.
 
 use crate::ast::{LabelSpec, RpqExpr};
+use crate::nfa::Nfa;
 use graph_store::{AdjacencyGraph, Label, NodeId};
 use sparse::{ops, MatrixBuilder, SparseBoolMatrix};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// One operator of a matrix-based execution plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +126,10 @@ pub struct HostExecutionStats {
     pub smxm_ops: usize,
     /// Total result entries after the final reduction.
     pub result_entries: usize,
+    /// Frontier levels executed: equals `smxm_ops` for matrix-chain plans,
+    /// and the deepest BFS level for automaton sweeps
+    /// ([`HostMatrixEngine::run_nfa`]).
+    pub frontier_levels: usize,
 }
 
 /// Host-side (RedisGraph-like) matrix engine: per-label adjacency matrices
@@ -248,46 +253,167 @@ impl HostMatrixEngine {
         let results = (0..sources.len())
             .map(|row| current.row(row).iter().map(|&c| NodeId(c as u64)).collect())
             .collect();
+        stats.frontier_levels = stats.smxm_ops;
         (results, stats)
     }
 
-    /// Applies a batch of edge insertions (`Adj + delta`) and returns the
-    /// bytes of matrix data rewritten.
-    pub fn apply_insertions(&mut self, edges: &[(NodeId, NodeId)]) -> u64 {
-        let delta = self.delta_matrix(edges);
-        let before = self.any.nnz();
-        self.any = ops::ewise_union(&self.any, &delta);
-        // The default label matrix receives the same structural update.
-        let entry = self
-            .by_label
-            .entry(Label::ANY)
-            .or_insert_with(|| SparseBoolMatrix::zeros(self.node_bound, self.node_bound));
-        *entry = ops::ewise_union(entry, &delta);
-        ((self.any.nnz() + before) as u64) * 8
+    /// Evaluates a general RPQ automaton with a per-label frontier sweep: the
+    /// host-side fallback for expressions that have no fixed-length matrix
+    /// chain (`*`, `+`, `?`, alternation, ranged repetition).
+    ///
+    /// For every source, the product of the graph and the automaton is
+    /// traversed level by level; each `(frontier node, transition)` pair
+    /// fetches one row of the transition label's adjacency matrix — exactly
+    /// the per-label sub-matrix accesses a GraphBLAS engine would issue — and
+    /// the statistics account each fetch like an `smxm` row fetch so the cost
+    /// model treats both execution strategies uniformly.
+    ///
+    /// Results match [`crate::ReferenceEvaluator::evaluate`].
+    pub fn run_nfa(&self, nfa: &Nfa, sources: &[NodeId]) -> (Vec<Vec<NodeId>>, HostExecutionStats) {
+        let mut stats = HostExecutionStats::default();
+        let mut results = Vec::with_capacity(sources.len());
+        let mut frontier: Vec<(usize, usize)> = Vec::new();
+        let mut next: Vec<(usize, usize)> = Vec::new();
+        for &src in sources {
+            let mut visited: HashSet<(usize, usize)> = HashSet::new();
+            let mut out: Vec<NodeId> = Vec::new();
+            frontier.clear();
+            if nfa.accepts_empty() {
+                out.push(src);
+            }
+            if src.index() < self.node_bound {
+                visited.insert((src.index(), nfa.start()));
+                frontier.push((src.index(), nfa.start()));
+            }
+            let mut levels = 0usize;
+            while !frontier.is_empty() {
+                levels += 1;
+                next.clear();
+                for &(node, state) in frontier.iter() {
+                    for &(spec, next_state) in nfa.transitions_from(state) {
+                        let row = self.row_for(spec, node);
+                        stats.row_fetches += 1;
+                        stats.bytes_read += row.len() as u64 * 8;
+                        for &dst in row {
+                            if visited.insert((dst, next_state)) {
+                                stats.bytes_written += 8;
+                                if nfa.is_accepting(next_state) {
+                                    out.push(NodeId(dst as u64));
+                                }
+                                next.push((dst, next_state));
+                            }
+                        }
+                    }
+                }
+                std::mem::swap(&mut frontier, &mut next);
+            }
+            out.sort_unstable();
+            out.dedup();
+            stats.result_entries += out.len();
+            stats.frontier_levels = stats.frontier_levels.max(levels);
+            results.push(out);
+        }
+        (results, stats)
     }
 
-    /// Applies a batch of edge deletions (`Adj - delta`) and returns the bytes
-    /// of matrix data rewritten.
-    pub fn apply_deletions(&mut self, edges: &[(NodeId, NodeId)]) -> u64 {
-        let delta = self.delta_matrix(edges);
-        let before = self.any.nnz();
-        self.any = ops::ewise_difference(&self.any, &delta);
-        let entry = self
-            .by_label
-            .entry(Label::ANY)
-            .or_insert_with(|| SparseBoolMatrix::zeros(self.node_bound, self.node_bound));
-        *entry = ops::ewise_difference(entry, &delta);
-        ((self.any.nnz() + before) as u64) * 8
+    /// The adjacency row of `node` under one transition's label spec, without
+    /// materialising a matrix copy.
+    fn row_for(&self, spec: LabelSpec, node: usize) -> &[usize] {
+        match spec {
+            LabelSpec::Any => self.any.row(node),
+            LabelSpec::Exact(l) => self.by_label.get(&l).map(|m| m.row(node)).unwrap_or(&[]),
+        }
     }
 
-    fn delta_matrix(&mut self, edges: &[(NodeId, NodeId)]) -> SparseBoolMatrix {
-        let needed = edges.iter().map(|&(s, d)| s.index().max(d.index()) + 1).max().unwrap_or(0);
+    /// Applies a batch of labelled edge insertions (`Adj + delta`) and returns
+    /// the bytes of matrix data rewritten.
+    ///
+    /// The label-oblivious matrix receives the combined delta; each distinct
+    /// label's matrix receives exactly the edges carrying that label, so
+    /// `Exact(label)` plans see the update immediately. (The update path used
+    /// to touch only the [`Label::ANY`] matrix, leaving every other per-label
+    /// matrix stale.)
+    pub fn apply_insertions(&mut self, edges: &[(NodeId, NodeId, Label)]) -> u64 {
+        let delta_any = self.delta_matrix(edges);
+        let before = self.any.nnz();
+        self.any = ops::ewise_union(&self.any, &delta_any);
+        let mut rewritten = (self.any.nnz() + before) as u64 * 8;
+        for (label, delta) in self.per_label_deltas(edges) {
+            let entry = self
+                .by_label
+                .entry(label)
+                .or_insert_with(|| SparseBoolMatrix::zeros(self.node_bound, self.node_bound));
+            let before = entry.nnz();
+            *entry = ops::ewise_union(entry, &delta);
+            rewritten += (entry.nnz() + before) as u64 * 8;
+        }
+        rewritten
+    }
+
+    /// Applies a batch of labelled edge deletions (`Adj - delta`) and returns
+    /// the bytes of matrix data rewritten.
+    ///
+    /// Per-label matrices are updated like on the insertion path. The
+    /// label-oblivious matrix drops a `(src, dst)` entry only when *no* label
+    /// still connects the pair after the batch, so deleting one label of a
+    /// multi-label pair leaves `.`-queries correct.
+    pub fn apply_deletions(&mut self, edges: &[(NodeId, NodeId, Label)]) -> u64 {
+        self.grow_for(edges);
+        let mut rewritten = 0u64;
+        for (label, delta) in self.per_label_deltas(edges) {
+            let entry = self
+                .by_label
+                .entry(label)
+                .or_insert_with(|| SparseBoolMatrix::zeros(self.node_bound, self.node_bound));
+            let before = entry.nnz();
+            *entry = ops::ewise_difference(entry, &delta);
+            rewritten += (entry.nnz() + before) as u64 * 8;
+        }
+        // With every per-label matrix updated, a pair leaves the
+        // label-oblivious matrix only if no label carries it any more.
+        let gone: Vec<(usize, usize)> = edges
+            .iter()
+            .map(|&(s, d, _)| (s.index(), d.index()))
+            .filter(|&(s, d)| !self.by_label.values().any(|m| m.contains(s, d)))
+            .collect();
+        let delta_any = SparseBoolMatrix::from_triplets(self.node_bound, self.node_bound, &gone);
+        let before = self.any.nnz();
+        self.any = ops::ewise_difference(&self.any, &delta_any);
+        rewritten += (self.any.nnz() + before) as u64 * 8;
+        rewritten
+    }
+
+    /// Grows the matrices so every endpoint in `edges` is addressable.
+    fn grow_for(&mut self, edges: &[(NodeId, NodeId, Label)]) {
+        let needed = edges.iter().map(|&(s, d, _)| s.index().max(d.index()) + 1).max().unwrap_or(0);
         if needed > self.node_bound {
             self.grow(needed);
         }
+    }
+
+    /// Combined delta matrix over all labels (grows the engine if needed).
+    fn delta_matrix(&mut self, edges: &[(NodeId, NodeId, Label)]) -> SparseBoolMatrix {
+        self.grow_for(edges);
         let triplets: Vec<(usize, usize)> =
-            edges.iter().map(|&(s, d)| (s.index(), d.index())).collect();
+            edges.iter().map(|&(s, d, _)| (s.index(), d.index())).collect();
         SparseBoolMatrix::from_triplets(self.node_bound, self.node_bound, &triplets)
+    }
+
+    /// One delta matrix per distinct label in the batch, in label order.
+    fn per_label_deltas(
+        &self,
+        edges: &[(NodeId, NodeId, Label)],
+    ) -> Vec<(Label, SparseBoolMatrix)> {
+        let mut per_label: BTreeMap<Label, Vec<(usize, usize)>> = BTreeMap::new();
+        for &(s, d, l) in edges {
+            per_label.entry(l).or_default().push((s.index(), d.index()));
+        }
+        per_label
+            .into_iter()
+            .map(|(l, triplets)| {
+                (l, SparseBoolMatrix::from_triplets(self.node_bound, self.node_bound, &triplets))
+            })
+            .collect()
     }
 
     fn grow(&mut self, new_bound: usize) {
@@ -391,14 +517,60 @@ mod tests {
         let (before, _) = engine.run(&plan, &[NodeId(6)]);
         assert!(before[0].is_empty());
 
-        let bytes = engine.apply_insertions(&[(NodeId(6), NodeId(0))]);
+        let bytes = engine.apply_insertions(&[(NodeId(6), NodeId(0), Label::ANY)]);
         assert!(bytes > 0);
         let (after, _) = engine.run(&plan, &[NodeId(6)]);
         assert_eq!(after[0], vec![NodeId(0)]);
 
-        engine.apply_deletions(&[(NodeId(6), NodeId(0))]);
+        engine.apply_deletions(&[(NodeId(6), NodeId(0), Label::ANY)]);
         let (removed, _) = engine.run(&plan, &[NodeId(6)]);
         assert!(removed[0].is_empty());
+    }
+
+    #[test]
+    fn labelled_updates_reach_the_per_label_matrix() {
+        // Regression test for the stale label-matrix bug: structural updates
+        // used to touch only the `Label::ANY` matrix, so an `Exact(label)`
+        // plan kept answering from the build-time snapshot.
+        let g = chain_graph();
+        let mut engine = HostMatrixEngine::from_graph(&g);
+        let plan = ExecutionPlan::from_expr(&RpqExpr::label(1)).unwrap();
+        let (before, _) = engine.run(&plan, &[NodeId(5)]);
+        assert!(before[0].is_empty());
+
+        engine.apply_insertions(&[(NodeId(5), NodeId(0), Label(1))]);
+        let (inserted, _) = engine.run(&plan, &[NodeId(5)]);
+        assert_eq!(inserted[0], vec![NodeId(0)], "label-1 plan must see the new label-1 edge");
+        // The any-label matrix saw the same structural update.
+        let (any_hop, _) = engine.run(&ExecutionPlan::k_hop(1), &[NodeId(5)]);
+        assert_eq!(any_hop[0], vec![NodeId(0), NodeId(6)]);
+
+        engine.apply_deletions(&[(NodeId(5), NodeId(0), Label(1))]);
+        let (deleted, _) = engine.run(&plan, &[NodeId(5)]);
+        assert!(deleted[0].is_empty(), "label-1 plan must see the label-1 deletion");
+    }
+
+    #[test]
+    fn deleting_one_label_of_a_multi_label_pair_keeps_any_queries_correct() {
+        let mut engine = HostMatrixEngine::from_graph(&AdjacencyGraph::new());
+        engine.apply_insertions(&[
+            (NodeId(0), NodeId(1), Label(1)),
+            (NodeId(0), NodeId(1), Label(2)),
+        ]);
+        engine.apply_deletions(&[(NodeId(0), NodeId(1), Label(1))]);
+
+        // The pair is still connected under label 2, so `.`-queries keep it…
+        let (any_hop, _) = engine.run(&ExecutionPlan::k_hop(1), &[NodeId(0)]);
+        assert_eq!(any_hop[0], vec![NodeId(1)]);
+        // …while the label-1 plan no longer matches it.
+        let label1 = ExecutionPlan::from_expr(&RpqExpr::label(1)).unwrap();
+        let (l1, _) = engine.run(&label1, &[NodeId(0)]);
+        assert!(l1[0].is_empty());
+
+        // Removing the last remaining label finally clears the ANY matrix.
+        engine.apply_deletions(&[(NodeId(0), NodeId(1), Label(2))]);
+        let (none, _) = engine.run(&ExecutionPlan::k_hop(1), &[NodeId(0)]);
+        assert!(none[0].is_empty());
     }
 
     #[test]
@@ -406,10 +578,43 @@ mod tests {
         let g = chain_graph();
         let mut engine = HostMatrixEngine::from_graph(&g);
         let old_bound = engine.node_bound();
-        engine.apply_insertions(&[(NodeId(50), NodeId(51))]);
+        engine.apply_insertions(&[(NodeId(50), NodeId(51), Label::ANY)]);
         assert!(engine.node_bound() > old_bound);
         let (result, _) = engine.run(&ExecutionPlan::k_hop(1), &[NodeId(50)]);
         assert_eq!(result[0], vec![NodeId(51)]);
+    }
+
+    #[test]
+    fn run_nfa_matches_reference_on_unbounded_queries() {
+        let mut g = AdjacencyGraph::new();
+        // 0 -1-> 1 -2-> 2 -2-> 3 -3-> 4, with a label-2 cycle 2 -> 1.
+        g.insert_edge(NodeId(0), NodeId(1), Label(1));
+        g.insert_edge(NodeId(1), NodeId(2), Label(2));
+        g.insert_edge(NodeId(2), NodeId(3), Label(2));
+        g.insert_edge(NodeId(2), NodeId(1), Label(2));
+        g.insert_edge(NodeId(3), NodeId(4), Label(3));
+        let engine = HostMatrixEngine::from_graph(&g);
+        let reference = crate::ReferenceEvaluator::new(&g);
+        let sources: Vec<NodeId> = (0..5u64).map(NodeId).collect();
+        for expr in [
+            RpqExpr::concat(vec![
+                RpqExpr::label(1),
+                RpqExpr::Star(Box::new(RpqExpr::label(2))),
+                RpqExpr::label(3),
+            ]),
+            RpqExpr::Plus(Box::new(RpqExpr::label(2))),
+            RpqExpr::Star(Box::new(RpqExpr::any())),
+        ] {
+            let nfa = Nfa::from_expr(&expr);
+            let (got, stats) = engine.run_nfa(&nfa, &sources);
+            let want = reference.evaluate(&expr, &sources);
+            for (g, w) in got.iter().zip(want.iter()) {
+                let w: Vec<NodeId> = w.iter().copied().collect();
+                assert_eq!(g, &w, "run_nfa disagrees with the reference for {expr}");
+            }
+            assert!(stats.row_fetches > 0);
+            assert!(stats.frontier_levels > 0);
+        }
     }
 
     #[test]
