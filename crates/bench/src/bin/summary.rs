@@ -13,9 +13,12 @@
 //! engine and trace (graph build, each k-hop batch, each update batch), plus
 //! one labelled-RPQ sweep (the `rpq` binary's power-law workload and query
 //! set, wall-clock and simulated ms per engine), and writes it all as a
-//! machine-readable bench baseline (default `BENCH_PR3.json`), so both
+//! machine-readable bench baseline (default `BENCH_PR4.json`), so both
 //! reproduction-speed and labelled-workload regressions are visible in
-//! review. The simulated numbers printed to stdout are unaffected.
+//! review. The record carries the `--threads` value the run used, so
+//! baselines at different thread counts stay distinguishable (the simulated
+//! numbers printed to stdout are byte-identical at every thread count; only
+//! wall-clock moves).
 
 use moctopus::GraphEngine;
 use moctopus_bench::{geometric_mean, HarnessOptions, RpqWorkload, TraceWorkload, RPQ_QUERY_SET};
@@ -97,7 +100,7 @@ fn json_path_from_args() -> Option<String> {
     let pos = args.iter().position(|a| a == "--json")?;
     match args.get(pos + 1) {
         Some(next) if !next.starts_with("--") => Some(next.clone()),
-        _ => Some("BENCH_PR3.json".to_string()),
+        _ => Some("BENCH_PR4.json".to_string()),
     }
 }
 
@@ -117,6 +120,7 @@ fn render_json(
     out.push_str(&format!("  \"scale\": {},\n", options.scale));
     out.push_str(&format!("  \"batch\": {},\n", options.batch));
     out.push_str(&format!("  \"seed\": {},\n", options.seed));
+    out.push_str(&format!("  \"threads\": {},\n", options.threads));
     out.push_str("  \"unit\": \"wall_clock_ms\",\n");
     // Aggregate query-path totals per engine, the headline regression metric.
     out.push_str("  \"query_path_total_ms\": {");

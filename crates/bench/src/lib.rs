@@ -18,6 +18,7 @@ use graph_gen::labels::LabelMixConfig;
 use graph_gen::traces::TraceSpec;
 use graph_store::{AdjacencyGraph, Label, NodeId};
 use moctopus::{GraphEngine, HostBaseline, MoctopusConfig, MoctopusSystem, PimHashSystem};
+use moctopus_runtime::WorkerPool;
 
 /// Command-line options shared by every experiment binary.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,6 +31,10 @@ pub struct HarnessOptions {
     pub seed: u64,
     /// Trace ids to run (defaults to all fifteen).
     pub traces: Vec<usize>,
+    /// Host worker threads for the engines' execution runtime (default: the
+    /// machine's available parallelism). Changes wall-clock only — simulated
+    /// output is byte-identical at every thread count (CONCURRENCY.md).
+    pub threads: usize,
 }
 
 impl Default for HarnessOptions {
@@ -40,6 +45,7 @@ impl Default for HarnessOptions {
             batch: Self::scaled_batch(scale),
             seed: 42,
             traces: (1..=15).collect(),
+            threads: WorkerPool::available_parallelism(),
         }
     }
 }
@@ -53,8 +59,8 @@ impl HarnessOptions {
     /// Parses options from command-line arguments.
     ///
     /// Recognised flags: `--scale <f64>`, `--batch <usize>`, `--seed <u64>`,
-    /// `--traces <comma separated ids>`. Unknown flags are ignored so binaries
-    /// can add their own.
+    /// `--traces <comma separated ids>`, `--threads <usize>` (`0` = available
+    /// parallelism). Unknown flags are ignored so binaries can add their own.
     pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut options = HarnessOptions::default();
         let mut explicit_batch = false;
@@ -94,6 +100,14 @@ impl HarnessOptions {
                     }
                     i += 2;
                 }
+                ("--threads", Some(v)) => {
+                    if let Ok(t) = v.parse::<usize>() {
+                        // 0 is the "available parallelism" sentinel.
+                        options.threads =
+                            if t == 0 { WorkerPool::available_parallelism() } else { t };
+                    }
+                    i += 2;
+                }
                 _ => i += 1,
             }
         }
@@ -109,9 +123,10 @@ impl HarnessOptions {
     }
 
     /// The system configuration used by the PIM engines and the baseline,
-    /// with the host cache scaled down alongside the graph.
+    /// with the host cache scaled down alongside the graph and the execution
+    /// runtime set to `self.threads` workers.
     pub fn system_config(&self) -> MoctopusConfig {
-        let mut cfg = MoctopusConfig::paper_defaults();
+        let mut cfg = MoctopusConfig::paper_defaults().with_threads(self.threads);
         let scaled_cache = (22.0 * 1024.0 * 1024.0 * self.scale) as u64;
         cfg.pim.host.cache_capacity_bytes = scaled_cache.max(64 * 1024);
         cfg
@@ -313,6 +328,16 @@ mod tests {
             ["--scale", "1.0", "--batch", "128"].iter().map(|s| s.to_string()),
         );
         assert_eq!(o2.batch, 128);
+    }
+
+    #[test]
+    fn threads_flag_overrides_and_zero_means_auto() {
+        let o = HarnessOptions::from_args(["--threads", "3"].iter().map(|s| s.to_string()));
+        assert_eq!(o.threads, 3);
+        assert_eq!(o.system_config().threads, 3);
+        let auto = HarnessOptions::from_args(["--threads", "0"].iter().map(|s| s.to_string()));
+        assert_eq!(auto.threads, moctopus_runtime::WorkerPool::available_parallelism());
+        assert!(HarnessOptions::default().threads >= 1, "default follows the machine");
     }
 
     #[test]

@@ -27,11 +27,24 @@ pub struct MoctopusConfig {
     /// Fraction of locally-hit next-hops below which a node counts as
     /// incorrectly partitioned during refinement.
     pub mislocal_threshold: f64,
+    /// Host worker threads the engines use to execute per-module work in
+    /// parallel (`moctopus_runtime::WorkerPool`). `0` means "use the
+    /// machine's available parallelism". This knob changes **wall-clock
+    /// only**: simulated results, `SimTime`, and transfer tallies are
+    /// byte-identical at every thread count (see CONCURRENCY.md).
+    pub threads: usize,
 }
 
 impl MoctopusConfig {
     /// The configuration used in the paper's evaluation: one UPMEM rank
     /// (64 PIM modules) plus a dedicated host core.
+    ///
+    /// The execution-runtime thread count defaults to 1 (the deterministic
+    /// baseline the unit tests pin their cost oracles against) unless the
+    /// `MOCTOPUS_THREADS` environment variable overrides it — that override
+    /// is how CI runs the whole test suite at `--threads 4` to prove the
+    /// suite's assertions hold at any thread count. Experiment binaries set
+    /// their own default (available parallelism) through `--threads`.
     pub fn paper_defaults() -> Self {
         MoctopusConfig {
             pim: PimConfig::upmem_rank(),
@@ -39,7 +52,21 @@ impl MoctopusConfig {
             capacity_slack: 1.05,
             labor_division: true,
             mislocal_threshold: 0.5,
+            threads: Self::default_threads(),
         }
+    }
+
+    /// The default worker-thread count: `MOCTOPUS_THREADS` if set and
+    /// parseable, 1 otherwise.
+    fn default_threads() -> usize {
+        std::env::var("MOCTOPUS_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+    }
+
+    /// Returns a copy configured for a different worker-thread count
+    /// (`0` = available parallelism).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// A small 8-module configuration for unit tests and doc examples.
@@ -105,5 +132,13 @@ mod tests {
     #[test]
     fn default_is_paper_defaults() {
         assert_eq!(MoctopusConfig::default(), MoctopusConfig::paper_defaults());
+    }
+
+    #[test]
+    fn with_threads_overrides_the_worker_count() {
+        let cfg = MoctopusConfig::small_test().with_threads(4);
+        assert_eq!(cfg.threads, 4);
+        // `0` is the "available parallelism" sentinel, resolved by the pool.
+        assert_eq!(MoctopusConfig::small_test().with_threads(0).threads, 0);
     }
 }

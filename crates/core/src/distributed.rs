@@ -24,9 +24,24 @@
 //! * batch updates are routed to the owning computing node and charged to the
 //!   narrow CPU↔PIM bus plus the owner's compute budget; edge labels ride
 //!   along, with the default label elided on the wire.
+//!
+//! # Parallel execution
+//!
+//! The per-hop work of both query loops runs on a
+//! [`moctopus_runtime::WorkerPool`]: every hop is split into a *plan* stage
+//! (dispatch accounting, worker layout), an embarrassingly parallel *execute*
+//! stage (each worker owns a disjoint slice of PIM modules — worker 0 also
+//! owns the host lane — and expands only the frontier entries its computing
+//! nodes own, accumulating into a private [`StatsDelta`] and private frontier
+//! scratch), and a deterministic *merge* stage (worker deltas reduce in
+//! ascending worker-id order, candidate frontiers are sorted and deduplicated
+//! on the calling thread). Disjoint ownership plus the id-ordered merge keep
+//! every simulated number — including the order floating-point charges
+//! accumulate in — byte-identical at any thread count; CONCURRENCY.md walks
+//! the full argument.
 
 use crate::config::MoctopusConfig;
-use crate::stats::{QueryStats, UpdateStats};
+use crate::stats::{QueryStats, StatsDelta, UpdateStats};
 use graph_partition::{
     GreedyAdaptivePartitioner, HashPartitioner, MigrationReport, PartitionAssignment,
     PartitionMetrics, StreamingPartitioner,
@@ -34,10 +49,12 @@ use graph_partition::{
 use graph_store::{
     AdjacencyGraph, HeterogeneousStorage, Label, LocalGraphStorage, NodeId, PartitionId,
 };
-use pim_sim::{Phase, PimSystem, SimTime, Timeline};
+use moctopus_runtime::{chunk_ranges, WorkerPool};
+use pim_sim::{Phase, PimSystem, Timeline};
 use rpq::{Nfa, RpqExpr};
 use sparse::EpochMarks;
 use std::collections::HashSet;
+use std::ops::Range;
 
 /// Bytes of one routed frontier entry: the destination node id. Query
 /// membership is implicit in the per-query transfer buffers, so only the node
@@ -145,6 +162,88 @@ impl FrontierScratch {
     }
 }
 
+/// Per-worker context of one k-hop execute stage: the worker's private
+/// dedup marks and buffer pool, plus its per-query candidate frontiers.
+///
+/// Everything in here is owned exclusively by one worker while the execute
+/// stage runs (determinism rule 2: private scratch); the merge stage drains
+/// `nexts` on the calling thread and the scratch survives inside the engine
+/// across hops, queries, and batches.
+#[derive(Debug, Clone, Default)]
+struct HopCtx {
+    scratch: FrontierScratch,
+    nexts: Vec<Vec<NodeId>>,
+}
+
+impl HopCtx {
+    /// Hands out one candidate buffer per query for the coming hop.
+    fn prepare(&mut self, queries: usize) {
+        debug_assert!(self.nexts.is_empty(), "previous hop must have drained the candidates");
+        for _ in 0..queries {
+            let buf = self.scratch.take_buffer();
+            self.nexts.push(buf);
+        }
+    }
+}
+
+/// Per-worker context of one NFA-product execute stage: a local product-pair
+/// dedup set (cleared per query) plus per-query candidate lists.
+///
+/// Unlike the k-hop loop the product traversal's cross-hop dedup lives in the
+/// per-query *global* visited sets; this local set only bounds what one
+/// worker emits within one `(query, hop)` so candidate lists stay
+/// duplicate-free before the merge.
+#[derive(Debug, Clone, Default)]
+struct NfaHopCtx {
+    seen: HashSet<(NodeId, u32)>,
+    nexts: Vec<Vec<(NodeId, u32)>>,
+}
+
+/// Worker count actually used for one hop: the batch-level layout width
+/// clamped by the hop's total frontier size. A long-tail hop with three
+/// entries gets at most three workers, and an empty one still gets one so
+/// the merge has a delta to reduce; the determinism contract makes any
+/// clamp value produce identical output, so this is purely a wall-clock
+/// decision (spawn/join is not worth microseconds of expansion work).
+fn active_workers(module_ranges: &[Range<usize>], frontier_entries: usize) -> usize {
+    module_ranges.len().min(frontier_entries).max(1)
+}
+
+/// The k-hop merge stage: unions each query's per-worker candidate lists
+/// into the hop's next frontier (worker-id order), sorts, and — when more
+/// than one worker produced candidates — deduplicates entries that distinct
+/// workers discovered independently.
+///
+/// The sequential loop's next frontier is the sorted set of all next-hops
+/// produced this hop; worker-local epoch marks already make each candidate
+/// list duplicate-free, so concatenate + sort + cross-worker dedup yields
+/// exactly that set. With a single worker the candidate list *is* the
+/// frontier (buffers are swapped, not copied), which is byte-for-byte the
+/// sequential code path.
+fn merge_khop_frontiers(ctxs: &mut [HopCtx], next_frontiers: &mut [Vec<NodeId>]) {
+    if let [only] = ctxs {
+        for (next, candidates) in next_frontiers.iter_mut().zip(only.nexts.iter_mut()) {
+            std::mem::swap(next, candidates);
+            next.sort_unstable();
+        }
+    } else {
+        for (q, next) in next_frontiers.iter_mut().enumerate() {
+            for ctx in ctxs.iter() {
+                next.extend_from_slice(&ctx.nexts[q]);
+            }
+            next.sort_unstable();
+            next.dedup();
+        }
+    }
+    // Recycle every worker's spent candidate buffers into its own pool.
+    for ctx in ctxs {
+        for mut buf in ctx.nexts.drain(..) {
+            buf.clear();
+            ctx.scratch.recycle(buf);
+        }
+    }
+}
+
 /// Distributed graph engine over a simulated PIM platform.
 #[derive(Debug, Clone)]
 pub struct DistributedPimEngine {
@@ -155,14 +254,25 @@ pub struct DistributedPimEngine {
     host_store: HeterogeneousStorage,
     edge_count: usize,
     scratch: FrontierScratch,
+    pool: WorkerPool,
+    /// One private [`FrontierScratch`] per worker, persisted across batches
+    /// so hot-loop buffers and marks are never re-allocated per query.
+    worker_scratch: Vec<FrontierScratch>,
+    /// One private [`NfaHopCtx`] per worker, persisted across `rpq_batch`
+    /// calls for the same reason.
+    nfa_scratch: Vec<NfaHopCtx>,
 }
 
 impl DistributedPimEngine {
     /// Creates an engine with the given placement policy.
+    ///
+    /// The execution runtime uses `config.threads` host worker threads
+    /// (`0` = available parallelism); see [`DistributedPimEngine::set_threads`].
     pub fn new(config: MoctopusConfig, policy: PlacementPolicy) -> Self {
         let pim = PimSystem::new(config.pim);
         let local_stores = (0..config.pim.num_modules).map(|_| LocalGraphStorage::new()).collect();
         DistributedPimEngine {
+            pool: WorkerPool::new(config.threads),
             config,
             pim,
             policy,
@@ -170,7 +280,70 @@ impl DistributedPimEngine {
             host_store: HeterogeneousStorage::new(),
             edge_count: 0,
             scratch: FrontierScratch::default(),
+            worker_scratch: Vec::new(),
+            nfa_scratch: Vec::new(),
         }
+    }
+
+    /// Reconfigures the execution runtime to `threads` host worker threads
+    /// (`0` = available parallelism).
+    ///
+    /// This only changes how much wall-clock parallelism the *simulator*
+    /// uses; simulated results, `SimTime`, and transfer tallies are
+    /// byte-identical at every thread count. The engine's
+    /// [`config`](DistributedPimEngine::config) follows, so sibling engines
+    /// built from a clone of it inherit the new thread count.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.config.threads = threads;
+        self.pool = WorkerPool::new(threads);
+    }
+
+    /// Host worker threads the execution runtime is configured for.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// The hop-loop worker layout for the current thread count: each worker
+    /// owns one contiguous range of PIM modules (worker 0 additionally owns
+    /// the host lane). At most one worker per module, so extra threads idle
+    /// rather than splitting a module's (order-sensitive) float accumulator.
+    fn worker_layout(&self) -> Vec<Range<usize>> {
+        let module_count = self.config.pim.num_modules;
+        chunk_ranges(module_count, self.pool.workers_for(module_count))
+    }
+
+    /// Takes the per-worker hop contexts out of the engine (grown on demand
+    /// when the thread count rose since the last batch).
+    fn take_hop_ctxs(&mut self, workers: usize) -> Vec<HopCtx> {
+        self.worker_scratch.resize_with(workers.max(self.worker_scratch.len()), Default::default);
+        self.worker_scratch
+            .drain(..workers)
+            .map(|scratch| HopCtx { scratch, nexts: Vec::new() })
+            .collect()
+    }
+
+    /// Returns hop contexts to the engine so their scratch capacity survives
+    /// into the next batch.
+    fn put_hop_ctxs(&mut self, ctxs: Vec<HopCtx>) {
+        let mut scratches: Vec<FrontierScratch> = ctxs.into_iter().map(|c| c.scratch).collect();
+        scratches.append(&mut self.worker_scratch);
+        self.worker_scratch = scratches;
+    }
+
+    /// Takes the per-worker NFA-product contexts out of the engine, sized to
+    /// `workers` (grown on demand when the thread count rose since the last
+    /// batch), so their hash-set and buffer capacities survive across
+    /// `rpq_batch` calls like the k-hop worker scratch does.
+    fn take_nfa_ctxs(&mut self, workers: usize) -> Vec<NfaHopCtx> {
+        self.nfa_scratch.resize_with(workers.max(self.nfa_scratch.len()), Default::default);
+        self.nfa_scratch.drain(..workers).collect()
+    }
+
+    /// Returns NFA-product contexts to the engine for the next batch.
+    fn put_nfa_ctxs(&mut self, ctxs: Vec<NfaHopCtx>) {
+        let mut scratches = ctxs;
+        scratches.append(&mut self.nfa_scratch);
+        self.nfa_scratch = scratches;
     }
 
     /// The system configuration.
@@ -240,13 +413,10 @@ impl DistributedPimEngine {
         edges: impl Iterator<Item = (NodeId, NodeId, Label)>,
         batch_len: usize,
     ) -> UpdateStats {
-        let module_count = self.config.pim.num_modules;
-        let mut per_module = vec![SimTime::ZERO; module_count];
-        let mut host_time = SimTime::ZERO;
-        let mut cpu_to_pim_bytes = 0u64;
-        let mut pim_to_cpu_bytes = 0u64;
-        let mut applied = 0usize;
-        let mut timeline = Timeline::new();
+        // Update batches mutate the stores and the partitioner, so they stay
+        // sequential; the shared `StatsDelta` accumulator replaces the loose
+        // `&mut` counters the loop used to thread through every helper.
+        let mut delta = StatsDelta::new(self.config.pim.num_modules);
 
         for (src, dst, label) in edges {
             // Partitioning decision happens on edge arrival (radical greedy).
@@ -255,13 +425,7 @@ impl DistributedPimEngine {
             let after = self.owner(src).expect("source was just assigned");
             // Labor division: the node may have just crossed the threshold.
             if let (Some(PartitionId::Pim(old)), PartitionId::Host) = (before, after) {
-                self.promote_to_host(
-                    src,
-                    old as usize,
-                    &mut per_module,
-                    &mut host_time,
-                    &mut pim_to_cpu_bytes,
-                );
+                self.promote_to_host(src, old as usize, &mut delta);
             }
 
             match after {
@@ -270,49 +434,56 @@ impl DistributedPimEngine {
                     // allocates the slot, host writes one position.
                     let outcome = self.host_store.insert_edge(src, dst, label);
                     let aux = self.aux_module(src);
-                    per_module[aux] += self.pim.pim_hash_lookup_cost(ID_BYTES)
+                    delta.per_module[aux] += self.pim.pim_hash_lookup_cost(ID_BYTES)
                         * outcome.cost.pim_lookups as f64
                         + self.pim.pim_instructions_cost(60 * outcome.cost.pim_mutations);
-                    host_time +=
+                    delta.host_time +=
                         self.pim.host_sequential_read_cost(outcome.cost.host_bytes_written)
                             + self.pim.host_instructions_cost(40);
                     // The host exchanges a small request/response with the PIM
                     // side to learn the slot position.
-                    cpu_to_pim_bytes += EDGE_BYTES + label_wire_bytes(label);
-                    pim_to_cpu_bytes += ID_BYTES;
+                    delta.cpu_to_pim_bytes += EDGE_BYTES + label_wire_bytes(label);
+                    delta.pim_to_cpu_bytes += ID_BYTES;
                     if outcome.changed {
-                        applied += 1;
+                        delta.applied += 1;
                         self.edge_count += 1;
                     }
                 }
                 PartitionId::Pim(m) => {
                     let m = m as usize;
-                    cpu_to_pim_bytes += EDGE_BYTES + label_wire_bytes(label);
+                    delta.cpu_to_pim_bytes += EDGE_BYTES + label_wire_bytes(label);
                     let row_bytes = self.local_stores[m]
                         .row(src)
                         .map(|r| r.len() as u64 * ID_BYTES)
                         .unwrap_or(0);
-                    per_module[m] += self.pim.pim_hash_lookup_cost(row_bytes)
+                    delta.per_module[m] += self.pim.pim_hash_lookup_cost(row_bytes)
                         + self.pim.mram_write_cost(ID_BYTES + label_wire_bytes(label));
                     if self.local_stores[m].insert_edge(src, dst, label).is_ok() {
-                        applied += 1;
+                        delta.applied += 1;
                         self.edge_count += 1;
                     }
                 }
             }
         }
 
-        let pim_time = self.pim.parallel_step(&per_module);
+        self.charge_update_delta(delta, batch_len)
+    }
+
+    /// Converts one update batch's accumulated [`StatsDelta`] into the
+    /// reported [`UpdateStats`] (the barrier of the update path).
+    fn charge_update_delta(&mut self, delta: StatsDelta, batch_len: usize) -> UpdateStats {
+        let mut timeline = Timeline::new();
+        let pim_time = self.pim.parallel_step(&delta.per_module);
         timeline.charge(Phase::PimCompute, pim_time);
-        timeline.charge(Phase::HostCompute, host_time);
+        timeline.charge(Phase::HostCompute, delta.host_time);
         timeline.charge(
             Phase::Cpc,
-            self.pim.cpc_transfer_cost(cpu_to_pim_bytes)
-                + self.pim.cpc_transfer_cost(pim_to_cpu_bytes),
+            self.pim.cpc_transfer_cost(delta.cpu_to_pim_bytes)
+                + self.pim.cpc_transfer_cost(delta.pim_to_cpu_bytes),
         );
-        timeline.transfers.record_cpu_to_pim(cpu_to_pim_bytes, batch_len as u64);
-        timeline.transfers.record_pim_to_cpu(pim_to_cpu_bytes, 1);
-        UpdateStats { timeline, requested: batch_len, applied }
+        timeline.transfers.record_cpu_to_pim(delta.cpu_to_pim_bytes, batch_len as u64);
+        timeline.transfers.record_pim_to_cpu(delta.pim_to_cpu_bytes, 1);
+        UpdateStats { timeline, requested: batch_len, applied: delta.applied }
     }
 
     /// Deletes a batch of unlabelled ([`Label::ANY`]) edges.
@@ -332,13 +503,7 @@ impl DistributedPimEngine {
         edges: impl Iterator<Item = (NodeId, NodeId, Label)>,
         batch_len: usize,
     ) -> UpdateStats {
-        let module_count = self.config.pim.num_modules;
-        let mut per_module = vec![SimTime::ZERO; module_count];
-        let mut host_time = SimTime::ZERO;
-        let mut cpu_to_pim_bytes = 0u64;
-        let mut pim_to_cpu_bytes = 0u64;
-        let mut applied = 0usize;
-        let mut timeline = Timeline::new();
+        let mut delta = StatsDelta::new(self.config.pim.num_modules);
 
         for (src, dst, label) in edges {
             self.policy.on_edge_delete(src, dst);
@@ -347,65 +512,48 @@ impl DistributedPimEngine {
                 PartitionId::Host => {
                     let outcome = self.host_store.delete_edge(src, dst, label);
                     let aux = self.aux_module(src);
-                    per_module[aux] += self.pim.pim_hash_lookup_cost(ID_BYTES)
+                    delta.per_module[aux] += self.pim.pim_hash_lookup_cost(ID_BYTES)
                         * outcome.cost.pim_lookups.max(1) as f64
                         + self.pim.pim_instructions_cost(60 * outcome.cost.pim_mutations);
-                    host_time +=
+                    delta.host_time +=
                         self.pim.host_sequential_read_cost(outcome.cost.host_bytes_written)
                             + self.pim.host_instructions_cost(40);
-                    cpu_to_pim_bytes += EDGE_BYTES + label_wire_bytes(label);
-                    pim_to_cpu_bytes += ID_BYTES;
+                    delta.cpu_to_pim_bytes += EDGE_BYTES + label_wire_bytes(label);
+                    delta.pim_to_cpu_bytes += ID_BYTES;
                     if outcome.changed {
-                        applied += 1;
+                        delta.applied += 1;
                         self.edge_count -= 1;
                     }
                 }
                 PartitionId::Pim(m) => {
                     let m = m as usize;
-                    cpu_to_pim_bytes += EDGE_BYTES + label_wire_bytes(label);
+                    delta.cpu_to_pim_bytes += EDGE_BYTES + label_wire_bytes(label);
                     let row_bytes = self.local_stores[m]
                         .row(src)
                         .map(|r| r.len() as u64 * ID_BYTES)
                         .unwrap_or(0);
-                    per_module[m] += self.pim.pim_hash_lookup_cost(row_bytes)
+                    delta.per_module[m] += self.pim.pim_hash_lookup_cost(row_bytes)
                         + self.pim.mram_write_cost(ID_BYTES + label_wire_bytes(label));
                     if self.local_stores[m].remove_edge(src, dst, label).is_ok() {
-                        applied += 1;
+                        delta.applied += 1;
                         self.edge_count -= 1;
                     }
                 }
             }
         }
 
-        let pim_time = self.pim.parallel_step(&per_module);
-        timeline.charge(Phase::PimCompute, pim_time);
-        timeline.charge(Phase::HostCompute, host_time);
-        timeline.charge(
-            Phase::Cpc,
-            self.pim.cpc_transfer_cost(cpu_to_pim_bytes)
-                + self.pim.cpc_transfer_cost(pim_to_cpu_bytes),
-        );
-        timeline.transfers.record_cpu_to_pim(cpu_to_pim_bytes, batch_len as u64);
-        timeline.transfers.record_pim_to_cpu(pim_to_cpu_bytes, 1);
-        UpdateStats { timeline, requested: batch_len, applied }
+        self.charge_update_delta(delta, batch_len)
     }
 
     /// Moves a newly promoted high-degree row from its PIM module to the host
-    /// (the Node Migrator of Figure 1).
-    fn promote_to_host(
-        &mut self,
-        node: NodeId,
-        old_module: usize,
-        per_module: &mut [SimTime],
-        host_time: &mut SimTime,
-        pim_to_cpu_bytes: &mut u64,
-    ) {
+    /// (the Node Migrator of Figure 1), charging into the batch's delta.
+    fn promote_to_host(&mut self, node: NodeId, old_module: usize, delta: &mut StatsDelta) {
         if let Some(row) = self.local_stores[old_module].take_row(node) {
             let bytes = row.len() as u64 * ID_BYTES + row_label_wire_bytes(&row);
-            per_module[old_module] += self.pim.mram_read_cost(bytes);
-            *pim_to_cpu_bytes += bytes;
+            delta.per_module[old_module] += self.pim.mram_read_cost(bytes);
+            delta.pim_to_cpu_bytes += bytes;
             let cost = self.host_store.install_row(node, row);
-            *host_time += self.pim.host_sequential_read_cost(cost.host_bytes_written);
+            delta.host_time += self.pim.host_sequential_read_cost(cost.host_bytes_written);
         }
     }
 
@@ -419,9 +567,14 @@ impl DistributedPimEngine {
     /// dense-directory loads, produced next-hops are deduplicated with
     /// epoch-stamped markers as they are pushed (the raw expansion is never
     /// materialised), and frontier buffers are recycled across hops and
-    /// queries. Every simulated charge — cpc/ipc/mram byte and instruction —
-    /// is identical to the naive formulation, including the order float
-    /// charges accumulate in, so same-seed experiment outputs do not move.
+    /// queries. Each hop runs as plan → execute → merge: the execute stage
+    /// fans the frontier out over the worker pool (disjoint module ownership,
+    /// private scratch), and the merge stage reduces the per-worker
+    /// [`StatsDelta`]s in worker-id order and sorts the merged candidate
+    /// frontiers. Every simulated charge — cpc/ipc/mram byte and
+    /// instruction — is identical to the naive sequential formulation at any
+    /// thread count, including the order float charges accumulate in, so
+    /// same-seed experiment outputs do not move.
     pub fn k_hop_batch(&mut self, sources: &[NodeId], k: usize) -> (Vec<Vec<NodeId>>, QueryStats) {
         let module_count = self.config.pim.num_modules;
         // Maintained incrementally by the heterogeneous storage; previously a
@@ -430,14 +583,18 @@ impl DistributedPimEngine {
         let mut timeline = Timeline::new();
         let mut expansions = 0usize;
 
-        // Dispatch the batch: every source that lives on a PIM module must be
-        // shipped to it (the Q matrix rows of the execution plan).
+        // ---- plan: dispatch accounting and worker layout -----------------
+        // Every source that lives on a PIM module must be shipped to it (the
+        // Q matrix rows of the execution plan).
         let dispatch_bytes: u64 =
             sources.iter().filter(|&&s| matches!(self.owner(s), Some(PartitionId::Pim(_)))).count()
                 as u64
                 * ENTRY_BYTES;
         timeline.charge(Phase::Cpc, self.pim.cpc_transfer_cost(dispatch_bytes));
         timeline.transfers.record_cpu_to_pim(dispatch_bytes, 1);
+
+        let module_ranges = self.worker_layout();
+        let mut ctxs = self.take_hop_ctxs(module_ranges.len());
 
         let mut scratch = std::mem::take(&mut self.scratch);
         let mut frontiers: Vec<Vec<NodeId>> = sources
@@ -453,99 +610,64 @@ impl DistributedPimEngine {
         let mut next_frontiers: Vec<Vec<NodeId>> = Vec::with_capacity(frontiers.len());
 
         for _hop in 0..k {
-            let mut per_module = vec![SimTime::ZERO; module_count];
-            let mut host_time = SimTime::ZERO;
-            let mut ipc_bytes = 0u64;
-            let mut ipc_messages = 0u64;
-            let mut cpc_bytes = 0u64;
-            next_frontiers.clear();
-            for _ in 0..frontiers.len() {
-                let buf = scratch.take_buffer();
-                next_frontiers.push(buf);
-            }
+            // Every frontier entry counts as one expansion, whoever owns it.
+            let frontier_entries = frontiers.iter().map(Vec::len).sum::<usize>();
+            expansions += frontier_entries;
 
-            for (q, frontier) in frontiers.iter().enumerate() {
-                let next = &mut next_frontiers[q];
-                // One marker generation per (query, hop): a produced entry is
-                // pushed only on first sight, so `next` is duplicate-free by
-                // construction. Transfer bytes are still charged per produced
-                // entry, exactly as before.
-                scratch.marks.next_epoch();
-                for &v in frontier {
-                    expansions += 1;
-                    match self.owner(v) {
-                        Some(PartitionId::Host) => {
-                            let row_bytes = self.host_store.row_bytes(v);
-                            host_time += self.pim.host_random_access_cost(1, host_resident_bytes)
-                                + self.pim.host_sequential_read_cost(row_bytes);
-                            for (u, _) in self.host_store.neighbors_iter(v) {
-                                // The host forwards the produced entry to the
-                                // module owning it (or keeps it if the next
-                                // row is also host-resident).
-                                if matches!(self.owner(u), Some(PartitionId::Pim(_))) {
-                                    cpc_bytes += ENTRY_BYTES;
-                                }
-                                if scratch.marks.mark(u.index()) {
-                                    next.push(u);
-                                }
-                            }
-                        }
-                        Some(PartitionId::Pim(m)) => {
-                            let m = m as usize;
-                            let row = self.local_stores[m].row(v).unwrap_or(&[]);
-                            let row_bytes = row.len() as u64 * ID_BYTES;
-                            per_module[m] += self.pim.pim_hash_lookup_cost(row_bytes);
-                            for &(u, _) in row {
-                                match self.owner(u) {
-                                    Some(PartitionId::Pim(m2)) if m2 as usize == m => {}
-                                    Some(PartitionId::Pim(_)) => {
-                                        ipc_bytes += ENTRY_BYTES;
-                                        ipc_messages += 1;
-                                    }
-                                    _ => {
-                                        // Destination row lives on the host (or
-                                        // is unknown): the entry is gathered
-                                        // over the CPC link.
-                                        cpc_bytes += ENTRY_BYTES;
-                                    }
-                                }
-                                if scratch.marks.mark(u.index()) {
-                                    next.push(u);
-                                }
-                            }
-                        }
-                        None => {
-                            // The node has never appeared in the edge stream;
-                            // it has no outgoing edges.
-                        }
-                    }
-                }
-                // Sorting the (already unique) frontier keeps the result
-                // order, and the order float charges accumulate in on the
-                // next hop, identical to the sort+dedup formulation.
-                next.sort_unstable();
+            // ---- execute: embarrassingly parallel over module slices. The
+            // worker count is additionally clamped by the hop's total
+            // frontier size: a long-tail hop with a handful of entries is
+            // not worth a spawn/join barrier (output is thread-count
+            // invariant, so re-chunking per hop is free).
+            let active = active_workers(&module_ranges, frontier_entries);
+            let hop_ranges = chunk_ranges(module_count, active);
+            for ctx in &mut ctxs[..active] {
+                ctx.prepare(frontiers.len());
             }
+            let this: &DistributedPimEngine = self;
+            let deltas = this.pool.run_with(&mut ctxs[..active], |worker, ctx| {
+                this.khop_hop_worker(
+                    &hop_ranges[worker],
+                    worker == 0,
+                    &frontiers,
+                    host_resident_bytes,
+                    ctx,
+                )
+            });
 
-            let pim_time = self.pim.parallel_step(&per_module);
+            // ---- merge: id-ordered delta reduction + frontier union ------
+            let mut delta = StatsDelta::new(module_count);
+            for worker_delta in &deltas {
+                delta.merge(worker_delta);
+            }
+            let pim_time = self.pim.parallel_step(&delta.per_module);
             timeline.charge(Phase::PimCompute, pim_time);
-            timeline.charge(Phase::HostCompute, host_time);
-            timeline.charge(Phase::Cpc, self.pim.cpc_transfer_cost(cpc_bytes));
+            timeline.charge(Phase::HostCompute, delta.host_time);
+            timeline.charge(Phase::Cpc, self.pim.cpc_transfer_cost(delta.cpc_bytes));
             // Inter-PIM forwarding has no hardware path on UPMEM: besides the
             // double bus crossing, the host CPU inspects and re-routes every
             // forwarded entry in software (~25 instructions each).
             timeline.charge(
                 Phase::Ipc,
-                self.pim.ipc_transfer_cost(ipc_bytes)
-                    + self.pim.host_instructions_cost(ipc_messages * 25),
+                self.pim.ipc_transfer_cost(delta.ipc_bytes)
+                    + self.pim.host_instructions_cost(delta.ipc_messages * 25),
             );
-            timeline.transfers.record_pim_to_cpu(cpc_bytes, 1);
-            timeline.transfers.record_inter_pim(ipc_bytes, ipc_messages);
+            timeline.transfers.record_pim_to_cpu(delta.cpc_bytes, 1);
+            timeline.transfers.record_inter_pim(delta.ipc_bytes, delta.ipc_messages);
+
+            next_frontiers.clear();
+            for _ in 0..frontiers.len() {
+                let buf = scratch.take_buffer();
+                next_frontiers.push(buf);
+            }
+            merge_khop_frontiers(&mut ctxs[..active], &mut next_frontiers);
             std::mem::swap(&mut frontiers, &mut next_frontiers);
             for spent in next_frontiers.drain(..) {
                 scratch.recycle(spent);
             }
         }
         self.scratch = scratch;
+        self.put_hop_ctxs(ctxs);
 
         // Reduction (`mwait`): gather every query's final frontier to the host
         // and merge the per-module partial results.
@@ -562,6 +684,83 @@ impl DistributedPimEngine {
         let stats =
             QueryStats { timeline, batch_size: sources.len(), hops: k, matched_pairs, expansions };
         (frontiers, stats)
+    }
+
+    /// One worker's share of a k-hop execute stage.
+    ///
+    /// The worker walks **every** query's frontier in global order but
+    /// expands only the entries whose row lives on one of its modules (or on
+    /// the host, for the host-lane worker), so each `per_module` slot — and
+    /// `host_time` — receives its floating-point charges in exactly the
+    /// sequential order. Produced next-hops are deduplicated per
+    /// `(query, hop)` with the worker's private epoch marks; transfer bytes
+    /// are still charged per produced entry, exactly as in the sequential
+    /// loop.
+    fn khop_hop_worker(
+        &self,
+        my_modules: &Range<usize>,
+        host_lane: bool,
+        frontiers: &[Vec<NodeId>],
+        host_resident_bytes: u64,
+        ctx: &mut HopCtx,
+    ) -> StatsDelta {
+        let mut delta = StatsDelta::new(self.config.pim.num_modules);
+        for (q, frontier) in frontiers.iter().enumerate() {
+            let next = &mut ctx.nexts[q];
+            // One marker generation per (query, hop): a produced entry is
+            // pushed only on first sight, so the candidate list is
+            // duplicate-free (within this worker) by construction.
+            ctx.scratch.marks.next_epoch();
+            for &v in frontier {
+                match self.owner(v) {
+                    Some(PartitionId::Host) if host_lane => {
+                        let row_bytes = self.host_store.row_bytes(v);
+                        delta.host_time += self.pim.host_random_access_cost(1, host_resident_bytes)
+                            + self.pim.host_sequential_read_cost(row_bytes);
+                        for (u, _) in self.host_store.neighbors_iter(v) {
+                            // The host forwards the produced entry to the
+                            // module owning it (or keeps it if the next
+                            // row is also host-resident).
+                            if matches!(self.owner(u), Some(PartitionId::Pim(_))) {
+                                delta.cpc_bytes += ENTRY_BYTES;
+                            }
+                            if ctx.scratch.marks.mark(u.index()) {
+                                next.push(u);
+                            }
+                        }
+                    }
+                    Some(PartitionId::Pim(m)) if my_modules.contains(&(m as usize)) => {
+                        let m = m as usize;
+                        let row = self.local_stores[m].row(v).unwrap_or(&[]);
+                        let row_bytes = row.len() as u64 * ID_BYTES;
+                        delta.per_module[m] += self.pim.pim_hash_lookup_cost(row_bytes);
+                        for &(u, _) in row {
+                            match self.owner(u) {
+                                Some(PartitionId::Pim(m2)) if m2 as usize == m => {}
+                                Some(PartitionId::Pim(_)) => {
+                                    delta.ipc_bytes += ENTRY_BYTES;
+                                    delta.ipc_messages += 1;
+                                }
+                                _ => {
+                                    // Destination row lives on the host (or
+                                    // is unknown): the entry is gathered
+                                    // over the CPC link.
+                                    delta.cpc_bytes += ENTRY_BYTES;
+                                }
+                            }
+                            if ctx.scratch.marks.mark(u.index()) {
+                                next.push(u);
+                            }
+                        }
+                    }
+                    _ => {
+                        // Another worker's module, or a node that has never
+                        // appeared in the edge stream (no outgoing edges).
+                    }
+                }
+            }
+        }
+        delta
     }
 
     /// Answers a batch of general regular path queries with full cost
@@ -643,93 +842,75 @@ impl DistributedPimEngine {
         let mut next_frontiers: Vec<Vec<(NodeId, u32)>> = vec![Vec::new(); frontiers.len()];
         let mut hops = 0usize;
 
+        let module_ranges = self.worker_layout();
+        let mut ctxs = self.take_nfa_ctxs(module_ranges.len());
+
         while frontiers.iter().any(|f| !f.is_empty()) {
             hops += 1;
-            let mut per_module = vec![SimTime::ZERO; module_count];
-            let mut host_time = SimTime::ZERO;
-            let mut ipc_bytes = 0u64;
-            let mut ipc_messages = 0u64;
-            let mut cpc_bytes = 0u64;
+            let frontier_entries = frontiers.iter().map(Vec::len).sum::<usize>();
+            expansions += frontier_entries;
             for buf in next_frontiers.iter_mut() {
                 buf.clear();
             }
 
-            for (q, frontier) in frontiers.iter().enumerate() {
-                let next = &mut next_frontiers[q];
-                let seen = &mut visited[q];
-                for &(v, state) in frontier {
-                    expansions += 1;
-                    let transitions = nfa.transitions_from(state as usize);
-                    match self.owner(v) {
-                        Some(PartitionId::Host) => {
-                            let scan_bytes =
-                                self.host_store.slot_count(v) as u64 * (ID_BYTES + LABEL_BYTES);
-                            host_time += self.pim.host_random_access_cost(1, host_resident_bytes)
-                                + self.pim.host_sequential_read_cost(scan_bytes);
-                            for (u, label) in self.host_store.neighbors_iter(v) {
-                                for &(spec, next_state) in transitions {
-                                    if !spec.matches(label) {
-                                        continue;
-                                    }
-                                    if matches!(self.owner(u), Some(PartitionId::Pim(_))) {
-                                        cpc_bytes += ENTRY_BYTES + STATE_BYTES;
-                                    }
-                                    if seen.insert((u, next_state as u32)) {
-                                        next.push((u, next_state as u32));
-                                    }
-                                }
-                            }
-                        }
-                        Some(PartitionId::Pim(m)) => {
-                            let m = m as usize;
-                            let row = self.local_stores[m].row(v).unwrap_or(&[]);
-                            let scan_bytes = row.len() as u64 * (ID_BYTES + LABEL_BYTES);
-                            per_module[m] += self.pim.pim_hash_lookup_cost(scan_bytes);
-                            for &(u, label) in row {
-                                for &(spec, next_state) in transitions {
-                                    if !spec.matches(label) {
-                                        continue;
-                                    }
-                                    match self.owner(u) {
-                                        Some(PartitionId::Pim(m2)) if m2 as usize == m => {}
-                                        Some(PartitionId::Pim(_)) => {
-                                            ipc_bytes += ENTRY_BYTES + STATE_BYTES;
-                                            ipc_messages += 1;
-                                        }
-                                        _ => {
-                                            cpc_bytes += ENTRY_BYTES + STATE_BYTES;
-                                        }
-                                    }
-                                    if seen.insert((u, next_state as u32)) {
-                                        next.push((u, next_state as u32));
-                                    }
-                                }
-                            }
-                        }
-                        None => {
-                            // The node has never appeared in the edge stream;
-                            // it has no outgoing edges.
-                        }
-                    }
-                }
-                // Deterministic frontier order (and therefore deterministic
-                // float-charge accumulation order next hop).
-                next.sort_unstable();
+            // ---- execute: workers expand their modules' product entries,
+            // reading the per-query visited sets as an immutable snapshot
+            // (they are only extended at the merge barrier below). Like the
+            // k-hop loop, the worker count is clamped by the hop's frontier
+            // size so long-tail closure hops skip the spawn/join barrier.
+            let active = active_workers(&module_ranges, frontier_entries);
+            let hop_ranges = chunk_ranges(module_count, active);
+            for ctx in &mut ctxs[..active] {
+                ctx.nexts.resize(frontiers.len(), Vec::new());
             }
+            let this: &DistributedPimEngine = self;
+            let deltas = this.pool.run_with(&mut ctxs[..active], |worker, ctx| {
+                this.nfa_hop_worker(
+                    &hop_ranges[worker],
+                    worker == 0,
+                    nfa,
+                    &frontiers,
+                    &visited,
+                    host_resident_bytes,
+                    ctx,
+                )
+            });
 
-            let pim_time = self.pim.parallel_step(&per_module);
+            // ---- merge: id-ordered delta reduction, then the frontier
+            // union. Candidates were filtered against the visited snapshot
+            // and deduplicated per worker, so after the sorted cross-worker
+            // dedup every surviving pair enters the visited set — producing
+            // exactly the sequential loop's sorted, duplicate-free next
+            // frontier and exactly its visited-set growth.
+            let mut delta = StatsDelta::new(module_count);
+            for worker_delta in &deltas {
+                delta.merge(worker_delta);
+            }
+            let pim_time = self.pim.parallel_step(&delta.per_module);
             timeline.charge(Phase::PimCompute, pim_time);
-            timeline.charge(Phase::HostCompute, host_time);
-            timeline.charge(Phase::Cpc, self.pim.cpc_transfer_cost(cpc_bytes));
+            timeline.charge(Phase::HostCompute, delta.host_time);
+            timeline.charge(Phase::Cpc, self.pim.cpc_transfer_cost(delta.cpc_bytes));
             timeline.charge(
                 Phase::Ipc,
-                self.pim.ipc_transfer_cost(ipc_bytes)
-                    + self.pim.host_instructions_cost(ipc_messages * 25),
+                self.pim.ipc_transfer_cost(delta.ipc_bytes)
+                    + self.pim.host_instructions_cost(delta.ipc_messages * 25),
             );
-            timeline.transfers.record_pim_to_cpu(cpc_bytes, 1);
-            timeline.transfers.record_inter_pim(ipc_bytes, ipc_messages);
+            timeline.transfers.record_pim_to_cpu(delta.cpc_bytes, 1);
+            timeline.transfers.record_inter_pim(delta.ipc_bytes, delta.ipc_messages);
+
+            for (q, next) in next_frontiers.iter_mut().enumerate() {
+                for ctx in &mut ctxs[..active] {
+                    next.append(&mut ctx.nexts[q]);
+                }
+                next.sort_unstable();
+                next.dedup();
+                for &pair in next.iter() {
+                    visited[q].insert(pair);
+                }
+            }
             std::mem::swap(&mut frontiers, &mut next_frontiers);
         }
+        self.put_nfa_ctxs(ctxs);
 
         // Every visited accepting product state contributes its node to the
         // query's answer; a node reached in several accepting states is
@@ -763,6 +944,96 @@ impl DistributedPimEngine {
         let stats =
             QueryStats { timeline, batch_size: sources.len(), hops, matched_pairs, expansions };
         (results, stats)
+    }
+
+    /// One worker's share of an NFA-product execute stage (the labelled
+    /// generalisation of [`DistributedPimEngine::khop_hop_worker`]).
+    ///
+    /// Same ownership discipline: the worker walks every query's frontier in
+    /// global order, expands only product entries whose node row lives on its
+    /// modules (or the host for the host-lane worker), and charges into its
+    /// private delta. A candidate `(node, state)` pair is emitted when it is
+    /// new to both the query's visited snapshot (immutable during the hop)
+    /// and the worker's per-query local set; byte charges are per matched
+    /// transition, unconditional, exactly as in the sequential loop.
+    #[allow(clippy::too_many_arguments)]
+    fn nfa_hop_worker(
+        &self,
+        my_modules: &Range<usize>,
+        host_lane: bool,
+        nfa: &Nfa,
+        frontiers: &[Vec<(NodeId, u32)>],
+        visited: &[HashSet<(NodeId, u32)>],
+        host_resident_bytes: u64,
+        ctx: &mut NfaHopCtx,
+    ) -> StatsDelta {
+        let mut delta = StatsDelta::new(self.config.pim.num_modules);
+        for (q, frontier) in frontiers.iter().enumerate() {
+            let next = &mut ctx.nexts[q];
+            let snapshot = &visited[q];
+            ctx.seen.clear();
+            for &(v, state) in frontier {
+                let transitions = nfa.transitions_from(state as usize);
+                match self.owner(v) {
+                    Some(PartitionId::Host) if host_lane => {
+                        let scan_bytes =
+                            self.host_store.slot_count(v) as u64 * (ID_BYTES + LABEL_BYTES);
+                        delta.host_time += self.pim.host_random_access_cost(1, host_resident_bytes)
+                            + self.pim.host_sequential_read_cost(scan_bytes);
+                        for (u, label) in self.host_store.neighbors_iter(v) {
+                            for &(spec, next_state) in transitions {
+                                if !spec.matches(label) {
+                                    continue;
+                                }
+                                if matches!(self.owner(u), Some(PartitionId::Pim(_))) {
+                                    delta.cpc_bytes += ENTRY_BYTES + STATE_BYTES;
+                                }
+                                // Local-set first: duplicate productions (the
+                                // common case under closures) cost one hash
+                                // probe; the visited snapshot is consulted
+                                // only on first local sight.
+                                let pair = (u, next_state as u32);
+                                if ctx.seen.insert(pair) && !snapshot.contains(&pair) {
+                                    next.push(pair);
+                                }
+                            }
+                        }
+                    }
+                    Some(PartitionId::Pim(m)) if my_modules.contains(&(m as usize)) => {
+                        let m = m as usize;
+                        let row = self.local_stores[m].row(v).unwrap_or(&[]);
+                        let scan_bytes = row.len() as u64 * (ID_BYTES + LABEL_BYTES);
+                        delta.per_module[m] += self.pim.pim_hash_lookup_cost(scan_bytes);
+                        for &(u, label) in row {
+                            for &(spec, next_state) in transitions {
+                                if !spec.matches(label) {
+                                    continue;
+                                }
+                                match self.owner(u) {
+                                    Some(PartitionId::Pim(m2)) if m2 as usize == m => {}
+                                    Some(PartitionId::Pim(_)) => {
+                                        delta.ipc_bytes += ENTRY_BYTES + STATE_BYTES;
+                                        delta.ipc_messages += 1;
+                                    }
+                                    _ => {
+                                        delta.cpc_bytes += ENTRY_BYTES + STATE_BYTES;
+                                    }
+                                }
+                                let pair = (u, next_state as u32);
+                                if ctx.seen.insert(pair) && !snapshot.contains(&pair) {
+                                    next.push(pair);
+                                }
+                            }
+                        }
+                    }
+                    _ => {
+                        // Another worker's module, or a node that has never
+                        // appeared in the edge stream (no outgoing edges).
+                    }
+                }
+            }
+        }
+        delta
     }
 
     // ------------------------------------------------------------------
@@ -848,6 +1119,7 @@ impl DistributedPimEngine {
 mod tests {
     use super::*;
     use graph_partition::GreedyAdaptivePartitioner;
+    use pim_sim::SimTime;
 
     fn moctopus_engine() -> DistributedPimEngine {
         let cfg = MoctopusConfig::small_test();
@@ -1113,6 +1385,52 @@ mod tests {
         // 1 -> 0 -> everything (including 0 and 1 themselves via the cycle).
         assert_eq!(results[0].len(), 21);
         assert!(stats.hops >= 2);
+    }
+
+    #[test]
+    fn thread_count_never_changes_results_or_charges() {
+        // The unit-level determinism check (tests/parallel_equivalence.rs
+        // does the full property sweep): a 3-worker engine over 8 modules
+        // must report bit-identical stats to the sequential one, on both
+        // query loops, including after its scratch has been warmed up.
+        let graph = graph_gen::uniform::generate(400, 4.0, 17);
+        let edges: Vec<(NodeId, NodeId, Label)> =
+            graph.edges().map(|(s, d, _)| (s, d, Label((d.0 % 3) as u16 + 1))).collect();
+        let sources: Vec<NodeId> = (0..48u64).map(NodeId).collect();
+
+        // Pin the baseline to one worker explicitly: `small_test()` honours
+        // MOCTOPUS_THREADS, and the CI 4-thread leg must still compare the
+        // parallel engine against the true sequential path.
+        let serial_cfg = MoctopusConfig::small_test().with_threads(1);
+        let serial_policy = PlacementPolicy::GreedyAdaptive(
+            GreedyAdaptivePartitioner::with_config(serial_cfg.partitioner_config()),
+        );
+        let mut serial = DistributedPimEngine::new(serial_cfg, serial_policy);
+        assert_eq!(serial.threads(), 1);
+        let cfg = MoctopusConfig::small_test().with_threads(3);
+        let policy = PlacementPolicy::GreedyAdaptive(GreedyAdaptivePartitioner::with_config(
+            cfg.partitioner_config(),
+        ));
+        let mut parallel = DistributedPimEngine::new(cfg, policy);
+        assert_eq!(parallel.threads(), 3);
+
+        let serial_ins = serial.insert_labeled_edges(&edges);
+        let parallel_ins = parallel.insert_labeled_edges(&edges);
+        assert_eq!(serial_ins, parallel_ins);
+
+        for round in 0..2 {
+            for k in 1..=3 {
+                let (want, want_stats) = serial.k_hop_batch(&sources, k);
+                let (got, got_stats) = parallel.k_hop_batch(&sources, k);
+                assert_eq!(got, want, "k = {k}, round {round}");
+                assert_eq!(got_stats, want_stats, "k = {k}, round {round}");
+            }
+            let expr = rpq::parser::parse("1/(2|3)*/1").unwrap();
+            let (want, want_stats) = serial.rpq_batch(&expr, &sources);
+            let (got, got_stats) = parallel.rpq_batch(&expr, &sources);
+            assert_eq!(got, want, "round {round}");
+            assert_eq!(got_stats, want_stats, "round {round}");
+        }
     }
 
     #[test]

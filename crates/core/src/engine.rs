@@ -61,6 +61,18 @@ pub trait GraphEngine {
     /// Number of directed edges currently stored (labelled parallel edges
     /// count once per label).
     fn edge_count(&self) -> usize;
+
+    /// Reconfigures the engine's execution runtime to `threads` host worker
+    /// threads (`0` = the machine's available parallelism).
+    ///
+    /// Implementations must keep simulated results, `SimTime`, and transfer
+    /// tallies **byte-identical** at every thread count — the knob trades
+    /// wall-clock only (see CONCURRENCY.md). The harness uses this to sweep
+    /// `--threads` over boxed engines uniformly.
+    fn set_threads(&mut self, threads: usize);
+
+    /// Host worker threads the engine's execution runtime currently uses.
+    fn threads(&self) -> usize;
 }
 
 #[cfg(test)]

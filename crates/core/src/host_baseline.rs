@@ -17,6 +17,7 @@ use crate::config::MoctopusConfig;
 use crate::engine::GraphEngine;
 use crate::stats::{QueryStats, UpdateStats};
 use graph_store::{AdjacencyGraph, Label, NodeId};
+use moctopus_runtime::{chunk_ranges, WorkerPool};
 use pim_sim::{Phase, PimSystem, Timeline};
 use rpq::plan::{HostExecutionStats, HostMatrixEngine};
 use rpq::{ExecutionPlan, Nfa, RpqExpr};
@@ -56,6 +57,11 @@ pub struct HostBaseline {
     matrix: HostMatrixEngine,
     /// True when `matrix` is stale relative to `graph`.
     dirty: bool,
+    /// Execution runtime: query batches are chunked over these workers, each
+    /// running the whole per-label matrix chain (or automaton sweep) for its
+    /// chunk of sources. The *simulated* engine stays a single dedicated
+    /// core — chunk statistics merge exactly, so charges do not move.
+    pool: WorkerPool,
 }
 
 impl HostBaseline {
@@ -67,6 +73,7 @@ impl HostBaseline {
             matrix: HostMatrixEngine::from_graph(&graph),
             graph,
             dirty: false,
+            pool: WorkerPool::new(config.threads),
         }
     }
 
@@ -179,6 +186,35 @@ impl HostBaseline {
         );
         timeline
     }
+
+    /// Runs one source-batch evaluation (`run_chunk`) chunked across the
+    /// worker pool: each worker executes the full per-label matrix chain (or
+    /// automaton sweep) for a contiguous slice of the sources, and the
+    /// outputs merge in chunk order — results by concatenation,
+    /// [`HostExecutionStats`] with its exact integer merge — so the reported
+    /// numbers are identical to the single-chunk run at any thread count.
+    fn run_chunked<F>(
+        &self,
+        sources: &[NodeId],
+        run_chunk: F,
+    ) -> (Vec<Vec<NodeId>>, HostExecutionStats)
+    where
+        F: Fn(&[NodeId]) -> (Vec<Vec<NodeId>>, HostExecutionStats) + Sync,
+    {
+        let workers = self.pool.workers_for(sources.len());
+        if workers == 1 {
+            return run_chunk(sources);
+        }
+        let ranges = chunk_ranges(sources.len(), workers);
+        let chunk_outputs = self.pool.run(workers, |w| run_chunk(&sources[ranges[w].clone()]));
+        let mut results = Vec::with_capacity(sources.len());
+        let mut exec = HostExecutionStats::default();
+        for (chunk_results, chunk_exec) in chunk_outputs {
+            results.extend(chunk_results);
+            exec.merge(&chunk_exec);
+        }
+        (results, exec)
+    }
 }
 
 impl GraphEngine for HostBaseline {
@@ -205,7 +241,7 @@ impl GraphEngine for HostBaseline {
     fn k_hop_batch(&mut self, sources: &[NodeId], k: usize) -> (Vec<Vec<NodeId>>, QueryStats) {
         self.refresh_matrix();
         let plan = ExecutionPlan::k_hop(k);
-        let (results, exec) = self.matrix.run(&plan, sources);
+        let (results, exec) = self.run_chunked(sources, |chunk| self.matrix.run(&plan, chunk));
         let timeline = self.charge_query(&exec);
 
         let matched_pairs = results.iter().map(Vec::len).sum();
@@ -229,8 +265,11 @@ impl GraphEngine for HostBaseline {
         // Fixed-length expressions stay matrix chains (`Q × A_l1 × … × A_lk`);
         // everything else sweeps the automaton over the per-label matrices.
         let (results, exec) = match ExecutionPlan::from_expr(expr) {
-            Some(plan) => self.matrix.run(&plan, sources),
-            None => self.matrix.run_nfa(&Nfa::from_expr(expr), sources),
+            Some(plan) => self.run_chunked(sources, |chunk| self.matrix.run(&plan, chunk)),
+            None => {
+                let nfa = Nfa::from_expr(expr);
+                self.run_chunked(sources, |chunk| self.matrix.run_nfa(&nfa, chunk))
+            }
         };
         let timeline = self.charge_query(&exec);
 
@@ -247,6 +286,14 @@ impl GraphEngine for HostBaseline {
 
     fn edge_count(&self) -> usize {
         self.graph.edge_count()
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        self.pool = WorkerPool::new(threads);
+    }
+
+    fn threads(&self) -> usize {
+        self.pool.threads()
     }
 }
 

@@ -40,7 +40,7 @@
 //! assert!(stats.timeline.total().as_nanos() > 0.0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod config;
 pub mod distributed;
@@ -54,7 +54,7 @@ pub use config::MoctopusConfig;
 pub use engine::GraphEngine;
 pub use host_baseline::HostBaseline;
 pub use pim_hash::PimHashSystem;
-pub use stats::{QueryStats, UpdateStats};
+pub use stats::{QueryStats, StatsDelta, UpdateStats};
 pub use system::MoctopusSystem;
 
 pub use graph_store::{Label, NodeId, PartitionId};

@@ -58,6 +58,74 @@ impl UpdateStats {
     }
 }
 
+/// Per-worker accumulator of one parallel execution stage (a hop of the
+/// batch-frontier loop, or one update batch).
+///
+/// The hop loops used to thread half a dozen loose `&mut u64` / `&mut
+/// SimTime` counters through every helper; parallel execution makes that
+/// shape untenable (two workers cannot share one `&mut`). `StatsDelta`
+/// instead gives **each worker its own** full set of accumulators, which the
+/// barrier at the end of the stage reduces with [`StatsDelta::merge`] in
+/// ascending worker-id order.
+///
+/// Determinism (see CONCURRENCY.md): workers own disjoint PIM-module slices,
+/// so for every `per_module` slot at most one worker contributes a non-zero
+/// value and the merge adds exact IEEE-754 zeros from the rest — the merged
+/// delta is bit-identical to the one the sequential loop accumulates. The
+/// same holds for `host_time` (only the host-lane worker charges it); the
+/// byte and message counters are integers, where addition is exact and
+/// order-free.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsDelta {
+    /// Simulated busy time charged to each PIM module this stage.
+    pub per_module: Vec<SimTime>,
+    /// Simulated host-CPU compute time charged this stage.
+    pub host_time: SimTime,
+    /// Bytes gathered to the host over the CPU↔PIM bus (query hop loops).
+    pub cpc_bytes: u64,
+    /// Bytes forwarded between PIM modules through the host CPU.
+    pub ipc_bytes: u64,
+    /// Number of forwarded inter-PIM messages (each one costs host
+    /// re-routing instructions on UPMEM-like platforms).
+    pub ipc_messages: u64,
+    /// Bytes pushed from the CPU to PIM modules (update batches).
+    pub cpu_to_pim_bytes: u64,
+    /// Bytes pulled from PIM modules to the CPU (update batches).
+    pub pim_to_cpu_bytes: u64,
+    /// Updates that actually changed the graph this stage.
+    pub applied: usize,
+}
+
+impl StatsDelta {
+    /// Creates a zeroed delta with one `per_module` slot per PIM module.
+    pub fn new(module_count: usize) -> Self {
+        StatsDelta { per_module: vec![SimTime::ZERO; module_count], ..Default::default() }
+    }
+
+    /// Accumulates `other` into `self` (the id-ordered barrier reduction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two deltas were sized for different module counts.
+    pub fn merge(&mut self, other: &StatsDelta) {
+        assert_eq!(
+            self.per_module.len(),
+            other.per_module.len(),
+            "deltas must cover the same module count"
+        );
+        for (slot, &t) in self.per_module.iter_mut().zip(&other.per_module) {
+            *slot += t;
+        }
+        self.host_time += other.host_time;
+        self.cpc_bytes += other.cpc_bytes;
+        self.ipc_bytes += other.ipc_bytes;
+        self.ipc_messages += other.ipc_messages;
+        self.cpu_to_pim_bytes += other.cpu_to_pim_bytes;
+        self.pim_to_cpu_bytes += other.pim_to_cpu_bytes;
+        self.applied += other.applied;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,5 +159,62 @@ mod tests {
         assert_eq!(q.matched_pairs, 0);
         let u = UpdateStats::default();
         assert_eq!(u.latency(), SimTime::ZERO);
+    }
+
+    /// Regression guard for the `StatsDelta` refactor: splitting a sequential
+    /// accumulation across per-worker deltas with disjoint module ownership
+    /// and merging them in worker order must reproduce the sequential totals
+    /// bit for bit — including the floating-point `SimTime` slots.
+    #[test]
+    fn split_deltas_merge_to_the_sequential_totals() {
+        // Sequential accumulation over 4 modules with awkward float values.
+        let charges = [
+            (0usize, 0.1f64),
+            (2, 0.7),
+            (0, 0.2),
+            (3, 1e-9),
+            (2, 3.33),
+            (1, 0.001),
+            (0, 123.456),
+            (3, 2.5),
+        ];
+        let mut sequential = StatsDelta::new(4);
+        for &(m, ns) in &charges {
+            sequential.per_module[m] += SimTime::from_nanos(ns);
+        }
+        sequential.host_time = SimTime::from_nanos(42.42);
+        sequential.cpc_bytes = 100;
+        sequential.ipc_bytes = 30;
+        sequential.ipc_messages = 3;
+        sequential.applied = 7;
+
+        // Two workers: worker 0 owns modules 0..2 and the host lane, worker 1
+        // owns modules 2..4. Each replays the same charges in the same order,
+        // filtered to its own slots.
+        let mut worker0 = StatsDelta::new(4);
+        let mut worker1 = StatsDelta::new(4);
+        for &(m, ns) in &charges {
+            let delta = if m < 2 { &mut worker0 } else { &mut worker1 };
+            delta.per_module[m] += SimTime::from_nanos(ns);
+        }
+        worker0.host_time = SimTime::from_nanos(42.42);
+        worker0.cpc_bytes = 60;
+        worker1.cpc_bytes = 40;
+        worker0.ipc_bytes = 30;
+        worker1.ipc_messages = 3;
+        worker0.applied = 5;
+        worker1.applied = 2;
+
+        let mut merged = StatsDelta::new(4);
+        merged.merge(&worker0);
+        merged.merge(&worker1);
+        assert_eq!(merged, sequential, "id-ordered merge must be exact, not approximate");
+    }
+
+    #[test]
+    #[should_panic(expected = "same module count")]
+    fn merging_mismatched_deltas_panics() {
+        let mut a = StatsDelta::new(2);
+        a.merge(&StatsDelta::new(3));
     }
 }

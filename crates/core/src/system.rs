@@ -123,6 +123,14 @@ impl GraphEngine for MoctopusSystem {
     fn edge_count(&self) -> usize {
         self.engine.edge_count()
     }
+
+    fn set_threads(&mut self, threads: usize) {
+        self.engine.set_threads(threads);
+    }
+
+    fn threads(&self) -> usize {
+        self.engine.threads()
+    }
 }
 
 #[cfg(test)]

@@ -29,7 +29,7 @@
 //! assert_eq!(g.edge_count(), 2);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod adjacency;
 pub mod csr;

@@ -34,7 +34,7 @@
 //! assert!(step > SimTime::ZERO);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod config;
 pub mod energy;

@@ -30,7 +30,7 @@
 //! # Ok::<(), rpq::parser::ParseRpqError>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod ast;
 pub mod eval;

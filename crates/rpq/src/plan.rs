@@ -132,6 +132,27 @@ pub struct HostExecutionStats {
     pub frontier_levels: usize,
 }
 
+impl HostExecutionStats {
+    /// Accumulates the statistics of running the *same* plan (or automaton)
+    /// over another disjoint chunk of the source batch.
+    ///
+    /// Both [`HostMatrixEngine::run`] and [`HostMatrixEngine::run_nfa`]
+    /// account work per source row, so executing a batch as disjoint chunks
+    /// and merging in chunk order reproduces the whole-batch statistics
+    /// exactly: byte and fetch counters add, while `smxm_ops` (identical in
+    /// every chunk of a chain; zero for sweeps) and `frontier_levels` (a
+    /// per-source maximum) combine with `max`. All fields are integers, so
+    /// the merge is exact regardless of how the batch was chunked.
+    pub fn merge(&mut self, other: &HostExecutionStats) {
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.row_fetches += other.row_fetches;
+        self.smxm_ops = self.smxm_ops.max(other.smxm_ops);
+        self.result_entries += other.result_entries;
+        self.frontier_levels = self.frontier_levels.max(other.frontier_levels);
+    }
+}
+
 /// Host-side (RedisGraph-like) matrix engine: per-label adjacency matrices
 /// plus a plan executor.
 ///
@@ -187,15 +208,18 @@ impl HostMatrixEngine {
         &self.any
     }
 
-    /// The adjacency matrix restricted to one label (empty if unused).
-    pub fn adjacency_for(&self, spec: LabelSpec) -> SparseBoolMatrix {
+    /// The adjacency matrix restricted to one label, borrowed: the plan
+    /// executor runs one `smxm` per hop per source chunk, so cloning the
+    /// whole adjacency matrix per operator (multiplied by the worker count
+    /// under chunked execution) would dominate; only the
+    /// missing-label case materialises an (empty) owned matrix.
+    fn adjacency_cow(&self, spec: LabelSpec) -> std::borrow::Cow<'_, SparseBoolMatrix> {
+        use std::borrow::Cow;
         match spec {
-            LabelSpec::Any => self.any.clone(),
-            LabelSpec::Exact(l) => self
-                .by_label
-                .get(&l)
-                .cloned()
-                .unwrap_or_else(|| SparseBoolMatrix::zeros(self.node_bound, self.node_bound)),
+            LabelSpec::Any => Cow::Borrowed(&self.any),
+            LabelSpec::Exact(l) => self.by_label.get(&l).map(Cow::Borrowed).unwrap_or_else(|| {
+                Cow::Owned(SparseBoolMatrix::zeros(self.node_bound, self.node_bound))
+            }),
         }
     }
 
@@ -226,7 +250,7 @@ impl HostMatrixEngine {
         for op in plan.ops() {
             match op {
                 PlanOp::Smxm(spec) => {
-                    let adj = self.adjacency_for(*spec);
+                    let adj = self.adjacency_cow(*spec);
                     stats.smxm_ops += 1;
                     // Gustavson's algorithm touches one adjacency row per set
                     // entry of the current frontier matrix.

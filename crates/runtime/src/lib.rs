@@ -1,0 +1,324 @@
+//! Parallel per-module execution runtime for the Moctopus engines.
+//!
+//! The paper's speedups come from hundreds of PIM modules working
+//! concurrently, yet a simulator is free to walk every module's work on one
+//! host thread — correct, but the wall-clock of a `summary --scale 1` run is
+//! then bounded by a single core while the *simulated* numbers describe a
+//! massively parallel machine. This crate closes that gap: a dependency-free
+//! scoped-thread worker pool ([`WorkerPool`]) executes per-module work in
+//! parallel while the simulated cost model stays **byte-identical** at any
+//! thread count.
+//!
+//! # The determinism contract
+//!
+//! Callers (the hop loops in `moctopus::distributed`, the matrix chains in
+//! `moctopus::HostBaseline`) keep same-seed output byte-identical by obeying
+//! three rules, documented in depth in the repository's CONCURRENCY.md:
+//!
+//! 1. **Disjoint ownership** — each worker owns a contiguous slice of PIM
+//!    modules ([`chunk_ranges`]) plus, for worker 0, the host lane. A worker
+//!    only accumulates into the accumulator slots it owns, and it visits the
+//!    work items feeding each slot in the same global order the sequential
+//!    loop would, so every floating-point accumulator receives its additions
+//!    in the sequential order.
+//! 2. **Private scratch** — dedup marks, frontier buffers, and the per-worker
+//!    `StatsDelta` accumulators are owned by the worker (handed in through
+//!    [`WorkerPool::run_with`]'s per-worker contexts); nothing is shared
+//!    mutably during the parallel section.
+//! 3. **Id-ordered merge** — worker outputs are reduced on the calling thread
+//!    in ascending worker id order. Merging adds exact zeros into the slots a
+//!    worker does not own (IEEE-754 `0.0 + x == x` for the non-negative
+//!    simulated times involved), so the merged accumulators equal the
+//!    sequential ones bit for bit.
+//!
+//! # Examples
+//!
+//! ```
+//! use moctopus_runtime::{chunk_ranges, WorkerPool};
+//!
+//! // Sum disjoint slices of a vector on 4 workers, merging in worker order.
+//! let data: Vec<u64> = (0..1000).collect();
+//! let pool = WorkerPool::new(4);
+//! let ranges = chunk_ranges(data.len(), pool.threads());
+//! let mut ctxs: Vec<u64> = vec![0; ranges.len()];
+//! pool.run_with(&mut ctxs, |w, acc| {
+//!     *acc = data[ranges[w].clone()].iter().sum();
+//! });
+//! assert_eq!(ctxs.iter().sum::<u64>(), 499_500);
+//! ```
+
+#![deny(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// A scoped-thread worker pool with a fixed thread count.
+///
+/// The pool is a *policy* object, not a set of live threads: each parallel
+/// region spawns scoped workers (`std::thread::scope`), runs worker 0 on the
+/// calling thread, and joins everything before returning, so borrowed data
+/// can flow into workers without `'static` bounds or unsafe erasure. With a
+/// thread count of 1 (or a single context) no thread is ever spawned and the
+/// closure runs inline — the sequential path *is* the parallel path.
+///
+/// # Examples
+///
+/// ```
+/// use moctopus_runtime::WorkerPool;
+///
+/// let pool = WorkerPool::new(2);
+/// let mut partials = vec![0u32; 2];
+/// let results = pool.run_with(&mut partials, |worker, p| {
+///     *p = worker as u32 + 1;
+///     worker
+/// });
+/// assert_eq!(results, vec![0, 1]); // outputs are in worker-id order
+/// assert_eq!(partials, vec![1, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPool {
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Creates a pool that runs parallel regions on `threads` workers.
+    ///
+    /// `threads == 0` means "use [`WorkerPool::available_parallelism`]", so
+    /// callers can expose a `--threads` flag whose default follows the
+    /// machine. Any other value is taken literally (it may exceed the core
+    /// count; the OS then time-slices).
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 { Self::available_parallelism() } else { threads };
+        WorkerPool { threads }
+    }
+
+    /// The number of hardware threads the current process can use, with a
+    /// floor of 1 (mirrors `std::thread::available_parallelism`, which errors
+    /// on exotic platforms instead of guessing).
+    pub fn available_parallelism() -> usize {
+        std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    }
+
+    /// The worker count parallel regions of this pool are planned for.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(worker_id, &mut ctxs[worker_id])` for every context, in
+    /// parallel, and returns the closure outputs **in worker-id order**.
+    ///
+    /// The context slice defines how many workers actually run: callers size
+    /// it to `min(self.threads(), useful_parallelism)`. Worker 0 executes on
+    /// the calling thread; workers `1..` run on scoped threads that are
+    /// joined (in id order) before the call returns, so `f` may borrow
+    /// non-`'static` data freely. With zero contexts nothing runs; with one
+    /// context `f` is called inline and no thread is spawned.
+    ///
+    /// Each worker gets exclusive `&mut` access to its own context — this is
+    /// where callers hand every worker its private scratch (rule 2 of the
+    /// determinism contract) — while `f` itself only needs `&self`-style
+    /// shared captures.
+    ///
+    /// # Panics
+    ///
+    /// If a worker panics, the panic is resumed on the calling thread after
+    /// the remaining workers are joined (no result is silently dropped).
+    pub fn run_with<C, T, F>(&self, ctxs: &mut [C], f: F) -> Vec<T>
+    where
+        C: Send,
+        T: Send,
+        F: Fn(usize, &mut C) -> T + Sync,
+    {
+        match ctxs {
+            [] => Vec::new(),
+            [only] => vec![f(0, only)],
+            [first, rest @ ..] => std::thread::scope(|scope| {
+                let f = &f;
+                let handles: Vec<_> = rest
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, ctx)| scope.spawn(move || f(i + 1, ctx)))
+                    .collect();
+                let mut results = Vec::with_capacity(handles.len() + 1);
+                results.push(f(0, first));
+                // Join in worker-id order; a worker panic is re-raised here
+                // once every sibling has been joined by the scope.
+                for handle in handles {
+                    match handle.join() {
+                        Ok(value) => results.push(value),
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
+                }
+                results
+            }),
+        }
+    }
+
+    /// Convenience wrapper over [`WorkerPool::run_with`] for workers that
+    /// need no per-worker context: runs `f(worker_id)` for `workers` workers
+    /// and returns the outputs in worker-id order.
+    pub fn run<T, F>(&self, workers: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let mut ctxs = vec![(); workers];
+        self.run_with(&mut ctxs, |worker, ()| f(worker))
+    }
+
+    /// The number of workers a parallel region over `items` work items should
+    /// use: `min(threads, items)`, with a floor of 1 so degenerate regions
+    /// still produce one (empty) worker output to merge.
+    pub fn workers_for(&self, items: usize) -> usize {
+        self.threads.min(items).max(1)
+    }
+}
+
+impl Default for WorkerPool {
+    /// A single-threaded pool (the deterministic baseline configuration).
+    fn default() -> Self {
+        WorkerPool::new(1)
+    }
+}
+
+/// Splits `0..len` into `parts` contiguous ranges whose lengths differ by at
+/// most one (the first `len % parts` ranges are one longer).
+///
+/// This is the ownership map of determinism rule 1: item `i` belongs to
+/// exactly one range, ranges are in ascending order, and the split depends
+/// only on `(len, parts)` — never on timing — so the same inputs always
+/// produce the same ownership. `parts` may exceed `len`; trailing ranges are
+/// then empty (their workers idle).
+///
+/// # Examples
+///
+/// ```
+/// use moctopus_runtime::chunk_ranges;
+/// assert_eq!(chunk_ranges(7, 3), vec![0..3, 3..5, 5..7]);
+/// assert_eq!(chunk_ranges(2, 4), vec![0..1, 1..2, 2..2, 2..2]);
+/// assert_eq!(chunk_ranges(0, 2), vec![0..0, 0..0]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `parts == 0`.
+pub fn chunk_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    assert!(parts > 0, "cannot split a range into zero parts");
+    let base = len / parts;
+    let extra = len % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for part in 0..parts {
+        let size = base + usize::from(part < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), WorkerPool::available_parallelism());
+        assert!(pool.threads() >= 1);
+    }
+
+    #[test]
+    fn default_pool_is_single_threaded() {
+        assert_eq!(WorkerPool::default().threads(), 1);
+    }
+
+    #[test]
+    fn run_with_returns_outputs_in_worker_order() {
+        for threads in [1, 2, 4, 8] {
+            let pool = WorkerPool::new(threads);
+            let mut ctxs = vec![0usize; threads];
+            let out = pool.run_with(&mut ctxs, |worker, ctx| {
+                *ctx = worker * 10;
+                worker
+            });
+            assert_eq!(out, (0..threads).collect::<Vec<_>>());
+            assert_eq!(ctxs, (0..threads).map(|w| w * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_with_handles_empty_and_single_context() {
+        let pool = WorkerPool::new(4);
+        let out: Vec<usize> = pool.run_with(&mut [], |w, ()| w);
+        assert!(out.is_empty());
+        let main_thread = std::thread::current().id();
+        let mut one = [0u8];
+        let out = pool.run_with(&mut one, |_, _| std::thread::current().id());
+        assert_eq!(out, vec![main_thread], "a single context must run inline");
+    }
+
+    #[test]
+    fn workers_share_borrowed_data() {
+        let data: Vec<u64> = (0..100).collect();
+        let pool = WorkerPool::new(3);
+        let ranges = chunk_ranges(data.len(), 3);
+        let sums = pool.run(3, |w| data[ranges[w].clone()].iter().sum::<u64>());
+        assert_eq!(sums.iter().sum::<u64>(), 4950);
+    }
+
+    #[test]
+    fn run_counts_every_worker_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let pool = WorkerPool::new(8);
+        pool.run(8, |_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn workers_for_clamps_to_items_and_floor() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.workers_for(100), 4);
+        assert_eq!(pool.workers_for(2), 2);
+        assert_eq!(pool.workers_for(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn worker_panics_propagate() {
+        let pool = WorkerPool::new(2);
+        pool.run(2, |w| {
+            if w == 1 {
+                panic!("worker boom");
+            }
+        });
+    }
+
+    #[test]
+    fn chunk_ranges_cover_the_input_exactly() {
+        for len in [0usize, 1, 7, 64, 1000] {
+            for parts in [1usize, 2, 3, 8, 13] {
+                let ranges = chunk_ranges(len, parts);
+                assert_eq!(ranges.len(), parts);
+                let mut expected_start = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expected_start, "ranges must be contiguous");
+                    expected_start = r.end;
+                }
+                assert_eq!(expected_start, len, "ranges must cover 0..len");
+                let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                let min = sizes.iter().min().unwrap();
+                let max = sizes.iter().max().unwrap();
+                assert!(max - min <= 1, "len {len} parts {parts}: sizes {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parts")]
+    fn chunk_ranges_rejects_zero_parts() {
+        let _ = chunk_ranges(4, 0);
+    }
+}

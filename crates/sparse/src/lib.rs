@@ -36,7 +36,7 @@
 //! assert!(!two_hop.contains(0, 1));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod builder;
 pub mod matrix;

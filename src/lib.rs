@@ -13,6 +13,7 @@
 //! | [`graph_partition`] | `crates/graph-partition` | streaming partitioners |
 //! | [`pim_sim`] | `crates/pim-sim` | PIM hardware cost model |
 //! | [`rpq`] | `crates/rpq` | RPQ parser, automaton, matrix plans |
+//! | [`moctopus_runtime`] | `crates/runtime` | deterministic worker-pool execution runtime |
 //! | [`moctopus`] | `crates/core` | the three engines |
 //! | [`moctopus_bench`] | `crates/bench` | experiment harness |
 //!
@@ -26,6 +27,7 @@ pub use graph_partition;
 pub use graph_store;
 pub use moctopus;
 pub use moctopus_bench;
+pub use moctopus_runtime;
 pub use pim_sim;
 pub use rpq;
 pub use sparse;
