@@ -1,0 +1,303 @@
+//! Concurrent query-serving workload: many clients, interleaved RPQs and
+//! labelled updates, with and without the update-consistent result cache.
+//!
+//! The binary drives one deterministic open-loop trace
+//! (`moctopus_bench::ServeTrace`: Zipf-popular query pool, configurable
+//! update fraction, round-robin logical arrival across clients) through the
+//! `moctopus-server` layer three times over a fresh Moctopus engine each:
+//!
+//! * `cost-exact`  — caching on, hits bit-identical in results *and* stats;
+//! * `result-exact` — caching on, label-precise invalidation only;
+//! * `no-cache`    — every query executes on the engine.
+//!
+//! It self-verifies on every run: all three modes must produce identical
+//! query results, and every `cost-exact` response's stats must equal the
+//! uncached run's. Stdout is deterministic for a fixed seed — simulated
+//! times and counters only — and byte-identical at every `--threads` value
+//! (CI diffs it); wall-clock goes only into the `--json` record.
+//!
+//! Run with: `cargo run --release --bin serve [--scale S] [--seed N]
+//! [--threads N] [--clients N] [--requests N] [--update-fraction F]
+//! [--distinct N] [--json [PATH]]`
+
+use moctopus::{GraphEngine, MoctopusSystem};
+use moctopus_bench::{HarnessOptions, RpqWorkload, ServeTrace, ServeTraceConfig};
+use moctopus_server::{
+    CacheConfig, ConcurrentServer, ConsistencyMode, QueryServer, Response, ResponseBody,
+    ServerConfig, Session,
+};
+use std::time::Instant;
+
+/// One mode's deterministic outcome plus its (JSON-only) wall-clock.
+struct ModeOutcome {
+    name: &'static str,
+    responses: Vec<Vec<Response>>,
+    totals: moctopus_server::ServeTotals,
+    cache: Option<moctopus_server::CacheStats>,
+    wall_ms: f64,
+}
+
+/// Parses the serve-specific flags (harness flags are handled by
+/// `HarnessOptions`, which ignores unknown ones).
+fn trace_config_from_args() -> ServeTraceConfig {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ServeTraceConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1);
+        match (args[i].as_str(), value) {
+            ("--clients", Some(v)) => {
+                if let Ok(n) = v.parse::<usize>() {
+                    cfg.clients = n.max(1);
+                }
+                i += 2;
+            }
+            ("--requests", Some(v)) => {
+                if let Ok(n) = v.parse::<usize>() {
+                    cfg.requests_per_client = n.max(1);
+                }
+                i += 2;
+            }
+            ("--update-fraction", Some(v)) => {
+                if let Ok(f) = v.parse::<f64>() {
+                    cfg.update_fraction = f.clamp(0.0, 1.0);
+                }
+                i += 2;
+            }
+            ("--distinct", Some(v)) => {
+                if let Ok(n) = v.parse::<usize>() {
+                    cfg.distinct_queries = n.max(1);
+                }
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+    cfg
+}
+
+/// Parses `--json [PATH]` (default `BENCH_PR5.json`), as in `summary`.
+fn json_path_from_args() -> Option<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let pos = args.iter().position(|a| a == "--json")?;
+    match args.get(pos + 1) {
+        Some(next) if !next.starts_with("--") => Some(next.clone()),
+        _ => Some("BENCH_PR5.json".to_string()),
+    }
+}
+
+/// Runs the trace through one server mode over a fresh engine.
+fn run_mode(
+    name: &'static str,
+    cache: Option<CacheConfig>,
+    options: &HarnessOptions,
+    workload: &RpqWorkload,
+    trace: &ServeTrace,
+) -> ModeOutcome {
+    let t0 = Instant::now();
+    let mut engine = MoctopusSystem::new(options.system_config());
+    engine.insert_labeled_edges(&workload.edges);
+    engine.refine_locality();
+    let config = ServerConfig { cache, pricing: *engine.config() };
+    let server = ConcurrentServer::new(QueryServer::new(Box::new(engine), config));
+
+    let mut sessions: Vec<Session> =
+        (0..trace.per_client.len()).map(|_| server.session()).collect();
+    std::thread::scope(|scope| {
+        for (session, schedule) in sessions.drain(..).zip(&trace.per_client) {
+            scope.spawn(move || {
+                let mut session = session;
+                for (at, kind) in schedule {
+                    session.submit(*at, kind.clone()).expect("trace timestamps are monotonic");
+                }
+                session.finish();
+            });
+        }
+        server.run();
+    });
+
+    let responses = server.take_responses();
+    let (totals, cache) = server.with_core(|core| (core.totals(), core.cache_stats()));
+    ModeOutcome { name, responses, totals, cache, wall_ms: t0.elapsed().as_secs_f64() * 1e3 }
+}
+
+/// Asserts the self-verification invariants across modes (see module docs).
+fn cross_check(reference: &ModeOutcome, cached: &[&ModeOutcome]) {
+    for mode in cached {
+        assert_eq!(
+            mode.responses.len(),
+            reference.responses.len(),
+            "{}: client count drifted",
+            mode.name
+        );
+        for (client, (got, want)) in mode.responses.iter().zip(&reference.responses).enumerate() {
+            assert_eq!(got.len(), want.len(), "{}: response count for client {client}", mode.name);
+            for (g, w) in got.iter().zip(want) {
+                match (&g.body, &w.body) {
+                    (
+                        ResponseBody::Query { results: a, stats: sa, .. },
+                        ResponseBody::Query { results: b, stats: sb, .. },
+                    ) => {
+                        assert_eq!(a, b, "{}: cached answer diverged at {}", mode.name, g.id);
+                        if mode.name == "cost-exact" {
+                            assert_eq!(sa, sb, "{}: cached stats diverged at {}", mode.name, g.id);
+                        }
+                    }
+                    (
+                        ResponseBody::Update { stats: sa, .. },
+                        ResponseBody::Update { stats: sb, .. },
+                    ) => {
+                        assert_eq!(sa, sb, "{}: update stats diverged at {}", mode.name, g.id);
+                    }
+                    _ => panic!("{}: response kind mismatch at {}", mode.name, g.id),
+                }
+            }
+        }
+    }
+}
+
+fn render_json(
+    options: &HarnessOptions,
+    cfg: &ServeTraceConfig,
+    workload: &RpqWorkload,
+    modes: &[&ModeOutcome],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"serve\",\n");
+    out.push_str(&format!("  \"scale\": {},\n", options.scale));
+    out.push_str(&format!("  \"seed\": {},\n", options.seed));
+    out.push_str(&format!("  \"threads\": {},\n", options.threads));
+    out.push_str(&format!("  \"clients\": {},\n", cfg.clients));
+    out.push_str(&format!("  \"requests_per_client\": {},\n", cfg.requests_per_client));
+    out.push_str(&format!("  \"update_fraction\": {},\n", cfg.update_fraction));
+    out.push_str(&format!("  \"distinct_queries\": {},\n", cfg.distinct_queries));
+    out.push_str(&format!(
+        "  \"workload\": {{\"name\": \"{}\", \"nodes\": {}, \"labelled_edges\": {}}},\n",
+        workload.name,
+        workload.graph.node_count(),
+        workload.graph.edge_count()
+    ));
+    out.push_str("  \"modes\": [\n");
+    let no_cache_served = modes
+        .iter()
+        .find(|m| m.name == "no-cache")
+        .map(|m| m.totals.served_time().as_millis())
+        .unwrap_or(0.0);
+    for (i, m) in modes.iter().enumerate() {
+        let t = &m.totals;
+        let served = t.served_time().as_millis();
+        let speedup = if served > 0.0 { no_cache_served / served } else { 1.0 };
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"wall_ms\": {:.3}, \"sim_served_ms\": {:.3}, \
+             \"sim_engine_ms\": {:.3}, \"sim_hit_overhead_ms\": {:.3}, \
+             \"sim_avoided_ms\": {:.3}, \"sim_saved_ms\": {:.3}, \
+             \"sim_speedup_vs_no_cache\": {:.3}, \"hits\": {}, \"misses\": {}, \
+             \"hit_rate\": {:.4}, \"invalidated\": {}, \"evictions\": {}}}{}\n",
+            m.name,
+            m.wall_ms,
+            served,
+            t.engine_time.as_millis(),
+            t.hit_time.as_millis(),
+            t.avoided_time.as_millis(),
+            t.saved_nanos() / 1e6,
+            speedup,
+            m.cache.map_or(0, |c| c.hits),
+            m.cache.map_or(0, |c| c.misses),
+            m.cache.map_or(0.0, |c| c.hit_rate()),
+            m.cache.map_or(0, |c| c.invalidated),
+            m.cache.map_or(0, |c| c.evictions),
+            if i + 1 == modes.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let options = HarnessOptions::from_env();
+    let cfg = trace_config_from_args();
+    let json_path = json_path_from_args();
+
+    let workload = RpqWorkload::power_law(&options);
+    let trace = ServeTrace::generate(&workload, &cfg, options.seed);
+    println!(
+        "Concurrent RPQ serving (simulated ms), scale = {:.4}: {} clients x {} requests, \
+         {:.0}% updates, query pool = {} ({} sources each)",
+        options.scale,
+        cfg.clients,
+        cfg.requests_per_client,
+        cfg.update_fraction * 100.0,
+        cfg.distinct_queries,
+        cfg.sources_per_query
+    );
+    println!(
+        "workload: {} ({} nodes, {} labelled edges), engine: Moctopus\n",
+        workload.name,
+        workload.graph.node_count(),
+        workload.graph.edge_count()
+    );
+
+    let cost_exact = run_mode(
+        "cost-exact",
+        Some(CacheConfig { mode: ConsistencyMode::CostExact, ..CacheConfig::default() }),
+        &options,
+        &workload,
+        &trace,
+    );
+    let result_exact = run_mode(
+        "result-exact",
+        Some(CacheConfig { mode: ConsistencyMode::ResultExact, ..CacheConfig::default() }),
+        &options,
+        &workload,
+        &trace,
+    );
+    let no_cache = run_mode("no-cache", None, &options, &workload, &trace);
+    cross_check(&no_cache, &[&cost_exact, &result_exact]);
+
+    println!(
+        "{:<14}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}  {:>6} {:>6} {:>6}  {:>6}",
+        "mode", "served", "engine", "hit-ovhd", "avoided", "saved", "hits", "miss", "inval", "hit%"
+    );
+    for m in [&cost_exact, &result_exact, &no_cache] {
+        let t = &m.totals;
+        println!(
+            "{:<14}  {:>10.3}  {:>10.3}  {:>10.3}  {:>10.3}  {:>10.3}  {:>6} {:>6} {:>6}  {:>5.1}%",
+            m.name,
+            t.served_time().as_millis(),
+            t.engine_time.as_millis(),
+            t.hit_time.as_millis(),
+            t.avoided_time.as_millis(),
+            t.saved_nanos() / 1e6,
+            m.cache.map_or(0, |c| c.hits),
+            m.cache.map_or(0, |c| c.misses),
+            m.cache.map_or(0, |c| c.invalidated),
+            m.cache.map_or(0.0, |c| c.hit_rate() * 100.0),
+        );
+    }
+    let speedup = |m: &ModeOutcome| {
+        let served = m.totals.served_time().as_millis();
+        if served > 0.0 {
+            no_cache.totals.served_time().as_millis() / served
+        } else {
+            1.0
+        }
+    };
+    println!(
+        "\nsimulated serving-time speedup vs no-cache: cost-exact {:.2}x, result-exact {:.2}x",
+        speedup(&cost_exact),
+        speedup(&result_exact)
+    );
+    println!(
+        "self-check passed: all modes returned identical query results, and every cost-exact \
+         response's stats matched uncached re-execution"
+    );
+
+    if let Some(path) = json_path {
+        let json = render_json(&options, &cfg, &workload, &[&cost_exact, &result_exact, &no_cache]);
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("\nServe bench baseline written to {path}"),
+            Err(e) => eprintln!("\nFailed to write {path}: {e}"),
+        }
+    }
+}

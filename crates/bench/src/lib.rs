@@ -14,6 +14,10 @@
 //! * all latencies reported by the binaries are **simulated times** from the
 //!   [`pim_sim`] cost model, the quantity the paper's figures plot.
 
+pub mod serve;
+
+pub use serve::{ServeTrace, ServeTraceConfig};
+
 use graph_gen::labels::LabelMixConfig;
 use graph_gen::traces::TraceSpec;
 use graph_store::{AdjacencyGraph, Label, NodeId};

@@ -1,0 +1,271 @@
+//! Open-loop serving traces for the `serve` workload binary.
+//!
+//! The paper's experiments run one batch at a time from one caller; the
+//! `serve` workload instead models the ROADMAP's production setting — many
+//! concurrent clients issuing interleaved queries and updates against one
+//! deployment — as a **deterministic open-loop trace**: every request is
+//! pre-generated with a logical arrival timestamp (round-robin interleaved
+//! across clients), so the same seed always produces the same trace and the
+//! serving layer's `(at, client, seq)` total order makes every run
+//! byte-identical regardless of thread scheduling.
+//!
+//! Query traffic is deliberately *skewed*: a pool of `distinct_queries`
+//! (expression, source-batch) pairs is sampled once, and each query request
+//! draws from it with a Zipf-like popularity (rank r has weight ∝ 1/r) —
+//! the cache-hit-heavy regime RAPID-Graph-style result reuse targets.
+//! Update traffic (a configurable fraction) alternates labelled inserts and
+//! deletes sampled from the workload graph.
+
+use crate::RpqWorkload;
+use graph_store::{Label, NodeId};
+use moctopus_server::RequestKind;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Knobs of the generated serving trace (see the `serve` binary's `--help`
+/// comment header for the CLI mapping).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeTraceConfig {
+    /// Concurrent client sessions.
+    pub clients: usize,
+    /// Requests submitted per client.
+    pub requests_per_client: usize,
+    /// Fraction of requests that are updates (the rest are queries).
+    pub update_fraction: f64,
+    /// Size of the popular (expression, source-batch) pool queries draw from.
+    pub distinct_queries: usize,
+    /// Sources per query batch.
+    pub sources_per_query: usize,
+    /// Edges per update batch.
+    pub edges_per_update: usize,
+}
+
+impl Default for ServeTraceConfig {
+    /// 4 clients × 128 requests, 10 % updates, 12 popular queries of 16
+    /// sources, 8-edge update batches.
+    fn default() -> Self {
+        ServeTraceConfig {
+            clients: 4,
+            requests_per_client: 128,
+            update_fraction: 0.10,
+            distinct_queries: 12,
+            sources_per_query: 16,
+            edges_per_update: 8,
+        }
+    }
+}
+
+/// A generated open-loop trace: per client, the `(logical time, request)`
+/// sequence it submits (timestamps strictly increasing per client,
+/// round-robin interleaved across clients).
+#[derive(Debug, Clone)]
+pub struct ServeTrace {
+    /// Per-client request schedules.
+    pub per_client: Vec<Vec<(u64, RequestKind)>>,
+}
+
+impl ServeTrace {
+    /// Total number of requests across all clients.
+    pub fn len(&self) -> usize {
+        self.per_client.iter().map(Vec::len).sum()
+    }
+
+    /// True when no client submits anything.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Generates the trace for a labelled workload, deterministically from
+    /// `seed`.
+    pub fn generate(workload: &RpqWorkload, config: &ServeTraceConfig, seed: u64) -> ServeTrace {
+        // The popular query pool: expressions cycle through the standard
+        // query set, source batches are sampled per pool slot.
+        let pool: Vec<RequestKind> = (0..config.distinct_queries.max(1))
+            .map(|i| {
+                let text = crate::RPQ_QUERY_SET[i % crate::RPQ_QUERY_SET.len()];
+                let expr = rpq::parser::parse(text).expect("query set must parse");
+                let sources = graph_gen::stream::sample_start_nodes(
+                    &workload.graph,
+                    config.sources_per_query.max(1),
+                    seed ^ (0x5143_u64.wrapping_add(i as u64)),
+                );
+                RequestKind::Query { expr, sources }
+            })
+            .collect();
+
+        // Update material: fresh labelled edges to insert and existing edges
+        // to delete, consumed round-robin by the update requests.
+        let update_batches = ((config.clients * config.requests_per_client) as f64
+            * config.update_fraction)
+            .ceil() as usize
+            + 1;
+        let inserts: Vec<(NodeId, NodeId)> = graph_gen::stream::sample_new_edges(
+            &workload.graph,
+            update_batches * config.edges_per_update,
+            seed ^ 0x1357_9bdf,
+        );
+        let deletes: Vec<(NodeId, NodeId, Label)> = {
+            let mut existing = workload.edges.clone();
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x2468_ace0);
+            // A cheap deterministic shuffle-by-selection over the prefix.
+            let take = (update_batches * config.edges_per_update).min(existing.len());
+            for i in 0..take {
+                let j = i + rng.gen_range(0..(existing.len() - i));
+                existing.swap(i, j);
+            }
+            existing.truncate(take);
+            existing
+        };
+
+        let mut insert_cursor = 0usize;
+        let mut delete_cursor = 0usize;
+        let per_client: Vec<Vec<(u64, RequestKind)>> = (0..config.clients)
+            .map(|c| {
+                let mut rng = SmallRng::seed_from_u64(seed ^ (0xc11e_0000 + c as u64));
+                (0..config.requests_per_client)
+                    .map(|j| {
+                        // Round-robin logical arrival: strictly increasing per
+                        // client, interleaved across clients.
+                        let at = 1 + (j * config.clients + c) as u64;
+                        let is_update = rng.gen_range(0.0..1.0) < config.update_fraction;
+                        let kind = if is_update {
+                            let insert = rng.gen_range(0..2u32) == 0;
+                            if insert {
+                                let batch = Self::take_inserts(
+                                    &inserts,
+                                    &mut insert_cursor,
+                                    config.edges_per_update,
+                                );
+                                RequestKind::Insert { edges: batch }
+                            } else {
+                                let batch = Self::take_deletes(
+                                    &deletes,
+                                    &mut delete_cursor,
+                                    config.edges_per_update,
+                                );
+                                RequestKind::Delete { edges: batch }
+                            }
+                        } else {
+                            // Zipf-like popularity: rank r with weight 1/r.
+                            let rank = Self::zipf_rank(&mut rng, pool.len());
+                            pool[rank].clone()
+                        };
+                        (at, kind)
+                    })
+                    .collect()
+            })
+            .collect();
+        ServeTrace { per_client }
+    }
+
+    /// Draws a 0-based rank with probability ∝ 1/(rank+1).
+    fn zipf_rank(rng: &mut SmallRng, n: usize) -> usize {
+        let total: f64 = (1..=n).map(|r| 1.0 / r as f64).sum();
+        let mut x = rng.gen_range(0.0..total);
+        for r in 0..n {
+            x -= 1.0 / (r + 1) as f64;
+            if x <= 0.0 {
+                return r;
+            }
+        }
+        n - 1
+    }
+
+    /// Next labelled insert batch (labels cycle 1..=4, as in the labelled
+    /// workload mix), wrapping around the sampled material.
+    fn take_inserts(
+        inserts: &[(NodeId, NodeId)],
+        cursor: &mut usize,
+        count: usize,
+    ) -> Vec<(NodeId, NodeId, Label)> {
+        if inserts.is_empty() {
+            return Vec::new();
+        }
+        (0..count)
+            .map(|_| {
+                let (s, d) = inserts[*cursor % inserts.len()];
+                let label = Label((*cursor % 4) as u16 + 1);
+                *cursor += 1;
+                (s, d, label)
+            })
+            .collect()
+    }
+
+    /// Next delete batch, wrapping around the sampled existing edges.
+    fn take_deletes(
+        deletes: &[(NodeId, NodeId, Label)],
+        cursor: &mut usize,
+        count: usize,
+    ) -> Vec<(NodeId, NodeId, Label)> {
+        if deletes.is_empty() {
+            return Vec::new();
+        }
+        (0..count)
+            .map(|_| {
+                let edge = deletes[*cursor % deletes.len()];
+                *cursor += 1;
+                edge
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HarnessOptions;
+
+    fn tiny_workload() -> RpqWorkload {
+        let options = HarnessOptions { scale: 0.002, batch: 32, ..HarnessOptions::default() };
+        RpqWorkload::uniform(&options)
+    }
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        let w = tiny_workload();
+        let cfg = ServeTraceConfig::default();
+        let a = ServeTrace::generate(&w, &cfg, 7);
+        let b = ServeTrace::generate(&w, &cfg, 7);
+        for (ca, cb) in a.per_client.iter().zip(&b.per_client) {
+            assert_eq!(ca, cb);
+        }
+        assert_eq!(a.len(), cfg.clients * cfg.requests_per_client);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn timestamps_interleave_round_robin_and_increase() {
+        let w = tiny_workload();
+        let cfg = ServeTraceConfig { clients: 3, requests_per_client: 10, ..Default::default() };
+        let trace = ServeTrace::generate(&w, &cfg, 1);
+        let mut all_ats: Vec<u64> = Vec::new();
+        for (c, schedule) in trace.per_client.iter().enumerate() {
+            assert!(schedule.windows(2).all(|w| w[0].0 < w[1].0), "per-client ats increase");
+            assert_eq!(schedule[0].0, 1 + c as u64);
+            all_ats.extend(schedule.iter().map(|&(at, _)| at));
+        }
+        all_ats.sort_unstable();
+        all_ats.dedup();
+        assert_eq!(all_ats.len(), 30, "global timestamps are unique");
+    }
+
+    #[test]
+    fn update_fraction_is_respected_roughly() {
+        let w = tiny_workload();
+        let cfg = ServeTraceConfig {
+            clients: 4,
+            requests_per_client: 200,
+            update_fraction: 0.25,
+            ..Default::default()
+        };
+        let trace = ServeTrace::generate(&w, &cfg, 3);
+        let updates = trace
+            .per_client
+            .iter()
+            .flatten()
+            .filter(|(_, k)| !matches!(k, RequestKind::Query { .. }))
+            .count();
+        let fraction = updates as f64 / trace.len() as f64;
+        assert!((0.15..0.35).contains(&fraction), "update fraction {fraction} off target");
+    }
+}

@@ -41,6 +41,7 @@
 //! the full argument.
 
 use crate::config::MoctopusConfig;
+use crate::deps::{QueryDeps, UpdateFootprint};
 use crate::stats::{QueryStats, StatsDelta, UpdateStats};
 use graph_partition::{
     GreedyAdaptivePartitioner, HashPartitioner, MigrationReport, PartitionAssignment,
@@ -396,22 +397,42 @@ impl DistributedPimEngine {
     /// routing each one to the computing node that owns the source row and
     /// charging the work to the cost model.
     pub fn insert_edges(&mut self, edges: &[(NodeId, NodeId)]) -> UpdateStats {
-        self.insert_edges_impl(edges.iter().map(|&(s, d)| (s, d, Label::ANY)), edges.len())
+        self.insert_edges_impl(edges.iter().map(|&(s, d)| (s, d, Label::ANY)), edges.len(), None)
     }
 
     /// Inserts a batch of labelled edges. The default label travels for free
     /// (it is elided on the wire); every other label is charged
     /// `LABEL_BYTES` on the CPU→PIM bus and in the MRAM write.
     pub fn insert_labeled_edges(&mut self, edges: &[(NodeId, NodeId, Label)]) -> UpdateStats {
-        self.insert_edges_impl(edges.iter().copied(), edges.len())
+        self.insert_edges_impl(edges.iter().copied(), edges.len(), None)
+    }
+
+    /// [`DistributedPimEngine::insert_labeled_edges`] plus the batch's
+    /// dependency footprint — the cache hook of the insert path.
+    ///
+    /// The footprint is the batch-derived base
+    /// ([`UpdateFootprint::from_edges`]: per-label source buckets, structural
+    /// source+destination buckets) with `host_store` set by the loop itself
+    /// whenever a host-resident row was written or a promotion installed one
+    /// (only the engine can observe those).
+    pub fn insert_labeled_edges_tracked(
+        &mut self,
+        edges: &[(NodeId, NodeId, Label)],
+    ) -> (UpdateStats, UpdateFootprint) {
+        let mut footprint = UpdateFootprint::from_edges(edges);
+        let stats =
+            self.insert_edges_impl(edges.iter().copied(), edges.len(), Some(&mut footprint));
+        (stats, footprint)
     }
 
     /// The shared insert loop; the unlabelled entry point streams `Label::ANY`
-    /// in without materialising a labelled copy of the batch.
+    /// in without materialising a labelled copy of the batch, and the tracked
+    /// entry point passes a footprint for the host-store flag.
     fn insert_edges_impl(
         &mut self,
         edges: impl Iterator<Item = (NodeId, NodeId, Label)>,
         batch_len: usize,
+        mut footprint: Option<&mut UpdateFootprint>,
     ) -> UpdateStats {
         // Update batches mutate the stores and the partitioner, so they stay
         // sequential; the shared `StatsDelta` accumulator replaces the loose
@@ -426,6 +447,11 @@ impl DistributedPimEngine {
             // Labor division: the node may have just crossed the threshold.
             if let (Some(PartitionId::Pim(old)), PartitionId::Host) = (before, after) {
                 self.promote_to_host(src, old as usize, &mut delta);
+            }
+            if let Some(fp) = footprint.as_deref_mut() {
+                // Host-store bytes move when the row is (or becomes)
+                // host-resident — a promotion installs the row there.
+                fp.host_store |= after == PartitionId::Host;
             }
 
             match after {
@@ -488,13 +514,26 @@ impl DistributedPimEngine {
 
     /// Deletes a batch of unlabelled ([`Label::ANY`]) edges.
     pub fn delete_edges(&mut self, edges: &[(NodeId, NodeId)]) -> UpdateStats {
-        self.delete_edges_impl(edges.iter().map(|&(s, d)| (s, d, Label::ANY)), edges.len())
+        self.delete_edges_impl(edges.iter().map(|&(s, d)| (s, d, Label::ANY)), edges.len(), None)
     }
 
     /// Deletes a batch of labelled edges (label-byte accounting as on the
     /// insert path).
     pub fn delete_labeled_edges(&mut self, edges: &[(NodeId, NodeId, Label)]) -> UpdateStats {
-        self.delete_edges_impl(edges.iter().copied(), edges.len())
+        self.delete_edges_impl(edges.iter().copied(), edges.len(), None)
+    }
+
+    /// [`DistributedPimEngine::delete_labeled_edges`] plus the batch's
+    /// dependency footprint; see
+    /// [`DistributedPimEngine::insert_labeled_edges_tracked`].
+    pub fn delete_labeled_edges_tracked(
+        &mut self,
+        edges: &[(NodeId, NodeId, Label)],
+    ) -> (UpdateStats, UpdateFootprint) {
+        let mut footprint = UpdateFootprint::from_edges(edges);
+        let stats =
+            self.delete_edges_impl(edges.iter().copied(), edges.len(), Some(&mut footprint));
+        (stats, footprint)
     }
 
     /// The shared delete loop; see [`DistributedPimEngine::insert_edges_impl`].
@@ -502,12 +541,16 @@ impl DistributedPimEngine {
         &mut self,
         edges: impl Iterator<Item = (NodeId, NodeId, Label)>,
         batch_len: usize,
+        mut footprint: Option<&mut UpdateFootprint>,
     ) -> UpdateStats {
         let mut delta = StatsDelta::new(self.config.pim.num_modules);
 
         for (src, dst, label) in edges {
             self.policy.on_edge_delete(src, dst);
             let Some(owner) = self.owner(src) else { continue };
+            if let Some(fp) = footprint.as_deref_mut() {
+                fp.host_store |= owner == PartitionId::Host;
+            }
             match owner {
                 PartitionId::Host => {
                     let outcome = self.host_store.delete_edge(src, dst, label);
@@ -576,6 +619,33 @@ impl DistributedPimEngine {
     /// thread count, including the order float charges accumulate in, so
     /// same-seed experiment outputs do not move.
     pub fn k_hop_batch(&mut self, sources: &[NodeId], k: usize) -> (Vec<Vec<NodeId>>, QueryStats) {
+        self.k_hop_batch_impl(sources, k, None)
+    }
+
+    /// [`DistributedPimEngine::k_hop_batch`] plus the execution's dependency
+    /// footprint: the bucket of every visited node (sources and every hop's
+    /// merged frontier) and whether the host lane expanded a row. Tracking
+    /// reads only merged, thread-count-invariant state, so the deps — like
+    /// the stats — are byte-identical at every thread count, and no simulated
+    /// charge moves.
+    pub fn k_hop_batch_tracked(
+        &mut self,
+        sources: &[NodeId],
+        k: usize,
+    ) -> (Vec<Vec<NodeId>>, QueryStats, QueryDeps) {
+        let mut deps = QueryDeps::default();
+        let (results, stats) = self.k_hop_batch_impl(sources, k, Some(&mut deps));
+        (results, stats, deps)
+    }
+
+    /// The shared k-hop loop; the tracked entry point passes a deps
+    /// accumulator, the plain one passes `None` (zero work added).
+    fn k_hop_batch_impl(
+        &mut self,
+        sources: &[NodeId],
+        k: usize,
+        mut track: Option<&mut QueryDeps>,
+    ) -> (Vec<Vec<NodeId>>, QueryStats) {
         let module_count = self.config.pim.num_modules;
         // Maintained incrementally by the heterogeneous storage; previously a
         // full iteration over every host row per query batch.
@@ -596,6 +666,11 @@ impl DistributedPimEngine {
         let module_ranges = self.worker_layout();
         let mut ctxs = self.take_hop_ctxs(module_ranges.len());
 
+        if let Some(deps) = track.as_deref_mut() {
+            for &s in sources {
+                deps.nodes.insert(s);
+            }
+        }
         let mut scratch = std::mem::take(&mut self.scratch);
         let mut frontiers: Vec<Vec<NodeId>> = sources
             .iter()
@@ -664,6 +739,16 @@ impl DistributedPimEngine {
             std::mem::swap(&mut frontiers, &mut next_frontiers);
             for spent in next_frontiers.drain(..) {
                 scratch.recycle(spent);
+            }
+            if let Some(deps) = track.as_deref_mut() {
+                // Merged state only: the hop's frontier union and the merged
+                // delta are thread-count invariant, so the deps are too.
+                deps.host_lane |= !delta.host_time.is_zero();
+                for frontier in &frontiers {
+                    for &v in frontier {
+                        deps.nodes.insert(v);
+                    }
+                }
             }
         }
         self.scratch = scratch;
@@ -779,7 +864,25 @@ impl DistributedPimEngine {
             return self.k_hop_batch(sources, k);
         }
         let nfa = Nfa::from_expr(expr);
-        self.nfa_product_batch(&nfa, sources)
+        self.nfa_product_batch_impl(&nfa, sources, None)
+    }
+
+    /// [`DistributedPimEngine::rpq_batch`] plus the execution's dependency
+    /// footprint (see [`DistributedPimEngine::k_hop_batch_tracked`]); k-hop
+    /// shapes take the tracked fast path, everything else the tracked NFA
+    /// product.
+    pub fn rpq_batch_tracked(
+        &mut self,
+        expr: &RpqExpr,
+        sources: &[NodeId],
+    ) -> (Vec<Vec<NodeId>>, QueryStats, QueryDeps) {
+        if let Some(k) = expr.as_k_hop() {
+            return self.k_hop_batch_tracked(sources, k);
+        }
+        let nfa = Nfa::from_expr(expr);
+        let mut deps = QueryDeps::default();
+        let (results, stats) = self.nfa_product_batch_impl(&nfa, sources, Some(&mut deps));
+        (results, stats, deps)
     }
 
     /// Batch NFA-product evaluation: the generalisation of the k-hop loop to
@@ -806,6 +909,19 @@ impl DistributedPimEngine {
         &mut self,
         nfa: &Nfa,
         sources: &[NodeId],
+    ) -> (Vec<Vec<NodeId>>, QueryStats) {
+        self.nfa_product_batch_impl(nfa, sources, None)
+    }
+
+    /// The shared NFA-product loop; the tracked entry point passes a deps
+    /// accumulator filled from the per-query visited sets (which contain
+    /// every visited product pair, sources included) and the merged per-hop
+    /// deltas (host lane).
+    fn nfa_product_batch_impl(
+        &mut self,
+        nfa: &Nfa,
+        sources: &[NodeId],
+        mut track: Option<&mut QueryDeps>,
     ) -> (Vec<Vec<NodeId>>, QueryStats) {
         let module_count = self.config.pim.num_modules;
         let host_resident_bytes: u64 = self.host_store.live_bytes();
@@ -908,9 +1024,25 @@ impl DistributedPimEngine {
                     visited[q].insert(pair);
                 }
             }
+            if let Some(deps) = track.as_deref_mut() {
+                // Merged-delta host time is thread-count invariant.
+                deps.host_lane |= !delta.host_time.is_zero();
+            }
             std::mem::swap(&mut frontiers, &mut next_frontiers);
         }
         self.put_nfa_ctxs(ctxs);
+
+        if let Some(deps) = track {
+            // The visited sets hold every reached product pair — sources
+            // included — so they are exactly the node-dependency set. The
+            // mask union is commutative, so hash-set iteration order is
+            // irrelevant.
+            for seen in &visited {
+                for &(node, _) in seen {
+                    deps.nodes.insert(node);
+                }
+            }
+        }
 
         // Every visited accepting product state contributes its node to the
         // query's answer; a node reached in several accepting states is
@@ -1458,5 +1590,75 @@ mod tests {
             sb.timeline.transfers.cpu_to_pim_bytes + edges.len() as u64 * 2,
             "each non-default label costs LABEL_BYTES on the CPU->PIM bus"
         );
+    }
+
+    /// Tracking must be an observer: tracked calls return the same results
+    /// and stats as untracked ones, and the deps cover every visited node.
+    #[test]
+    fn tracked_queries_match_untracked_and_cover_visited_nodes() {
+        use crate::deps::DepMask;
+        let edges = ring_edges(32);
+        let mut plain = moctopus_engine();
+        let mut tracked = moctopus_engine();
+        plain.insert_edges(&edges);
+        tracked.insert_edges(&edges);
+
+        let sources = [NodeId(0), NodeId(9)];
+        let expr = rpq::RpqExpr::k_hop(3);
+        let (want, want_stats) = plain.rpq_batch(&expr, &sources);
+        let (got, got_stats, deps) = tracked.rpq_batch_tracked(&expr, &sources);
+        assert_eq!(got, want);
+        assert_eq!(got_stats, want_stats);
+        // Sources, every hop frontier, and the results are visited nodes.
+        let mut expected = DepMask::EMPTY;
+        for hop in 0..=3u64 {
+            expected.insert(NodeId(hop));
+            expected.insert(NodeId(9 + hop));
+        }
+        assert!(!deps.nodes.is_empty());
+        assert!(deps.nodes.intersects(expected));
+        for hop in 0..=3u64 {
+            let mut one = DepMask::EMPTY;
+            one.insert(NodeId(hop));
+            assert!(deps.nodes.intersects(one), "hop node {hop} must be a dependency");
+        }
+        assert!(!deps.host_lane, "a low-degree ring never touches the host lane");
+
+        // The NFA-product path tracks too (closure query on a labelled star).
+        let mut engine = moctopus_engine();
+        engine.insert_labeled_edges(&[
+            (NodeId(0), NodeId(1), Label(1)),
+            (NodeId(1), NodeId(2), Label(1)),
+        ]);
+        let star = rpq::parser::parse("1+").expect("query parses");
+        let (r, _, deps) = engine.rpq_batch_tracked(&star, &[NodeId(0)]);
+        assert_eq!(r[0], vec![NodeId(1), NodeId(2)]);
+        for n in 0..=2u64 {
+            let mut one = DepMask::EMPTY;
+            one.insert(NodeId(n));
+            assert!(deps.nodes.intersects(one), "visited node {n} must be a dependency");
+        }
+    }
+
+    /// Hub promotion must raise the host-lane dependency on queries and the
+    /// host-store flag on the updates that created/touched the hub.
+    #[test]
+    fn tracking_observes_the_host_lane() {
+        let mut engine = moctopus_engine();
+        let hub: Vec<(NodeId, NodeId, Label)> =
+            (1..=20u64).map(|i| (NodeId(0), NodeId(i), Label::ANY)).collect();
+        let (stats, fp) = engine.insert_labeled_edges_tracked(&hub);
+        assert_eq!(stats.applied, 20);
+        assert!(fp.host_store, "the batch promoted node 0 to the host store");
+        assert!(!fp.cost_global && !fp.result_global);
+        assert_eq!(fp.per_label.len(), 1, "one label in the batch");
+
+        let (results, _, deps) = engine.rpq_batch_tracked(&rpq::RpqExpr::k_hop(1), &[NodeId(0)]);
+        assert_eq!(results[0].len(), 20);
+        assert!(deps.host_lane, "expanding the promoted hub row is host-lane work");
+
+        // A PIM-only update reports no host-store involvement.
+        let (_, fp2) = engine.insert_labeled_edges_tracked(&[(NodeId(5), NodeId(7), Label(2))]);
+        assert!(!fp2.host_store);
     }
 }

@@ -1,5 +1,6 @@
 //! The common interface implemented by every evaluated engine.
 
+use crate::deps::{QueryDeps, UpdateFootprint};
 use crate::stats::{QueryStats, UpdateStats};
 use graph_store::{Label, NodeId};
 use rpq::RpqExpr;
@@ -58,6 +59,56 @@ pub trait GraphEngine {
     /// [`GraphEngine::k_hop_batch`].
     fn rpq_batch(&mut self, expr: &RpqExpr, sources: &[NodeId]) -> (Vec<Vec<NodeId>>, QueryStats);
 
+    /// [`GraphEngine::rpq_batch`] plus the execution's dependency footprint,
+    /// for update-consistent result caching (the `moctopus-server` crate).
+    ///
+    /// The returned [`QueryDeps`] must be a sound over-approximation of what
+    /// the execution touched: the bucket of **every visited node** (sources
+    /// and every frontier member) and whether any host-resident row was
+    /// expanded. It must also be deterministic — byte-identical at every
+    /// thread count, like the stats themselves.
+    ///
+    /// The default implementation returns [`QueryDeps::all`] ("touched
+    /// everything"), which is always sound: a cache built on it simply
+    /// invalidates such entries on every update. The in-tree PIM engines
+    /// override it with precise tracking; the host baseline keeps the
+    /// default because its simulated cost already couples to the whole
+    /// graph's resident bytes (see
+    /// [`UpdateFootprint::cost_global`]).
+    fn rpq_batch_tracked(
+        &mut self,
+        expr: &RpqExpr,
+        sources: &[NodeId],
+    ) -> (Vec<Vec<NodeId>>, QueryStats, QueryDeps) {
+        let (results, stats) = self.rpq_batch(expr, sources);
+        (results, stats, QueryDeps::all())
+    }
+
+    /// [`GraphEngine::insert_labeled_edges`] plus the update's dependency
+    /// footprint — the cache hook of the update path.
+    ///
+    /// The returned [`UpdateFootprint`] must cover everything the batch may
+    /// have changed (row contents, node placement, host-store bytes); see the
+    /// [`crate::deps`] module docs for the two-tier structure. The default
+    /// implementation returns [`UpdateFootprint::everything`], which
+    /// invalidates every cached entry — always sound.
+    fn insert_labeled_edges_tracked(
+        &mut self,
+        edges: &[(NodeId, NodeId, Label)],
+    ) -> (UpdateStats, UpdateFootprint) {
+        (self.insert_labeled_edges(edges), UpdateFootprint::everything())
+    }
+
+    /// [`GraphEngine::delete_labeled_edges`] plus the update's dependency
+    /// footprint; same contract as
+    /// [`GraphEngine::insert_labeled_edges_tracked`].
+    fn delete_labeled_edges_tracked(
+        &mut self,
+        edges: &[(NodeId, NodeId, Label)],
+    ) -> (UpdateStats, UpdateFootprint) {
+        (self.delete_labeled_edges(edges), UpdateFootprint::everything())
+    }
+
     /// Number of directed edges currently stored (labelled parallel edges
     /// count once per label).
     fn edge_count(&self) -> usize;
@@ -73,6 +124,74 @@ pub trait GraphEngine {
 
     /// Host worker threads the engine's execution runtime currently uses.
     fn threads(&self) -> usize;
+}
+
+/// Boxed engines are engines: forwarding impl so harnesses and the serving
+/// layer can hold `Box<dyn GraphEngine + Send>` and still pass it wherever an
+/// `impl GraphEngine` is expected (every call forwards to the boxed value's
+/// own implementation, overridden methods included).
+impl<T: GraphEngine + ?Sized> GraphEngine for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn insert_edges(&mut self, edges: &[(NodeId, NodeId)]) -> UpdateStats {
+        (**self).insert_edges(edges)
+    }
+
+    fn delete_edges(&mut self, edges: &[(NodeId, NodeId)]) -> UpdateStats {
+        (**self).delete_edges(edges)
+    }
+
+    fn insert_labeled_edges(&mut self, edges: &[(NodeId, NodeId, Label)]) -> UpdateStats {
+        (**self).insert_labeled_edges(edges)
+    }
+
+    fn delete_labeled_edges(&mut self, edges: &[(NodeId, NodeId, Label)]) -> UpdateStats {
+        (**self).delete_labeled_edges(edges)
+    }
+
+    fn k_hop_batch(&mut self, sources: &[NodeId], k: usize) -> (Vec<Vec<NodeId>>, QueryStats) {
+        (**self).k_hop_batch(sources, k)
+    }
+
+    fn rpq_batch(&mut self, expr: &RpqExpr, sources: &[NodeId]) -> (Vec<Vec<NodeId>>, QueryStats) {
+        (**self).rpq_batch(expr, sources)
+    }
+
+    fn rpq_batch_tracked(
+        &mut self,
+        expr: &RpqExpr,
+        sources: &[NodeId],
+    ) -> (Vec<Vec<NodeId>>, QueryStats, QueryDeps) {
+        (**self).rpq_batch_tracked(expr, sources)
+    }
+
+    fn insert_labeled_edges_tracked(
+        &mut self,
+        edges: &[(NodeId, NodeId, Label)],
+    ) -> (UpdateStats, UpdateFootprint) {
+        (**self).insert_labeled_edges_tracked(edges)
+    }
+
+    fn delete_labeled_edges_tracked(
+        &mut self,
+        edges: &[(NodeId, NodeId, Label)],
+    ) -> (UpdateStats, UpdateFootprint) {
+        (**self).delete_labeled_edges_tracked(edges)
+    }
+
+    fn edge_count(&self) -> usize {
+        (**self).edge_count()
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        (**self).set_threads(threads)
+    }
+
+    fn threads(&self) -> usize {
+        (**self).threads()
+    }
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@
 //!   amortised cost of merging the delta into the CSR structure.
 
 use crate::config::MoctopusConfig;
+use crate::deps::UpdateFootprint;
 use crate::engine::GraphEngine;
 use crate::stats::{QueryStats, UpdateStats};
 use graph_store::{AdjacencyGraph, Label, NodeId};
@@ -187,6 +188,18 @@ impl HostBaseline {
         timeline
     }
 
+    /// Builds the tracked-update footprint: empty when nothing was applied
+    /// (the graph did not change), otherwise the batch's per-label base with
+    /// `cost_global` set (every query cost on this engine reads the whole
+    /// graph's resident bytes).
+    fn baseline_footprint(edges: &[(NodeId, NodeId, Label)], applied: usize) -> UpdateFootprint {
+        if applied == 0 {
+            UpdateFootprint::empty()
+        } else {
+            UpdateFootprint { cost_global: true, ..UpdateFootprint::from_edges(edges) }
+        }
+    }
+
     /// Runs one source-batch evaluation (`run_chunk`) chunked across the
     /// worker pool: each worker executes the full per-label matrix chain (or
     /// automaton sweep) for a contiguous slice of the sources, and the
@@ -282,6 +295,34 @@ impl GraphEngine for HostBaseline {
             expansions: exec.row_fetches as usize,
         };
         (results, stats)
+    }
+
+    /// The baseline's update footprint: per-label result dependencies come
+    /// from the batch, but the *cost* of every query on this engine reads the
+    /// whole graph's resident byte count (the cache-residency interpolation
+    /// in `host_random_access_cost`), so any batch that changed the graph
+    /// sets [`UpdateFootprint::cost_global`]. A batch that applied nothing
+    /// left the graph — and therefore every cached answer and cost —
+    /// untouched.
+    ///
+    /// Queries keep the default [`GraphEngine::rpq_batch_tracked`]
+    /// ("touched everything"), consistent with that global cost coupling.
+    fn insert_labeled_edges_tracked(
+        &mut self,
+        edges: &[(NodeId, NodeId, Label)],
+    ) -> (UpdateStats, UpdateFootprint) {
+        let stats = self.insert_labeled_edges(edges);
+        (stats, Self::baseline_footprint(edges, stats.applied))
+    }
+
+    /// See [`HostBaseline::insert_labeled_edges_tracked`] (same footprint
+    /// rule).
+    fn delete_labeled_edges_tracked(
+        &mut self,
+        edges: &[(NodeId, NodeId, Label)],
+    ) -> (UpdateStats, UpdateFootprint) {
+        let stats = self.delete_labeled_edges(edges);
+        (stats, Self::baseline_footprint(edges, stats.applied))
     }
 
     fn edge_count(&self) -> usize {

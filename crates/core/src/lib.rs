@@ -43,6 +43,7 @@
 #![deny(missing_docs)]
 
 pub mod config;
+pub mod deps;
 pub mod distributed;
 pub mod engine;
 pub mod host_baseline;
@@ -51,6 +52,7 @@ pub mod stats;
 pub mod system;
 
 pub use config::MoctopusConfig;
+pub use deps::{dep_bucket, DepMask, QueryDeps, UpdateFootprint};
 pub use engine::GraphEngine;
 pub use host_baseline::HostBaseline;
 pub use pim_hash::PimHashSystem;

@@ -1,6 +1,7 @@
 //! The Moctopus system: the paper's primary contribution.
 
 use crate::config::MoctopusConfig;
+use crate::deps::{QueryDeps, UpdateFootprint};
 use crate::distributed::{DistributedPimEngine, PlacementPolicy};
 use crate::engine::GraphEngine;
 use crate::stats::{QueryStats, UpdateStats};
@@ -118,6 +119,28 @@ impl GraphEngine for MoctopusSystem {
 
     fn rpq_batch(&mut self, expr: &RpqExpr, sources: &[NodeId]) -> (Vec<Vec<NodeId>>, QueryStats) {
         self.engine.rpq_batch(expr, sources)
+    }
+
+    fn rpq_batch_tracked(
+        &mut self,
+        expr: &RpqExpr,
+        sources: &[NodeId],
+    ) -> (Vec<Vec<NodeId>>, QueryStats, QueryDeps) {
+        self.engine.rpq_batch_tracked(expr, sources)
+    }
+
+    fn insert_labeled_edges_tracked(
+        &mut self,
+        edges: &[(NodeId, NodeId, Label)],
+    ) -> (UpdateStats, UpdateFootprint) {
+        self.engine.insert_labeled_edges_tracked(edges)
+    }
+
+    fn delete_labeled_edges_tracked(
+        &mut self,
+        edges: &[(NodeId, NodeId, Label)],
+    ) -> (UpdateStats, UpdateFootprint) {
+        self.engine.delete_labeled_edges_tracked(edges)
     }
 
     fn edge_count(&self) -> usize {

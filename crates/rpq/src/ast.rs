@@ -4,7 +4,11 @@ use graph_store::Label;
 use std::fmt;
 
 /// What an atom of the expression matches: one specific edge label or any edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// The `Ord` impl is structural (variant order, then label id); it exists so
+/// [`RpqExpr`] values can be sorted into the canonical branch order
+/// [`RpqExpr::normalize`] produces, not because the order means anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LabelSpec {
     /// Matches edges carrying exactly this label.
     Exact(Label),
@@ -42,7 +46,11 @@ impl fmt::Display for LabelSpec {
 /// assert_eq!(fof.min_path_length(), 2);
 /// assert_eq!(RpqExpr::k_hop(3).max_path_length(), Some(3));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// `Hash` and `Ord` are structural: two expressions compare equal only when
+/// their trees are identical. Semantically equal but structurally different
+/// expressions (`1/2` vs `(1/2)`) are first brought to one shape by
+/// [`RpqExpr::normalize`]; cache layers key on the normalized tree.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RpqExpr {
     /// A single edge matching the given label specification.
     Atom(LabelSpec),

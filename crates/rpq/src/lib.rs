@@ -35,10 +35,12 @@
 pub mod ast;
 pub mod eval;
 pub mod nfa;
+pub mod norm;
 pub mod parser;
 pub mod plan;
 
 pub use ast::{LabelSpec, RpqExpr};
 pub use eval::ReferenceEvaluator;
 pub use nfa::Nfa;
+pub use norm::LabelAlphabet;
 pub use plan::{ExecutionPlan, PlanOp};

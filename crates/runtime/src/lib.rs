@@ -9,6 +9,13 @@
 //! parallel while the simulated cost model stays **byte-identical** at any
 //! thread count.
 //!
+//! The crate's second primitive extends the same philosophy from *execution*
+//! to *arrival*: [`SequencedQueue`] merges request streams from many
+//! concurrent producer threads into one deterministic total order keyed by
+//! logical timestamps, so a serving layer (the `moctopus-server` crate) can
+//! accept racing clients and still produce byte-identical runs (see
+//! [`sequence`]).
+//!
 //! # The determinism contract
 //!
 //! Callers (the hop loops in `moctopus::distributed`, the matrix chains in
@@ -48,6 +55,10 @@
 //! ```
 
 #![deny(missing_docs)]
+
+pub mod sequence;
+
+pub use sequence::{ProducerId, SequenceError, SequencedQueue};
 
 use std::num::NonZeroUsize;
 use std::ops::Range;

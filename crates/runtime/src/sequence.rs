@@ -1,0 +1,392 @@
+//! Deterministic multi-producer request sequencing.
+//!
+//! A serving layer that accepts requests from many concurrent client threads
+//! has a problem the worker pool cannot solve: the *arrival order* of
+//! requests depends on OS scheduling, so "execute in arrival order" makes
+//! same-trace runs diverge. [`SequencedQueue`] removes the OS from the
+//! ordering: every producer stamps its submissions with a **logical
+//! timestamp** (from the trace, not the wall clock), and the queue releases
+//! items in the total order
+//!
+//! ```text
+//! (timestamp, producer id, per-producer submission index)
+//! ```
+//!
+//! regardless of which thread submitted first physically. Consumers only
+//! receive an item once it is *safe*: no open producer can still submit
+//! anything that would sort earlier. Each producer therefore promises
+//! **strictly increasing timestamps** (enforced; [`SequenceError`]), which
+//! makes the safety condition a simple watermark: item `(t, p)` is
+//! deliverable when every other open producer has already submitted beyond
+//! `t` — or equals `t`, since its next submission must then exceed `t` — or
+//! has closed.
+//!
+//! The result is the concurrency-side analogue of the worker pool's
+//! determinism contract (CONCURRENCY.md): physical threads race, the
+//! *observable order* never does. The `moctopus-server` crate builds its
+//! session layer on this queue; SERVING.md §2 walks the full argument.
+//!
+//! # Examples
+//!
+//! ```
+//! use moctopus_runtime::SequencedQueue;
+//!
+//! let q = SequencedQueue::new();
+//! let a = q.register();
+//! let b = q.register();
+//! q.submit(b, 2, "b@2").unwrap();
+//! q.submit(a, 1, "a@1").unwrap();
+//! // a@1 is deliverable: b's last timestamp (2) is beyond 1.
+//! assert_eq!(q.try_pop(), Some("a@1"));
+//! // b@2 is NOT deliverable yet: a (still open, last at 1) may submit at 2.
+//! assert_eq!(q.try_pop(), None);
+//! q.close(a);
+//! assert_eq!(q.try_pop(), Some("b@2"));
+//! q.close(b);
+//! assert_eq!(q.pop(), None); // all producers closed, queue empty
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Identifier of one registered producer (returned by
+/// [`SequencedQueue::register`]). Doubles as the tie-breaker of the total
+/// order: equal timestamps deliver in ascending producer id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProducerId(usize);
+
+impl ProducerId {
+    /// The producer's position in registration order (0-based).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SequenceError {
+    /// The timestamp was not strictly greater than the producer's previous
+    /// one — the monotonicity promise the watermark rule depends on.
+    NonMonotonicTimestamp {
+        /// The producer's previous (and still current) timestamp.
+        last: u64,
+        /// The rejected timestamp.
+        submitted: u64,
+    },
+    /// The producer was already closed.
+    Closed,
+}
+
+impl std::fmt::Display for SequenceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SequenceError::NonMonotonicTimestamp { last, submitted } => write!(
+                f,
+                "timestamp {submitted} is not strictly greater than the producer's last ({last})"
+            ),
+            SequenceError::Closed => write!(f, "producer is closed"),
+        }
+    }
+}
+
+impl std::error::Error for SequenceError {}
+
+/// Per-producer state: the pending items, the last submitted timestamp, and
+/// whether the producer closed.
+#[derive(Debug)]
+struct Producer<T> {
+    /// Pending `(timestamp, item)` pairs in submission (= timestamp) order.
+    pending: VecDeque<(u64, T)>,
+    /// Last submitted timestamp; `None` before the first submission.
+    last_at: Option<u64>,
+    closed: bool,
+}
+
+impl<T> Producer<T> {
+    fn new() -> Self {
+        Producer { pending: VecDeque::new(), last_at: None, closed: false }
+    }
+}
+
+/// A multi-producer queue that delivers items in a deterministic total order
+/// keyed by logical timestamps (see the module docs).
+///
+/// All methods take `&self`; the queue is internally synchronized and meant
+/// to be shared across threads (e.g. inside an `Arc`).
+#[derive(Debug)]
+pub struct SequencedQueue<T> {
+    inner: Mutex<Vec<Producer<T>>>,
+    /// Signalled on every submit/close so blocked [`SequencedQueue::pop`]
+    /// calls re-evaluate the watermark.
+    changed: Condvar,
+}
+
+impl<T> Default for SequencedQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> SequencedQueue<T> {
+    /// Creates an empty queue with no producers.
+    pub fn new() -> Self {
+        SequencedQueue { inner: Mutex::new(Vec::new()), changed: Condvar::new() }
+    }
+
+    /// Registers a new producer and returns its id.
+    ///
+    /// Registration order defines the tie-breaking order for equal
+    /// timestamps, so register producers deterministically (e.g. client 0
+    /// first) when byte-identical runs matter.
+    pub fn register(&self) -> ProducerId {
+        let mut inner = self.inner.lock().expect("sequence queue poisoned");
+        inner.push(Producer::new());
+        ProducerId(inner.len() - 1)
+    }
+
+    /// Submits an item at a logical timestamp.
+    ///
+    /// Timestamps must be strictly increasing per producer; ties *across*
+    /// producers are fine (they deliver in producer-id order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `producer` was not returned by this queue's
+    /// [`SequencedQueue::register`].
+    pub fn submit(&self, producer: ProducerId, at: u64, item: T) -> Result<(), SequenceError> {
+        let mut inner = self.inner.lock().expect("sequence queue poisoned");
+        let p = &mut inner[producer.0];
+        if p.closed {
+            return Err(SequenceError::Closed);
+        }
+        if let Some(last) = p.last_at {
+            if at <= last {
+                return Err(SequenceError::NonMonotonicTimestamp { last, submitted: at });
+            }
+        }
+        p.last_at = Some(at);
+        p.pending.push_back((at, item));
+        drop(inner);
+        self.changed.notify_all();
+        Ok(())
+    }
+
+    /// Closes a producer: it will submit nothing further, so its watermark
+    /// stops gating other producers' items. Closing twice is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `producer` was not returned by this queue's
+    /// [`SequencedQueue::register`].
+    pub fn close(&self, producer: ProducerId) {
+        let mut inner = self.inner.lock().expect("sequence queue poisoned");
+        inner[producer.0].closed = true;
+        drop(inner);
+        self.changed.notify_all();
+    }
+
+    /// Pops the next item of the total order if it is already deliverable
+    /// (see the module docs for the watermark rule); `None` if the queue is
+    /// empty or the head item must still wait for a lagging producer.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("sequence queue poisoned");
+        let item = Self::pop_deliverable(&mut inner);
+        if item.is_some() {
+            // Wake waiters so a `wait_deliverable` that observed the
+            // pre-pop state re-evaluates (the queue may now be drained).
+            drop(inner);
+            self.changed.notify_all();
+        }
+        item
+    }
+
+    /// Pops the next item of the total order, blocking until one becomes
+    /// deliverable. Returns `None` once every producer has closed and no
+    /// items remain (the queue is drained for good).
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("sequence queue poisoned");
+        loop {
+            if let Some(item) = Self::pop_deliverable(&mut inner) {
+                drop(inner);
+                self.changed.notify_all();
+                return Some(item);
+            }
+            if inner.iter().all(|p| p.closed && p.pending.is_empty()) {
+                return None;
+            }
+            inner = self.changed.wait(inner).expect("sequence queue poisoned");
+        }
+    }
+
+    /// Blocks until an item is deliverable (`true`) or the queue is drained
+    /// for good (`false`), without popping anything.
+    ///
+    /// This exists for consumers that must pop and *process* under their own
+    /// lock to keep processing order deterministic (pop-then-lock would let
+    /// two consumer threads reorder): wait here lock-free, then pop with
+    /// [`SequencedQueue::try_pop`] under the processing lock. A `true` return
+    /// is a hint, not a reservation — another consumer may take the item
+    /// first, so loop.
+    pub fn wait_deliverable(&self) -> bool {
+        let mut inner = self.inner.lock().expect("sequence queue poisoned");
+        loop {
+            // Probe without popping: same rule as `pop_deliverable`.
+            let head = inner
+                .iter()
+                .enumerate()
+                .filter_map(|(i, p)| p.pending.front().map(|&(at, _)| (i, at)))
+                .min_by_key(|&(i, at)| (at, i));
+            if let Some((idx, at)) = head {
+                let safe = inner
+                    .iter()
+                    .enumerate()
+                    .all(|(i, p)| i == idx || p.closed || p.last_at.is_some_and(|last| last >= at));
+                if safe {
+                    return true;
+                }
+            } else if inner.iter().all(|p| p.closed) {
+                return false;
+            }
+            inner = self.changed.wait(inner).expect("sequence queue poisoned");
+        }
+    }
+
+    /// True once every producer has closed and all items were delivered.
+    pub fn is_drained(&self) -> bool {
+        let inner = self.inner.lock().expect("sequence queue poisoned");
+        inner.iter().all(|p| p.closed && p.pending.is_empty())
+    }
+
+    /// Core delivery rule, called under the lock: find the head item with
+    /// the minimal `(timestamp, producer)` key and pop it if no open
+    /// producer could still submit an earlier-sorting item.
+    fn pop_deliverable(inner: &mut [Producer<T>]) -> Option<T> {
+        // The minimal pending head across producers (ties: lowest id, which
+        // `<` on (at, index) gives for free since iteration is in id order).
+        let (idx, at) = inner
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.pending.front().map(|&(at, _)| (i, at)))
+            .min_by_key(|&(i, at)| (at, i))?;
+        // Safe iff every *other* open producer has advanced to `at` or
+        // beyond: strictly increasing timestamps mean its future submissions
+        // land strictly after its last one, and an equal-timestamp future
+        // submission is impossible once last_at == at.
+        let safe = inner
+            .iter()
+            .enumerate()
+            .all(|(i, p)| i == idx || p.closed || p.last_at.is_some_and(|last| last >= at));
+        if !safe {
+            return None;
+        }
+        let (_, item) = inner[idx].pending.pop_front().expect("head checked above");
+        Some(item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_producer_is_fifo() {
+        let q = SequencedQueue::new();
+        let p = q.register();
+        for t in 1..=5u64 {
+            q.submit(p, t, t).unwrap();
+        }
+        q.close(p);
+        let mut out = Vec::new();
+        while let Some(v) = q.pop() {
+            out.push(v);
+        }
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+        assert!(q.is_drained());
+    }
+
+    #[test]
+    fn items_wait_for_lagging_open_producers() {
+        let q = SequencedQueue::new();
+        let a = q.register();
+        let b = q.register();
+        q.submit(b, 10, "b@10").unwrap();
+        // `a` has submitted nothing: b@10 must wait (a could submit at 1).
+        assert_eq!(q.try_pop(), None);
+        q.submit(a, 3, "a@3").unwrap();
+        // a@3 is deliverable (b is at 10); b@10 still waits for a.
+        assert_eq!(q.try_pop(), Some("a@3"));
+        assert_eq!(q.try_pop(), None);
+        q.close(a);
+        assert_eq!(q.try_pop(), Some("b@10"));
+    }
+
+    #[test]
+    fn equal_timestamps_deliver_in_producer_order() {
+        let q = SequencedQueue::new();
+        let a = q.register();
+        let b = q.register();
+        q.submit(b, 5, "b@5").unwrap();
+        q.submit(a, 5, "a@5").unwrap();
+        // Both producers are at 5; strict monotonicity forbids either from
+        // submitting at 5 again, so both are deliverable — a first.
+        assert_eq!(q.try_pop(), Some("a@5"));
+        assert_eq!(q.try_pop(), Some("b@5"));
+    }
+
+    #[test]
+    fn monotonicity_and_close_are_enforced() {
+        let q = SequencedQueue::new();
+        let p = q.register();
+        q.submit(p, 2, ()).unwrap();
+        assert_eq!(
+            q.submit(p, 2, ()),
+            Err(SequenceError::NonMonotonicTimestamp { last: 2, submitted: 2 })
+        );
+        assert_eq!(
+            q.submit(p, 1, ()),
+            Err(SequenceError::NonMonotonicTimestamp { last: 2, submitted: 1 })
+        );
+        q.close(p);
+        q.close(p); // idempotent
+        assert_eq!(q.submit(p, 3, ()), Err(SequenceError::Closed));
+    }
+
+    /// The determinism claim itself: racing producer threads always yield
+    /// the same consumption order.
+    #[test]
+    fn racing_producers_always_drain_in_the_same_order() {
+        let expected: Vec<(u64, usize)> = {
+            // The total order of the schedule below, computed by sorting.
+            let mut all: Vec<(u64, usize)> = (0..4usize)
+                .flat_map(|c| (0..25u64).map(move |j| (1 + j * 4 + c as u64, c)))
+                .collect();
+            all.sort();
+            all
+        };
+        for _round in 0..8 {
+            let q = Arc::new(SequencedQueue::new());
+            let producers: Vec<ProducerId> = (0..4).map(|_| q.register()).collect();
+            std::thread::scope(|scope| {
+                for (c, &pid) in producers.iter().enumerate() {
+                    let q = Arc::clone(&q);
+                    scope.spawn(move || {
+                        for j in 0..25u64 {
+                            let at = 1 + j * 4 + c as u64;
+                            q.submit(pid, at, (at, c)).unwrap();
+                            if j % 7 == c as u64 % 7 {
+                                std::thread::yield_now();
+                            }
+                        }
+                        q.close(pid);
+                    });
+                }
+                let mut out = Vec::new();
+                while let Some(item) = q.pop() {
+                    out.push(item);
+                }
+                assert_eq!(out, expected, "drain order must not depend on thread timing");
+            });
+        }
+    }
+}

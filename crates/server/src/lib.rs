@@ -1,0 +1,68 @@
+//! Concurrent query serving for the Moctopus engines, with an
+//! update-consistent RPQ result cache.
+//!
+//! The engines in `moctopus` execute one batch at a time for one caller; a
+//! production deployment serves interleaved regular path queries and graph
+//! updates from many clients, and real RPQ traffic is heavily repetitive —
+//! the same path expressions over the same popular start sets, between
+//! updates that touch a tiny fraction of the graph. This crate adds that
+//! serving layer:
+//!
+//! * [`QueryServer`] — the sequential serving core: normalizes each query
+//!   ([`rpq::RpqExpr::normalize`]), answers repeats from a [`ResultCache`],
+//!   executes misses and updates on any [`moctopus::GraphEngine`], and keeps
+//!   deterministic simulated-time totals ([`ServeTotals`]).
+//! * [`ResultCache`] — keyed by normalized expression + source batch,
+//!   invalidated *precisely* through the engine-reported dependency
+//!   footprints (`moctopus::deps`): per-label source buckets for answers,
+//!   label-blind structural buckets plus a host-store flag for simulated
+//!   costs. Two consistency levels ([`ConsistencyMode`]); under the default
+//!   cost-exact mode a hit is bit-identical — results *and* stats — to
+//!   re-executing the query.
+//! * [`ConcurrentServer`] / [`Session`] — many client threads submitting at
+//!   logical timestamps, executed in the deterministic total order
+//!   `(at, client, seq)` via `moctopus_runtime::SequencedQueue`, so
+//!   same-trace runs are byte-identical no matter how the OS schedules the
+//!   clients.
+//!
+//! SERVING.md walks the architecture, the cache-consistency argument (why
+//! stale reads are impossible), and the cost accounting; the `serve` binary
+//! in `moctopus_bench` drives a mixed open-loop trace through this layer.
+//!
+//! # Quick start
+//!
+//! ```
+//! use graph_store::{Label, NodeId};
+//! use moctopus::{MoctopusConfig, MoctopusSystem};
+//! use moctopus_server::{CacheOutcome, QueryServer, Request, RequestKind, ServerConfig};
+//!
+//! let engine = MoctopusSystem::new(MoctopusConfig::small_test());
+//! let mut server = QueryServer::new(Box::new(engine), ServerConfig::default());
+//!
+//! // Ingest a small cycle, then serve the same query twice.
+//! let edges = (0..6u64).map(|i| (NodeId(i), NodeId((i + 1) % 6), Label(1))).collect();
+//! server.execute_next(Request { at: 1, kind: RequestKind::Insert { edges } });
+//! let query = || RequestKind::Query {
+//!     expr: rpq::parser::parse("1/1").unwrap(),
+//!     sources: vec![NodeId(0)],
+//! };
+//! let miss = server.execute_next(Request { at: 2, kind: query() });
+//! let hit = server.execute_next(Request { at: 3, kind: query() });
+//! assert_eq!(miss.results(), hit.results());
+//! assert_eq!(hit.cache_outcome(), Some(CacheOutcome::Hit));
+//! assert!(server.totals().saved_nanos() > 0.0);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod request;
+pub mod server;
+pub mod session;
+
+pub use cache::{CacheConfig, CacheKey, CacheStats, ConsistencyMode, ResultCache};
+pub use request::{
+    CacheOutcome, ClientId, Request, RequestId, RequestKind, Response, ResponseBody,
+};
+pub use server::{QueryServer, ServeTotals, ServerConfig};
+pub use session::{ConcurrentServer, Session};

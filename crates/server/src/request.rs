@@ -1,0 +1,166 @@
+//! The serving layer's wire types: requests, responses, and identifiers.
+
+use graph_store::{Label, NodeId};
+use moctopus::{QueryStats, UpdateStats};
+use rpq::RpqExpr;
+use std::fmt;
+
+/// Identifier of one connected client session (its registration index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClientId(pub u32);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Identifier of one request: the submitting client plus the client's own
+/// submission counter. Unique per server run; responses echo it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId {
+    /// The submitting client.
+    pub client: ClientId,
+    /// The request's 0-based position within that client's submissions.
+    pub seq: u64,
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.client, self.seq)
+    }
+}
+
+/// What a client asks the server to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestKind {
+    /// A batch regular path query: for every source, the nodes reachable by
+    /// a path matching `expr`. The expression is normalized by the server
+    /// ([`RpqExpr::normalize`]) before execution and caching.
+    Query {
+        /// The path expression.
+        expr: RpqExpr,
+        /// The batch of start nodes (order and multiplicity are preserved in
+        /// the results, and are part of the cache key).
+        sources: Vec<NodeId>,
+    },
+    /// Insert a batch of labelled edges.
+    Insert {
+        /// The edges to insert.
+        edges: Vec<(NodeId, NodeId, Label)>,
+    },
+    /// Delete a batch of labelled edges.
+    Delete {
+        /// The edges to delete.
+        edges: Vec<(NodeId, NodeId, Label)>,
+    },
+}
+
+/// One client request: a logical timestamp (strictly increasing per client;
+/// the trace's arrival time, never the wall clock) plus the operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Logical arrival time; the server executes requests in `(at, client,
+    /// seq)` order regardless of physical submission interleaving.
+    pub at: u64,
+    /// The operation.
+    pub kind: RequestKind,
+}
+
+/// How a query response was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the result cache; the engine did not run.
+    Hit,
+    /// Executed on the engine and inserted into the cache.
+    Miss,
+    /// Executed on the engine; caching is disabled on this server.
+    Bypass,
+}
+
+/// The payload of a response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseBody {
+    /// Answer to a [`RequestKind::Query`].
+    Query {
+        /// Per-source sorted reachable-node sets, aligned with the request's
+        /// `sources`.
+        results: Vec<Vec<NodeId>>,
+        /// The engine's simulated execution statistics. For a cache hit these
+        /// are the statistics of the execution that produced the cached
+        /// answer — under cost-exact consistency, bit-identical to what
+        /// re-executing the query would report (SERVING.md §3).
+        stats: QueryStats,
+        /// Whether the cache served, missed, or was bypassed.
+        cache: CacheOutcome,
+    },
+    /// Answer to a [`RequestKind::Insert`] or [`RequestKind::Delete`].
+    Update {
+        /// The engine's simulated update statistics.
+        stats: UpdateStats,
+        /// Cached entries this update invalidated (0 with caching disabled).
+        invalidated: usize,
+    },
+}
+
+/// One response, echoing the request's identifier and logical timestamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request this answers.
+    pub id: RequestId,
+    /// The request's logical timestamp.
+    pub at: u64,
+    /// The payload.
+    pub body: ResponseBody,
+}
+
+impl Response {
+    /// The query results, if this is a query response.
+    pub fn results(&self) -> Option<&[Vec<NodeId>]> {
+        match &self.body {
+            ResponseBody::Query { results, .. } => Some(results),
+            ResponseBody::Update { .. } => None,
+        }
+    }
+
+    /// The cache outcome, if this is a query response.
+    pub fn cache_outcome(&self) -> Option<CacheOutcome> {
+        match &self.body {
+            ResponseBody::Query { cache, .. } => Some(*cache),
+            ResponseBody::Update { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_compactly() {
+        let id = RequestId { client: ClientId(3), seq: 41 };
+        assert_eq!(id.to_string(), "c3#41");
+    }
+
+    #[test]
+    fn response_accessors_discriminate() {
+        let q = Response {
+            id: RequestId { client: ClientId(0), seq: 0 },
+            at: 7,
+            body: ResponseBody::Query {
+                results: vec![vec![NodeId(1)]],
+                stats: QueryStats::default(),
+                cache: CacheOutcome::Miss,
+            },
+        };
+        assert_eq!(q.results().unwrap().len(), 1);
+        assert_eq!(q.cache_outcome(), Some(CacheOutcome::Miss));
+        let u = Response {
+            id: q.id,
+            at: 8,
+            body: ResponseBody::Update { stats: UpdateStats::default(), invalidated: 2 },
+        };
+        assert!(u.results().is_none());
+        assert_eq!(u.cache_outcome(), None);
+    }
+}

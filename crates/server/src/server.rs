@@ -1,0 +1,358 @@
+//! The sequential serving core: one engine, one cache, one totally ordered
+//! request log.
+//!
+//! [`QueryServer::execute`] is the entire serving semantics; everything the
+//! concurrent session layer (`crate::session`) adds is *delivering* requests
+//! to this function in a deterministic order. Keeping the semantics
+//! single-threaded is what makes the serving layer testable: the
+//! cache-consistency property tests replay a request log through two
+//! `QueryServer`s (cache on / cache off) and compare responses bit for bit.
+
+use crate::cache::{CacheConfig, CacheStats, ResultCache};
+use crate::request::{CacheOutcome, Request, RequestId, RequestKind, Response, ResponseBody};
+use moctopus::{GraphEngine, MoctopusConfig};
+use pim_sim::{PimSystem, SimTime};
+
+/// Host instructions charged per cache probe (hash the key, compare the
+/// expression tree and source batch on a hit). Part of the serving cost
+/// model documented in SERVING.md §4.
+const CACHE_PROBE_INSTRUCTIONS: u64 = 400;
+
+/// Bytes per result entry streamed out of the cache on a hit (one node id),
+/// matching the engines' reduction-phase accounting.
+const RESULT_ENTRY_BYTES: u64 = 8;
+
+/// Serving-layer configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerConfig {
+    /// Result-cache configuration; `None` disables caching entirely (every
+    /// query executes on the engine).
+    pub cache: Option<CacheConfig>,
+    /// The cost model used to price cache probes and hit streaming (host-side
+    /// parameters only). Use the same config the engine was built with so
+    /// hit overhead and engine time share one clock.
+    pub pricing: MoctopusConfig,
+}
+
+impl Default for ServerConfig {
+    /// Caching on (default [`CacheConfig`]), paper-default pricing.
+    fn default() -> Self {
+        ServerConfig { cache: Some(CacheConfig::default()), pricing: MoctopusConfig::default() }
+    }
+}
+
+/// Aggregate simulated-time accounting of one server's lifetime.
+///
+/// All fields accumulate in execution order, so — like the engines' stats —
+/// they are byte-identical for identical request logs.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServeTotals {
+    /// Query requests served.
+    pub queries: u64,
+    /// Update requests served.
+    pub updates: u64,
+    /// Simulated time spent executing on the engine (query misses/bypasses
+    /// plus all updates).
+    pub engine_time: SimTime,
+    /// Simulated overhead of serving cache hits (probe + result streaming).
+    pub hit_time: SimTime,
+    /// Simulated engine time the cache hits avoided (the cached executions'
+    /// latencies).
+    pub avoided_time: SimTime,
+    /// Total matched (query, destination) pairs across all query responses.
+    pub matched_pairs: u64,
+}
+
+impl ServeTotals {
+    /// End-to-end simulated serving time: engine work plus hit overhead.
+    pub fn served_time(&self) -> SimTime {
+        self.engine_time + self.hit_time
+    }
+
+    /// Net simulated time the cache saved: avoided engine time minus the
+    /// overhead of serving the hits (nanoseconds; negative if overhead won).
+    pub fn saved_nanos(&self) -> f64 {
+        self.avoided_time.as_nanos() - self.hit_time.as_nanos()
+    }
+}
+
+/// A serving core: an engine behind a request log, with an optional
+/// update-consistent result cache.
+///
+/// # Examples
+///
+/// ```
+/// use graph_store::NodeId;
+/// use moctopus::{MoctopusConfig, MoctopusSystem};
+/// use moctopus_server::{QueryServer, Request, RequestKind, ServerConfig};
+///
+/// let mut engine = MoctopusSystem::new(MoctopusConfig::small_test());
+/// let config = ServerConfig { pricing: *engine.config(), ..ServerConfig::default() };
+/// let mut server = QueryServer::new(Box::new(engine), config);
+///
+/// let insert = RequestKind::Insert {
+///     edges: (0..8u64).map(|i| (NodeId(i), NodeId(i + 1), graph_store::Label(1))).collect(),
+/// };
+/// server.execute_next(Request { at: 1, kind: insert });
+/// let query = RequestKind::Query {
+///     expr: rpq::parser::parse("1/1").unwrap(),
+///     sources: vec![NodeId(0)],
+/// };
+/// let miss = server.execute_next(Request { at: 2, kind: query.clone() });
+/// let hit = server.execute_next(Request { at: 3, kind: query });
+/// assert_eq!(miss.results(), hit.results());
+/// assert_eq!(hit.cache_outcome(), Some(moctopus_server::CacheOutcome::Hit));
+/// ```
+pub struct QueryServer {
+    engine: Box<dyn GraphEngine + Send>,
+    cache: Option<ResultCache>,
+    /// Cost model for the serving layer's own work (cache probes, hit
+    /// streaming); host-side parameters only, never mutated.
+    pricer: PimSystem,
+    totals: ServeTotals,
+    /// Sequence counter for [`QueryServer::execute_next`]'s synthetic ids.
+    next_seq: u64,
+}
+
+impl std::fmt::Debug for QueryServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryServer")
+            .field("engine", &self.engine.name())
+            .field("cache", &self.cache)
+            .field("totals", &self.totals)
+            .finish_non_exhaustive()
+    }
+}
+
+impl QueryServer {
+    /// Creates a server over an engine.
+    pub fn new(engine: Box<dyn GraphEngine + Send>, config: ServerConfig) -> Self {
+        QueryServer {
+            engine,
+            cache: config.cache.map(ResultCache::new),
+            pricer: PimSystem::new(config.pricing.pim),
+            totals: ServeTotals::default(),
+            next_seq: 0,
+        }
+    }
+
+    /// Executes one request under a caller-chosen id (the session layer uses
+    /// real client ids; tests and single-caller uses can synthesize them).
+    ///
+    /// This function is the serving semantics: requests must arrive in the
+    /// intended total order — the concurrent session layer guarantees
+    /// `(at, client, seq)` order via `moctopus_runtime::SequencedQueue`.
+    pub fn execute(&mut self, id: RequestId, request: Request) -> Response {
+        let at = request.at;
+        let body = match request.kind {
+            RequestKind::Query { expr, sources } => self.serve_query(expr, sources),
+            RequestKind::Insert { edges } => self.serve_update(&edges, true),
+            RequestKind::Delete { edges } => self.serve_update(&edges, false),
+        };
+        Response { id, at, body }
+    }
+
+    /// [`QueryServer::execute`] with a synthesized id (client 0, running
+    /// sequence) — the single-caller convenience used by examples and tests.
+    pub fn execute_next(&mut self, request: Request) -> Response {
+        let id = RequestId { client: crate::request::ClientId(0), seq: self.next_seq };
+        self.next_seq += 1;
+        self.execute(id, request)
+    }
+
+    fn serve_query(
+        &mut self,
+        expr: rpq::RpqExpr,
+        sources: Vec<graph_store::NodeId>,
+    ) -> ResponseBody {
+        self.totals.queries += 1;
+        // Normalization is part of the query pipeline (with or without a
+        // cache), so spelling variants of one query share a cache key *and*
+        // an execution shape.
+        let expr = expr.normalize();
+
+        let Some(cache) = self.cache.as_mut() else {
+            let (results, stats) = self.engine.rpq_batch(&expr, &sources);
+            self.totals.engine_time += stats.latency();
+            self.totals.matched_pairs += stats.matched_pairs as u64;
+            return ResponseBody::Query { results, stats, cache: CacheOutcome::Bypass };
+        };
+
+        // One key construction per request: probed by reference, consumed by
+        // the miss-path insert.
+        let key = crate::cache::CacheKey::new(expr, sources);
+        if let Some((results, stats)) = cache.lookup(&key) {
+            let hit_cost = self.hit_cost(&stats);
+            self.totals.hit_time += hit_cost;
+            self.totals.avoided_time += stats.latency();
+            self.totals.matched_pairs += stats.matched_pairs as u64;
+            return ResponseBody::Query { results, stats, cache: CacheOutcome::Hit };
+        }
+
+        let (results, stats, deps) = self.engine.rpq_batch_tracked(key.expr(), key.sources());
+        self.totals.engine_time += stats.latency();
+        self.totals.matched_pairs += stats.matched_pairs as u64;
+        let alphabet = key.expr().label_alphabet();
+        let cache = self.cache.as_mut().expect("cache checked above");
+        cache.insert(key, results.clone(), stats, deps, alphabet);
+        ResponseBody::Query { results, stats, cache: CacheOutcome::Miss }
+    }
+
+    fn serve_update(
+        &mut self,
+        edges: &[(graph_store::NodeId, graph_store::NodeId, graph_store::Label)],
+        insert: bool,
+    ) -> ResponseBody {
+        self.totals.updates += 1;
+        let (stats, invalidated) = match self.cache.as_mut() {
+            Some(cache) => {
+                let (stats, footprint) = if insert {
+                    self.engine.insert_labeled_edges_tracked(edges)
+                } else {
+                    self.engine.delete_labeled_edges_tracked(edges)
+                };
+                (stats, cache.invalidate(&footprint))
+            }
+            None => {
+                let stats = if insert {
+                    self.engine.insert_labeled_edges(edges)
+                } else {
+                    self.engine.delete_labeled_edges(edges)
+                };
+                (stats, 0)
+            }
+        };
+        self.totals.engine_time += stats.latency();
+        ResponseBody::Update { stats, invalidated }
+    }
+
+    /// The simulated cost of serving one cache hit: a host-side probe plus
+    /// streaming the cached result entries, priced by the same host
+    /// parameters the engines use (SERVING.md §4).
+    fn hit_cost(&self, stats: &moctopus::QueryStats) -> SimTime {
+        self.pricer.host_instructions_cost(CACHE_PROBE_INSTRUCTIONS)
+            + self.pricer.host_sequential_read_cost(stats.matched_pairs as u64 * RESULT_ENTRY_BYTES)
+    }
+
+    /// The engine's display name.
+    pub fn engine_name(&self) -> &'static str {
+        self.engine.name()
+    }
+
+    /// Aggregate simulated-time accounting so far.
+    pub fn totals(&self) -> ServeTotals {
+        self.totals
+    }
+
+    /// Cache counters, if caching is enabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(ResultCache::stats)
+    }
+
+    /// Resident cache entries, if caching is enabled.
+    pub fn cache_len(&self) -> Option<usize> {
+        self.cache.as_ref().map(ResultCache::len)
+    }
+
+    /// Mutable access to the engine (tests/benches; not part of the serving
+    /// path — mutating the graph around the cache invalidates nothing, so
+    /// use requests for updates).
+    pub fn engine_mut(&mut self) -> &mut (dyn GraphEngine + Send) {
+        &mut *self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{CacheOutcome, RequestKind};
+    use graph_store::{Label, NodeId};
+    use moctopus::{MoctopusConfig, MoctopusSystem};
+
+    fn ring_insert(n: u64) -> RequestKind {
+        RequestKind::Insert {
+            edges: (0..n).map(|i| (NodeId(i), NodeId((i + 1) % n), Label(1))).collect(),
+        }
+    }
+
+    fn query(text: &str, sources: &[u64]) -> RequestKind {
+        RequestKind::Query {
+            expr: rpq::parser::parse(text).expect("test query parses"),
+            sources: sources.iter().copied().map(NodeId).collect(),
+        }
+    }
+
+    fn server(cache: Option<CacheConfig>) -> QueryServer {
+        let cfg = MoctopusConfig::small_test();
+        QueryServer::new(Box::new(MoctopusSystem::new(cfg)), ServerConfig { cache, pricing: cfg })
+    }
+
+    #[test]
+    fn hits_serve_identical_results_and_stats() {
+        let mut s = server(Some(CacheConfig::default()));
+        s.execute_next(Request { at: 1, kind: ring_insert(16) });
+        let miss = s.execute_next(Request { at: 2, kind: query("1/1", &[0, 5]) });
+        let hit = s.execute_next(Request { at: 3, kind: query("1/1", &[0, 5]) });
+        assert_eq!(miss.cache_outcome(), Some(CacheOutcome::Miss));
+        assert_eq!(hit.cache_outcome(), Some(CacheOutcome::Hit));
+        match (&miss.body, &hit.body) {
+            (
+                ResponseBody::Query { results: a, stats: sa, .. },
+                ResponseBody::Query { results: b, stats: sb, .. },
+            ) => {
+                assert_eq!(a, b);
+                assert_eq!(sa, sb);
+                assert_eq!(a[0], vec![NodeId(2)]);
+            }
+            _ => panic!("expected query responses"),
+        }
+        let totals = s.totals();
+        assert_eq!(totals.queries, 2);
+        assert!(totals.hit_time > SimTime::ZERO);
+        assert!(totals.saved_nanos() > 0.0, "a hit must cost less than re-execution");
+        assert_eq!(s.cache_stats().unwrap().hits, 1);
+    }
+
+    #[test]
+    fn spelling_variants_share_one_cache_entry() {
+        let mut s = server(Some(CacheConfig::default()));
+        s.execute_next(Request { at: 1, kind: ring_insert(16) });
+        let a = s.execute_next(Request { at: 2, kind: query(".{2}", &[3]) });
+        let b = s.execute_next(Request { at: 3, kind: query("./.{0}/.", &[3]) });
+        assert_eq!(a.cache_outcome(), Some(CacheOutcome::Miss));
+        assert_eq!(b.cache_outcome(), Some(CacheOutcome::Hit), "normalized keys must collide");
+        assert_eq!(a.results(), b.results());
+    }
+
+    #[test]
+    fn relevant_updates_invalidate_and_refill() {
+        let mut s = server(Some(CacheConfig::default()));
+        s.execute_next(Request { at: 1, kind: ring_insert(8) });
+        s.execute_next(Request { at: 2, kind: query("1/1", &[0]) });
+        // Deleting an edge on the query's path must invalidate the entry and
+        // the next lookup must re-execute against the new graph.
+        let del = s.execute_next(Request {
+            at: 3,
+            kind: RequestKind::Delete { edges: vec![(NodeId(1), NodeId(2), Label(1))] },
+        });
+        match del.body {
+            ResponseBody::Update { invalidated, .. } => assert_eq!(invalidated, 1),
+            _ => panic!("expected update response"),
+        }
+        let requery = s.execute_next(Request { at: 4, kind: query("1/1", &[0]) });
+        assert_eq!(requery.cache_outcome(), Some(CacheOutcome::Miss));
+        assert!(requery.results().unwrap()[0].is_empty(), "the 2-hop path is gone");
+    }
+
+    #[test]
+    fn disabled_cache_bypasses_everything() {
+        let mut s = server(None);
+        s.execute_next(Request { at: 1, kind: ring_insert(8) });
+        let a = s.execute_next(Request { at: 2, kind: query("1/1", &[0]) });
+        let b = s.execute_next(Request { at: 3, kind: query("1/1", &[0]) });
+        assert_eq!(a.cache_outcome(), Some(CacheOutcome::Bypass));
+        assert_eq!(b.cache_outcome(), Some(CacheOutcome::Bypass));
+        assert_eq!(s.cache_stats(), None);
+        assert_eq!(s.totals().hit_time, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,169 @@
+//! Concurrent serving with the update-consistent result cache.
+//!
+//! A small "social" deployment: three client threads share one Moctopus
+//! engine through `moctopus-server` — a dashboard replaying the same popular
+//! friend-of-friend queries, an analyst running closure queries, and an
+//! ingest worker streaming labelled edge updates. The example shows
+//!
+//! * repeated queries served from the cache at a fraction of the engine's
+//!   simulated cost, with bit-identical answers;
+//! * updates invalidating exactly the entries whose answers (or costs) they
+//!   can touch — and the next query re-executing against the fresh graph;
+//! * the deterministic total order: logical timestamps decide who sees what,
+//!   not thread scheduling.
+//!
+//! Run with: `cargo run --release --example serving_cache`
+
+use graph_store::{Label, NodeId};
+use moctopus::{GraphEngine, MoctopusConfig, MoctopusSystem};
+use moctopus_server::{
+    CacheOutcome, ConcurrentServer, QueryServer, RequestKind, ServerConfig, Session,
+};
+use std::error::Error;
+
+/// The labelled social graph: label 1 = "knows", label 2 = "follows".
+fn social_edges(people: u64, seed: u64) -> Vec<(NodeId, NodeId, Label)> {
+    let graph = graph_gen::uniform::generate(people as usize, 4.0, seed);
+    let model = graph_gen::labels::relabel(
+        &graph,
+        &graph_gen::labels::LabelMixConfig { num_labels: 2, ..Default::default() },
+        seed,
+    );
+    graph_gen::labels::labeled_edge_stream(&model)
+}
+
+fn query(text: &str, sources: &[u64]) -> RequestKind {
+    RequestKind::Query {
+        expr: rpq::parser::parse(text).expect("query parses"),
+        sources: sources.iter().copied().map(NodeId).collect(),
+    }
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let edges = social_edges(600, 42);
+    let mut engine = MoctopusSystem::new(MoctopusConfig::paper_defaults());
+    engine.insert_labeled_edges(&edges);
+    engine.refine_locality();
+    println!("social graph: 600 people, {} labelled edges, engine: Moctopus", edges.len());
+
+    let config = ServerConfig { pricing: *engine.config(), ..ServerConfig::default() };
+    let server = ConcurrentServer::new(QueryServer::new(Box::new(engine), config));
+
+    // Sessions registered in a fixed order: ids tie-break equal timestamps.
+    let dashboard: Session = server.session();
+    let analyst: Session = server.session();
+    let ingest: Session = server.session();
+
+    std::thread::scope(|scope| {
+        // The dashboard hammers the same friend-of-friend panel every tick.
+        scope.spawn(|| {
+            let mut s = dashboard;
+            for tick in 0..6u64 {
+                s.submit(1 + tick * 10, query("1/1", &[1, 2, 3, 4])).unwrap();
+            }
+            s.finish();
+        });
+        // The analyst asks heavier closure questions, twice each.
+        scope.spawn(|| {
+            let mut s = analyst;
+            s.submit(5, query("1/(2|1)*", &[7])).unwrap();
+            s.submit(15, query("1/(2|1)*", &[7])).unwrap();
+            s.submit(25, query("2+", &[9, 11])).unwrap();
+            s.submit(35, query("2+", &[9, 11])).unwrap();
+            s.finish();
+        });
+        // The ingest worker lands a "knows" update mid-trace: logically at
+        // t=22, between dashboard ticks 3 and 4 — wherever the OS schedules
+        // the actual thread. Two fresh nodes guarantee the panel's answer
+        // actually changes: person 1 now knows 998, who knows 999.
+        scope.spawn(|| {
+            let mut s = ingest;
+            s.submit(
+                22,
+                RequestKind::Insert {
+                    edges: vec![
+                        (NodeId(1), NodeId(998), Label(1)),
+                        (NodeId(998), NodeId(999), Label(1)),
+                    ],
+                },
+            )
+            .unwrap();
+            s.finish();
+        });
+        server.run();
+    });
+
+    let responses = server.take_responses();
+    println!("\ndashboard panel (same query, six ticks):");
+    println!("{:>4}  {:>8}  {:>12}  {:>8}", "t", "outcome", "sim latency", "matched");
+    for response in &responses[0] {
+        if let moctopus_server::ResponseBody::Query { results, stats, cache } = &response.body {
+            println!(
+                "{:>4}  {:>8}  {:>10.3}us  {:>8}",
+                response.at,
+                match cache {
+                    CacheOutcome::Hit => "hit",
+                    CacheOutcome::Miss => "miss",
+                    CacheOutcome::Bypass => "bypass",
+                },
+                stats.latency().as_micros(),
+                results.iter().map(Vec::len).sum::<usize>()
+            );
+        }
+    }
+
+    // The cache proves itself: tick 1 misses, ticks 2-3 hit, the t=22 insert
+    // (an edge out of node 1, which the panel visits) invalidates, tick 4
+    // misses and recomputes, ticks 5-6 hit again.
+    let outcomes: Vec<CacheOutcome> =
+        responses[0].iter().filter_map(|r| r.cache_outcome()).collect();
+    assert_eq!(
+        outcomes,
+        [
+            CacheOutcome::Miss,
+            CacheOutcome::Hit,
+            CacheOutcome::Hit,
+            CacheOutcome::Miss,
+            CacheOutcome::Hit,
+            CacheOutcome::Hit
+        ],
+        "the t=22 insert must invalidate the panel exactly once"
+    );
+    let before = responses[0][2].results().expect("query response");
+    let after = responses[0][3].results().expect("query response");
+    assert!(
+        !before[0].contains(&NodeId(999)) && after[0].contains(&NodeId(999)),
+        "the re-executed panel must see the new 2-hop path 1 -> 998 -> 999"
+    );
+
+    // The analyst's repeats hit regardless of the dashboard's traffic.
+    let analyst_outcomes: Vec<CacheOutcome> =
+        responses[1].iter().filter_map(|r| r.cache_outcome()).collect();
+    println!("\nanalyst outcomes: {analyst_outcomes:?}");
+    assert_eq!(analyst_outcomes[1], CacheOutcome::Hit, "repeat closure query must hit");
+
+    server.with_core(|core| {
+        let totals = core.totals();
+        let cache = core.cache_stats().expect("cache enabled");
+        println!(
+            "\ntotals: {} queries, {} updates | engine {:.3}ms, hit overhead {:.3}ms, \
+             avoided {:.3}ms -> saved {:.3}ms",
+            totals.queries,
+            totals.updates,
+            totals.engine_time.as_millis(),
+            totals.hit_time.as_millis(),
+            totals.avoided_time.as_millis(),
+            totals.saved_nanos() / 1e6
+        );
+        println!(
+            "cache: {} hits / {} misses ({:.0}% hit rate), {} invalidated",
+            cache.hits,
+            cache.misses,
+            cache.hit_rate() * 100.0,
+            cache.invalidated
+        );
+        assert!(totals.saved_nanos() > 0.0, "hits must cost less than re-execution");
+    });
+    println!("\nconsistency check passed: hits bit-identical, invalidation precise");
+    Ok(())
+}

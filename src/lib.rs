@@ -13,8 +13,9 @@
 //! | [`graph_partition`] | `crates/graph-partition` | streaming partitioners |
 //! | [`pim_sim`] | `crates/pim-sim` | PIM hardware cost model |
 //! | [`rpq`] | `crates/rpq` | RPQ parser, automaton, matrix plans |
-//! | [`moctopus_runtime`] | `crates/runtime` | deterministic worker-pool execution runtime |
+//! | [`moctopus_runtime`] | `crates/runtime` | deterministic worker-pool execution runtime + request sequencing |
 //! | [`moctopus`] | `crates/core` | the three engines |
+//! | [`moctopus_server`] | `crates/server` | concurrent serving layer + update-consistent result cache |
 //! | [`moctopus_bench`] | `crates/bench` | experiment harness |
 //!
 //! Start with [`moctopus`] — its crate docs carry the quick-start — and see
@@ -28,6 +29,7 @@ pub use graph_store;
 pub use moctopus;
 pub use moctopus_bench;
 pub use moctopus_runtime;
+pub use moctopus_server;
 pub use pim_sim;
 pub use rpq;
 pub use sparse;

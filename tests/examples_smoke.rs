@@ -28,13 +28,17 @@ fn run_example(name: &str) {
     );
 }
 
-// One test running all four examples serially: concurrent `cargo run`
+// One test running all five examples serially: concurrent `cargo run`
 // invocations would contend on the build lock and interleave output.
 #[test]
 fn all_documented_examples_run() {
-    for example in
-        ["quickstart", "social_recommendation", "routing_reachability", "dynamic_updates"]
-    {
+    for example in [
+        "quickstart",
+        "social_recommendation",
+        "routing_reachability",
+        "dynamic_updates",
+        "serving_cache",
+    ] {
         run_example(example);
     }
 }
