@@ -1,47 +1,68 @@
 //! Concurrent query-serving workload: many clients, interleaved RPQs and
-//! labelled updates, with and without the update-consistent result cache.
+//! labelled updates, over a sharded execution plane with an
+//! update-consistent result cache.
 //!
 //! The binary drives one deterministic open-loop trace
 //! (`moctopus_bench::ServeTrace`: Zipf-popular query pool, configurable
-//! update fraction, round-robin logical arrival across clients) through the
-//! `moctopus-server` layer three times over a fresh Moctopus engine each:
+//! update fraction, same-timestamp burst rounds, rotated source batches,
+//! round-robin logical arrival across clients) through the
+//! `moctopus-server` layer four times, each over a freshly built sharded
+//! engine (`--shards` full replicas behind one `ShardedEngine`):
 //!
-//! * `cost-exact`  — caching on, hits bit-identical in results *and* stats;
+//! * `cost-exact`   — caching on, hits bit-identical in results *and* stats;
 //! * `result-exact` — caching on, label-precise invalidation only;
-//! * `no-cache`    — every query executes on the engine.
+//! * `row-exact`    — caching per (expression, source) row, shared across
+//!   overlapping batches;
+//! * `no-cache`     — every query executes on the engine (burst duplicates
+//!   still collapse).
 //!
-//! It self-verifies on every run: all three modes must produce identical
-//! query results, and every `cost-exact` response's stats must equal the
-//! uncached run's. Stdout is deterministic for a fixed seed — simulated
-//! times and counters only — and byte-identical at every `--threads` value
-//! (CI diffs it); wall-clock goes only into the `--json` record.
+//! It self-verifies on every run: all four modes must produce identical
+//! query results (zero staleness), every `cost-exact` response's stats must
+//! equal the uncached run's, and a shard sweep (1, 2, 4 shards of the
+//! cost-exact mode) must produce byte-identical responses at every shard
+//! count while simulated serving throughput improves monotonically.
+//!
+//! Stdout is deterministic for a fixed seed — simulated times and counters
+//! only — and byte-identical at every `--threads` **and every `--shards`**
+//! value (CI diffs both); wall-clock and the shard-dependent throughput
+//! model go only into the `--json` record.
 //!
 //! Run with: `cargo run --release --bin serve [--scale S] [--seed N]
-//! [--threads N] [--clients N] [--requests N] [--update-fraction F]
-//! [--distinct N] [--json [PATH]]`
+//! [--threads N] [--shards N] [--clients N] [--requests N]
+//! [--update-fraction F] [--distinct N] [--burst F] [--rotate F]
+//! [--emit-trace PATH] [--json [PATH]]`
 
+use graph_partition::PartitionAssignment;
+use graph_store::NodeId;
 use moctopus::{GraphEngine, MoctopusSystem};
 use moctopus_bench::{HarnessOptions, RpqWorkload, ServeTrace, ServeTraceConfig};
 use moctopus_server::{
     CacheConfig, ConcurrentServer, ConsistencyMode, QueryServer, Response, ResponseBody,
-    ServerConfig, Session,
+    ServerConfig, Session, ShardPlan, ShardThroughput, ShardedEngine,
 };
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-/// One mode's deterministic outcome plus its (JSON-only) wall-clock.
+/// One mode's deterministic outcome plus its (JSON-only) wall-clock and
+/// shard-dependent throughput model.
 struct ModeOutcome {
     name: &'static str,
     responses: Vec<Vec<Response>>,
     totals: moctopus_server::ServeTotals,
     cache: Option<moctopus_server::CacheStats>,
     wall_ms: f64,
+    throughput: ShardThroughput,
 }
 
 /// Parses the serve-specific flags (harness flags are handled by
 /// `HarnessOptions`, which ignores unknown ones).
 fn trace_config_from_args() -> ServeTraceConfig {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut cfg = ServeTraceConfig::default();
+    let mut cfg = ServeTraceConfig {
+        burst_fraction: 0.15,
+        rotate_fraction: 0.25,
+        ..ServeTraceConfig::default()
+    };
     let mut i = 0;
     while i < args.len() {
         let value = args.get(i + 1);
@@ -70,35 +91,92 @@ fn trace_config_from_args() -> ServeTraceConfig {
                 }
                 i += 2;
             }
+            ("--burst", Some(v)) => {
+                if let Ok(f) = v.parse::<f64>() {
+                    cfg.burst_fraction = f.clamp(0.0, 1.0);
+                }
+                i += 2;
+            }
+            ("--rotate", Some(v)) => {
+                if let Ok(f) = v.parse::<f64>() {
+                    cfg.rotate_fraction = f.clamp(0.0, 1.0);
+                }
+                i += 2;
+            }
             _ => i += 1,
         }
     }
     cfg
 }
 
-/// Parses `--json [PATH]` (default `BENCH_PR5.json`), as in `summary`.
+/// Parses `--shards N` (default 1).
+fn shards_from_args() -> usize {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    args.iter()
+        .position(|a| a == "--shards")
+        .and_then(|pos| args.get(pos + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or(1, |n| n.max(1))
+}
+
+/// Parses `--emit-trace PATH`.
+fn emit_trace_from_args() -> Option<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let pos = args.iter().position(|a| a == "--emit-trace")?;
+    args.get(pos + 1).filter(|next| !next.starts_with("--")).cloned()
+}
+
+/// Parses `--json [PATH]` (default `BENCH_PR6.json`), as in `summary`.
 fn json_path_from_args() -> Option<String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let pos = args.iter().position(|a| a == "--json")?;
     match args.get(pos + 1) {
         Some(next) if !next.starts_with("--") => Some(next.clone()),
-        _ => Some("BENCH_PR5.json".to_string()),
+        _ => Some("BENCH_PR6.json".to_string()),
     }
 }
 
-/// Runs the trace through one server mode over a fresh engine.
+/// One fully built replica: workload ingested, locality refined.
+fn build_replica(options: &HarnessOptions, workload: &RpqWorkload) -> MoctopusSystem {
+    let mut engine = MoctopusSystem::new(options.system_config());
+    engine.insert_labeled_edges(&workload.edges);
+    engine.refine_locality();
+    engine
+}
+
+/// The frozen shard plan, read off the placements one built replica's
+/// partitioner produced. Every replica is built identically, so this is the
+/// plan for all of them — and it is independent of the shard count, which is
+/// what keeps the scatter/gather decomposition shard-invariant.
+fn shard_plan(options: &HarnessOptions, workload: &RpqWorkload) -> ShardPlan {
+    let replica = build_replica(options, workload);
+    let modules = options.system_config().pim.num_modules;
+    let mut assignment = PartitionAssignment::new(modules);
+    for id in 0..workload.graph.node_count() as u64 {
+        if let Some(p) = replica.partition_of(NodeId(id)) {
+            assignment.assign(NodeId(id), p);
+        }
+    }
+    ShardPlan::from_assignment(&assignment, ShardPlan::DEFAULT_GROUPS)
+}
+
+/// Runs the trace through one server mode over a freshly built sharded
+/// plane.
 fn run_mode(
     name: &'static str,
     cache: Option<CacheConfig>,
     options: &HarnessOptions,
     workload: &RpqWorkload,
     trace: &ServeTrace,
+    plan: &ShardPlan,
+    shards: usize,
 ) -> ModeOutcome {
     let t0 = Instant::now();
-    let mut engine = MoctopusSystem::new(options.system_config());
-    engine.insert_labeled_edges(&workload.edges);
-    engine.refine_locality();
-    let config = ServerConfig { cache, pricing: *engine.config() };
+    let replicas: Vec<Box<dyn GraphEngine + Send>> =
+        (0..shards).map(|_| Box::new(build_replica(options, workload)) as _).collect();
+    let engine = ShardedEngine::new(replicas, plan.clone(), options.threads);
+    let clock: Arc<Mutex<ShardThroughput>> = engine.clock();
+    let config = ServerConfig { cache, pricing: options.system_config() };
     let server = ConcurrentServer::new(QueryServer::new(Box::new(engine), config));
 
     let mut sessions: Vec<Session> =
@@ -118,10 +196,20 @@ fn run_mode(
 
     let responses = server.take_responses();
     let (totals, cache) = server.with_core(|core| (core.totals(), core.cache_stats()));
-    ModeOutcome { name, responses, totals, cache, wall_ms: t0.elapsed().as_secs_f64() * 1e3 }
+    let throughput = clock.lock().expect("shard clock poisoned").clone();
+    ModeOutcome {
+        name,
+        responses,
+        totals,
+        cache,
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        throughput,
+    }
 }
 
-/// Asserts the self-verification invariants across modes (see module docs).
+/// Asserts the self-verification invariants across modes (see module docs):
+/// every cached mode's query answers equal the uncached run's — zero
+/// staleness — and cost-exact hit stats are bit-identical to re-execution.
 fn cross_check(reference: &ModeOutcome, cached: &[&ModeOutcome]) {
     for mode in cached {
         assert_eq!(
@@ -156,11 +244,27 @@ fn cross_check(reference: &ModeOutcome, cached: &[&ModeOutcome]) {
     }
 }
 
+/// The shard-scaling model for the JSON record: simulated serving
+/// throughput at a shard count, from the plane's throughput clock plus the
+/// host-side cache overhead (which shards don't touch).
+fn sim_throughput(requests: usize, outcome: &ModeOutcome) -> f64 {
+    let wall_s =
+        (outcome.throughput.makespan.as_nanos() + outcome.totals.hit_time.as_nanos()) / 1e9;
+    if wall_s > 0.0 {
+        requests as f64 / wall_s
+    } else {
+        0.0
+    }
+}
+
 fn render_json(
     options: &HarnessOptions,
     cfg: &ServeTraceConfig,
+    shards: usize,
     workload: &RpqWorkload,
     modes: &[&ModeOutcome],
+    sweep: &[(usize, &ModeOutcome)],
+    trace_len: usize,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -168,10 +272,13 @@ fn render_json(
     out.push_str(&format!("  \"scale\": {},\n", options.scale));
     out.push_str(&format!("  \"seed\": {},\n", options.seed));
     out.push_str(&format!("  \"threads\": {},\n", options.threads));
+    out.push_str(&format!("  \"shards\": {shards},\n"));
     out.push_str(&format!("  \"clients\": {},\n", cfg.clients));
     out.push_str(&format!("  \"requests_per_client\": {},\n", cfg.requests_per_client));
     out.push_str(&format!("  \"update_fraction\": {},\n", cfg.update_fraction));
     out.push_str(&format!("  \"distinct_queries\": {},\n", cfg.distinct_queries));
+    out.push_str(&format!("  \"burst_fraction\": {},\n", cfg.burst_fraction));
+    out.push_str(&format!("  \"rotate_fraction\": {},\n", cfg.rotate_fraction));
     out.push_str(&format!(
         "  \"workload\": {{\"name\": \"{}\", \"nodes\": {}, \"labelled_edges\": {}}},\n",
         workload.name,
@@ -193,7 +300,7 @@ fn render_json(
              \"sim_engine_ms\": {:.3}, \"sim_hit_overhead_ms\": {:.3}, \
              \"sim_avoided_ms\": {:.3}, \"sim_saved_ms\": {:.3}, \
              \"sim_speedup_vs_no_cache\": {:.3}, \"hits\": {}, \"misses\": {}, \
-             \"hit_rate\": {:.4}, \"invalidated\": {}, \"evictions\": {}}}{}\n",
+             \"hit_rate\": {:.4}, \"collapsed\": {}, \"invalidated\": {}, \"evictions\": {}}}{}\n",
             m.name,
             m.wall_ms,
             served,
@@ -205,9 +312,29 @@ fn render_json(
             m.cache.map_or(0, |c| c.hits),
             m.cache.map_or(0, |c| c.misses),
             m.cache.map_or(0.0, |c| c.hit_rate()),
+            t.collapsed,
             m.cache.map_or(0, |c| c.invalidated),
             m.cache.map_or(0, |c| c.evictions),
             if i + 1 == modes.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    // The shard sweep: cost-exact serving at 1/2/4 shards. Responses are
+    // byte-identical at every count (checked before this is written); only
+    // the throughput model below may move, and it must move monotonically
+    // upward.
+    out.push_str("  \"shard_sweep\": [\n");
+    for (i, (n, m)) in sweep.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"sim_makespan_ms\": {:.3}, \"sim_busy_ms\": {:.3}, \
+             \"sim_throughput_req_per_s\": {:.1}, \"hit_rate\": {:.4}, \
+             \"results_identical_to_one_shard\": true}}{}\n",
+            n,
+            m.throughput.makespan.as_nanos() / 1e6,
+            m.throughput.busy_total().as_nanos() / 1e6,
+            sim_throughput(trace_len, m),
+            m.cache.map_or(0.0, |c| c.hit_rate()),
+            if i + 1 == sweep.len() { "" } else { "," }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -217,19 +344,32 @@ fn render_json(
 fn main() {
     let options = HarnessOptions::from_env();
     let cfg = trace_config_from_args();
+    let shards = shards_from_args();
     let json_path = json_path_from_args();
 
     let workload = RpqWorkload::power_law(&options);
     let trace = ServeTrace::generate(&workload, &cfg, options.seed);
+    if let Some(path) = emit_trace_from_args() {
+        match std::fs::write(&path, trace.render()) {
+            Ok(()) => eprintln!("trace written to {path}"),
+            Err(e) => eprintln!("failed to write trace to {path}: {e}"),
+        }
+    }
+
+    // Stdout must be byte-identical at every `--shards` (and `--threads`)
+    // value — CI diffs it — so the shard count itself is never printed here;
+    // it lives in the JSON record.
     println!(
         "Concurrent RPQ serving (simulated ms), scale = {:.4}: {} clients x {} requests, \
-         {:.0}% updates, query pool = {} ({} sources each)",
+         {:.0}% updates, query pool = {} ({} sources each), burst {:.0}%, rotate {:.0}%",
         options.scale,
         cfg.clients,
         cfg.requests_per_client,
         cfg.update_fraction * 100.0,
         cfg.distinct_queries,
-        cfg.sources_per_query
+        cfg.sources_per_query,
+        cfg.burst_fraction * 100.0,
+        cfg.rotate_fraction * 100.0,
     );
     println!(
         "workload: {} ({} nodes, {} labelled edges), engine: Moctopus\n",
@@ -238,31 +378,35 @@ fn main() {
         workload.graph.edge_count()
     );
 
-    let cost_exact = run_mode(
-        "cost-exact",
-        Some(CacheConfig { mode: ConsistencyMode::CostExact, ..CacheConfig::default() }),
-        &options,
-        &workload,
-        &trace,
-    );
-    let result_exact = run_mode(
-        "result-exact",
-        Some(CacheConfig { mode: ConsistencyMode::ResultExact, ..CacheConfig::default() }),
-        &options,
-        &workload,
-        &trace,
-    );
-    let no_cache = run_mode("no-cache", None, &options, &workload, &trace);
-    cross_check(&no_cache, &[&cost_exact, &result_exact]);
+    let plan = shard_plan(&options, &workload);
+    let run = |name, cache, n| run_mode(name, cache, &options, &workload, &trace, &plan, n);
+    let cache_with = |mode| Some(CacheConfig { mode, ..CacheConfig::default() });
+
+    let cost_exact = run("cost-exact", cache_with(ConsistencyMode::CostExact), shards);
+    let result_exact = run("result-exact", cache_with(ConsistencyMode::ResultExact), shards);
+    let row_exact = run("row-exact", cache_with(ConsistencyMode::RowExact), shards);
+    let no_cache = run("no-cache", None, shards);
+    cross_check(&no_cache, &[&cost_exact, &result_exact, &row_exact]);
 
     println!(
-        "{:<14}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}  {:>6} {:>6} {:>6}  {:>6}",
-        "mode", "served", "engine", "hit-ovhd", "avoided", "saved", "hits", "miss", "inval", "hit%"
+        "{:<14}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}  {:>6} {:>6} {:>6} {:>6}  {:>6}",
+        "mode",
+        "served",
+        "engine",
+        "hit-ovhd",
+        "avoided",
+        "saved",
+        "hits",
+        "miss",
+        "clps",
+        "inval",
+        "hit%"
     );
-    for m in [&cost_exact, &result_exact, &no_cache] {
+    for m in [&cost_exact, &result_exact, &row_exact, &no_cache] {
         let t = &m.totals;
         println!(
-            "{:<14}  {:>10.3}  {:>10.3}  {:>10.3}  {:>10.3}  {:>10.3}  {:>6} {:>6} {:>6}  {:>5.1}%",
+            "{:<14}  {:>10.3}  {:>10.3}  {:>10.3}  {:>10.3}  {:>10.3}  {:>6} {:>6} {:>6} {:>6}  \
+             {:>5.1}%",
             m.name,
             t.served_time().as_millis(),
             t.engine_time.as_millis(),
@@ -271,6 +415,7 @@ fn main() {
             t.saved_nanos() / 1e6,
             m.cache.map_or(0, |c| c.hits),
             m.cache.map_or(0, |c| c.misses),
+            t.collapsed,
             m.cache.map_or(0, |c| c.invalidated),
             m.cache.map_or(0.0, |c| c.hit_rate() * 100.0),
         );
@@ -284,17 +429,58 @@ fn main() {
         }
     };
     println!(
-        "\nsimulated serving-time speedup vs no-cache: cost-exact {:.2}x, result-exact {:.2}x",
+        "\nsimulated serving-time speedup vs no-cache: cost-exact {:.2}x, result-exact {:.2}x, \
+         row-exact {:.2}x",
         speedup(&cost_exact),
-        speedup(&result_exact)
+        speedup(&result_exact),
+        speedup(&row_exact)
     );
     println!(
         "self-check passed: all modes returned identical query results, and every cost-exact \
          response's stats matched uncached re-execution"
     );
 
+    // Shard sweep: the cost-exact mode at 1, 2, and 4 shards. Every
+    // externally visible output must be byte-identical across shard counts;
+    // only the shard-dependent throughput model may (and must, upward) move.
+    let sweep_runs: Vec<ModeOutcome> = [1usize, 2, 4]
+        .into_iter()
+        .map(|n| run("cost-exact", cache_with(ConsistencyMode::CostExact), n))
+        .collect();
+    for m in &sweep_runs {
+        assert_eq!(
+            m.responses, sweep_runs[0].responses,
+            "shard sweep: responses must be byte-identical at every shard count"
+        );
+        assert_eq!(m.totals, sweep_runs[0].totals);
+        assert_eq!(m.cache, sweep_runs[0].cache);
+    }
+    let throughputs: Vec<f64> = sweep_runs.iter().map(|m| sim_throughput(trace.len(), m)).collect();
+    assert!(
+        throughputs.windows(2).all(|w| w[0] < w[1]),
+        "shard sweep: simulated throughput must improve monotonically, got {throughputs:?}"
+    );
+    assert!(
+        sweep_runs[0].cache.is_some_and(|c| c.hit_rate() > 0.0),
+        "shard sweep must exercise a non-zero cache hit rate"
+    );
+    println!(
+        "shard-scaling self-check passed: responses byte-identical at 1/2/4 shards, simulated \
+         serving throughput strictly increasing, zero staleness at non-zero hit rate"
+    );
+
     if let Some(path) = json_path {
-        let json = render_json(&options, &cfg, &workload, &[&cost_exact, &result_exact, &no_cache]);
+        let sweep: Vec<(usize, &ModeOutcome)> =
+            [1usize, 2, 4].into_iter().zip(sweep_runs.iter()).collect();
+        let json = render_json(
+            &options,
+            &cfg,
+            shards,
+            &workload,
+            &[&cost_exact, &result_exact, &row_exact, &no_cache],
+            &sweep,
+            trace.len(),
+        );
         match std::fs::write(&path, &json) {
             Ok(()) => println!("\nServe bench baseline written to {path}"),
             Err(e) => eprintln!("\nFailed to write {path}: {e}"),

@@ -38,6 +38,17 @@ pub struct ServeTraceConfig {
     pub sources_per_query: usize,
     /// Edges per update batch.
     pub edges_per_update: usize,
+    /// Fraction of rounds that are **burst rounds**: every client submits
+    /// the *same* pool query at the *same* logical timestamp, modelling a
+    /// thundering herd. Burst duplicates are what the server's miss
+    /// collapsing absorbs (SERVING.md §6). 0.0 disables bursts.
+    pub burst_fraction: f64,
+    /// Fraction of query requests whose source batch is *rotated* (same
+    /// sources, shifted order) instead of taken verbatim from the pool:
+    /// overlapping-but-unequal batches that only the row cache
+    /// (`ConsistencyMode::RowExact`) can serve from shared state. 0.0
+    /// disables rotation.
+    pub rotate_fraction: f64,
 }
 
 impl Default for ServeTraceConfig {
@@ -51,6 +62,8 @@ impl Default for ServeTraceConfig {
             distinct_queries: 12,
             sources_per_query: 16,
             edges_per_update: 8,
+            burst_fraction: 0.0,
+            rotate_fraction: 0.0,
         }
     }
 }
@@ -117,6 +130,20 @@ impl ServeTrace {
             existing
         };
 
+        // Burst rounds are decided once, from their own rng stream, so the
+        // per-client streams (and therefore non-burst traffic) are identical
+        // whether bursts are on or off. In a burst round every client submits
+        // the same pool query at `1 + round*clients` — the same timestamp for
+        // all, still strictly after each client's previous round (`clients >
+        // c`) and before its next.
+        let mut burst_rng = SmallRng::seed_from_u64(seed ^ 0xb005_7000);
+        let bursts: Vec<Option<usize>> = (0..config.requests_per_client)
+            .map(|_| {
+                let is_burst = burst_rng.gen_range(0.0..1.0) < config.burst_fraction;
+                is_burst.then(|| Self::zipf_rank(&mut burst_rng, pool.len()))
+            })
+            .collect();
+
         let mut insert_cursor = 0usize;
         let mut delete_cursor = 0usize;
         let per_client: Vec<Vec<(u64, RequestKind)>> = (0..config.clients)
@@ -127,6 +154,9 @@ impl ServeTrace {
                         // Round-robin logical arrival: strictly increasing per
                         // client, interleaved across clients.
                         let at = 1 + (j * config.clients + c) as u64;
+                        if let Some(rank) = bursts[j] {
+                            return (1 + (j * config.clients) as u64, pool[rank].clone());
+                        }
                         let is_update = rng.gen_range(0.0..1.0) < config.update_fraction;
                         let kind = if is_update {
                             let insert = rng.gen_range(0..2u32) == 0;
@@ -148,7 +178,18 @@ impl ServeTrace {
                         } else {
                             // Zipf-like popularity: rank r with weight 1/r.
                             let rank = Self::zipf_rank(&mut rng, pool.len());
-                            pool[rank].clone()
+                            let mut kind = pool[rank].clone();
+                            if config.rotate_fraction > 0.0
+                                && rng.gen_range(0.0..1.0) < config.rotate_fraction
+                            {
+                                if let RequestKind::Query { sources, .. } = &mut kind {
+                                    if sources.len() > 1 {
+                                        let shift = rng.gen_range(1..sources.len());
+                                        sources.rotate_left(shift);
+                                    }
+                                }
+                            }
+                            kind
                         };
                         (at, kind)
                     })
@@ -156,6 +197,39 @@ impl ServeTrace {
             })
             .collect();
         ServeTrace { per_client }
+    }
+
+    /// Renders the trace as deterministic plain text (one line per request,
+    /// clients in id order) — the `serve` binary's `--emit-trace` format.
+    /// Meant for diffing two generator runs and for eyeballing what a seed
+    /// produces; the line syntax is stable within a release, not a wire
+    /// format.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (c, schedule) in self.per_client.iter().enumerate() {
+            for (at, kind) in schedule {
+                match kind {
+                    RequestKind::Query { expr, sources } => {
+                        write!(out, "c{c} @{at} query {expr} sources=[").unwrap();
+                        for (i, s) in sources.iter().enumerate() {
+                            if i > 0 {
+                                out.push(',');
+                            }
+                            write!(out, "{}", s.0).unwrap();
+                        }
+                        out.push_str("]\n");
+                    }
+                    RequestKind::Insert { edges } => {
+                        writeln!(out, "c{c} @{at} insert {} edges", edges.len()).unwrap();
+                    }
+                    RequestKind::Delete { edges } => {
+                        writeln!(out, "c{c} @{at} delete {} edges", edges.len()).unwrap();
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Draws a 0-based rank with probability ∝ 1/(rank+1).
@@ -247,6 +321,82 @@ mod tests {
         all_ats.sort_unstable();
         all_ats.dedup();
         assert_eq!(all_ats.len(), 30, "global timestamps are unique");
+    }
+
+    #[test]
+    fn burst_rounds_share_one_timestamp_and_one_query() {
+        let w = tiny_workload();
+        let cfg = ServeTraceConfig {
+            clients: 4,
+            requests_per_client: 40,
+            burst_fraction: 0.5,
+            ..Default::default()
+        };
+        let trace = ServeTrace::generate(&w, &cfg, 9);
+        let mut burst_rounds = 0;
+        for j in 0..cfg.requests_per_client {
+            let round: Vec<&(u64, RequestKind)> = trace.per_client.iter().map(|s| &s[j]).collect();
+            let same_at = round.iter().all(|r| r.0 == round[0].0);
+            if same_at {
+                burst_rounds += 1;
+                assert!(
+                    round.iter().all(|r| r.1 == round[0].1),
+                    "a burst round submits one identical query everywhere"
+                );
+            }
+            // Per-client monotonicity survives bursts.
+            for schedule in &trace.per_client {
+                assert!(schedule.windows(2).all(|w| w[0].0 < w[1].0));
+            }
+        }
+        assert!(burst_rounds >= 10, "half the rounds should burst, saw {burst_rounds}");
+        assert!(burst_rounds < cfg.requests_per_client, "not every round bursts");
+    }
+
+    #[test]
+    fn rotation_permutes_but_preserves_source_sets() {
+        let w = tiny_workload();
+        let cfg = ServeTraceConfig {
+            clients: 2,
+            requests_per_client: 60,
+            update_fraction: 0.0,
+            distinct_queries: 2,
+            rotate_fraction: 0.6,
+            ..Default::default()
+        };
+        let trace = ServeTrace::generate(&w, &cfg, 5);
+        // Collect the batches per expression: rotation creates many verbatim
+        // spellings of each pool batch, all over the same source *set*.
+        let mut verbatim: std::collections::HashSet<Vec<u64>> = Default::default();
+        let mut sorted: std::collections::HashSet<Vec<u64>> = Default::default();
+        for (_, kind) in trace.per_client.iter().flatten() {
+            if let RequestKind::Query { sources, .. } = kind {
+                let batch: Vec<u64> = sources.iter().map(|s| s.0).collect();
+                let mut set = batch.clone();
+                set.sort_unstable();
+                verbatim.insert(batch);
+                sorted.insert(set);
+            }
+        }
+        assert!(sorted.len() <= cfg.distinct_queries, "rotation never invents new source sets");
+        assert!(
+            verbatim.len() > sorted.len() + 5,
+            "rotation should spread each pool batch over many orderings \
+             ({} verbatim over {} sets)",
+            verbatim.len(),
+            sorted.len()
+        );
+    }
+
+    #[test]
+    fn rendering_is_deterministic_and_covers_every_request() {
+        let w = tiny_workload();
+        let cfg = ServeTraceConfig { clients: 2, requests_per_client: 8, ..Default::default() };
+        let trace = ServeTrace::generate(&w, &cfg, 2);
+        let text = trace.render();
+        assert_eq!(text.lines().count(), trace.len());
+        assert_eq!(text, ServeTrace::generate(&w, &cfg, 2).render());
+        assert!(text.starts_with("c0 @1 "));
     }
 
     #[test]

@@ -141,6 +141,20 @@ impl QueryDeps {
     pub fn all() -> QueryDeps {
         QueryDeps { nodes: DepMask::ALL, host_lane: true }
     }
+
+    /// Unions another execution's footprint into this one — the shard-aware
+    /// merge of the sharded serving plane's gather step.
+    ///
+    /// Soundness across shards needs no order sensitivity: buckets are stable
+    /// hashes of node ids ([`dep_bucket`]), identical on every shard replica,
+    /// so the union of per-sub-batch footprints covers exactly the nodes the
+    /// whole batch would have visited on one engine (bitwise OR is
+    /// commutative, associative and idempotent — shard *count* cannot change
+    /// the merged mask).
+    pub fn merge(&mut self, other: &QueryDeps) {
+        self.nodes.union(other.nodes);
+        self.host_lane |= other.host_lane;
+    }
 }
 
 /// What one update batch may have changed, reported by the tracked update
@@ -288,6 +302,25 @@ mod tests {
         let mut c = DepMask::EMPTY;
         c.union(a);
         assert_eq!(c, a);
+    }
+
+    #[test]
+    fn query_deps_merge_unions_masks_and_lanes() {
+        let mut a = QueryDeps::default();
+        a.nodes.insert(NodeId(1));
+        let mut b = QueryDeps { host_lane: true, ..QueryDeps::default() };
+        b.nodes.insert(NodeId(1000));
+        a.merge(&b);
+        assert!(a.host_lane);
+        let mut want = DepMask::EMPTY;
+        want.insert(NodeId(1));
+        want.insert(NodeId(1000));
+        assert_eq!(a.nodes, want);
+        // Idempotent and order-free: merging in any order or repeatedly
+        // produces the same mask (the sharding soundness argument).
+        let snapshot = a;
+        a.merge(&b);
+        assert_eq!(a, snapshot);
     }
 
     #[test]

@@ -31,6 +31,24 @@ impl QueryStats {
     pub fn ipc_latency(&self) -> SimTime {
         self.timeline.time(pim_sim::Phase::Ipc)
     }
+
+    /// Combines the statistics of executing disjoint sub-batches of one
+    /// query (the sharded serving plane's gather step; see SERVING.md).
+    ///
+    /// Timelines, batch sizes, matched pairs and expansions add; `hops` is a
+    /// per-sub-batch maximum (every sub-batch runs the same expression, so the
+    /// deepest frontier sweep defines the whole query's hop count).
+    ///
+    /// Determinism: `SimTime` addition is IEEE-754 and therefore
+    /// order-sensitive — callers must merge in a fixed order (the shard plane
+    /// merges in ascending placement-group id) for byte-identical totals.
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.timeline += other.timeline;
+        self.batch_size += other.batch_size;
+        self.hops = self.hops.max(other.hops);
+        self.matched_pairs += other.matched_pairs;
+        self.expansions += other.expansions;
+    }
 }
 
 /// Statistics of one batch update (insertion or deletion) execution.
@@ -150,6 +168,32 @@ mod tests {
         assert_eq!(a.requested, 15);
         assert_eq!(a.applied, 13);
         assert_eq!(a.latency().as_nanos(), 150.0);
+    }
+
+    #[test]
+    fn query_stats_merge_combines_sub_batches() {
+        let mut a = QueryStats {
+            batch_size: 2,
+            hops: 3,
+            matched_pairs: 5,
+            expansions: 7,
+            ..Default::default()
+        };
+        a.timeline.charge(Phase::PimCompute, SimTime::from_nanos(10.0));
+        let mut b = QueryStats {
+            batch_size: 1,
+            hops: 1,
+            matched_pairs: 2,
+            expansions: 4,
+            ..Default::default()
+        };
+        b.timeline.charge(Phase::Ipc, SimTime::from_nanos(4.0));
+        a.merge(&b);
+        assert_eq!(a.batch_size, 3);
+        assert_eq!(a.hops, 3, "hops is a per-sub-batch maximum");
+        assert_eq!(a.matched_pairs, 7);
+        assert_eq!(a.expansions, 11);
+        assert_eq!(a.latency().as_nanos(), 14.0);
     }
 
     #[test]

@@ -238,6 +238,20 @@ impl HostMatrixEngine {
         plan: &ExecutionPlan,
         sources: &[NodeId],
     ) -> (Vec<Vec<NodeId>>, HostExecutionStats) {
+        // A zero-hop query plan (`[MWait]` alone — the normal form of `.{0}`
+        // and every other epsilon expression) matches exactly the empty path:
+        // every source reaches itself and nothing else. The Q-matrix below
+        // cannot express that for sources beyond the matrix bound (their rows
+        // would be empty), so answer it directly. Per-source accounting keeps
+        // the chunk-merge contract of [`HostExecutionStats::merge`] intact.
+        if plan.ops().iter().all(|op| matches!(op, PlanOp::MWait)) {
+            let stats = HostExecutionStats {
+                bytes_read: sources.len() as u64 * 8,
+                result_entries: sources.len(),
+                ..HostExecutionStats::default()
+            };
+            return (sources.iter().map(|&s| vec![s]).collect(), stats);
+        }
         let mut stats = HostExecutionStats::default();
         // Build the Q matrix: one row per query in the batch.
         let mut q_builder = MatrixBuilder::new(sources.len(), self.node_bound);
@@ -531,6 +545,30 @@ mod tests {
         let engine = HostMatrixEngine::from_graph(&g);
         let (result, _) = engine.run(&ExecutionPlan::k_hop(1), &[NodeId(1000)]);
         assert!(result[0].is_empty());
+    }
+
+    #[test]
+    fn zero_hop_plans_match_every_source_to_itself() {
+        // Regression test: the zero-hop plan used to answer from the Q-matrix
+        // rows, which are empty for sources beyond the matrix bound — the
+        // empty path matches *every* source, in or out of the matrix — and
+        // `result_entries` undercounted accordingly.
+        let g = chain_graph();
+        let engine = HostMatrixEngine::from_graph(&g);
+        let plan = ExecutionPlan::from_expr(&RpqExpr::k_hop(0)).unwrap();
+        assert_eq!(plan.hop_count(), 0);
+        let sources = [NodeId(0), NodeId(1000), NodeId(3)];
+        let (results, stats) = engine.run(&plan, &sources);
+        assert_eq!(results, vec![vec![NodeId(0)], vec![NodeId(1000)], vec![NodeId(3)]]);
+        assert_eq!(stats.result_entries, 3);
+        assert_eq!(stats.smxm_ops, 0);
+        assert_eq!(stats.frontier_levels, 0);
+        // Chunked execution merges back to the whole-batch statistics.
+        let (_, first) = engine.run(&plan, &sources[..1]);
+        let (_, rest) = engine.run(&plan, &sources[1..]);
+        let mut merged = first;
+        merged.merge(&rest);
+        assert_eq!(merged, stats);
     }
 
     #[test]

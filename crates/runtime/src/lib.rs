@@ -58,7 +58,7 @@
 
 pub mod sequence;
 
-pub use sequence::{ProducerId, SequenceError, SequencedQueue};
+pub use sequence::{Admission, ProducerId, SequenceError, SequencedQueue};
 
 use std::num::NonZeroUsize;
 use std::ops::Range;

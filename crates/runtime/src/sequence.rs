@@ -26,6 +26,20 @@
 //! *observable order* never does. The `moctopus-server` crate builds its
 //! session layer on this queue; SERVING.md §2 walks the full argument.
 //!
+//! # Backpressure (bounded queues)
+//!
+//! An open-loop producer can outrun the consumer without bound. A queue built
+//! with [`SequencedQueue::bounded`] caps every producer's **pending** (not yet
+//! delivered) items: a submission that would exceed the cap is **shed** — the
+//! item is dropped and [`Admission::Shed`] returned — but the producer's
+//! watermark still advances as if the item had been accepted. Shedding at the
+//! watermark is what keeps the queue live: a flooding producer keeps promising
+//! "nothing earlier than `t` is coming" even while its excess load is refused,
+//! so other producers' items stay deliverable. Because the bound is **per
+//! producer**, one flooding client sheds only its own traffic — every other
+//! client's items are admitted and delivered exactly as on an unbounded queue
+//! (see `bounded_queue_sheds_only_the_flooding_producer`).
+//!
 //! # Examples
 //!
 //! ```
@@ -91,20 +105,35 @@ impl std::fmt::Display for SequenceError {
 
 impl std::error::Error for SequenceError {}
 
+/// What [`SequencedQueue::submit`] did with an item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The item was enqueued and will be delivered in total order.
+    Accepted,
+    /// The producer's pending items were at the queue's per-producer capacity:
+    /// the item was dropped, but the producer's watermark advanced to its
+    /// timestamp (see the module docs on backpressure). Never returned by an
+    /// unbounded queue.
+    Shed,
+}
+
 /// Per-producer state: the pending items, the last submitted timestamp, and
 /// whether the producer closed.
 #[derive(Debug)]
 struct Producer<T> {
     /// Pending `(timestamp, item)` pairs in submission (= timestamp) order.
     pending: VecDeque<(u64, T)>,
-    /// Last submitted timestamp; `None` before the first submission.
+    /// Last submitted timestamp; `None` before the first submission. Sheds
+    /// advance it too — the watermark promise covers refused items.
     last_at: Option<u64>,
+    /// Submissions shed by the per-producer capacity bound.
+    shed: u64,
     closed: bool,
 }
 
 impl<T> Producer<T> {
     fn new() -> Self {
-        Producer { pending: VecDeque::new(), last_at: None, closed: false }
+        Producer { pending: VecDeque::new(), last_at: None, shed: 0, closed: false }
     }
 }
 
@@ -119,6 +148,8 @@ pub struct SequencedQueue<T> {
     /// Signalled on every submit/close so blocked [`SequencedQueue::pop`]
     /// calls re-evaluate the watermark.
     changed: Condvar,
+    /// Per-producer pending-item bound; `None` = unbounded (never sheds).
+    capacity: Option<usize>,
 }
 
 impl<T> Default for SequencedQueue<T> {
@@ -128,9 +159,30 @@ impl<T> Default for SequencedQueue<T> {
 }
 
 impl<T> SequencedQueue<T> {
-    /// Creates an empty queue with no producers.
+    /// Creates an empty unbounded queue with no producers.
     pub fn new() -> Self {
-        SequencedQueue { inner: Mutex::new(Vec::new()), changed: Condvar::new() }
+        SequencedQueue { inner: Mutex::new(Vec::new()), changed: Condvar::new(), capacity: None }
+    }
+
+    /// Creates an empty queue that sheds any submission arriving while the
+    /// submitting producer already has `capacity` items pending (see the
+    /// module docs on backpressure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (it would shed every submission).
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "a bounded queue needs capacity for at least one item");
+        SequencedQueue {
+            inner: Mutex::new(Vec::new()),
+            changed: Condvar::new(),
+            capacity: Some(capacity),
+        }
+    }
+
+    /// The per-producer pending capacity; `None` for an unbounded queue.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     /// Registers a new producer and returns its id.
@@ -147,13 +199,22 @@ impl<T> SequencedQueue<T> {
     /// Submits an item at a logical timestamp.
     ///
     /// Timestamps must be strictly increasing per producer; ties *across*
-    /// producers are fine (they deliver in producer-id order).
+    /// producers are fine (they deliver in producer-id order). On a bounded
+    /// queue the item may be refused with [`Admission::Shed`]: the producer's
+    /// watermark still advances to `at` (and strict monotonicity still binds
+    /// its next submission), but nothing is enqueued. Unbounded queues always
+    /// return [`Admission::Accepted`].
     ///
     /// # Panics
     ///
     /// Panics if `producer` was not returned by this queue's
     /// [`SequencedQueue::register`].
-    pub fn submit(&self, producer: ProducerId, at: u64, item: T) -> Result<(), SequenceError> {
+    pub fn submit(
+        &self,
+        producer: ProducerId,
+        at: u64,
+        item: T,
+    ) -> Result<Admission, SequenceError> {
         let mut inner = self.inner.lock().expect("sequence queue poisoned");
         let p = &mut inner[producer.0];
         if p.closed {
@@ -164,11 +225,51 @@ impl<T> SequencedQueue<T> {
                 return Err(SequenceError::NonMonotonicTimestamp { last, submitted: at });
             }
         }
+        // The watermark advances before the capacity check: a shed item was
+        // still *promised* — the producer can no longer submit at or before
+        // `at`, so delivery of other producers' items keeps progressing even
+        // under sustained overload.
         p.last_at = Some(at);
-        p.pending.push_back((at, item));
+        let admission = if self.capacity.is_some_and(|cap| p.pending.len() >= cap) {
+            p.shed += 1;
+            Admission::Shed
+        } else {
+            p.pending.push_back((at, item));
+            Admission::Accepted
+        };
         drop(inner);
         self.changed.notify_all();
-        Ok(())
+        Ok(admission)
+    }
+
+    /// Submissions the per-producer capacity bound has shed so far, summed
+    /// over all producers (always zero on an unbounded queue).
+    pub fn shed_total(&self) -> u64 {
+        let inner = self.inner.lock().expect("sequence queue poisoned");
+        inner.iter().map(|p| p.shed).sum()
+    }
+
+    /// Submissions shed from one producer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `producer` was not returned by this queue's
+    /// [`SequencedQueue::register`].
+    pub fn shed_count(&self, producer: ProducerId) -> u64 {
+        let inner = self.inner.lock().expect("sequence queue poisoned");
+        inner[producer.0].shed
+    }
+
+    /// The producer's current watermark: the last timestamp it submitted
+    /// (accepted *or* shed), `None` before its first submission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `producer` was not returned by this queue's
+    /// [`SequencedQueue::register`].
+    pub fn last_timestamp(&self, producer: ProducerId) -> Option<u64> {
+        let inner = self.inner.lock().expect("sequence queue poisoned");
+        inner[producer.0].last_at
     }
 
     /// Closes a producer: it will submit nothing further, so its watermark
@@ -350,6 +451,144 @@ mod tests {
         q.close(p);
         q.close(p); // idempotent
         assert_eq!(q.submit(p, 3, ()), Err(SequenceError::Closed));
+    }
+
+    /// Shed-at-the-watermark: a refused submission still advances the
+    /// producer's watermark, so other producers' items become deliverable
+    /// exactly as if the shed item had been accepted and delivered.
+    #[test]
+    fn sheds_advance_the_watermark() {
+        let q = SequencedQueue::bounded(1);
+        let a = q.register();
+        let b = q.register();
+        q.submit(b, 5, "b@5").unwrap();
+        // b@5 must wait: `a` is open and has submitted nothing.
+        assert_eq!(q.try_pop(), None);
+        assert_eq!(q.submit(a, 1, "a@1").unwrap(), Admission::Accepted);
+        assert_eq!(q.submit(a, 9, "a@9").unwrap(), Admission::Shed, "capacity 1 is exhausted");
+        assert_eq!(q.last_timestamp(a), Some(9), "the shed still promised `nothing before 9`");
+        assert_eq!(q.shed_count(a), 1);
+        assert_eq!(q.shed_total(), 1);
+        // a@1 delivers first (b is at 5), and then — because a's watermark
+        // moved to 9 *despite the shed* — b@5 delivers without a closing.
+        assert_eq!(q.try_pop(), Some("a@1"));
+        assert_eq!(q.try_pop(), Some("b@5"));
+        // Monotonicity now binds against the shed timestamp, not the last
+        // accepted one.
+        assert_eq!(
+            q.submit(a, 9, "a@9 again"),
+            Err(SequenceError::NonMonotonicTimestamp { last: 9, submitted: 9 })
+        );
+    }
+
+    /// Per-producer bounds are the fairness mechanism: a flooding producer
+    /// sheds only its own traffic, and every other producer's submissions are
+    /// admitted and delivered exactly as on an unbounded queue.
+    #[test]
+    fn bounded_queue_sheds_only_the_flooding_producer() {
+        let q = SequencedQueue::bounded(4);
+        let flooder = q.register();
+        let steady = q.register();
+        // The flooder dumps 16 submissions without anyone consuming.
+        let mut accepted = 0;
+        for t in 1..=16u64 {
+            if q.submit(flooder, t, (0usize, t)).unwrap() == Admission::Accepted {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 4, "only `capacity` items fit while nothing drains");
+        assert_eq!(q.shed_count(flooder), 12);
+        // The steady producer interleaves at later timestamps: all admitted.
+        for t in 17..=20u64 {
+            assert_eq!(q.submit(steady, t, (1usize, t)).unwrap(), Admission::Accepted);
+        }
+        assert_eq!(q.shed_count(steady), 0, "the flood must not steal the steady client's slots");
+        q.close(flooder);
+        q.close(steady);
+        let mut out = Vec::new();
+        while let Some(item) = q.pop() {
+            out.push(item);
+        }
+        // The flooder's *accepted prefix* and the steady producer's full
+        // submission sequence drain in total order.
+        assert_eq!(out, vec![(0, 1), (0, 2), (0, 3), (0, 4), (1, 17), (1, 18), (1, 19), (1, 20)]);
+    }
+
+    /// Capacity 1 alternates accept/shed under a flood, and draining reopens
+    /// the slot: shed is about *pending* load, not a permanent penalty.
+    #[test]
+    fn capacity_one_drains_after_shed() {
+        let q = SequencedQueue::bounded(1);
+        let p = q.register();
+        assert_eq!(q.submit(p, 1, 1u64).unwrap(), Admission::Accepted);
+        assert_eq!(q.submit(p, 2, 2).unwrap(), Admission::Shed);
+        assert_eq!(q.submit(p, 3, 3).unwrap(), Admission::Shed);
+        assert_eq!(q.try_pop(), Some(1));
+        // The pending slot is free again.
+        assert_eq!(q.submit(p, 4, 4).unwrap(), Admission::Accepted);
+        assert_eq!(q.submit(p, 5, 5).unwrap(), Admission::Shed);
+        assert_eq!(q.try_pop(), Some(4));
+        q.close(p);
+        assert_eq!(q.pop(), None);
+        assert!(q.is_drained());
+        assert_eq!(q.shed_count(p), 3);
+        assert_eq!(SequencedQueue::<u64>::bounded(1).capacity(), Some(1));
+        assert_eq!(SequencedQueue::<u64>::new().capacity(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_capacity_is_rejected() {
+        let _ = SequencedQueue::<u64>::bounded(0);
+    }
+
+    /// Watermark monotonicity under racing producers and a racing consumer:
+    /// whatever interleaving the OS produces, (a) every delivered sequence is
+    /// strictly increasing in the `(at, producer)` total order — sheds never
+    /// let an earlier-sorting item slip out after a later one — and (b) each
+    /// producer's final watermark covers its last submission even when that
+    /// submission was shed.
+    #[test]
+    fn watermark_stays_monotone_under_racing_producers_with_sheds() {
+        for _round in 0..4 {
+            let q = Arc::new(SequencedQueue::bounded(2));
+            let producers: Vec<ProducerId> = (0..3).map(|_| q.register()).collect();
+            std::thread::scope(|scope| {
+                for (c, &pid) in producers.iter().enumerate() {
+                    let q = Arc::clone(&q);
+                    scope.spawn(move || {
+                        let mut last_watermark = None;
+                        for j in 0..40u64 {
+                            let at = 1 + j * 3 + c as u64;
+                            q.submit(pid, at, (at, c)).unwrap();
+                            let seen = q.last_timestamp(pid);
+                            assert!(seen >= Some(at), "watermark must cover every submission");
+                            assert!(seen >= last_watermark, "watermark must never regress");
+                            last_watermark = seen;
+                        }
+                        q.close(pid);
+                    });
+                }
+                let mut out: Vec<(u64, usize)> = Vec::new();
+                while let Some(item) = q.pop() {
+                    out.push(item);
+                }
+                assert!(
+                    out.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)),
+                    "delivery must follow the total order even around sheds"
+                );
+                let delivered = out.len() as u64;
+                assert_eq!(
+                    delivered + q.shed_total(),
+                    3 * 40,
+                    "every submission sheds or delivers"
+                );
+            });
+            for &pid in &producers {
+                // Final watermark = the last submission (1 + 39*3 + c), shed or not.
+                assert_eq!(q.last_timestamp(pid), Some(118 + pid.index() as u64));
+            }
+        }
     }
 
     /// The determinism claim itself: racing producer threads always yield

@@ -36,6 +36,16 @@ pub enum ConsistencyMode {
     /// answer but may differ from a fresh run's micro-costs. Invalidates on
     /// the per-label result tier only — strictly higher hit rates.
     ResultExact,
+    /// Entries are cached per *(expression, single source)* **row** instead
+    /// of per whole batch: the server decomposes each query batch into one
+    /// row per position, probes each row independently, and executes only
+    /// the missing rows. Two batches sharing any source now share cache
+    /// state, so overlapping-but-unequal batches (which `ResultExact` treats
+    /// as distinct keys) still hit. Row answers carry the same per-row
+    /// result-exactness guarantee as [`ConsistencyMode::ResultExact`], and
+    /// invalidation uses the identical result-tier filter; a response's
+    /// stats are the batch-order fold of its rows' stats.
+    RowExact,
 }
 
 /// Cache sizing and consistency configuration.
@@ -249,7 +259,9 @@ impl ResultCache {
                     ConsistencyMode::CostExact => {
                         results_hit || footprint.invalidates_costs(&entry.deps)
                     }
-                    ConsistencyMode::ResultExact => results_hit,
+                    // Row entries promise result-exactness per row — the
+                    // same tier, so the same filter.
+                    ConsistencyMode::ResultExact | ConsistencyMode::RowExact => results_hit,
                 }
             })
             .map(|(key, _)| Arc::clone(key))

@@ -23,10 +23,23 @@
 //!   logical timestamps, executed in the deterministic total order
 //!   `(at, client, seq)` via `moctopus_runtime::SequencedQueue`, so
 //!   same-trace runs are byte-identical no matter how the OS schedules the
-//!   clients.
+//!   clients. [`ConcurrentServer::bounded`] adds per-producer admission
+//!   control: a flooding session is shed at its capacity
+//!   ([`SubmitOutcome::Shed`]) without ever stalling other sessions.
+//! * [`ShardedEngine`] / [`ShardPlan`] — the sharded execution plane: N
+//!   lockstep engine replicas behind a frozen node → placement-group plan,
+//!   with canonical scatter/merge so every served byte is shard-count
+//!   invariant and only [`ShardThroughput`] (a JSON-only observable) scales
+//!   with N.
+//!
+//! Three consistency modes ([`ConsistencyMode`], including per-row
+//! `RowExact` keys), plus same-timestamp miss collapsing
+//! ([`CacheOutcome::Collapsed`]) that absorbs viral duplicate queries even
+//! with the cache disabled.
 //!
 //! SERVING.md walks the architecture, the cache-consistency argument (why
-//! stale reads are impossible), and the cost accounting; the `serve` binary
+//! stale reads are impossible), the cost accounting, and the scale-out
+//! story (collapsing §6, sharding §7, backpressure §8); the `serve` binary
 //! in `moctopus_bench` drives a mixed open-loop trace through this layer.
 //!
 //! # Quick start
@@ -59,10 +72,12 @@ pub mod cache;
 pub mod request;
 pub mod server;
 pub mod session;
+pub mod shard;
 
 pub use cache::{CacheConfig, CacheKey, CacheStats, ConsistencyMode, ResultCache};
 pub use request::{
     CacheOutcome, ClientId, Request, RequestId, RequestKind, Response, ResponseBody,
 };
 pub use server::{QueryServer, ServeTotals, ServerConfig};
-pub use session::{ConcurrentServer, Session};
+pub use session::{ConcurrentServer, Session, SubmitOutcome};
+pub use shard::{ShardPlan, ShardThroughput, ShardedEngine};

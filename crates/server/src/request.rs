@@ -76,6 +76,11 @@ pub enum CacheOutcome {
     Miss,
     /// Executed on the engine; caching is disabled on this server.
     Bypass,
+    /// Served from the miss-collapse window: an identical query already
+    /// executed at the same logical timestamp with no update in between, so
+    /// this response reuses that execution's answer and statistics without
+    /// touching the engine (SERVING.md §6).
+    Collapsed,
 }
 
 /// The payload of a response.

@@ -8,10 +8,12 @@
 //! cache-consistency property tests replay a request log through two
 //! `QueryServer`s (cache on / cache off) and compare responses bit for bit.
 
-use crate::cache::{CacheConfig, CacheStats, ResultCache};
+use crate::cache::{CacheConfig, CacheKey, CacheStats, ConsistencyMode, ResultCache};
 use crate::request::{CacheOutcome, Request, RequestId, RequestKind, Response, ResponseBody};
-use moctopus::{GraphEngine, MoctopusConfig};
+use graph_store::NodeId;
+use moctopus::{GraphEngine, MoctopusConfig, QueryStats};
 use pim_sim::{PimSystem, SimTime};
+use std::collections::HashMap;
 
 /// Host instructions charged per cache probe (hash the key, compare the
 /// expression tree and source batch on a hit). Part of the serving cost
@@ -61,6 +63,9 @@ pub struct ServeTotals {
     pub avoided_time: SimTime,
     /// Total matched (query, destination) pairs across all query responses.
     pub matched_pairs: u64,
+    /// Query requests served from the miss-collapse window (identical query
+    /// already executed at the same logical timestamp; SERVING.md §6).
+    pub collapsed: u64,
 }
 
 impl ServeTotals {
@@ -110,8 +115,21 @@ pub struct QueryServer {
     /// streaming); host-side parameters only, never mutated.
     pricer: PimSystem,
     totals: ServeTotals,
+    /// The miss-collapse window: answers produced by engine executions at one
+    /// logical timestamp, so identical queries arriving at the same `at`
+    /// execute once (SERVING.md §6). Cleared by *any* update and by the first
+    /// request at a different timestamp — which is what makes serving a
+    /// collapsed answer provably fresh: the graph cannot have changed since
+    /// the execution it reuses. Works with or without the result cache.
+    window: Option<CollapseWindow>,
     /// Sequence counter for [`QueryServer::execute_next`]'s synthetic ids.
     next_seq: u64,
+}
+
+/// See the `window` field of `QueryServer`.
+struct CollapseWindow {
+    at: u64,
+    answers: HashMap<CacheKey, (Vec<Vec<NodeId>>, QueryStats)>,
 }
 
 impl std::fmt::Debug for QueryServer {
@@ -132,6 +150,7 @@ impl QueryServer {
             cache: config.cache.map(ResultCache::new),
             pricer: PimSystem::new(config.pricing.pim),
             totals: ServeTotals::default(),
+            window: None,
             next_seq: 0,
         }
     }
@@ -145,7 +164,7 @@ impl QueryServer {
     pub fn execute(&mut self, id: RequestId, request: Request) -> Response {
         let at = request.at;
         let body = match request.kind {
-            RequestKind::Query { expr, sources } => self.serve_query(expr, sources),
+            RequestKind::Query { expr, sources } => self.serve_query(at, expr, sources),
             RequestKind::Insert { edges } => self.serve_update(&edges, true),
             RequestKind::Delete { edges } => self.serve_update(&edges, false),
         };
@@ -160,27 +179,49 @@ impl QueryServer {
         self.execute(id, request)
     }
 
-    fn serve_query(
-        &mut self,
-        expr: rpq::RpqExpr,
-        sources: Vec<graph_store::NodeId>,
-    ) -> ResponseBody {
+    fn serve_query(&mut self, at: u64, expr: rpq::RpqExpr, sources: Vec<NodeId>) -> ResponseBody {
         self.totals.queries += 1;
         // Normalization is part of the query pipeline (with or without a
         // cache), so spelling variants of one query share a cache key *and*
         // an execution shape.
         let expr = expr.normalize();
 
-        let Some(cache) = self.cache.as_mut() else {
-            let (results, stats) = self.engine.rpq_batch(&expr, &sources);
+        // One key construction per request: probed by reference (collapse
+        // window, then cache), consumed by the miss-path insert.
+        let key = CacheKey::new(expr, sources);
+
+        // Miss collapsing: an identical query already executed at this exact
+        // logical timestamp with no update in between — reuse its answer.
+        // Freshness is structural: the window only ever holds answers from
+        // the current `at` and is cleared by every update, so the graph is
+        // provably unchanged since the execution being reused.
+        match &mut self.window {
+            Some(window) if window.at == at => {
+                if let Some((results, stats)) = window.answers.get(&key) {
+                    let (results, stats) = (results.clone(), *stats);
+                    let hit_cost = self.hit_cost(&stats);
+                    self.totals.hit_time += hit_cost;
+                    self.totals.avoided_time += stats.latency();
+                    self.totals.matched_pairs += stats.matched_pairs as u64;
+                    self.totals.collapsed += 1;
+                    return ResponseBody::Query { results, stats, cache: CacheOutcome::Collapsed };
+                }
+            }
+            _ => self.window = Some(CollapseWindow { at, answers: HashMap::new() }),
+        }
+
+        if self.cache.is_none() {
+            let (results, stats) = self.engine.rpq_batch(key.expr(), key.sources());
             self.totals.engine_time += stats.latency();
             self.totals.matched_pairs += stats.matched_pairs as u64;
+            self.record_in_window(&key, &results, stats);
             return ResponseBody::Query { results, stats, cache: CacheOutcome::Bypass };
-        };
+        }
+        if self.cache.as_ref().map(|c| c.config().mode) == Some(ConsistencyMode::RowExact) {
+            return self.serve_query_by_rows(key);
+        }
 
-        // One key construction per request: probed by reference, consumed by
-        // the miss-path insert.
-        let key = crate::cache::CacheKey::new(expr, sources);
+        let cache = self.cache.as_mut().expect("checked above");
         if let Some((results, stats)) = cache.lookup(&key) {
             let hit_cost = self.hit_cost(&stats);
             self.totals.hit_time += hit_cost;
@@ -192,10 +233,67 @@ impl QueryServer {
         let (results, stats, deps) = self.engine.rpq_batch_tracked(key.expr(), key.sources());
         self.totals.engine_time += stats.latency();
         self.totals.matched_pairs += stats.matched_pairs as u64;
+        self.record_in_window(&key, &results, stats);
         let alphabet = key.expr().label_alphabet();
         let cache = self.cache.as_mut().expect("cache checked above");
         cache.insert(key, results.clone(), stats, deps, alphabet);
         ResponseBody::Query { results, stats, cache: CacheOutcome::Miss }
+    }
+
+    /// The [`ConsistencyMode::RowExact`] serving path: the batch decomposes
+    /// into one *(expression, source)* row per position, each probed and —
+    /// when missing — executed and cached independently, in batch order.
+    /// Overlapping-but-unequal batches share rows, so they share cache state;
+    /// a duplicate source later in the same batch hits the row its first
+    /// occurrence just filled. The response's stats are the batch-order fold
+    /// of the rows' stats ([`QueryStats::merge`]); the outcome is a hit only
+    /// if **no** row touched the engine.
+    fn serve_query_by_rows(&mut self, key: CacheKey) -> ResponseBody {
+        // Take the cache out of `self` for the loop: row serving interleaves
+        // cache probes with engine execution and pricing.
+        let mut cache = self.cache.take().expect("row mode implies a cache");
+        let alphabet = key.expr().label_alphabet();
+        let mut results: Vec<Vec<NodeId>> = Vec::with_capacity(key.sources().len());
+        let mut folded = QueryStats::default();
+        let mut executed = false;
+        for &source in key.sources() {
+            let row_key = CacheKey::new(key.expr().clone(), vec![source]);
+            let (mut rows, stats) = match cache.lookup(&row_key) {
+                Some((rows, stats)) => {
+                    let hit_cost = self.hit_cost(&stats);
+                    self.totals.hit_time += hit_cost;
+                    self.totals.avoided_time += stats.latency();
+                    (rows, stats)
+                }
+                None => {
+                    executed = true;
+                    let (rows, stats, deps) =
+                        self.engine.rpq_batch_tracked(row_key.expr(), row_key.sources());
+                    self.totals.engine_time += stats.latency();
+                    cache.insert(row_key, rows.clone(), stats, deps, alphabet.clone());
+                    (rows, stats)
+                }
+            };
+            self.totals.matched_pairs += stats.matched_pairs as u64;
+            results.push(rows.pop().expect("single-source batches return one row"));
+            folded.merge(&stats);
+        }
+        self.cache = Some(cache);
+        let outcome = if executed {
+            self.record_in_window(&key, &results, folded);
+            CacheOutcome::Miss
+        } else {
+            CacheOutcome::Hit
+        };
+        ResponseBody::Query { results, stats: folded, cache: outcome }
+    }
+
+    /// Records an engine-produced answer in the collapse window (only
+    /// executions are recorded: a cache hit needs no collapsing, its
+    /// duplicates hit the cache too).
+    fn record_in_window(&mut self, key: &CacheKey, results: &[Vec<NodeId>], stats: QueryStats) {
+        let window = self.window.as_mut().expect("window opened by serve_query");
+        window.answers.insert(key.clone(), (results.to_vec(), stats));
     }
 
     fn serve_update(
@@ -204,6 +302,9 @@ impl QueryServer {
         insert: bool,
     ) -> ResponseBody {
         self.totals.updates += 1;
+        // Any update ends the collapse window, even mid-timestamp: a later
+        // identical query must re-execute against the changed graph.
+        self.window = None;
         let (stats, invalidated) = match self.cache.as_mut() {
             Some(cache) => {
                 let (stats, footprint) = if insert {
@@ -354,5 +455,122 @@ mod tests {
         assert_eq!(b.cache_outcome(), Some(CacheOutcome::Bypass));
         assert_eq!(s.cache_stats(), None);
         assert_eq!(s.totals().hit_time, SimTime::ZERO);
+    }
+
+    #[test]
+    fn same_timestamp_duplicates_collapse_onto_one_execution() {
+        // Even with no cache, identical queries at one logical timestamp
+        // execute once; the duplicates reuse the first execution bit for bit.
+        let mut s = server(None);
+        s.execute_next(Request { at: 1, kind: ring_insert(16) });
+        let first = s.execute_next(Request { at: 2, kind: query("1/1", &[0, 5]) });
+        let second = s.execute_next(Request { at: 2, kind: query("1/1", &[0, 5]) });
+        assert_eq!(first.cache_outcome(), Some(CacheOutcome::Bypass));
+        assert_eq!(second.cache_outcome(), Some(CacheOutcome::Collapsed));
+        match (&first.body, &second.body) {
+            (
+                ResponseBody::Query { results: a, stats: sa, .. },
+                ResponseBody::Query { results: b, stats: sb, .. },
+            ) => {
+                assert_eq!(a, b);
+                assert_eq!(sa, sb);
+            }
+            _ => panic!("expected query responses"),
+        }
+        assert_eq!(s.totals().collapsed, 1);
+        // A later timestamp re-executes: the window does not outlive its `at`.
+        let later = s.execute_next(Request { at: 3, kind: query("1/1", &[0, 5]) });
+        assert_eq!(later.cache_outcome(), Some(CacheOutcome::Bypass));
+    }
+
+    #[test]
+    fn updates_end_the_collapse_window_even_mid_timestamp() {
+        let mut s = server(None);
+        s.execute_next(Request { at: 1, kind: ring_insert(8) });
+        let before = s.execute_next(Request { at: 2, kind: query("1/1", &[0]) });
+        // Same `at`, but an update lands between the duplicates: the second
+        // copy must re-execute against the changed graph.
+        s.execute_next(Request {
+            at: 2,
+            kind: RequestKind::Delete { edges: vec![(NodeId(1), NodeId(2), Label(1))] },
+        });
+        let after = s.execute_next(Request { at: 2, kind: query("1/1", &[0]) });
+        assert_eq!(after.cache_outcome(), Some(CacheOutcome::Bypass), "no stale collapse");
+        assert_ne!(before.results(), after.results(), "the 2-hop path is gone");
+        assert_eq!(s.totals().collapsed, 0);
+    }
+
+    #[test]
+    fn row_mode_shares_rows_between_overlapping_batches() {
+        let row_cache =
+            Some(CacheConfig { capacity: 4096, mode: crate::cache::ConsistencyMode::RowExact });
+        let mut s = server(row_cache);
+        s.execute_next(Request { at: 1, kind: ring_insert(16) });
+        let miss = s.execute_next(Request { at: 2, kind: query("1/1", &[0, 5, 9]) });
+        assert_eq!(miss.cache_outcome(), Some(CacheOutcome::Miss));
+        assert_eq!(s.cache_len(), Some(3), "one row per distinct source");
+
+        // A *different* batch overlapping two of the three sources: both
+        // overlapped rows hit, only the new source executes.
+        let partial = s.execute_next(Request { at: 3, kind: query("1/1", &[5, 2, 0]) });
+        assert_eq!(partial.cache_outcome(), Some(CacheOutcome::Miss), "one row still executed");
+        assert_eq!(s.cache_stats().unwrap().hits, 2);
+        assert_eq!(s.cache_len(), Some(4));
+
+        // Full overlap in yet another order: a pure hit, assembled from rows.
+        let hit = s.execute_next(Request { at: 4, kind: query("1/1", &[9, 0, 5]) });
+        assert_eq!(hit.cache_outcome(), Some(CacheOutcome::Hit));
+        let want: Vec<Vec<NodeId>> = vec![
+            miss.results().unwrap()[2].clone(),
+            miss.results().unwrap()[0].clone(),
+            miss.results().unwrap()[1].clone(),
+        ];
+        assert_eq!(hit.results().unwrap(), want, "rows permute with the batch");
+    }
+
+    #[test]
+    fn row_mode_answers_match_whole_batch_execution() {
+        let row_cache =
+            Some(CacheConfig { capacity: 4096, mode: crate::cache::ConsistencyMode::RowExact });
+        let mut rows = server(row_cache);
+        let mut plain = server(None);
+        for s in [&mut rows, &mut plain] {
+            s.execute_next(Request { at: 1, kind: ring_insert(24) });
+        }
+        for (at, sources) in [(2u64, vec![0u64, 3, 7]), (3, vec![7, 7, 1]), (4, vec![3, 0])] {
+            let q = |srcs: &[u64]| query("1/(1|2)", srcs);
+            let a = rows.execute_next(Request { at, kind: q(&sources) });
+            let b = plain.execute_next(Request { at, kind: q(&sources) });
+            assert_eq!(a.results(), b.results(), "row assembly must be invisible in answers");
+        }
+        // Duplicate source inside one batch: the second occurrence hits the
+        // row the first occurrence filled (2 distinct rows + 1 hit at `at` 3,
+        // then both rows of `at` 4 already resident).
+        assert!(rows.cache_stats().unwrap().hits >= 3);
+    }
+
+    #[test]
+    fn row_mode_invalidates_per_row() {
+        let row_cache =
+            Some(CacheConfig { capacity: 4096, mode: crate::cache::ConsistencyMode::RowExact });
+        let mut s = server(row_cache);
+        s.execute_next(Request { at: 1, kind: ring_insert(8) });
+        s.execute_next(Request { at: 2, kind: query("1/1", &[0, 4]) });
+        assert_eq!(s.cache_len(), Some(2));
+        // Deleting the edge 1→2 can only change answers that reach node 1 or
+        // 2 — the row for source 4 (answer {6}) must survive.
+        let del = s.execute_next(Request {
+            at: 3,
+            kind: RequestKind::Delete { edges: vec![(NodeId(1), NodeId(2), Label(1))] },
+        });
+        match del.body {
+            ResponseBody::Update { invalidated, .. } => assert_eq!(invalidated, 1),
+            _ => panic!("expected update response"),
+        }
+        let requery = s.execute_next(Request { at: 4, kind: query("1/1", &[0, 4]) });
+        assert_eq!(requery.cache_outcome(), Some(CacheOutcome::Miss), "source 0's row refills");
+        assert_eq!(s.cache_stats().unwrap().hits, 1, "source 4's row survived and hit");
+        assert!(requery.results().unwrap()[0].is_empty());
+        assert_eq!(requery.results().unwrap()[1], vec![NodeId(6)]);
     }
 }

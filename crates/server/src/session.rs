@@ -25,7 +25,7 @@
 
 use crate::request::{ClientId, Request, RequestId, Response};
 use crate::server::QueryServer;
-use moctopus_runtime::{ProducerId, SequenceError, SequencedQueue};
+use moctopus_runtime::{Admission, ProducerId, SequenceError, SequencedQueue};
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
@@ -94,15 +94,41 @@ pub struct ConcurrentServer {
 }
 
 impl ConcurrentServer {
-    /// Wraps a serving core for concurrent use.
+    /// Wraps a serving core for concurrent use with an unbounded queue
+    /// (every submission is admitted).
     pub fn new(server: QueryServer) -> Self {
+        Self::with_queue(server, SequencedQueue::new())
+    }
+
+    /// Wraps a serving core with **bounded backpressure**: each client may
+    /// have at most `capacity` requests waiting (submitted but not yet
+    /// executable because the server is still waiting on slower clients'
+    /// watermarks). A submission beyond the bound is **shed** — refused with
+    /// [`SubmitOutcome::Shed`], never silently dropped — and still advances
+    /// the client's watermark, so a flooding client sheds only its own
+    /// traffic and cannot stall anyone else (see
+    /// `moctopus_runtime::SequencedQueue::bounded`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn bounded(server: QueryServer, capacity: usize) -> Self {
+        Self::with_queue(server, SequencedQueue::bounded(capacity))
+    }
+
+    fn with_queue(server: QueryServer, queue: SequencedQueue<(RequestId, Request)>) -> Self {
         ConcurrentServer {
             shared: Arc::new(Shared {
-                queue: SequencedQueue::new(),
+                queue,
                 core: Mutex::new(server),
                 outboxes: Mutex::new(Vec::new()),
             }),
         }
+    }
+
+    /// Total submissions shed by the bounded queue so far (0 when unbounded).
+    pub fn shed_total(&self) -> u64 {
+        self.shared.queue.shed_total()
     }
 
     /// Opens a new client session.
@@ -151,6 +177,34 @@ impl ConcurrentServer {
     }
 }
 
+/// What became of one submission: admitted into the total order, or refused
+/// by a bounded server's backpressure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Enqueued; the response will arrive in this session's outbox.
+    Accepted(RequestId),
+    /// Shed by the bounded queue ([`ConcurrentServer::bounded`]): the request
+    /// will **not** execute and no response will arrive, but the session's
+    /// watermark still advanced — re-submit later (at a later timestamp) if
+    /// the request still matters.
+    Shed,
+}
+
+impl SubmitOutcome {
+    /// The request id, if the submission was admitted.
+    pub fn id(&self) -> Option<RequestId> {
+        match self {
+            SubmitOutcome::Accepted(id) => Some(*id),
+            SubmitOutcome::Shed => None,
+        }
+    }
+
+    /// True when the submission was refused by backpressure.
+    pub fn is_shed(&self) -> bool {
+        matches!(self, SubmitOutcome::Shed)
+    }
+}
+
 /// One client's handle: submit requests, drain responses, close.
 ///
 /// Dropping a session without calling [`Session::finish`] keeps the server
@@ -171,18 +225,33 @@ impl Session {
     }
 
     /// Submits a request at a logical timestamp (strictly increasing per
-    /// session) and opportunistically serves deliverable work. Returns the
-    /// request's id; the response lands in this session's outbox.
+    /// session) and opportunistically serves deliverable work. On an
+    /// unbounded server every submission is
+    /// [`SubmitOutcome::Accepted`]; a bounded server
+    /// ([`ConcurrentServer::bounded`]) may shed instead. The sequence number
+    /// advances only on acceptance, so the requests that *execute* carry
+    /// dense per-client sequence numbers regardless of shedding.
     pub fn submit(
         &mut self,
         at: u64,
         kind: crate::request::RequestKind,
-    ) -> Result<RequestId, SequenceError> {
+    ) -> Result<SubmitOutcome, SequenceError> {
         let id = RequestId { client: self.client, seq: self.seq };
-        self.shared.queue.submit(self.producer, at, (id, Request { at, kind }))?;
-        self.seq += 1;
+        let admission = self.shared.queue.submit(self.producer, at, (id, Request { at, kind }))?;
+        let outcome = match admission {
+            Admission::Accepted => {
+                self.seq += 1;
+                SubmitOutcome::Accepted(id)
+            }
+            Admission::Shed => SubmitOutcome::Shed,
+        };
         self.shared.pump();
-        Ok(id)
+        Ok(outcome)
+    }
+
+    /// Submissions of this session shed by a bounded server so far.
+    pub fn shed_count(&self) -> u64 {
+        self.shared.queue.shed_count(self.producer)
     }
 
     /// Takes the responses delivered to this session so far (submission
@@ -327,5 +396,46 @@ mod tests {
             assert_eq!(responses, first_responses, "responses must not depend on thread timing");
             assert_eq!(totals, first_totals);
         }
+    }
+
+    #[test]
+    fn bounded_server_sheds_only_the_flooder_and_stays_live() {
+        let engine = MoctopusSystem::new(MoctopusConfig::small_test());
+        let server = ConcurrentServer::bounded(
+            QueryServer::new(Box::new(engine), ServerConfig::default()),
+            2,
+        );
+        let mut flooder = server.session();
+        let mut steady = server.session();
+
+        // The steady client is silent, so nothing of the flooder's is
+        // deliverable yet — its pending backlog grows until the bound bites.
+        let mut accepted = 0;
+        for at in 1..=6u64 {
+            let outcome = flooder.submit(at, query("1", &[0])).unwrap();
+            if !outcome.is_shed() {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 2, "capacity 2 admits exactly two waiting requests");
+        assert_eq!(flooder.shed_count(), 4);
+        assert_eq!(server.shed_total(), 4);
+
+        // The shed submissions still advanced the flooder's watermark, so the
+        // steady client's later request is deliverable — no livelock.
+        let outcome = steady.submit(50, insert(&[(0, 1, 1)])).unwrap();
+        assert_eq!(outcome.id().map(|id| id.seq), Some(0));
+        assert_eq!(steady.shed_count(), 0, "only the flooder pays for flooding");
+
+        flooder.finish();
+        steady.finish();
+        server.run();
+        let responses = server.take_responses();
+        // Exactly the accepted requests executed, with dense sequence numbers.
+        assert_eq!(responses[0].len(), 2);
+        assert_eq!(responses[0][0].id.seq, 0);
+        assert_eq!(responses[0][1].id.seq, 1);
+        assert_eq!(responses[1].len(), 1);
+        server.with_core(|core| assert_eq!(core.totals().queries, 2));
     }
 }

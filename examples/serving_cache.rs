@@ -105,6 +105,7 @@ fn main() -> Result<(), Box<dyn Error>> {
                     CacheOutcome::Hit => "hit",
                     CacheOutcome::Miss => "miss",
                     CacheOutcome::Bypass => "bypass",
+                    CacheOutcome::Collapsed => "clps",
                 },
                 stats.latency().as_micros(),
                 results.iter().map(Vec::len).sum::<usize>()

@@ -326,6 +326,142 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Nullable / optional pattern taxonomy
+// ---------------------------------------------------------------------------
+
+/// Every way the grammar can spell an optional: bare, stacked, optionals of
+/// alternations (both nestings), optionals inside concatenations (either
+/// side), an optional inside a bounded repeat, and the zero-repeat spellings.
+/// The nullable entries answer the source itself via the zero-hop path, which
+/// historically fell through the frontier seeding — this pool keeps that path
+/// pinned on all three engines. The two concat entries are deliberately *not*
+/// nullable (one required atom remains): the epsilon branch must thread
+/// through the middle of a product run without leaking a zero-hop answer.
+const OPTIONAL_POOL: [&str; 10] =
+    ["1?", "1??", "(1|2)?", "(1?|2)", "1?/2", "1/2?", "(1?){3}", ".{0}", "1{0}", "(1{0})?"];
+
+/// Whether an [`OPTIONAL_POOL`] entry accepts the empty label sequence.
+fn pool_is_nullable(text: &str) -> bool {
+    !matches!(text, "1?/2" | "1/2?")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// All three engines match the reference on the nullable taxonomy over
+    /// labelled uniform graphs, including an out-of-bound source (the
+    /// zero-hop answer must still surface for a node the stores never saw).
+    #[test]
+    fn nullable_patterns_match_reference(
+        nodes in 60usize..180,
+        seed in 0u64..1000,
+    ) {
+        let topology = graph_gen::uniform::generate(nodes, 4.0, seed);
+        let model = relabel(&topology, &LabelMixConfig { num_labels: 4, zipf_exponent: 0.8 }, seed);
+        let edges = graph_gen::labels::labeled_edge_stream(&model);
+        let mut engines = engines(&edges);
+        let reference = ReferenceEvaluator::new(&model);
+        let mut sources: Vec<NodeId> = (0..12u64).map(NodeId).collect();
+        sources.push(NodeId(1 << 40));
+        for text in OPTIONAL_POOL {
+            let expr = parser::parse(text).expect("optional pool must parse");
+            prop_assert_eq!(expr.is_nullable(), pool_is_nullable(text), "{:?}", text);
+            let want: Vec<Vec<NodeId>> = reference
+                .evaluate(&expr, &sources)
+                .into_iter()
+                .map(|set| set.into_iter().collect())
+                .collect();
+            if pool_is_nullable(text) {
+                for (i, &source) in sources.iter().enumerate() {
+                    prop_assert!(
+                        want[i].contains(&source),
+                        "nullable {:?} must answer the source itself at {}",
+                        text,
+                        source
+                    );
+                }
+            }
+            for engine in engines.iter_mut() {
+                let (got, stats) = engine.rpq_batch(&expr, &sources);
+                prop_assert_eq!(
+                    &got,
+                    &want,
+                    "{} disagrees with the reference on optional {:?}",
+                    engine.name(),
+                    text
+                );
+                prop_assert_eq!(stats.matched_pairs, want.iter().map(Vec::len).sum::<usize>());
+            }
+        }
+    }
+
+    /// The compiled NFA agrees with the recursive matcher on every optional
+    /// pattern — in particular the two must agree on the empty sequence.
+    #[test]
+    fn optional_nfa_acceptance_matches_brute_force(query_idx in 0usize..OPTIONAL_POOL.len()) {
+        let text = OPTIONAL_POOL[query_idx];
+        let expr = parser::parse(text).expect("optional pool must parse");
+        let nfa = Nfa::from_expr(&expr);
+        let alphabet: Vec<Label> = (1..=3u16).map(Label).collect();
+        for seq in all_sequences(&alphabet, 4) {
+            prop_assert_eq!(
+                nfa_accepts(&nfa, &seq),
+                expr_matches(&expr, &seq),
+                "NFA and matcher disagree on {:?} for {:?}",
+                seq,
+                text
+            );
+        }
+        prop_assert_eq!(
+            nfa_accepts(&nfa, &[]),
+            pool_is_nullable(text),
+            "empty-sequence acceptance wrong for {:?}",
+            text
+        );
+    }
+}
+
+/// Pins the normalizer's output on the nullable taxonomy: the printed normal
+/// form and its fingerprint. The cache keys on `(normalized expr, sources)`,
+/// so any drift here silently splits (or worse, merges) cache rows — this
+/// test turns that drift into a loud diff.
+#[test]
+fn nullable_normal_forms_and_fingerprints_are_pinned() {
+    let pins: [(&str, &str, u64); 6] = [
+        ("1??", "(1)?", 0x8ed9_df9c_acc3_7d81),
+        (".{0}", "(.){0}", 0x184c_e0a4_5a4d_af8c),
+        ("(1?|2)", "(2|(1)?)", 0x63ab_524c_ce41_1c47),
+        ("(1|2)?", "((1|2))?", 0xf329_5d1f_bd58_51c7),
+        ("(1?){3}", "((1)?){3}", 0x8eb5_dede_3a78_5189),
+        ("1?/2", "(1)?/2", 0xa367_99fe_71dd_e520),
+    ];
+    for (text, normal, fp) in pins {
+        let norm = parser::parse(text).unwrap().normalize();
+        assert_eq!(format!("{norm}"), normal, "normal form drifted for {text:?}");
+        assert_eq!(norm.fingerprint(), fp, "fingerprint drifted for {text:?}");
+    }
+
+    // Zero-repeat collapses: `(1{0})?` is *the* epsilon after normalization,
+    // and stacked optionals are idempotent (`1??` ≡ `1?`).
+    assert!(parser::parse("(1{0})?").unwrap().normalize().is_epsilon());
+    assert_eq!(
+        parser::parse("1??").unwrap().normalize().fingerprint(),
+        parser::parse("1?").unwrap().normalize().fingerprint(),
+        "optional must be idempotent under normalization"
+    );
+
+    // Nullability is decided on the raw AST and preserved by normalization.
+    for text in OPTIONAL_POOL {
+        let expr = parser::parse(text).unwrap();
+        assert_eq!(expr.is_nullable(), pool_is_nullable(text), "{text:?}");
+        assert_eq!(expr.normalize().is_nullable(), pool_is_nullable(text), "norm({text:?})");
+    }
+    for text in ["1", "1+", "2{1,3}", "(1|2)/3"] {
+        assert!(!parser::parse(text).unwrap().is_nullable(), "{text:?} is not nullable");
+    }
+}
+
 /// A hand-checkable end-to-end case: the full text pipeline on a labelled
 /// diamond with a decoy label, on all three engines.
 #[test]
