@@ -22,6 +22,16 @@
 //! cost-exact mode) must produce byte-identical responses at every shard
 //! count while simulated serving throughput improves monotonically.
 //!
+//! With `--snapshot-dir PATH` the binary additionally runs the **durability
+//! smoke** (STORAGE.md §6): it serves the first half of the trace through a
+//! `DurableEngine` (write-ahead log + periodic snapshot rotation under
+//! `PATH/serve-smoke`), simulates a crash by dropping the server and
+//! scribbling a torn half-frame onto the WAL tail, recovers into a fresh
+//! base engine, resumes the second half behind a cold cache, and asserts
+//! every stitched response — results *and* stats — is byte-identical to an
+//! uninterrupted reference run (a cold cache may only relabel hits as
+//! misses; under cost-exact consistency that changes no served byte).
+//!
 //! Stdout is deterministic for a fixed seed — simulated times and counters
 //! only — and byte-identical at every `--threads` **and every `--shards`**
 //! value (CI diffs both); wall-clock and the shard-dependent throughput
@@ -30,16 +40,18 @@
 //! Run with: `cargo run --release --bin serve [--scale S] [--seed N]
 //! [--threads N] [--shards N] [--clients N] [--requests N]
 //! [--update-fraction F] [--distinct N] [--burst F] [--rotate F]
-//! [--emit-trace PATH] [--json [PATH]]`
+//! [--emit-trace PATH] [--snapshot-dir PATH] [--json [PATH]]`
 
 use graph_partition::PartitionAssignment;
 use graph_store::NodeId;
 use moctopus::{GraphEngine, MoctopusSystem};
 use moctopus_bench::{HarnessOptions, RpqWorkload, ServeTrace, ServeTraceConfig};
 use moctopus_server::{
-    CacheConfig, ConcurrentServer, ConsistencyMode, QueryServer, Response, ResponseBody,
-    ServerConfig, Session, ShardPlan, ShardThroughput, ShardedEngine,
+    CacheConfig, ConcurrentServer, ConsistencyMode, DurabilityOptions, DurableEngine, QueryServer,
+    RequestKind, Response, ResponseBody, ServerConfig, Session, ShardPlan, ShardThroughput,
+    ShardedEngine,
 };
+use std::path::Path;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -123,6 +135,13 @@ fn shards_from_args() -> usize {
 fn emit_trace_from_args() -> Option<String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let pos = args.iter().position(|a| a == "--emit-trace")?;
+    args.get(pos + 1).filter(|next| !next.starts_with("--")).cloned()
+}
+
+/// Parses `--snapshot-dir PATH` (enables the durability smoke).
+fn snapshot_dir_from_args() -> Option<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let pos = args.iter().position(|a| a == "--snapshot-dir")?;
     args.get(pos + 1).filter(|next| !next.starts_with("--")).cloned()
 }
 
@@ -255,6 +274,184 @@ fn sim_throughput(requests: usize, outcome: &ModeOutcome) -> f64 {
     } else {
         0.0
     }
+}
+
+/// Splits the trace at logical time `t`: requests arriving at or before `t`
+/// run before the simulated crash, the rest after recovery. Burst rounds
+/// share one timestamp, so a timestamp split never cuts a collapse window
+/// in half.
+fn split_trace(trace: &ServeTrace, t: u64) -> (ServeTrace, ServeTrace) {
+    let half = |keep: &dyn Fn(u64) -> bool| ServeTrace {
+        per_client: trace
+            .per_client
+            .iter()
+            .map(|s| s.iter().filter(|&&(at, _)| keep(at)).cloned().collect())
+            .collect(),
+    };
+    (half(&|at| at <= t), half(&|at| at > t))
+}
+
+/// Runs one trace (or trace half) through a serving core, returning the
+/// per-client responses and the engine's edge count afterwards.
+fn run_phase(core: QueryServer, trace: &ServeTrace) -> (Vec<Vec<Response>>, usize) {
+    let server = ConcurrentServer::new(core);
+    let mut sessions: Vec<Session> =
+        (0..trace.per_client.len()).map(|_| server.session()).collect();
+    std::thread::scope(|scope| {
+        for (session, schedule) in sessions.drain(..).zip(&trace.per_client) {
+            scope.spawn(move || {
+                let mut session = session;
+                for (at, kind) in schedule {
+                    session.submit(*at, kind.clone()).expect("trace timestamps are monotonic");
+                }
+                session.finish();
+            });
+        }
+        server.run();
+    });
+    let edges = server.with_core(|core| core.engine_ref().edge_count());
+    (server.take_responses(), edges)
+}
+
+/// Response equality modulo cache temperature. Results and stats must match
+/// bit-for-bit: recovery is bit-identical and cost-exact hits equal
+/// re-execution, so a cold post-recovery cache may only relabel hits as
+/// misses (and reset the `invalidated` counters, which count cache
+/// residency, not engine state).
+fn assert_recovery_equivalent(stitched: &[Vec<Response>], reference: &[Vec<Response>]) {
+    assert_eq!(stitched.len(), reference.len(), "durability: client count drifted");
+    for (client, (got, want)) in stitched.iter().zip(reference).enumerate() {
+        assert_eq!(got.len(), want.len(), "durability: response count for client {client}");
+        for (g, w) in got.iter().zip(want) {
+            assert_eq!(g.at, w.at, "durability: request order drifted for client {client}");
+            match (&g.body, &w.body) {
+                (
+                    ResponseBody::Query { results: a, stats: sa, .. },
+                    ResponseBody::Query { results: b, stats: sb, .. },
+                ) => {
+                    assert_eq!(a, b, "durability: query answer diverged at @{}", g.at);
+                    assert_eq!(sa, sb, "durability: query stats diverged at @{}", g.at);
+                }
+                (
+                    ResponseBody::Update { stats: sa, .. },
+                    ResponseBody::Update { stats: sb, .. },
+                ) => {
+                    assert_eq!(sa, sb, "durability: update stats diverged at @{}", g.at);
+                }
+                _ => panic!("durability: response kind mismatch at @{}", g.at),
+            }
+        }
+    }
+}
+
+/// The crash/recover/self-check smoke behind `--snapshot-dir` (module
+/// docs). Everything printed is a deterministic count — no timings — so the
+/// lines stay byte-identical at every `--threads` and `--shards` value.
+fn run_durability_smoke(
+    options: &HarnessOptions,
+    workload: &RpqWorkload,
+    trace: &ServeTrace,
+    dir: &Path,
+) {
+    // The smoke owns (and wipes) only its own subdirectory of the
+    // user-supplied path, so a shared directory is safe to pass.
+    let dir = dir.join("serve-smoke");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let durability = DurabilityOptions { sync_every: 1, rotate_every: 8 };
+    let config = || ServerConfig {
+        cache: Some(CacheConfig { mode: ConsistencyMode::CostExact, ..CacheConfig::default() }),
+        pricing: options.system_config(),
+    };
+
+    // The reference: the whole trace on one engine, never interrupted.
+    let reference_core = QueryServer::new(Box::new(build_replica(options, workload)), config());
+    let (reference, reference_edges) = run_phase(reference_core, trace);
+
+    // Crash at the midpoint of the logical arrival range.
+    let max_at = trace.per_client.iter().flatten().map(|&(at, _)| at).max().unwrap_or(0);
+    let (before, after) = split_trace(trace, max_at / 2);
+    let acknowledged = before
+        .per_client
+        .iter()
+        .flatten()
+        .filter(|(_, kind)| !matches!(kind, RequestKind::Query { .. }))
+        .count() as u64;
+
+    // Phase 1: serve the prefix durably (every record fsynced, snapshots
+    // rotating), then "crash" — drop the server and scribble a torn
+    // half-frame onto the WAL tail, exactly what a power cut mid-append of a
+    // never-acknowledged record leaves behind.
+    let durable = DurableEngine::open(Box::new(build_replica(options, workload)), &dir, durability)
+        .expect("fresh durable store must open");
+    assert_eq!(durable.report().generation, 0, "fresh directory starts at generation 0");
+    assert_eq!(durable.report().replayed_records, 0);
+    let (phase1, _) = run_phase(QueryServer::new(Box::new(durable), config()), &before);
+
+    let generation = graph_store::current_generation(&dir).ok().flatten().unwrap_or(0);
+    let wal = graph_store::generation_wal_path(&dir, generation);
+    {
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&wal)
+            .expect("WAL file must exist after the durable phase");
+        // A frame header claiming a 64-byte payload, followed by 3 bytes.
+        file.write_all(&[0x40, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03])
+            .expect("crash injection write");
+    }
+    println!(
+        "[durability] phase 1: {} requests served, {} update batches acknowledged, then a \
+         simulated crash tears the WAL tail",
+        before.len(),
+        acknowledged
+    );
+
+    // Recovery: a fresh base engine plus the surviving snapshot/WAL suffix.
+    let recovered =
+        DurableEngine::open(Box::new(build_replica(options, workload)), &dir, durability)
+            .expect("recovery must open despite the torn tail");
+    let report = recovered.report();
+    assert!(report.torn_tail, "the injected half-frame must be detected as a torn tail");
+    assert_eq!(
+        report.last_seq, acknowledged,
+        "recovery must land on exactly the acknowledged update batches — no more, no less"
+    );
+    println!(
+        "[durability] recovery: generation {}, snapshot restored: {}, replayed WAL records: {}, \
+         torn tail truncated: {}",
+        report.generation,
+        if report.restored_snapshot { "yes" } else { "no" },
+        report.replayed_records,
+        if report.torn_tail { "yes" } else { "no" },
+    );
+
+    // Phase 2: resume the trace on the recovered engine behind a cold cache,
+    // then stitch the halves and demand byte-identity with the reference.
+    let (phase2, recovered_edges) =
+        run_phase(QueryServer::new(Box::new(recovered), config()), &after);
+    let stitched: Vec<Vec<Response>> = phase1
+        .into_iter()
+        .zip(phase2)
+        .map(|(mut a, b)| {
+            a.extend(b);
+            a
+        })
+        .collect();
+    assert_recovery_equivalent(&stitched, &reference);
+    assert_eq!(
+        recovered_edges, reference_edges,
+        "recovered engine edge count must match the uninterrupted run"
+    );
+    println!(
+        "[durability] phase 2: {} requests served after recovery; self-check passed: all {} \
+         responses byte-identical to the uninterrupted run (results and stats), final edge \
+         count {}",
+        after.len(),
+        trace.len(),
+        recovered_edges
+    );
 }
 
 fn render_json(
@@ -468,6 +665,11 @@ fn main() {
         "shard-scaling self-check passed: responses byte-identical at 1/2/4 shards, simulated \
          serving throughput strictly increasing, zero staleness at non-zero hit rate"
     );
+
+    if let Some(dir) = snapshot_dir_from_args() {
+        println!();
+        run_durability_smoke(&options, &workload, &trace, Path::new(&dir));
+    }
 
     if let Some(path) = json_path {
         let sweep: Vec<(usize, &ModeOutcome)> =

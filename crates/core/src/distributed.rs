@@ -48,7 +48,8 @@ use graph_partition::{
     PartitionMetrics, StreamingPartitioner,
 };
 use graph_store::{
-    AdjacencyGraph, HeterogeneousStorage, Label, LocalGraphStorage, NodeId, PartitionId,
+    AdjacencyGraph, HeterogeneousStorage, HostRowSnapshot, Label, LocalGraphStorage,
+    LocalModuleSnapshot, NodeId, PartitionId, SnapshotState,
 };
 use moctopus_runtime::{chunk_ranges, WorkerPool};
 use pim_sim::{Phase, PimSystem, Timeline};
@@ -1244,6 +1245,94 @@ impl DistributedPimEngine {
     /// Partition-quality metrics of the current placement.
     pub fn partition_metrics(&self) -> PartitionMetrics {
         PartitionMetrics::compute(&self.graph_view(), self.policy.assignment())
+    }
+
+    // ------------------------------------------------------------------
+    // Durable snapshots
+    // ------------------------------------------------------------------
+
+    /// Exports the engine's complete storage plane as a canonical
+    /// [`SnapshotState`].
+    ///
+    /// The image captures everything that drives future behaviour: each
+    /// module's local rows (and capacity limit), the host heterogeneous rows
+    /// with their exact slot layout and free-list pop order (slot reuse and
+    /// row-scan costs depend on both), the raw partition-assignment vector,
+    /// and — under the greedy-adaptive policy — the degree table and
+    /// promotion log. Accumulated simulator busy time is deliberately *not*
+    /// part of the image: it only feeds the cosmetic
+    /// [`DistributedPimEngine::load_imbalance`] metric, never a future result
+    /// or charge.
+    pub fn export_storage(&self) -> SnapshotState {
+        let local_modules = self
+            .local_stores
+            .iter()
+            .map(|s| LocalModuleSnapshot {
+                rows: s.export_rows(),
+                capacity_bytes: s.capacity_bytes(),
+            })
+            .collect();
+        let host_rows = self
+            .host_store
+            .export_rows()
+            .into_iter()
+            .map(|(node, slots, free)| HostRowSnapshot { node, slots, free })
+            .collect();
+        let (degrees, promotions) = match &self.policy {
+            PlacementPolicy::GreedyAdaptive(p) => {
+                (p.degrees().export_entries(), p.promotions().to_vec())
+            }
+            PlacementPolicy::Hash(_) => (Vec::new(), Vec::new()),
+        };
+        SnapshotState {
+            last_seq: 0,
+            edge_count: self.edge_count as u64,
+            local_modules,
+            host_rows,
+            assignment_slots: self.policy.assignment().export_slots(),
+            degrees,
+            promotions,
+            adjacency_rows: Vec::new(),
+            adjacency_id_bound: 0,
+        }
+    }
+
+    /// Replaces the engine's storage plane with a previously exported image.
+    ///
+    /// Returns `false` — leaving the engine untouched — when the snapshot was
+    /// written under a different PIM module count (its per-module section
+    /// cannot map onto this configuration). The placement policy *kind* is
+    /// taken from the live engine; only its state is replaced.
+    pub fn restore_storage(&mut self, snapshot: &SnapshotState) -> bool {
+        if snapshot.local_modules.len() != self.config.pim.num_modules {
+            return false;
+        }
+        self.local_stores = snapshot
+            .local_modules
+            .iter()
+            .map(|m| LocalGraphStorage::from_sorted_rows(m.rows.clone(), m.capacity_bytes))
+            .collect();
+        self.host_store = HeterogeneousStorage::from_rows(
+            snapshot.host_rows.iter().map(|r| (r.node, r.slots.clone(), r.free.clone())).collect(),
+        );
+        self.policy = match &self.policy {
+            PlacementPolicy::GreedyAdaptive(p) => {
+                PlacementPolicy::GreedyAdaptive(GreedyAdaptivePartitioner::from_snapshot_parts(
+                    *p.config(),
+                    snapshot.assignment_slots.clone(),
+                    snapshot.degrees.clone(),
+                    snapshot.promotions.clone(),
+                ))
+            }
+            PlacementPolicy::Hash(_) => {
+                PlacementPolicy::Hash(HashPartitioner::from_snapshot_parts(
+                    self.config.pim.num_modules,
+                    snapshot.assignment_slots.clone(),
+                ))
+            }
+        };
+        self.edge_count = snapshot.edge_count as usize;
+        true
     }
 }
 

@@ -2,7 +2,7 @@
 
 use crate::deps::{QueryDeps, UpdateFootprint};
 use crate::stats::{QueryStats, UpdateStats};
-use graph_store::{Label, NodeId};
+use graph_store::{Label, NodeId, SnapshotState};
 use rpq::RpqExpr;
 
 /// A graph engine that can ingest labelled edges, apply updates, and answer
@@ -124,6 +124,28 @@ pub trait GraphEngine {
 
     /// Host worker threads the engine's execution runtime currently uses.
     fn threads(&self) -> usize;
+
+    /// Exports a complete durable image of the engine's storage plane, or
+    /// `None` if the engine does not support snapshots (the default).
+    ///
+    /// The contract is **observational bit-identity**: an engine restored
+    /// from the exported state (on the same configuration) must answer every
+    /// future query and update with byte-identical results, stats, and
+    /// dependency footprints. `SnapshotState::last_seq` is left `0`; the
+    /// durability layer stamps it before persisting.
+    fn export_snapshot(&self) -> Option<SnapshotState> {
+        None
+    }
+
+    /// Replaces the engine's storage plane with a previously exported image.
+    ///
+    /// Returns `false` — leaving the engine untouched — when the engine does
+    /// not support snapshots (the default) or the image is structurally
+    /// incompatible (e.g. written under a different PIM module count).
+    fn restore_snapshot(&mut self, snapshot: &SnapshotState) -> bool {
+        let _ = snapshot;
+        false
+    }
 }
 
 /// Boxed engines are engines: forwarding impl so harnesses and the serving
@@ -191,6 +213,14 @@ impl<T: GraphEngine + ?Sized> GraphEngine for Box<T> {
 
     fn threads(&self) -> usize {
         (**self).threads()
+    }
+
+    fn export_snapshot(&self) -> Option<SnapshotState> {
+        (**self).export_snapshot()
+    }
+
+    fn restore_snapshot(&mut self, snapshot: &SnapshotState) -> bool {
+        (**self).restore_snapshot(snapshot)
     }
 }
 

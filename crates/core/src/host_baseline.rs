@@ -17,7 +17,7 @@ use crate::config::MoctopusConfig;
 use crate::deps::UpdateFootprint;
 use crate::engine::GraphEngine;
 use crate::stats::{QueryStats, UpdateStats};
-use graph_store::{AdjacencyGraph, Label, NodeId};
+use graph_store::{AdjacencyGraph, Label, NodeId, SnapshotState};
 use moctopus_runtime::{chunk_ranges, WorkerPool};
 use pim_sim::{Phase, PimSystem, Timeline};
 use rpq::plan::{HostExecutionStats, HostMatrixEngine};
@@ -335,6 +335,27 @@ impl GraphEngine for HostBaseline {
 
     fn threads(&self) -> usize {
         self.pool.threads()
+    }
+
+    /// The baseline's storage plane is its adjacency graph; the matrix engine
+    /// is a pure function of it and is rebuilt lazily.
+    fn export_snapshot(&self) -> Option<SnapshotState> {
+        Some(SnapshotState {
+            edge_count: self.graph.edge_count() as u64,
+            adjacency_rows: self.graph.export_rows(),
+            adjacency_id_bound: self.graph.id_bound(),
+            ..SnapshotState::default()
+        })
+    }
+
+    /// Restoring marks the matrix engine dirty; the next query rebuilds it
+    /// from the restored graph (rebuilds are simulation-cost-free, so live
+    /// and restored engines stay output-identical).
+    fn restore_snapshot(&mut self, snapshot: &SnapshotState) -> bool {
+        self.graph =
+            AdjacencyGraph::from_rows(snapshot.adjacency_rows.clone(), snapshot.adjacency_id_bound);
+        self.dirty = true;
+        true
     }
 }
 

@@ -6,7 +6,7 @@ use crate::distributed::{DistributedPimEngine, PlacementPolicy};
 use crate::engine::GraphEngine;
 use crate::stats::{QueryStats, UpdateStats};
 use graph_partition::{HashPartitioner, PartitionMetrics};
-use graph_store::{Label, NodeId};
+use graph_store::{Label, NodeId, SnapshotState};
 use rpq::RpqExpr;
 
 /// The PIM-hash contrast system evaluated in the paper: the same PIM execution
@@ -127,6 +127,14 @@ impl GraphEngine for PimHashSystem {
 
     fn threads(&self) -> usize {
         self.engine.threads()
+    }
+
+    fn export_snapshot(&self) -> Option<SnapshotState> {
+        Some(self.engine.export_storage())
+    }
+
+    fn restore_snapshot(&mut self, snapshot: &SnapshotState) -> bool {
+        self.engine.restore_storage(snapshot)
     }
 }
 

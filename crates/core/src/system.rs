@@ -6,7 +6,7 @@ use crate::distributed::{DistributedPimEngine, PlacementPolicy};
 use crate::engine::GraphEngine;
 use crate::stats::{QueryStats, UpdateStats};
 use graph_partition::{GreedyAdaptivePartitioner, MigrationReport, PartitionMetrics};
-use graph_store::{Label, NodeId, PartitionId};
+use graph_store::{Label, NodeId, PartitionId, SnapshotState};
 use pim_sim::Timeline;
 use rpq::RpqExpr;
 
@@ -153,6 +153,14 @@ impl GraphEngine for MoctopusSystem {
 
     fn threads(&self) -> usize {
         self.engine.threads()
+    }
+
+    fn export_snapshot(&self) -> Option<SnapshotState> {
+        Some(self.engine.export_storage())
+    }
+
+    fn restore_snapshot(&mut self, snapshot: &SnapshotState) -> bool {
+        self.engine.restore_storage(snapshot)
     }
 }
 

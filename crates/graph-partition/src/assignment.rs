@@ -181,6 +181,36 @@ impl PartitionAssignment {
     pub fn nodes_in(&self, partition: PartitionId) -> Vec<NodeId> {
         self.iter().filter(|&(_, p)| p == partition).map(|(n, _)| n).collect()
     }
+
+    /// The raw `node_partition_vector` slots, for a durable snapshot.
+    ///
+    /// Sentinel values (host / unassigned) are exported as-is; the per-
+    /// partition counters are derivable and are not part of the image.
+    pub fn export_slots(&self) -> Vec<u32> {
+        self.slots.clone()
+    }
+
+    /// Rebuilds an assignment from slots exported by
+    /// [`PartitionAssignment::export_slots`], recomputing every counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slot names a PIM module `>= num_pim_modules` (a snapshot
+    /// written under a different module count).
+    pub fn from_slots(slots: Vec<u32>, num_pim_modules: usize) -> Self {
+        let mut a = PartitionAssignment::new(num_pim_modules);
+        for &slot in &slots {
+            match decode(slot) {
+                None => {}
+                Some(p) => {
+                    a.assigned += 1;
+                    a.increment(p);
+                }
+            }
+        }
+        a.slots = slots;
+        a
+    }
 }
 
 #[cfg(test)]

@@ -104,6 +104,27 @@ impl GreedyAdaptivePartitioner {
         }
     }
 
+    /// Rebuilds a partitioner from durable-snapshot parts: the raw assignment
+    /// slots, the degree table, and the promotion log.
+    ///
+    /// The restored partitioner makes exactly the decisions the exported one
+    /// would have made next: the assignment drives first-neighbour
+    /// inheritance and the capacity constraint, the degrees drive promotion
+    /// crossings, and the promotion log is carried for reporting.
+    pub fn from_snapshot_parts(
+        config: GreedyAdaptiveConfig,
+        assignment_slots: Vec<u32>,
+        degrees: Vec<(NodeId, u64)>,
+        promotions: Vec<NodeId>,
+    ) -> Self {
+        GreedyAdaptivePartitioner {
+            assignment: PartitionAssignment::from_slots(assignment_slots, config.num_pim_modules),
+            degrees: DegreeTracker::from_entries(config.high_degree_threshold, degrees),
+            config,
+            promotions,
+        }
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &GreedyAdaptiveConfig {
         &self.config

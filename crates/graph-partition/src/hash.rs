@@ -44,6 +44,16 @@ impl HashPartitioner {
         PartitionId::Pim((h % num_modules.max(1) as u64) as u32)
     }
 
+    /// Rebuilds a hash partitioner from durable-snapshot assignment slots.
+    ///
+    /// Hash placement is stateless, so the assignment alone (which records
+    /// every node ever observed) fully restores the partitioner.
+    pub fn from_snapshot_parts(num_pim_modules: usize, assignment_slots: Vec<u32>) -> Self {
+        HashPartitioner {
+            assignment: PartitionAssignment::from_slots(assignment_slots, num_pim_modules),
+        }
+    }
+
     fn ensure_assigned(&mut self, node: NodeId) {
         if !self.assignment.contains(node) {
             let p = Self::hash_partition(node, self.assignment.num_pim_modules());

@@ -175,6 +175,38 @@ impl AdjacencyGraph {
             (std::mem::size_of::<NodeId>() + std::mem::size_of::<Vec<(NodeId, Label)>>()) as u64;
         self.edge_count as u64 * per_edge + self.out_edges.len() as u64 * per_node
     }
+
+    /// Exports every row for a durable snapshot, sorted by node id.
+    ///
+    /// Row contents are exported **verbatim** — insertion/`swap_remove` order
+    /// is history-dependent and must be preserved so a restored graph keeps
+    /// producing identical row scans. Edge-less rows (registered via
+    /// [`AdjacencyGraph::note_node`]) are included: they count toward
+    /// `node_count` and `approx_bytes`, which the host baseline's cost model
+    /// reads.
+    pub fn export_rows(&self) -> Vec<(NodeId, Vec<(NodeId, Label)>)> {
+        let mut rows: Vec<(NodeId, Vec<(NodeId, Label)>)> =
+            self.out_edges.iter().map(|(&n, v)| (n, v.clone())).collect();
+        rows.sort_by_key(|&(n, _)| n);
+        rows
+    }
+
+    /// Rebuilds a graph from rows exported by
+    /// [`AdjacencyGraph::export_rows`] plus the saved id bound.
+    ///
+    /// The edge count is recomputed from the rows; the id bound is taken
+    /// as-is (it can exceed every present id after deletions).
+    pub fn from_rows(rows: Vec<(NodeId, Vec<(NodeId, Label)>)>, id_bound: u64) -> Self {
+        let mut edge_count = 0;
+        let out_edges: HashMap<NodeId, Vec<(NodeId, Label)>> = rows
+            .into_iter()
+            .map(|(n, v)| {
+                edge_count += v.len();
+                (n, v)
+            })
+            .collect();
+        AdjacencyGraph { out_edges, edge_count, id_bound }
+    }
 }
 
 impl FromIterator<(NodeId, NodeId)> for AdjacencyGraph {

@@ -107,6 +107,37 @@ impl DegreeTracker {
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, usize)> + '_ {
         self.degrees.iter().map(|(&n, &d)| (n, d))
     }
+
+    /// Exports the degree table sorted by node id, for a durable snapshot.
+    ///
+    /// Zero-degree entries (nodes whose edges were all deleted) are exported
+    /// too: they exist in the live map and keep `tracked_nodes` faithful.
+    pub fn export_entries(&self) -> Vec<(NodeId, u64)> {
+        let mut entries: Vec<(NodeId, u64)> =
+            self.degrees.iter().map(|(&n, &d)| (n, d as u64)).collect();
+        entries.sort_by_key(|&(n, _)| n);
+        entries
+    }
+
+    /// Rebuilds a tracker from entries exported by
+    /// [`DegreeTracker::export_entries`].
+    ///
+    /// The high-degree count is recomputed from the entries so it can never
+    /// disagree with the table.
+    pub fn from_entries(threshold: usize, entries: Vec<(NodeId, u64)>) -> Self {
+        let mut high_degree_count = 0;
+        let degrees: HashMap<NodeId, usize> = entries
+            .into_iter()
+            .map(|(n, d)| {
+                let d = d as usize;
+                if d > threshold {
+                    high_degree_count += 1;
+                }
+                (n, d)
+            })
+            .collect();
+        DegreeTracker { degrees, threshold, high_degree_count }
+    }
 }
 
 impl Default for DegreeTracker {

@@ -31,6 +31,50 @@ pub enum GraphStoreError {
     },
     /// The input (e.g. an edge-list line) could not be parsed.
     ParseEdgeList(String),
+    /// An I/O operation on a durability or edge-list file failed.
+    Io {
+        /// File the operation targeted.
+        path: String,
+        /// What was being attempted (e.g. `"append wal record"`).
+        op: String,
+        /// The underlying OS error message.
+        detail: String,
+    },
+    /// On-disk bytes failed validation (magic, version, framing or checksum).
+    Corrupt {
+        /// File the bytes came from.
+        path: String,
+        /// Byte offset where validation failed.
+        offset: u64,
+        /// Index of the record (or section) being decoded when it failed.
+        record: u64,
+        /// What failed to validate.
+        detail: String,
+    },
+}
+
+impl GraphStoreError {
+    /// Wraps a [`std::io::Error`] with the file and operation it hit.
+    ///
+    /// The variant stores rendered strings (not the source error) so the
+    /// enum stays [`Clone`] + [`Eq`] for callers that compare outcomes.
+    pub fn io(path: &std::path::Path, op: &str, err: &std::io::Error) -> Self {
+        GraphStoreError::Io {
+            path: path.display().to_string(),
+            op: op.to_string(),
+            detail: err.to_string(),
+        }
+    }
+
+    /// Builds a [`GraphStoreError::Corrupt`] with full location context.
+    pub fn corrupt(path: &std::path::Path, offset: u64, record: u64, detail: &str) -> Self {
+        GraphStoreError::Corrupt {
+            path: path.display().to_string(),
+            offset,
+            record,
+            detail: detail.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for GraphStoreError {
@@ -45,6 +89,12 @@ impl fmt::Display for GraphStoreError {
             ),
             GraphStoreError::ParseEdgeList(line) => {
                 write!(f, "malformed edge-list line: {line:?}")
+            }
+            GraphStoreError::Io { path, op, detail } => {
+                write!(f, "io error on {path} while trying to {op}: {detail}")
+            }
+            GraphStoreError::Corrupt { path, offset, record, detail } => {
+                write!(f, "corrupt file {path} at byte {offset} (record {record}): {detail}")
             }
         }
     }

@@ -29,6 +29,11 @@ use std::collections::HashMap;
 /// The paper's Figure 3 marks free positions with `-1`; we use `u64::MAX`.
 const FREE_SLOT: NodeId = NodeId(u64::MAX);
 
+/// One exported host row, `(row, slots, free)`: the row id, its
+/// `cols_vector` slots verbatim (free slots hold the sentinel id), and the
+/// free list in pop order. See [`HeterogeneousStorage::export_rows`].
+pub type ExportedHostRow = (NodeId, Vec<(NodeId, Label)>, Vec<u64>);
+
 /// Host bytes written for one slot's label: the default [`Label::ANY`] is
 /// elided (only the 8-byte id array is touched), every other label also
 /// writes its 2-byte entry in the parallel label array — matching the
@@ -328,6 +333,57 @@ impl HeterogeneousStorage {
             return Err(GraphStoreError::NodeNotFound(NodeId(u64::MAX)));
         }
         Ok(())
+    }
+
+    /// Exports every row for a durable snapshot, sorted by row id.
+    ///
+    /// Each entry is `(row, slots, free)`: the host-side `cols_vector`
+    /// **verbatim** — free slots included, as the sentinel id — plus the
+    /// row's free list in its exact pop order. Both must be preserved
+    /// byte-for-byte: the slot layout determines `row_bytes` (and thus every
+    /// future query cost), and the free-list order determines which slot the
+    /// next insert reuses.
+    pub fn export_rows(&self) -> Vec<ExportedHostRow> {
+        let mut rows: Vec<ExportedHostRow> = self
+            .cols
+            .iter()
+            .map(|(&row, cols)| {
+                let free: Vec<u64> = self
+                    .free_list_map
+                    .get(&row)
+                    .map(|f| f.iter().map(|&p| p as u64).collect())
+                    .unwrap_or_default();
+                (row, cols.slots.clone(), free)
+            })
+            .collect();
+        rows.sort_by_key(|&(row, _, _)| row);
+        rows
+    }
+
+    /// Rebuilds a storage from rows exported by
+    /// [`HeterogeneousStorage::export_rows`].
+    ///
+    /// The PIM-side `elem_position_map` is rederived from the live slots
+    /// (position = slot index) and the live/edge counters are recomputed, so
+    /// the result satisfies [`HeterogeneousStorage::check_invariants`] and
+    /// behaves identically to the exported original.
+    pub fn from_rows(rows: Vec<ExportedHostRow>) -> Self {
+        let mut s = HeterogeneousStorage::new();
+        for (row, slots, free) in rows {
+            let mut live = 0usize;
+            for (pos, &(dst, label)) in slots.iter().enumerate() {
+                if dst != FREE_SLOT {
+                    s.elem_position_map.insert((row, dst, label), pos);
+                    live += 1;
+                }
+            }
+            s.edge_count += live;
+            if !free.is_empty() {
+                s.free_list_map.insert(row, free.into_iter().map(|p| p as usize).collect());
+            }
+            s.cols.insert(row, ColsVector { slots, live });
+        }
+        s
     }
 }
 

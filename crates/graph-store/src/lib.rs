@@ -15,7 +15,11 @@
 //!   high-degree nodes kept on the host: a contiguous `cols_vector` on the
 //!   host plus `elem_position_map` / `free_list_map` hash maps on the PIM side.
 //! * [`degree`] — out-degree tracking and the high-degree threshold (16).
-//! * [`edgelist`] — plain edge-list import/export.
+//! * [`edgelist`] — plain and SNAP-style labelled edge-list import/export.
+//! * [`snapshot`] / [`wal`] / [`durable`] — the durable storage plane: a
+//!   versioned, checksummed snapshot format, an append-only labelled-edge
+//!   write-ahead log with per-record CRC and torn-tail-tolerant recovery, and
+//!   the generation-numbered store façade tying them together (STORAGE.md).
 //!
 //! # Examples
 //!
@@ -34,21 +38,29 @@
 pub mod adjacency;
 pub mod csr;
 pub mod degree;
+pub mod durable;
 pub mod edgelist;
 pub mod error;
 pub mod heterogeneous;
 pub mod ids;
 pub mod local;
 pub mod property;
+pub mod snapshot;
+pub mod wal;
 
 pub use adjacency::AdjacencyGraph;
 pub use csr::CsrGraph;
 pub use degree::{DegreeTracker, HIGH_DEGREE_THRESHOLD};
+pub use durable::{
+    current_generation, generation_snapshot_path, generation_wal_path, DurableStore, RecoveredState,
+};
 pub use error::GraphStoreError;
 pub use heterogeneous::{HeterogeneousStorage, UpdateCost, UpdateOutcome};
 pub use ids::{EdgeKey, Label, LabeledEdgeKey, NodeId, PartitionId};
 pub use local::LocalGraphStorage;
 pub use property::{PropertyGraph, PropertyValue};
+pub use snapshot::{HostRowSnapshot, LocalModuleSnapshot, SnapshotState};
+pub use wal::{TornTail, WalDecode, WalOp, WalRecord, WalWriter};
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {

@@ -195,6 +195,40 @@ impl LocalGraphStorage {
     pub fn capacity_bytes(&self) -> Option<u64> {
         self.capacity_bytes
     }
+
+    /// Exports every row, sorted by row id, for a durable snapshot.
+    ///
+    /// Row contents come out verbatim (they are strictly sorted already), so
+    /// [`LocalGraphStorage::from_sorted_rows`] rebuilds a segment whose future
+    /// behaviour is indistinguishable from the original — the canonical,
+    /// deterministic byte image the snapshot format requires.
+    pub fn export_rows(&self) -> Vec<(NodeId, Vec<(NodeId, Label)>)> {
+        let mut rows: Vec<(NodeId, Vec<(NodeId, Label)>)> =
+            self.rows.iter().map(|(&n, v)| (n, v.clone())).collect();
+        rows.sort_by_key(|&(n, _)| n);
+        rows
+    }
+
+    /// Rebuilds a segment from rows exported by
+    /// [`LocalGraphStorage::export_rows`].
+    ///
+    /// Rows are installed as-is (they must be strictly sorted, as exported);
+    /// the edge count is recomputed from the row contents.
+    pub fn from_sorted_rows(
+        rows: Vec<(NodeId, Vec<(NodeId, Label)>)>,
+        capacity_bytes: Option<u64>,
+    ) -> Self {
+        let mut edge_count = 0;
+        let map: HashMap<NodeId, Vec<(NodeId, Label)>> = rows
+            .into_iter()
+            .map(|(n, v)| {
+                debug_assert!(v.windows(2).all(|w| w[0] < w[1]), "snapshot row must be sorted");
+                edge_count += v.len();
+                (n, v)
+            })
+            .collect();
+        LocalGraphStorage { rows: map, edge_count, capacity_bytes }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,458 @@
+//! Versioned, checksummed on-disk snapshot of an engine's storage plane.
+//!
+//! A [`SnapshotState`] is a complete, canonical image of everything an engine
+//! needs to resume **bit-identically**: the per-PIM-module local rows, the
+//! host-resident heterogeneous rows (slot layout and free lists verbatim —
+//! they govern future update behaviour and row-read costs), the raw partition
+//! assignment, the degree table, the partitioner's promotion log, and the
+//! host baseline's adjacency rows. Engines fill only the sections they own;
+//! unused sections stay empty and encode to a handful of bytes.
+//!
+//! The byte format is hand-rolled little-endian (not `serde`): hash-map
+//! iteration order must never leak into the encoding, so every section is
+//! sorted by node id at export and row contents are written verbatim. The
+//! file layout is `[magic "MSNP"][version: u32][payload_len: u64][payload]
+//! [crc: u32]` where `crc` is the CRC-32 of the payload — one checksum over
+//! the whole image, verified before a single field is trusted.
+
+use crate::error::GraphStoreError;
+use crate::ids::{Label, NodeId};
+use crate::wal::crc32;
+use std::io::Write;
+use std::path::Path;
+
+/// Magic bytes opening every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"MSNP";
+/// On-disk snapshot format version this build reads and writes.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// One PIM module's local storage image: rows sorted by id, contents
+/// verbatim, plus the module's configured MRAM capacity.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LocalModuleSnapshot {
+    /// `(row id, strictly sorted labelled next-hops)`, sorted by row id.
+    pub rows: Vec<(NodeId, Vec<(NodeId, Label)>)>,
+    /// The module's capacity limit in bytes, if one was configured.
+    pub capacity_bytes: Option<u64>,
+}
+
+/// One host-resident heterogeneous row: `cols_vector` slots verbatim (free
+/// slots included, as the sentinel id) and the free list in exact pop order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostRowSnapshot {
+    /// The high-degree row this entry belongs to.
+    pub node: NodeId,
+    /// The host-side slot array, free-slot sentinels included.
+    pub slots: Vec<(NodeId, Label)>,
+    /// Free slot positions, in the order the next inserts will pop them.
+    pub free: Vec<u64>,
+}
+
+/// Complete durable image of one engine's storage plane.
+///
+/// See the [module docs](self) for what each section captures and why the
+/// encoding is canonical.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SnapshotState {
+    /// Sequence number of the last update folded into this snapshot; WAL
+    /// records with `seq <= last_seq` are skipped at recovery.
+    pub last_seq: u64,
+    /// Total directed labelled edges the engine stored at snapshot time.
+    pub edge_count: u64,
+    /// Per-PIM-module local rows (index = module id).
+    pub local_modules: Vec<LocalModuleSnapshot>,
+    /// Host heterogeneous rows, sorted by node id.
+    pub host_rows: Vec<HostRowSnapshot>,
+    /// Raw partition-assignment slots (index = node id).
+    pub assignment_slots: Vec<u32>,
+    /// Out-degree table, sorted by node id.
+    pub degrees: Vec<(NodeId, u64)>,
+    /// Promotion log of the greedy-adaptive partitioner, in promotion order.
+    pub promotions: Vec<NodeId>,
+    /// Host-baseline adjacency rows, sorted by node id, contents verbatim.
+    pub adjacency_rows: Vec<(NodeId, Vec<(NodeId, Label)>)>,
+    /// The adjacency graph's id bound (one past the largest id ever seen).
+    pub adjacency_id_bound: u64,
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_row(out: &mut Vec<u8>, node: NodeId, hops: &[(NodeId, Label)]) {
+    put_u64(out, node.0);
+    put_u64(out, hops.len() as u64);
+    for &(dst, label) in hops {
+        put_u64(out, dst.0);
+        out.extend_from_slice(&label.0.to_le_bytes());
+    }
+}
+
+/// One decoded adjacency row: `(row id, labelled hops)`.
+type DecodedRow = (NodeId, Vec<(NodeId, Label)>);
+
+/// Sequential byte reader with offset tracking for decode errors.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], (u64, String)> {
+        if self.bytes.len() - self.at < n {
+            return Err((
+                self.at as u64,
+                format!("truncated {what}: need {n} bytes, {} left", self.bytes.len() - self.at),
+            ));
+        }
+        let s = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, (u64, String)> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, (u64, String)> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, (u64, String)> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, (u64, String)> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// A count about to size an allocation: bounded by the bytes that could
+    /// possibly back it, so corrupt lengths cannot trigger huge allocations.
+    fn count(&mut self, min_elem_bytes: usize, what: &str) -> Result<usize, (u64, String)> {
+        let offset = self.at as u64;
+        let n = self.u64(what)?;
+        let left = (self.bytes.len() - self.at) as u64;
+        if n > left / min_elem_bytes.max(1) as u64 {
+            return Err((offset, format!("implausible {what} count {n} ({left} bytes left)")));
+        }
+        Ok(n as usize)
+    }
+
+    fn row(&mut self) -> Result<DecodedRow, (u64, String)> {
+        let node = NodeId(self.u64("row id")?);
+        let n = self.count(10, "row hops")?;
+        let mut hops = Vec::with_capacity(n);
+        for _ in 0..n {
+            let dst = NodeId(self.u64("hop id")?);
+            let label = Label(self.u16("hop label")?);
+            hops.push((dst, label));
+        }
+        Ok((node, hops))
+    }
+}
+
+impl SnapshotState {
+    /// Serialises the snapshot payload (no file header or checksum).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u64(&mut out, self.last_seq);
+        put_u64(&mut out, self.edge_count);
+
+        put_u64(&mut out, self.local_modules.len() as u64);
+        for module in &self.local_modules {
+            match module.capacity_bytes {
+                Some(cap) => {
+                    out.push(1);
+                    put_u64(&mut out, cap);
+                }
+                None => out.push(0),
+            }
+            put_u64(&mut out, module.rows.len() as u64);
+            for (node, hops) in &module.rows {
+                put_row(&mut out, *node, hops);
+            }
+        }
+
+        put_u64(&mut out, self.host_rows.len() as u64);
+        for row in &self.host_rows {
+            put_row(&mut out, row.node, &row.slots);
+            put_u64(&mut out, row.free.len() as u64);
+            for &pos in &row.free {
+                put_u64(&mut out, pos);
+            }
+        }
+
+        put_u64(&mut out, self.assignment_slots.len() as u64);
+        for &slot in &self.assignment_slots {
+            put_u32(&mut out, slot);
+        }
+
+        put_u64(&mut out, self.degrees.len() as u64);
+        for &(node, degree) in &self.degrees {
+            put_u64(&mut out, node.0);
+            put_u64(&mut out, degree);
+        }
+
+        put_u64(&mut out, self.promotions.len() as u64);
+        for &node in &self.promotions {
+            put_u64(&mut out, node.0);
+        }
+
+        put_u64(&mut out, self.adjacency_rows.len() as u64);
+        for (node, hops) in &self.adjacency_rows {
+            put_row(&mut out, *node, hops);
+        }
+        put_u64(&mut out, self.adjacency_id_bound);
+        out
+    }
+
+    /// Serialises the full snapshot file image: header, payload, checksum.
+    pub fn encode_file(&self) -> Vec<u8> {
+        let payload = self.encode_payload();
+        let mut out = Vec::with_capacity(payload.len() + 20);
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        put_u32(&mut out, SNAPSHOT_VERSION);
+        put_u64(&mut out, payload.len() as u64);
+        out.extend_from_slice(&payload);
+        put_u32(&mut out, crc32(&payload));
+        out
+    }
+
+    /// Parses a payload produced by [`SnapshotState::encode_payload`].
+    ///
+    /// Returns `(offset, reason)` on malformed input; counts are sanity-
+    /// bounded against the remaining bytes before any allocation.
+    pub fn decode_payload(bytes: &[u8]) -> Result<SnapshotState, (u64, String)> {
+        let mut r = Reader { bytes, at: 0 };
+        let last_seq = r.u64("last_seq")?;
+        let edge_count = r.u64("edge_count")?;
+
+        let n_modules = r.count(9, "local modules")?;
+        let mut local_modules = Vec::with_capacity(n_modules);
+        for _ in 0..n_modules {
+            let capacity_bytes = match r.u8("capacity tag")? {
+                0 => None,
+                1 => Some(r.u64("capacity bytes")?),
+                t => return Err(((r.at - 1) as u64, format!("bad capacity tag {t}"))),
+            };
+            let n_rows = r.count(16, "module rows")?;
+            let mut rows = Vec::with_capacity(n_rows);
+            for _ in 0..n_rows {
+                rows.push(r.row()?);
+            }
+            local_modules.push(LocalModuleSnapshot { rows, capacity_bytes });
+        }
+
+        let n_host = r.count(24, "host rows")?;
+        let mut host_rows = Vec::with_capacity(n_host);
+        for _ in 0..n_host {
+            let (node, slots) = r.row()?;
+            let n_free = r.count(8, "free list")?;
+            let mut free = Vec::with_capacity(n_free);
+            for _ in 0..n_free {
+                free.push(r.u64("free slot")?);
+            }
+            host_rows.push(HostRowSnapshot { node, slots, free });
+        }
+
+        let n_slots = r.count(4, "assignment slots")?;
+        let mut assignment_slots = Vec::with_capacity(n_slots);
+        for _ in 0..n_slots {
+            assignment_slots.push(r.u32("assignment slot")?);
+        }
+
+        let n_degrees = r.count(16, "degree entries")?;
+        let mut degrees = Vec::with_capacity(n_degrees);
+        for _ in 0..n_degrees {
+            let node = NodeId(r.u64("degree node")?);
+            let degree = r.u64("degree value")?;
+            degrees.push((node, degree));
+        }
+
+        let n_promotions = r.count(8, "promotions")?;
+        let mut promotions = Vec::with_capacity(n_promotions);
+        for _ in 0..n_promotions {
+            promotions.push(NodeId(r.u64("promotion")?));
+        }
+
+        let n_adj = r.count(16, "adjacency rows")?;
+        let mut adjacency_rows = Vec::with_capacity(n_adj);
+        for _ in 0..n_adj {
+            adjacency_rows.push(r.row()?);
+        }
+        let adjacency_id_bound = r.u64("adjacency id bound")?;
+
+        if r.at != bytes.len() {
+            return Err((r.at as u64, format!("{} trailing bytes", bytes.len() - r.at)));
+        }
+        Ok(SnapshotState {
+            last_seq,
+            edge_count,
+            local_modules,
+            host_rows,
+            assignment_slots,
+            degrees,
+            promotions,
+            adjacency_rows,
+            adjacency_id_bound,
+        })
+    }
+
+    /// Parses a full snapshot file image, verifying header and checksum.
+    pub fn decode_file(bytes: &[u8]) -> Result<SnapshotState, (u64, String)> {
+        if bytes.len() < 16 {
+            return Err((0, format!("file too short: {} bytes", bytes.len())));
+        }
+        if bytes[0..4] != SNAPSHOT_MAGIC {
+            return Err((0, "bad magic".to_string()));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        if version != SNAPSHOT_VERSION {
+            return Err((4, format!("unsupported version {version}")));
+        }
+        let payload_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        if payload_len != (bytes.len() as u64).saturating_sub(20) {
+            return Err((8, format!("payload length {payload_len} vs file {}", bytes.len())));
+        }
+        let payload = &bytes[16..16 + payload_len as usize];
+        let stored = u32::from_le_bytes(bytes[16 + payload_len as usize..].try_into().unwrap());
+        let actual = crc32(payload);
+        if stored != actual {
+            return Err((
+                16 + payload_len,
+                format!("crc mismatch: stored {stored:#010x}, computed {actual:#010x}"),
+            ));
+        }
+        SnapshotState::decode_payload(payload).map_err(|(off, why)| (off + 16, why))
+    }
+
+    /// Writes the snapshot to `path` atomically: a `.tmp` sibling is written
+    /// and fsynced, then renamed over the target.
+    pub fn write_file(&self, path: &Path) -> Result<(), GraphStoreError> {
+        let bytes = self.encode_file();
+        let tmp = path.with_extension("tmp");
+        let mut file = std::fs::File::create(&tmp)
+            .map_err(|e| GraphStoreError::io(&tmp, "create snapshot tmp", &e))?;
+        file.write_all(&bytes).map_err(|e| GraphStoreError::io(&tmp, "write snapshot", &e))?;
+        file.sync_all().map_err(|e| GraphStoreError::io(&tmp, "sync snapshot", &e))?;
+        drop(file);
+        std::fs::rename(&tmp, path)
+            .map_err(|e| GraphStoreError::io(path, "rename snapshot into place", &e))?;
+        Ok(())
+    }
+
+    /// Reads and verifies a snapshot from `path`.
+    pub fn read_file(path: &Path) -> Result<SnapshotState, GraphStoreError> {
+        let bytes =
+            std::fs::read(path).map_err(|e| GraphStoreError::io(path, "read snapshot", &e))?;
+        SnapshotState::decode_file(&bytes)
+            .map_err(|(offset, why)| GraphStoreError::corrupt(path, offset, 0, &why))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SnapshotState {
+        SnapshotState {
+            last_seq: 42,
+            edge_count: 5,
+            local_modules: vec![
+                LocalModuleSnapshot {
+                    rows: vec![
+                        (NodeId(1), vec![(NodeId(2), Label(3)), (NodeId(4), Label::ANY)]),
+                        (NodeId(7), vec![(NodeId(1), Label::ANY)]),
+                    ],
+                    capacity_bytes: Some(64 << 20),
+                },
+                LocalModuleSnapshot { rows: Vec::new(), capacity_bytes: None },
+            ],
+            host_rows: vec![HostRowSnapshot {
+                node: NodeId(9),
+                slots: vec![
+                    (NodeId(5), Label::ANY),
+                    (NodeId(u64::MAX), Label::ANY), // free slot sentinel
+                    (NodeId(6), Label(2)),
+                ],
+                free: vec![1],
+            }],
+            assignment_slots: vec![0, 1, u32::MAX, u32::MAX - 1],
+            degrees: vec![(NodeId(1), 2), (NodeId(9), 17)],
+            promotions: vec![NodeId(9)],
+            adjacency_rows: vec![(NodeId(0), vec![(NodeId(3), Label::ANY)]), (NodeId(3), vec![])],
+            adjacency_id_bound: 10,
+        }
+    }
+
+    #[test]
+    fn round_trips_through_bytes() {
+        let snap = sample();
+        let decoded = SnapshotState::decode_file(&snap.encode_file()).unwrap();
+        assert_eq!(decoded, snap);
+        let empty = SnapshotState::default();
+        assert_eq!(SnapshotState::decode_file(&empty.encode_file()).unwrap(), empty);
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let clean = sample().encode_file();
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut bytes = clean.clone();
+                bytes[byte] ^= 1 << bit;
+                assert!(
+                    SnapshotState::decode_file(&bytes).is_err(),
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let clean = sample().encode_file();
+        for cut in 0..clean.len() {
+            assert!(SnapshotState::decode_file(&clean[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn implausible_counts_are_rejected_without_allocating() {
+        // A payload claiming 2^60 rows must fail fast on the count bound.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 0); // last_seq
+        put_u64(&mut payload, 0); // edge_count
+        put_u64(&mut payload, 1 << 60); // local module count
+        let mut file = Vec::new();
+        file.extend_from_slice(&SNAPSHOT_MAGIC);
+        put_u32(&mut file, SNAPSHOT_VERSION);
+        put_u64(&mut file, payload.len() as u64);
+        file.extend_from_slice(&payload);
+        put_u32(&mut file, crc32(&payload));
+        let err = SnapshotState::decode_file(&file).unwrap_err();
+        assert!(err.1.contains("implausible"), "{err:?}");
+    }
+
+    #[test]
+    fn file_round_trip_is_atomic_and_verified() {
+        let dir = std::env::temp_dir().join(format!("moctopus-snap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.msnp");
+        let snap = sample();
+        snap.write_file(&path).unwrap();
+        assert_eq!(SnapshotState::read_file(&path).unwrap(), snap);
+        // Corrupt one byte on disk: the read must fail with context.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = SnapshotState::read_file(&path).unwrap_err();
+        assert!(matches!(err, GraphStoreError::Corrupt { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -31,6 +31,11 @@
 //!   with canonical scatter/merge so every served byte is shard-count
 //!   invariant and only [`ShardThroughput`] (a JSON-only observable) scales
 //!   with N.
+//! * [`DurableEngine`] — the durable storage plane: a write-ahead log of
+//!   every update batch plus periodic versioned snapshots
+//!   (`graph_store::durable`), recovering after a crash to a state that is
+//!   byte-identical — results, stats, dependency footprints — to a server
+//!   that never crashed (STORAGE.md).
 //!
 //! Three consistency modes ([`ConsistencyMode`], including per-row
 //! `RowExact` keys), plus same-timestamp miss collapsing
@@ -69,12 +74,14 @@
 #![deny(missing_docs)]
 
 pub mod cache;
+pub mod durability;
 pub mod request;
 pub mod server;
 pub mod session;
 pub mod shard;
 
 pub use cache::{CacheConfig, CacheKey, CacheStats, ConsistencyMode, ResultCache};
+pub use durability::{DurabilityOptions, DurableEngine, RecoveryReport};
 pub use request::{
     CacheOutcome, ClientId, Request, RequestId, RequestKind, Response, ResponseBody,
 };

@@ -355,6 +355,12 @@ impl QueryServer {
         self.cache.as_ref().map(ResultCache::len)
     }
 
+    /// Shared access to the engine, for read-only observables
+    /// (`edge_count`, `threads`, …).
+    pub fn engine_ref(&self) -> &(dyn GraphEngine + Send) {
+        &*self.engine
+    }
+
     /// Mutable access to the engine (tests/benches; not part of the serving
     /// path — mutating the graph around the cache invalidates nothing, so
     /// use requests for updates).
