@@ -1,3 +1,6 @@
+// criterion_group!/criterion_main! expand to undocumented items.
+#![allow(missing_docs)]
+
 //! Criterion wall-clock benchmarks of batch graph updates (the Figure 6
 //! workload at micro scale): edge insertion and deletion on Moctopus and the
 //! RedisGraph-like baseline.

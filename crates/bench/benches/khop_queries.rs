@@ -1,3 +1,6 @@
+// criterion_group!/criterion_main! expand to undocumented items.
+#![allow(missing_docs)]
+
 //! Criterion wall-clock benchmarks of batch k-hop query execution on the
 //! three engines (the Figure 4 workload at micro scale).
 //!

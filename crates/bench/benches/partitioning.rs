@@ -1,3 +1,6 @@
+// criterion_group!/criterion_main! expand to undocumented items.
+#![allow(missing_docs)]
+
 //! Criterion benchmarks of the partitioning algorithms: streaming assignment
 //! throughput (hash vs the radical greedy heuristic vs LDG) and the cost of
 //! one refinement pass — the overhead comparison behind Section 3.2.2's

@@ -1,3 +1,6 @@
+// criterion_group!/criterion_main! expand to undocumented items.
+#![allow(missing_docs)]
+
 //! Criterion benchmarks of the GraphBLAS-style sparse kernels that power the
 //! RedisGraph-like baseline: boolean `mxm`, `vxm`, element-wise updates, and
 //! matrix powers.

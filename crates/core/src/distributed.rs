@@ -444,6 +444,7 @@ impl DistributedPimEngine {
             // Partitioning decision happens on edge arrival (radical greedy).
             let before = self.owner(src);
             self.policy.on_edge(src, dst);
+            // moctopus-lint: allow(panic-in-lib, reason = "on_edge unconditionally assigns src an owner on the line above")
             let after = self.owner(src).expect("source was just assigned");
             // Labor division: the node may have just crossed the threshold.
             if let (Some(PartitionId::Pim(old)), PartitionId::Host) = (before, after) {
@@ -1039,6 +1040,7 @@ impl DistributedPimEngine {
             // mask union is commutative, so hash-set iteration order is
             // irrelevant.
             for seen in &visited {
+                // moctopus-lint: allow(hash-iter-order, reason = "set-union into DepMask is commutative; see comment above")
                 for &(node, _) in seen {
                     deps.nodes.insert(node);
                 }
@@ -1051,6 +1053,7 @@ impl DistributedPimEngine {
         let results: Vec<Vec<NodeId>> = visited
             .iter()
             .map(|seen| {
+                // moctopus-lint: allow(hash-iter-order, reason = "collected then sort_unstable + dedup below before use")
                 let mut nodes: Vec<NodeId> = seen
                     .iter()
                     .filter(|&&(_, state)| nfa.is_accepting(state as usize))

@@ -40,8 +40,6 @@
 //! assert!(stats.timeline.total().as_nanos() > 0.0);
 //! ```
 
-#![deny(missing_docs)]
-
 pub mod config;
 pub mod deps;
 pub mod distributed;

@@ -30,8 +30,6 @@
 //! assert!(graph.node_count() > 1000);
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod labels;
 pub mod powerlaw;
 pub mod rmat;

@@ -170,6 +170,7 @@ impl GreedyAdaptivePartitioner {
             // plain hashing over all modules.
             return (h % modules) as u32;
         }
+        // moctopus-lint: allow(panic-in-lib, reason = "h % under < under, the count of this very filter computed above")
         (0..modules)
             .filter(|&m| self.assignment.pim_node_count(m) < limit)
             .nth(h % under)
@@ -255,6 +256,7 @@ impl GreedyAdaptivePartitioner {
             if local_fraction >= self.config.mislocal_threshold {
                 continue;
             }
+            // moctopus-lint: allow(panic-in-lib, reason = "counts has num_modules entries and configs reject zero modules")
             let (best, best_count) = counts
                 .iter()
                 .enumerate()

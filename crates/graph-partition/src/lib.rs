@@ -31,8 +31,6 @@
 //! assert_eq!(p.partition_of(NodeId(0)), p.partition_of(NodeId(1)));
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod adaptive;
 pub mod assignment;
 pub mod greedy_adaptive;

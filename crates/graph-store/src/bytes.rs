@@ -1,0 +1,52 @@
+//! Fixed-width little-endian reads over byte slices.
+//!
+//! The WAL and snapshot decoders ([`crate::wal`], [`crate::snapshot`]) parse
+//! length-prefixed binary frames whose bounds are validated *before* any
+//! field is read. These helpers centralize the `try_into().unwrap()` idiom
+//! that conversion requires, so the infallibility argument — the caller
+//! checked the slice length — lives in exactly one place instead of being
+//! repeated at every call site.
+//!
+//! # Panics
+//!
+//! Each function panics if `bytes` is shorter than `at + width`. Callers
+//! must bounds-check first; the decoders do so via explicit length guards
+//! (`wal::decode_wal_bytes`) or [`crate::snapshot`]'s `Reader::take`.
+
+/// Reads a little-endian `u16` at byte offset `at`.
+pub(crate) fn u16_at(bytes: &[u8], at: usize) -> u16 {
+    // moctopus-lint: allow(panic-in-lib, reason = "width is the array length by construction; callers bounds-check per module docs")
+    u16::from_le_bytes(bytes[at..at + 2].try_into().unwrap())
+}
+
+/// Reads a little-endian `u32` at byte offset `at`.
+pub(crate) fn u32_at(bytes: &[u8], at: usize) -> u32 {
+    // moctopus-lint: allow(panic-in-lib, reason = "width is the array length by construction; callers bounds-check per module docs")
+    u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap())
+}
+
+/// Reads a little-endian `u64` at byte offset `at`.
+pub(crate) fn u64_at(bytes: &[u8], at: usize) -> u64 {
+    // moctopus-lint: allow(panic-in-lib, reason = "width is the array length by construction; callers bounds-check per module docs")
+    u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_little_endian_at_offset() {
+        let bytes = [0xFFu8, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09];
+        assert_eq!(u16_at(&bytes, 1), 0x0201);
+        assert_eq!(u32_at(&bytes, 1), 0x0403_0201);
+        assert_eq!(u64_at(&bytes, 1), 0x0807_0605_0403_0201);
+    }
+
+    #[test]
+    #[should_panic]
+    fn panics_when_out_of_bounds() {
+        let bytes = [0u8; 4];
+        u64_at(&bytes, 0);
+    }
+}

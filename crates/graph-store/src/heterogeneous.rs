@@ -216,6 +216,7 @@ impl HeterogeneousStorage {
             return UpdateOutcome { changed: false, cost };
         };
         cost.pim_mutations += 1;
+        // moctopus-lint: allow(panic-in-lib, reason = "elem_position_map membership (checked above) implies the row exists; divergence is a corruption bug check_invariants catches")
         let cols = self.cols.get_mut(&src).expect("row must exist for a mapped edge");
         cols.slots[pos] = (FREE_SLOT, Label::ANY);
         cols.live -= 1;
@@ -291,6 +292,7 @@ impl HeterogeneousStorage {
 
     /// Iterates over rows as `(row, live labelled next-hops)`.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, Vec<(NodeId, Label)>)> + '_ {
+        // moctopus-lint: allow(hash-iter-order, reason = "arbitrary-order row view; the graph_view consumers reduce order-independently and durable exports use export_rows, which sorts")
         self.cols
             .iter()
             .map(|(&r, c)| (r, c.slots.iter().copied().filter(|&(d, _)| d != FREE_SLOT).collect()))
@@ -305,6 +307,7 @@ impl HeterogeneousStorage {
     /// inconsistency encountered.
     pub fn check_invariants(&self) -> Result<(), GraphStoreError> {
         let mut live_total = 0usize;
+        // moctopus-lint: allow(hash-iter-order, reason = "validation pass: the first-error choice varies, but any inconsistency fails the property test regardless of order")
         for (&row, cols) in &self.cols {
             let mut live = 0usize;
             for (pos, &(dst, label)) in cols.slots.iter().enumerate() {
@@ -344,6 +347,7 @@ impl HeterogeneousStorage {
     /// future query cost), and the free-list order determines which slot the
     /// next insert reuses.
     pub fn export_rows(&self) -> Vec<ExportedHostRow> {
+        // moctopus-lint: allow(hash-iter-order, reason = "collected then sorted by row id before use, below")
         let mut rows: Vec<ExportedHostRow> = self
             .cols
             .iter()

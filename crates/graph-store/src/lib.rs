@@ -33,9 +33,8 @@
 //! assert_eq!(g.edge_count(), 2);
 //! ```
 
-#![deny(missing_docs)]
-
 pub mod adjacency;
+mod bytes;
 pub mod csr;
 pub mod degree;
 pub mod durable;

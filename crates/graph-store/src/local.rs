@@ -177,6 +177,7 @@ impl LocalGraphStorage {
 
     /// Iterates over the locally stored rows in arbitrary order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &[(NodeId, Label)])> + '_ {
+        // moctopus-lint: allow(hash-iter-order, reason = "documented arbitrary-order API; durable exports go through export_rows, which sorts")
         self.rows.iter().map(|(&n, v)| (n, v.as_slice()))
     }
 
@@ -203,6 +204,7 @@ impl LocalGraphStorage {
     /// behaviour is indistinguishable from the original — the canonical,
     /// deterministic byte image the snapshot format requires.
     pub fn export_rows(&self) -> Vec<(NodeId, Vec<(NodeId, Label)>)> {
+        // moctopus-lint: allow(hash-iter-order, reason = "collected then sort_by_key on the next line before use")
         let mut rows: Vec<(NodeId, Vec<(NodeId, Label)>)> =
             self.rows.iter().map(|(&n, v)| (n, v.clone())).collect();
         rows.sort_by_key(|&(n, _)| n);
@@ -215,11 +217,11 @@ impl LocalGraphStorage {
     /// Rows are installed as-is (they must be strictly sorted, as exported);
     /// the edge count is recomputed from the row contents.
     pub fn from_sorted_rows(
-        rows: Vec<(NodeId, Vec<(NodeId, Label)>)>,
+        sorted_rows: Vec<(NodeId, Vec<(NodeId, Label)>)>,
         capacity_bytes: Option<u64>,
     ) -> Self {
         let mut edge_count = 0;
-        let map: HashMap<NodeId, Vec<(NodeId, Label)>> = rows
+        let map: HashMap<NodeId, Vec<(NodeId, Label)>> = sorted_rows
             .into_iter()
             .map(|(n, v)| {
                 debug_assert!(v.windows(2).all(|w| w[0] < w[1]), "snapshot row must be sorted");

@@ -143,7 +143,7 @@ impl PropertyGraph {
     }
 
     /// Adds a node with the given entity label and properties, returning its id.
-    pub fn add_node<K, I>(&mut self, label: &str, properties: I) -> NodeId
+    pub fn add_node<K, I>(&mut self, label: &str, props: I) -> NodeId
     where
         K: Into<String>,
         I: IntoIterator<Item = (K, PropertyValue)>,
@@ -154,7 +154,7 @@ impl PropertyGraph {
             id,
             NodeRecord {
                 label: label.to_owned(),
-                properties: properties.into_iter().map(|(k, v)| (k.into(), v)).collect(),
+                properties: props.into_iter().map(|(k, v)| (k.into(), v)).collect(),
             },
         );
         id
@@ -191,12 +191,19 @@ impl PropertyGraph {
         self.nodes.get(&id)
     }
 
-    /// Returns the first node whose property `key` equals `value`.
+    /// Returns the lowest-id node whose property `key` equals `value`.
     ///
     /// This is a full scan — property indexes are out of scope for the
-    /// reproduction — and is only used by examples for readability.
+    /// reproduction — and is only used by examples for readability. The
+    /// lowest id (not the first hash-order hit) is returned so repeated
+    /// runs resolve multi-match lookups identically.
     pub fn find_by_property(&self, key: &str, value: &PropertyValue) -> Option<NodeId> {
-        self.nodes.iter().find(|(_, rec)| rec.properties.get(key) == Some(value)).map(|(&id, _)| id)
+        // moctopus-lint: allow(hash-iter-order, reason = "reduced with min(): the lowest matching id is order-independent")
+        self.nodes
+            .iter()
+            .filter(|(_, rec)| rec.properties.get(key) == Some(value))
+            .map(|(&id, _)| id)
+            .min()
     }
 
     /// Number of nodes.
@@ -213,12 +220,21 @@ impl PropertyGraph {
     ///
     /// Labels are preserved; node/edge properties are dropped, mirroring the
     /// paper's simplification of the property graph to an adjacency matrix.
+    /// Nodes and edges are inserted in sorted order so the view's row layout
+    /// (and therefore its row-scan and snapshot bytes) is identical on every
+    /// run — the adjacency rows preserve insertion order verbatim.
     pub fn to_adjacency(&self) -> AdjacencyGraph {
         let mut g = AdjacencyGraph::with_capacity(self.nodes.len());
-        for &id in self.nodes.keys() {
+        // moctopus-lint: allow(hash-iter-order, reason = "collected and sorted before insertion two lines below")
+        let mut ids: Vec<NodeId> = self.nodes.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
             g.note_node(id);
         }
-        for &(s, d, l) in self.edges.keys() {
+        // moctopus-lint: allow(hash-iter-order, reason = "collected and sorted before insertion two lines below")
+        let mut edge_keys: Vec<(NodeId, NodeId, Label)> = self.edges.keys().copied().collect();
+        edge_keys.sort_unstable();
+        for (s, d, l) in edge_keys {
             g.insert_edge(s, d, l);
         }
         g

@@ -15,6 +15,7 @@
 //! [crc: u32]` where `crc` is the CRC-32 of the payload — one checksum over
 //! the whole image, verified before a single field is trusted.
 
+use crate::bytes::{u32_at, u64_at};
 use crate::error::GraphStoreError;
 use crate::ids::{Label, NodeId};
 use crate::wal::crc32;
@@ -119,15 +120,15 @@ impl<'a> Reader<'a> {
     }
 
     fn u16(&mut self, what: &str) -> Result<u16, (u64, String)> {
-        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+        Ok(crate::bytes::u16_at(self.take(2, what)?, 0))
     }
 
     fn u32(&mut self, what: &str) -> Result<u32, (u64, String)> {
-        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+        Ok(u32_at(self.take(4, what)?, 0))
     }
 
     fn u64(&mut self, what: &str) -> Result<u64, (u64, String)> {
-        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+        Ok(u64_at(self.take(8, what)?, 0))
     }
 
     /// A count about to size an allocation: bounded by the bytes that could
@@ -310,16 +311,16 @@ impl SnapshotState {
         if bytes[0..4] != SNAPSHOT_MAGIC {
             return Err((0, "bad magic".to_string()));
         }
-        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        let version = u32_at(bytes, 4);
         if version != SNAPSHOT_VERSION {
             return Err((4, format!("unsupported version {version}")));
         }
-        let payload_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        let payload_len = u64_at(bytes, 8);
         if payload_len != (bytes.len() as u64).saturating_sub(20) {
             return Err((8, format!("payload length {payload_len} vs file {}", bytes.len())));
         }
         let payload = &bytes[16..16 + payload_len as usize];
-        let stored = u32::from_le_bytes(bytes[16 + payload_len as usize..].try_into().unwrap());
+        let stored = u32_at(bytes, 16 + payload_len as usize);
         let actual = crc32(payload);
         if stored != actual {
             return Err((

@@ -17,6 +17,7 @@
 //! are flushed to the OS on every append and fsynced every `sync_every`
 //! records (and on [`WalWriter::sync`]).
 
+use crate::bytes::{u16_at, u32_at, u64_at};
 use crate::error::GraphStoreError;
 use crate::ids::{Label, NodeId};
 use std::fs::{File, OpenOptions};
@@ -130,10 +131,10 @@ impl WalRecord {
         if bytes.len() < MIN_PAYLOAD_LEN {
             return Err(format!("payload too short: {} bytes", bytes.len()));
         }
-        let seq = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
+        let seq = u64_at(bytes, 0);
         let op =
             WalOp::from_code(bytes[8]).ok_or_else(|| format!("unknown op code {}", bytes[8]))?;
-        let count = u32::from_le_bytes(bytes[9..13].try_into().unwrap()) as usize;
+        let count = u32_at(bytes, 9) as usize;
         let expected = MIN_PAYLOAD_LEN + count * EDGE_ENCODED_LEN;
         if bytes.len() != expected {
             return Err(format!(
@@ -144,9 +145,9 @@ impl WalRecord {
         let mut edges = Vec::with_capacity(count);
         let mut at = MIN_PAYLOAD_LEN;
         for _ in 0..count {
-            let src = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
-            let dst = u64::from_le_bytes(bytes[at + 8..at + 16].try_into().unwrap());
-            let label = u16::from_le_bytes(bytes[at + 16..at + 18].try_into().unwrap());
+            let src = u64_at(bytes, at);
+            let dst = u64_at(bytes, at + 8);
+            let label = u16_at(bytes, at + 16);
             edges.push((NodeId(src), NodeId(dst), Label(label)));
             at += EDGE_ENCODED_LEN;
         }
@@ -218,7 +219,7 @@ pub fn decode_wal_bytes(bytes: &[u8]) -> WalDecode {
             torn: Some(torn_at(0, 0, "bad magic".to_string())),
         };
     }
-    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    let version = u32_at(bytes, 4);
     if version != WAL_VERSION {
         return WalDecode {
             records: Vec::new(),
@@ -242,8 +243,8 @@ pub fn decode_wal_bytes(bytes: &[u8]) -> WalDecode {
                 torn: Some(torn_at(at, index, reason)),
             };
         }
-        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
-        let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap());
+        let len = u32_at(bytes, at) as usize;
+        let crc = u32_at(bytes, at + 4);
         let body = at + FRAME_HEADER_LEN;
         if len > bytes.len() - body {
             let reason = format!("torn payload: {len} declared, {} present", bytes.len() - body);

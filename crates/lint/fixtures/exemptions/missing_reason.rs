@@ -1,0 +1,11 @@
+//! Exemption fixture: an allow without its mandatory reason is rejected —
+//! the directive becomes a `bad-exemption` finding and the underlying
+//! diagnostic still fires.
+
+use std::collections::HashMap;
+
+/// The allow below is malformed: no reason.
+pub fn count(m: &HashMap<u32, u64>) -> usize {
+    // moctopus-lint: allow(hash-iter-order)
+    m.keys().count()
+}

@@ -1,0 +1,10 @@
+//! Exemption fixture: a reasoned allow silences the finding — and counts
+//! as used, so no `unused-exemption` either.
+
+use std::collections::HashMap;
+
+/// Counts entries; the reduction is order-independent.
+pub fn count(m: &HashMap<u32, u64>) -> usize {
+    // moctopus-lint: allow(hash-iter-order, reason = "reduced with count(); a cardinality is order-independent")
+    m.keys().count()
+}

@@ -1,0 +1,8 @@
+//! Exemption fixture: naming a rule the analyzer does not know is an
+//! error, not a silent no-op.
+
+/// The allow below misspells its rule.
+pub fn quiet() -> u32 {
+    // moctopus-lint: allow(hash-iter-ordering, reason = "typo in the rule name")
+    42
+}

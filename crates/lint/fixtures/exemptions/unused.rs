@@ -1,0 +1,8 @@
+//! Exemption fixture: an allow that suppresses nothing is flagged, so
+//! stale exemptions cannot linger after the code they excused is gone.
+
+/// Nothing here iterates a hash collection.
+pub fn quiet() -> u32 {
+    // moctopus-lint: allow(hash-iter-order, reason = "stale: the iteration this excused was removed")
+    42
+}

@@ -1,0 +1,12 @@
+//! D3 negative fixture — linted as `crates/runtime/src/fixture.rs` (Lib).
+
+/// Folds into the per-worker context (a closure parameter) and into a
+/// closure-local; both are schedule-independent by construction.
+pub fn sound(pool: &WorkerPool) {
+    pool.run_with(|worker, delta| {
+        let mut scratch = 0.0;
+        scratch += worker.busy_seconds();
+        delta.busy += scratch;
+        delta.tasks += 1;
+    });
+}

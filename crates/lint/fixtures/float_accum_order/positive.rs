@@ -1,0 +1,12 @@
+//! D3 positive fixture — linted as `crates/runtime/src/fixture.rs` (Lib).
+
+/// Accumulates into a captured variable from inside a `run_with` closure:
+/// the fold order follows the thread schedule, not worker ids.
+pub fn leaky(pool: &WorkerPool) -> f64 {
+    let mut total = 0.0;
+    pool.run_with(|worker, delta| {
+        total += worker.busy_seconds();
+        delta.tasks += 1;
+    });
+    total
+}

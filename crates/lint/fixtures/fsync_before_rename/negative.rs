@@ -1,0 +1,11 @@
+//! D5 negative fixture — linted as `crates/graph-store/src/fixture.rs`.
+
+use std::fs::{self, File};
+use std::path::Path;
+
+/// The durable publish discipline: write, fsync, then rename.
+pub fn publish(tmp: &Path, dst: &Path) -> std::io::Result<()> {
+    let file = File::open(tmp)?;
+    file.sync_all()?;
+    fs::rename(tmp, dst)
+}

@@ -1,0 +1,10 @@
+//! D5 positive fixture — linted as `crates/graph-store/src/fixture.rs`.
+
+use std::fs;
+use std::path::Path;
+
+/// Publishes a tmp file without making its contents durable first: a crash
+/// right after the rename can expose a name whose bytes never hit the disk.
+pub fn publish(tmp: &Path, dst: &Path) -> std::io::Result<()> {
+    fs::rename(tmp, dst)
+}

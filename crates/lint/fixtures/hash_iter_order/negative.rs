@@ -1,0 +1,29 @@
+//! D1 negative fixture — linted as `crates/core/src/fixture.rs` (Lib).
+//!
+//! Note the distinct parameter names: name tracking is file-global (the
+//! analyzer has no scopes), so reusing a `HashMap`-bound name for an
+//! ordered container elsewhere in the file would be flagged — the same
+//! conservatism that applies to real code.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// BTreeMap iterates in key order; not a finding.
+pub fn ordered(tree: &BTreeMap<u32, u64>) -> Option<u32> {
+    tree.keys().next().copied()
+}
+
+/// Point lookups on a HashMap are fine — only iteration is flagged.
+pub fn lookup(table: &HashMap<u32, u64>, k: u32) -> Option<u64> {
+    table.get(&k).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn iteration_in_tests_is_exempt() {
+        let m: HashMap<u32, u64> = HashMap::new();
+        assert_eq!(m.iter().count(), 0);
+    }
+}

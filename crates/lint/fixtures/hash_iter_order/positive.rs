@@ -1,0 +1,23 @@
+//! D1 positive fixture — linted as `crates/core/src/fixture.rs` (Lib).
+
+use std::collections::{HashMap, HashSet};
+
+/// Folds values in hash order: the sum is stable but the traversal is not,
+/// and a fold with side effects would diverge run to run.
+pub fn first_key(m: &HashMap<u32, u64>) -> Option<u32> {
+    m.keys().next().copied()
+}
+
+/// Drains a set in arbitrary order straight into an output vector.
+pub fn spill(s: &mut HashSet<u32>, out: &mut Vec<u32>) {
+    out.extend(s.drain());
+}
+
+/// Walks a map with a for-loop.
+pub fn walk(m: HashMap<u32, u64>) -> u64 {
+    let mut total = 0;
+    for (_k, v) in m {
+        total += v;
+    }
+    total
+}

@@ -1,0 +1,25 @@
+//! D4 negative fixture — linted as `crates/core/src/fixture.rs` (Lib).
+
+use std::sync::Mutex;
+
+/// Poison propagation is an idiom, not error handling: a poisoned lock
+/// means another thread already panicked, and the only sound continuation
+/// in a determinism-critical core is to propagate the abort.
+pub fn locked(m: &Mutex<u32>) -> u32 {
+    *m.lock().expect("counter mutex poisoned")
+}
+
+/// `.expect('x')` with a char argument is the rpq parser's own combinator,
+/// not `Option::expect`.
+pub fn combinator(p: &mut Parser) -> Result<(), ParseError> {
+    p.expect('}')
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v = [1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

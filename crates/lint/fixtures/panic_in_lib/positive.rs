@@ -1,0 +1,16 @@
+//! D4 positive fixture — linted as `crates/core/src/fixture.rs` (Lib).
+
+/// Unwraps an optional mid-pipeline.
+pub fn head(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+/// Expects with a string message.
+pub fn must(v: Option<u32>) -> u32 {
+    v.expect("value required")
+}
+
+/// Panics outright.
+pub fn boom() -> ! {
+    panic!("unreachable configuration");
+}

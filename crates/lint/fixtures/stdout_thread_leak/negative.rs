@@ -1,0 +1,8 @@
+//! D6 negative fixture — linted as `crates/server/src/bin/fixture.rs` (Bin).
+
+/// Count-invariant output: totals do not depend on scaling knobs, and
+/// positional `{}` holes without leaky identifiers are fine.
+pub fn report(total_edges: u64, elapsed_pct: f64) {
+    println!("edges = {total_edges}");
+    println!("progress: {:.1}%", elapsed_pct);
+}

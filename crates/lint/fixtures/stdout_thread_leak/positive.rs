@@ -1,0 +1,7 @@
+//! D6 positive fixture — linted as `crates/server/src/bin/fixture.rs` (Bin).
+
+/// Prints scaling knobs: stdout now differs across `--threads`/`--shards`.
+pub fn report(thread_count: usize, shards: u32) {
+    println!("running with {thread_count} threads");
+    println!("shards = {}", shards);
+}

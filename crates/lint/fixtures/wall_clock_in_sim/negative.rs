@@ -1,0 +1,12 @@
+//! D2 negative fixture — the same clock reads are legal in `crates/bench`
+//! (linted as `crates/bench/src/fixture.rs`), the one zone that measures
+//! real elapsed time.
+
+use std::time::Instant;
+
+/// Benchmarks measure the host wall clock by design.
+pub fn measure<F: FnOnce()>(f: F) -> std::time::Duration {
+    let start = Instant::now();
+    f();
+    start.elapsed()
+}

@@ -1,0 +1,18 @@
+//! D2 positive fixture — linted as `crates/pim-sim/src/fixture.rs` (Lib).
+
+use std::time::{Instant, SystemTime};
+
+/// Reads the wall clock inside simulated code.
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+/// Reads the system clock, another nondeterministic source.
+pub fn epoch() -> SystemTime {
+    SystemTime::now()
+}
+
+/// Builds a hasher state from per-process entropy.
+pub fn hasher() -> impl std::hash::BuildHasher {
+    std::collections::hash_map::RandomState::new()
+}

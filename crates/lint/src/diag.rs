@@ -1,0 +1,68 @@
+//! Diagnostics: findings, rendering, and the report returned by a scan.
+
+/// Rule identifier for a malformed or unknown exemption directive.
+pub const BAD_EXEMPTION: &str = "bad-exemption";
+/// Rule identifier for an exemption that suppresses nothing.
+pub const UNUSED_EXEMPTION: &str = "unused-exemption";
+
+/// One diagnostic: a contract violation (or a broken exemption) at a line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Path relative to the workspace root, `/`-separated.
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Stable rule identifier (`hash-iter-order`, …).
+    pub rule: &'static str,
+    /// One-line statement of the violation.
+    pub message: String,
+    /// One-line fix hint.
+    pub hint: String,
+}
+
+impl Finding {
+    /// Renders the finding in the analyzer's two-line output format.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}\n    hint: {}",
+            self.path, self.line, self.rule, self.message, self.hint
+        )
+    }
+}
+
+/// The result of scanning a file set.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings sorted by `(path, line, rule)`.
+    pub findings: Vec<Finding>,
+    /// Number of source files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Sorts findings into the canonical deterministic order.
+    pub fn sort(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
+        });
+    }
+
+    /// Renders every finding plus a one-line summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.render());
+            out.push('\n');
+        }
+        if self.findings.is_empty() {
+            out.push_str(&format!("moctopus-lint: clean ({} files scanned)\n", self.files_scanned));
+        } else {
+            out.push_str(&format!(
+                "moctopus-lint: {} finding(s) in {} files scanned\n",
+                self.findings.len(),
+                self.files_scanned
+            ));
+        }
+        out
+    }
+}

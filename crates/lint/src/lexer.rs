@@ -1,0 +1,465 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! The analyzer runs in an offline container, so it cannot depend on `syn`
+//! or `rustc` internals. This lexer produces just enough structure for
+//! line-aware contract rules: identifier/punctuation/literal tokens with
+//! line numbers, plus the comment stream (rules never match inside comments
+//! or string literals, and doc-comment code — doctests — is invisible to
+//! them by construction).
+//!
+//! It is deliberately forgiving: unterminated constructs at end of file are
+//! closed implicitly rather than reported, because the rule engine only ever
+//! sees sources that `rustc` already accepts.
+
+/// The coarse token classes the rule engine distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`for`, `fn`, `HashMap`, …).
+    Ident,
+    /// Punctuation; multi-character operators (`::`, `+=`, …) are merged.
+    Punct,
+    /// A string literal (`"…"`, `r#"…"#`, `b"…"`); `text` holds the raw
+    /// content between the quotes, escapes unprocessed.
+    Str,
+    /// A character or byte literal; `text` holds the raw content.
+    Char,
+    /// A numeric literal (integers, floats, suffixed forms).
+    Num,
+    /// A lifetime or loop label (`'a`, `'outer`), without the quote.
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for what is stored per class).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One comment (line or block) with its 1-based starting line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment body without the `//` / `/*` markers.
+    pub text: String,
+    /// `true` for doc comments (`///`, `//!`, `/**`, `/*!`); exemption
+    /// directives inside doc prose are ignored.
+    pub doc: bool,
+    /// `true` when at least one token precedes the comment on its line
+    /// (a trailing comment annotates its own line, a standalone one the
+    /// next code line).
+    pub trailing: bool,
+}
+
+/// The output of [`lex`]: the token stream plus the comment stream.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators merged into single [`TokKind::Punct`] tokens.
+const MULTI_PUNCT: &[&str] = &[
+    "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "^=", "|=",
+    "&=", "<<", ">>", "..=", "..",
+];
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    line_has_token: bool,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+                self.line_has_token = false;
+            }
+        }
+        c
+    }
+}
+
+/// Lexes `src` into tokens and comments.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor { chars: src.chars().collect(), pos: 0, line: 1, line_has_token: false };
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek(0) {
+        let line = cur.line;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                cur.bump();
+            }
+            '/' if cur.peek(1) == Some('/') => lex_line_comment(&mut cur, &mut out, line),
+            '/' if cur.peek(1) == Some('*') => lex_block_comment(&mut cur, &mut out, line),
+            '"' => lex_string(&mut cur, &mut out, line),
+            'r' | 'b' if starts_raw_or_byte(&cur) => lex_raw_or_byte(&mut cur, &mut out, line),
+            '\'' => lex_quote(&mut cur, &mut out, line),
+            c if c.is_ascii_digit() => lex_number(&mut cur, &mut out, line),
+            c if c == '_' || c.is_alphabetic() => lex_ident(&mut cur, &mut out, line),
+            _ => lex_punct(&mut cur, &mut out, line),
+        }
+    }
+    out
+}
+
+fn push(cur: &mut Cursor, out: &mut Lexed, kind: TokKind, text: String, line: u32) {
+    cur.line_has_token = true;
+    out.tokens.push(Token { kind, text, line });
+}
+
+fn lex_line_comment(cur: &mut Cursor, out: &mut Lexed, line: u32) {
+    let trailing = cur.line_has_token;
+    cur.bump();
+    cur.bump();
+    // `///` and `//!` are doc comments; `////` (rule separators) is not.
+    let doc = matches!(cur.peek(0), Some('/')) && cur.peek(1) != Some('/')
+        || matches!(cur.peek(0), Some('!'));
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    out.comments.push(Comment { line, text, doc, trailing });
+}
+
+fn lex_block_comment(cur: &mut Cursor, out: &mut Lexed, line: u32) {
+    let trailing = cur.line_has_token;
+    cur.bump();
+    cur.bump();
+    let doc = matches!(cur.peek(0), Some('*')) && cur.peek(1) != Some('*')
+        || matches!(cur.peek(0), Some('!'));
+    let mut depth = 1usize;
+    let mut text = String::new();
+    while depth > 0 {
+        match (cur.peek(0), cur.peek(1)) {
+            (Some('/'), Some('*')) => {
+                depth += 1;
+                cur.bump();
+                cur.bump();
+                text.push_str("/*");
+            }
+            (Some('*'), Some('/')) => {
+                depth -= 1;
+                cur.bump();
+                cur.bump();
+                if depth > 0 {
+                    text.push_str("*/");
+                }
+            }
+            (Some(c), _) => {
+                text.push(c);
+                cur.bump();
+            }
+            (None, _) => break,
+        }
+    }
+    out.comments.push(Comment { line, text, doc, trailing });
+}
+
+fn lex_string(cur: &mut Cursor, out: &mut Lexed, line: u32) {
+    cur.bump(); // opening quote
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        match c {
+            '\\' => {
+                text.push(c);
+                cur.bump();
+                if let Some(esc) = cur.bump() {
+                    text.push(esc);
+                }
+            }
+            '"' => {
+                cur.bump();
+                break;
+            }
+            _ => {
+                text.push(c);
+                cur.bump();
+            }
+        }
+    }
+    push(cur, out, TokKind::Str, text, line);
+}
+
+/// Does the cursor sit on `r"`, `r#`, `b"`, `b'`, `br"`, or `br#`?
+fn starts_raw_or_byte(cur: &Cursor) -> bool {
+    matches!(
+        (cur.peek(0), cur.peek(1), cur.peek(2)),
+        (Some('r'), Some('"' | '#'), _)
+            | (Some('b'), Some('"' | '\''), _)
+            | (Some('b'), Some('r'), Some('"' | '#'))
+    )
+}
+
+fn lex_raw_or_byte(cur: &mut Cursor, out: &mut Lexed, line: u32) {
+    let mut raw = false;
+    if cur.peek(0) == Some('b') {
+        cur.bump();
+    }
+    if cur.peek(0) == Some('r') {
+        raw = true;
+        cur.bump();
+    }
+    if cur.peek(0) == Some('\'') {
+        // byte char literal b'x'
+        lex_quote(cur, out, line);
+        return;
+    }
+    if !raw {
+        lex_string(cur, out, line);
+        return;
+    }
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some('#') {
+        hashes += 1;
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+    let closer: String = std::iter::once('"').chain(std::iter::repeat_n('#', hashes)).collect();
+    let mut text = String::new();
+    'outer: while let Some(c) = cur.peek(0) {
+        if c == '"' {
+            let mut matched = true;
+            for (i, want) in closer.chars().enumerate() {
+                if cur.peek(i) != Some(want) {
+                    matched = false;
+                    break;
+                }
+            }
+            if matched {
+                for _ in 0..closer.len() {
+                    cur.bump();
+                }
+                break 'outer;
+            }
+        }
+        text.push(c);
+        cur.bump();
+    }
+    push(cur, out, TokKind::Str, text, line);
+}
+
+/// Lexes a `'`-introduced token: a char literal or a lifetime/label.
+fn lex_quote(cur: &mut Cursor, out: &mut Lexed, line: u32) {
+    // A lifetime is `'` + ident not closed by another `'` (`'a`, `'outer`);
+    // anything else (`'x'`, `'\n'`, `'\u{7f}'`) is a char literal.
+    let second = cur.peek(1);
+    let is_lifetime =
+        matches!(second, Some(c) if c == '_' || c.is_alphabetic()) && cur.peek(2) != Some('\'');
+    cur.bump(); // the quote
+    if is_lifetime {
+        let mut text = String::new();
+        while let Some(c) = cur.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        push(cur, out, TokKind::Lifetime, text, line);
+        return;
+    }
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        match c {
+            '\\' => {
+                text.push(c);
+                cur.bump();
+                if let Some(esc) = cur.bump() {
+                    text.push(esc);
+                }
+            }
+            '\'' => {
+                cur.bump();
+                break;
+            }
+            _ => {
+                text.push(c);
+                cur.bump();
+            }
+        }
+    }
+    push(cur, out, TokKind::Char, text, line);
+}
+
+fn lex_number(cur: &mut Cursor, out: &mut Lexed, line: u32) {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            text.push(c);
+            cur.bump();
+        } else if c == '.' {
+            // `1.5` continues the number; `0..8` does not.
+            match cur.peek(1) {
+                Some(d) if d.is_ascii_digit() => {
+                    text.push(c);
+                    cur.bump();
+                }
+                _ => break,
+            }
+        } else {
+            break;
+        }
+    }
+    push(cur, out, TokKind::Num, text, line);
+}
+
+fn lex_ident(cur: &mut Cursor, out: &mut Lexed, line: u32) {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '_' || c.is_alphanumeric() {
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    push(cur, out, TokKind::Ident, text, line);
+}
+
+fn lex_punct(cur: &mut Cursor, out: &mut Lexed, line: u32) {
+    for op in MULTI_PUNCT {
+        let mut matched = true;
+        for (i, want) in op.chars().enumerate() {
+            if cur.peek(i) != Some(want) {
+                matched = false;
+                break;
+            }
+        }
+        if matched {
+            for _ in 0..op.len() {
+                cur.bump();
+            }
+            push(cur, out, TokKind::Punct, (*op).to_string(), line);
+            return;
+        }
+    }
+    if let Some(c) = cur.bump() {
+        push(cur, out, TokKind::Punct, c.to_string(), line);
+    }
+}
+
+/// Returns the index of the token closing the delimiter opened at `open`,
+/// or `None` if the stream ends first. `tokens[open]` must be `(`, `[`, or
+/// `{`; only the matching delimiter kind is counted, so interleaved other
+/// delimiters cannot unbalance the search.
+pub fn match_delim(tokens: &[Token], open: usize) -> Option<usize> {
+    let (open_text, close_text) = match tokens.get(open)?.text.as_str() {
+        "(" => ("(", ")"),
+        "[" => ("[", "]"),
+        "{" => ("{", "}"),
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            if t.text == open_text {
+                depth += 1;
+            } else if t.text == close_text {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_code() {
+        let lexed = lex("// HashMap\nlet s = \"HashMap\"; /* HashSet */ let x = 1;");
+        let ids = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>();
+        assert_eq!(ids, ["let", "s", "let", "x"]);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(!lexed.comments[0].trailing);
+        assert!(lexed.comments[1].trailing);
+    }
+
+    #[test]
+    fn doc_comments_are_marked() {
+        let lexed = lex("/// docs with `map.iter()`\n//! inner\n// plain\n//// separator\n");
+        let doc: Vec<bool> = lexed.comments.iter().map(|c| c.doc).collect();
+        assert_eq!(doc, [true, true, false, false]);
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let lexed = lex(r##"let s = r#"quote " inside"#; let c = '\n'; let l: &'static str = s;"##);
+        let strs: Vec<_> =
+            lexed.tokens.iter().filter(|t| t.kind == TokKind::Str).map(|t| &t.text).collect();
+        assert_eq!(strs, [r#"quote " inside"#]);
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokKind::Char && t.text == "\\n"));
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokKind::Lifetime && t.text == "static"));
+    }
+
+    #[test]
+    fn multi_punct_is_merged() {
+        let puncts: Vec<String> = lex("a += b; c :: d; e..f; g..=h;")
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(puncts, ["+=", ";", "::", ";", "..", ";", "..=", ";"]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let lexed = lex("for i in 0..8 { let f = 1.5; }");
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokKind::Num && t.text == "0"));
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokKind::Num && t.text == "8"));
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokKind::Num && t.text == "1.5"));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let lexed = lex("a\nb\n\nc");
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+        assert_eq!(idents("x"), ["x"]);
+    }
+
+    #[test]
+    fn match_delim_nests() {
+        let lexed = lex("f(a, (b), {c})");
+        let close = match_delim(&lexed.tokens, 1).expect("balanced");
+        assert_eq!(lexed.tokens[close].text, ")");
+        assert_eq!(close, lexed.tokens.len() - 1);
+    }
+}

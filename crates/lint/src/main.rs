@@ -1,0 +1,137 @@
+//! The `moctopus-lint` CLI.
+//!
+//! ```text
+//! cargo run -p moctopus-lint -- --workspace      # scan the whole workspace
+//! cargo run -p moctopus-lint -- --list-rules     # print the rule catalogue
+//! cargo run -p moctopus-lint -- crates/core      # scan a subtree
+//! ```
+//!
+//! Exits 0 when the scan is clean, 1 on findings, 2 on usage/I/O errors.
+//! Output is deterministic: findings sort by `(path, line, rule)`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use moctopus_lint::{all_rules, classify, find_workspace_root, lint_file_with_meta, Report};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<String> = Vec::new();
+    let mut root_override: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--workspace" => {}
+            "--list-rules" => {
+                for rule in all_rules() {
+                    println!("{:<20} {}", rule.id(), rule.summary());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match iter.next() {
+                Some(dir) => root_override = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("moctopus-lint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: moctopus-lint [--workspace] [--root DIR] [--list-rules] [PATH...]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("moctopus-lint: unknown flag `{flag}`");
+                return ExitCode::from(2);
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+
+    let root = match root_override
+        .or_else(|| std::env::current_dir().ok().and_then(|cwd| find_workspace_root(&cwd)))
+    {
+        Some(root) => root,
+        None => {
+            eprintln!("moctopus-lint: no workspace root found (try --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = if paths.is_empty() {
+        match moctopus_lint::lint_workspace(&root) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("moctopus-lint: scan failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match lint_paths(&root, &paths) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("moctopus-lint: scan failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    print!("{}", report.render());
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Lints explicitly named files/subtrees, classified relative to `root`.
+fn lint_paths(root: &std::path::Path, paths: &[String]) -> std::io::Result<Report> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for p in paths {
+        let abs = root.join(p);
+        if abs.is_dir() {
+            collect(&abs, &mut files)?;
+        } else {
+            files.push(abs);
+        }
+    }
+    files.sort();
+    let mut report = Report::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let Some(meta) = classify(&rel) else {
+            eprintln!("moctopus-lint: skipping `{rel}` (outside the analyzed tree)");
+            continue;
+        };
+        let text = std::fs::read_to_string(&path)?;
+        report.files_scanned += 1;
+        report.findings.extend(lint_file_with_meta(meta, &text));
+    }
+    report.sort();
+    Ok(report)
+}
+
+fn collect(dir: &std::path::Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let skip = ["target", "third_party", "fixtures", ".git", ".github", ".claude"];
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.map(|e| e.map(|e| e.path())).collect::<std::io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if !skip.contains(&name) {
+                collect(&path, files)?;
+            }
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}

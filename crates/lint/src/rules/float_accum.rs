@@ -1,0 +1,126 @@
+//! D3 `float-accum-order`: accumulation inside `WorkerPool::run_with`
+//! closures that bypasses the per-worker context.
+//!
+//! Float addition is not associative, so `SimTime`/`f64` accumulation in
+//! the parallel hop loops is only thread-count invariant because every
+//! worker folds into its *private* `StatsDelta`/`HostExecutionStats` and
+//! the merge barrier reduces deltas in worker-id order (CONCURRENCY.md §6).
+//! An accumulating assignment inside a `run_with` closure whose target is
+//! neither a closure parameter (the per-worker context) nor a closure-local
+//! reintroduces sharing — through captures or interior mutability — and
+//! puts accumulation order back on the schedule.
+
+use std::collections::BTreeSet;
+
+use crate::engine::{FileMeta, SourceFile};
+use crate::lexer::{match_delim, TokKind, Token};
+use crate::rules::{RawFinding, Rule};
+
+/// The D3 rule value.
+pub struct FloatAccumOrder;
+
+const ACCUM_OPS: &[&str] = &["+=", "-=", "*=", "/="];
+
+impl Rule for FloatAccumOrder {
+    fn id(&self) -> &'static str {
+        "float-accum-order"
+    }
+
+    fn summary(&self) -> &'static str {
+        "accumulation inside run_with closures must target the per-worker context"
+    }
+
+    fn applies(&self, _meta: &FileMeta) -> bool {
+        true
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<RawFinding>) {
+        let toks = &file.lexed.tokens;
+        for i in 0..toks.len() {
+            if !(toks[i].kind == TokKind::Ident && toks[i].text == "run_with") {
+                continue;
+            }
+            let Some(open) = next_punct(toks, i + 1, "(") else { continue };
+            let Some(close) = match_delim(toks, open) else { continue };
+            check_closure(&toks[open + 1..close], out);
+        }
+    }
+}
+
+fn next_punct(toks: &[Token], from: usize, text: &str) -> Option<usize> {
+    let t = toks.get(from)?;
+    (t.kind == TokKind::Punct && t.text == text).then_some(from)
+}
+
+/// Scans the argument tokens of one `run_with(…)` call: finds the closure,
+/// its parameters, its body, and the accumulating assignments within.
+fn check_closure(args: &[Token], out: &mut Vec<RawFinding>) {
+    // Closure parameters: idents between the first `|` and its partner.
+    let Some(bar) = args.iter().position(|t| t.kind == TokKind::Punct && t.text == "|") else {
+        return;
+    };
+    let Some(bar2_rel) =
+        args[bar + 1..].iter().position(|t| t.kind == TokKind::Punct && t.text == "|")
+    else {
+        return;
+    };
+    let bar2 = bar + 1 + bar2_rel;
+    let mut ok_roots: BTreeSet<String> = args[bar + 1..bar2]
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident && t.text != "mut")
+        .map(|t| t.text.clone())
+        .collect();
+
+    // Closure body: a braced block, or the rest of the argument list.
+    let body: &[Token] = match args.get(bar2 + 1) {
+        Some(t) if t.kind == TokKind::Punct && t.text == "{" => {
+            let Some(end) = match_delim(args, bar2 + 1) else { return };
+            &args[bar2 + 2..end]
+        }
+        _ => &args[bar2 + 1..],
+    };
+
+    // Closure-locals are sound accumulation targets too: they are per-task
+    // by construction and reach the merge only through the returned value.
+    for (i, t) in body.iter().enumerate() {
+        if t.kind == TokKind::Ident && t.text == "let" {
+            for n in body[i + 1..].iter().take(6) {
+                if n.kind == TokKind::Punct && (n.text == "=" || n.text == ":" || n.text == ";") {
+                    break;
+                }
+                if n.kind == TokKind::Ident && n.text != "mut" {
+                    ok_roots.insert(n.text.clone());
+                }
+            }
+        }
+    }
+
+    for (i, t) in body.iter().enumerate() {
+        if !(t.kind == TokKind::Punct && ACCUM_OPS.contains(&t.text.as_str())) {
+            continue;
+        }
+        // Root of the assignment target: first ident after the previous
+        // statement boundary.
+        let start = body[..i]
+            .iter()
+            .rposition(|p| p.kind == TokKind::Punct && matches!(p.text.as_str(), ";" | "{" | "}"))
+            .map_or(0, |p| p + 1);
+        let Some(root) = body[start..i].iter().find(|p| p.kind == TokKind::Ident) else {
+            continue;
+        };
+        if !ok_roots.contains(&root.text) {
+            out.push(RawFinding {
+                line: t.line,
+                message: format!(
+                    "accumulation into `{}` inside a WorkerPool::run_with closure; it is neither \
+                     the per-worker context nor a closure-local",
+                    root.text
+                ),
+                hint: "fold into the per-worker StatsDelta/HostExecutionStats context and merge \
+                       after the join barrier in worker-id order, or justify: \
+                       // moctopus-lint: allow(float-accum-order, reason = \"...\")"
+                    .to_string(),
+            });
+        }
+    }
+}

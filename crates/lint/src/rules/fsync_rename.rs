@@ -1,0 +1,94 @@
+//! D5 `fsync-before-rename`: the tmp + fsync + rename discipline in
+//! `crates/graph-store`.
+//!
+//! A `rename` publishes a file; without a preceding `sync_all`/`sync_data`
+//! in the same function, a crash can publish a name whose *contents* never
+//! reached the disk — the classic broken-commit-point bug (STORAGE.md §7:
+//! snapshots and manifests are only crash-safe because the payload is
+//! durable before the atomic rename flips the pointer).
+
+use crate::engine::{FileMeta, SourceFile};
+use crate::lexer::{match_delim, TokKind, Token};
+use crate::rules::{RawFinding, Rule};
+
+/// The D5 rule value.
+pub struct FsyncBeforeRename;
+
+impl Rule for FsyncBeforeRename {
+    fn id(&self) -> &'static str {
+        "fsync-before-rename"
+    }
+
+    fn summary(&self) -> &'static str {
+        "fs::rename in graph-store must follow sync_all/sync_data in the same function"
+    }
+
+    fn applies(&self, meta: &FileMeta) -> bool {
+        meta.crate_name == "graph-store"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<RawFinding>) {
+        let toks = &file.lexed.tokens;
+        let fns = fn_regions(toks);
+        for (i, t) in toks.iter().enumerate() {
+            let is_call = t.kind == TokKind::Ident
+                && t.text == "rename"
+                && i > 0
+                && toks[i - 1].kind == TokKind::Punct
+                && (toks[i - 1].text == "::" || toks[i - 1].text == ".")
+                && toks.get(i + 1).is_some_and(|n| n.text == "(");
+            if !is_call {
+                continue;
+            }
+            // Innermost enclosing fn; the fsync must happen earlier in it.
+            let region = fns
+                .iter()
+                .filter(|&&(start, end)| start <= i && i <= end)
+                .min_by_key(|&&(start, end)| end - start);
+            let synced = region.is_some_and(|&(start, _)| {
+                toks[start..i].iter().any(|p| {
+                    p.kind == TokKind::Ident && (p.text == "sync_all" || p.text == "sync_data")
+                })
+            });
+            if !synced {
+                out.push(RawFinding {
+                    line: t.line,
+                    message: "`rename` without a preceding `sync_all`/`sync_data` in the same \
+                              function"
+                        .to_string(),
+                    hint: "durable publishes follow tmp + fsync + rename (STORAGE.md §7): fsync \
+                           the tmp file before renaming it into place, or justify: \
+                           // moctopus-lint: allow(fsync-before-rename, reason = \"...\")"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Token-index spans `(start, end)` of every `fn` body (nested fns and
+/// methods included).
+fn fn_regions(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    for i in 0..toks.len() {
+        if !(toks[i].kind == TokKind::Ident && toks[i].text == "fn") {
+            continue;
+        }
+        let mut j = i + 1;
+        while let Some(t) = toks.get(j) {
+            if t.kind == TokKind::Punct {
+                if t.text == ";" {
+                    break; // trait method declaration — no body
+                }
+                if t.text == "{" {
+                    if let Some(end) = match_delim(toks, j) {
+                        regions.push((j, end));
+                    }
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    regions
+}

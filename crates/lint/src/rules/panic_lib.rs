@@ -1,0 +1,91 @@
+//! D4 `panic-in-lib`: `unwrap`/`expect`/`panic!` in library code.
+//!
+//! Library crates expose fallible APIs (`GraphStoreError`, `io::Error`);
+//! a panic in the serving path takes down every session sharing the
+//! process. Outside tests and doctests, aborting is only acceptable for
+//! documented invariants — which is exactly what the exemption's mandatory
+//! reason records — or for the two carve-outs below, which are idioms, not
+//! error handling:
+//!
+//! * **Poison propagation**: `.expect("… poisoned")` on a mutex/condvar
+//!   result. A poisoned lock means another thread already panicked; in a
+//!   determinism-critical core the only sound continuation is to propagate.
+//! * **Parser combinators**: `.expect('x')` with a *char* argument is the
+//!   rpq parser's own `expect` method, not `Option::expect`.
+
+use crate::engine::{FileClass, FileMeta, SourceFile};
+use crate::lexer::TokKind;
+use crate::rules::{RawFinding, Rule};
+
+/// The D4 rule value.
+pub struct PanicInLib;
+
+impl Rule for PanicInLib {
+    fn id(&self) -> &'static str {
+        "panic-in-lib"
+    }
+
+    fn summary(&self) -> &'static str {
+        "unwrap/expect/panic! in library code outside tests and doctests"
+    }
+
+    fn applies(&self, meta: &FileMeta) -> bool {
+        // Library code only. The bench harness (crate `bench`) is exempt as
+        // a whole: it may abort on malformed experiment setups, and it is
+        // never linked into the serving path.
+        matches!(meta.class, FileClass::Lib | FileClass::RootLib) && meta.crate_name != "bench"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<RawFinding>) {
+        let toks = &file.lexed.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            match t.text.as_str() {
+                "panic"
+                    if toks
+                        .get(i + 1)
+                        .is_some_and(|n| n.kind == TokKind::Punct && n.text == "!") =>
+                {
+                    out.push(finding("panic!", t.line));
+                }
+                "unwrap" => {
+                    let dotted =
+                        i > 0 && toks[i - 1].kind == TokKind::Punct && toks[i - 1].text == ".";
+                    if dotted
+                        && toks.get(i + 1).is_some_and(|n| n.text == "(")
+                        && toks.get(i + 2).is_some_and(|n| n.text == ")")
+                    {
+                        out.push(finding(".unwrap()", t.line));
+                    }
+                }
+                "expect" => {
+                    let dotted =
+                        i > 0 && toks[i - 1].kind == TokKind::Punct && toks[i - 1].text == ".";
+                    if !dotted || toks.get(i + 1).is_none_or(|n| n.text != "(") {
+                        continue;
+                    }
+                    match toks.get(i + 2) {
+                        // Parser-combinator carve-out: `.expect('}')`.
+                        Some(arg) if arg.kind == TokKind::Char => {}
+                        // Poison-propagation carve-out.
+                        Some(arg) if arg.kind == TokKind::Str && arg.text.contains("poisoned") => {}
+                        _ => out.push(finding(".expect(…)", t.line)),
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+fn finding(what: &str, line: u32) -> RawFinding {
+    RawFinding {
+        line,
+        message: format!("`{what}` in library code"),
+        hint: "return a Result (GraphStoreError / io::Error) instead, or document the invariant: \
+               // moctopus-lint: allow(panic-in-lib, reason = \"...\")"
+            .to_string(),
+    }
+}

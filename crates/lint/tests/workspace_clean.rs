@@ -1,0 +1,23 @@
+//! The workspace itself must lint clean: zero findings, every exemption
+//! justified and live. This is the same gate CI runs via
+//! `cargo run -p moctopus-lint -- --workspace`.
+
+use std::path::PathBuf;
+
+#[test]
+fn workspace_has_zero_unjustified_findings() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint sits two levels under the workspace root")
+        .to_path_buf();
+    assert!(root.join("Cargo.toml").exists(), "workspace root not found at {}", root.display());
+    let report = moctopus_lint::lint_workspace(&root).expect("workspace scan");
+    assert!(
+        report.findings.is_empty(),
+        "workspace must lint clean, got {} finding(s):\n{}",
+        report.findings.len(),
+        report.render()
+    );
+    assert!(report.files_scanned > 50, "suspiciously few files scanned: {}", report.files_scanned);
+}

@@ -34,8 +34,6 @@
 //! assert!(step > SimTime::ZERO);
 //! ```
 
-#![deny(missing_docs)]
-
 pub mod config;
 pub mod energy;
 pub mod module;

@@ -102,6 +102,7 @@ impl RpqExpr {
             }
         }
         if flat.len() == 1 {
+            // moctopus-lint: allow(panic-in-lib, reason = "pop of a vec whose length the branch guard pins to 1")
             flat.pop().expect("length checked")
         } else {
             RpqExpr::Concat(flat)
@@ -118,6 +119,7 @@ impl RpqExpr {
             }
         }
         if flat.len() == 1 {
+            // moctopus-lint: allow(panic-in-lib, reason = "pop of a vec whose length the branch guard pins to 1")
             flat.pop().expect("length checked")
         } else {
             RpqExpr::Alt(flat)

@@ -30,8 +30,6 @@
 //! # Ok::<(), rpq::parser::ParseRpqError>(())
 //! ```
 
-#![deny(missing_docs)]
-
 pub mod ast;
 pub mod eval;
 pub mod nfa;

@@ -194,6 +194,7 @@ impl HostMatrixEngine {
         HostMatrixEngine {
             node_bound: n,
             any: any.build(),
+            // moctopus-lint: allow(hash-iter-order, reason = "map-to-map rebuild; MatrixBuilder::build sorts, so each value is order-independent")
             by_label: per_label.into_iter().map(|(l, b)| (l, b.build())).collect(),
         }
     }
@@ -284,6 +285,7 @@ impl HostMatrixEngine {
                     stats.result_entries = current.nnz();
                 }
                 PlanOp::Add | PlanOp::Sub => {
+                    // moctopus-lint: allow(panic-in-lib, reason = "plan construction never emits update ops into query plans; reaching this is a compiler bug")
                     panic!("update operators are not part of a query plan");
                 }
             }
@@ -412,6 +414,7 @@ impl HostMatrixEngine {
         let gone: Vec<(usize, usize)> = edges
             .iter()
             .map(|&(s, d, _)| (s.index(), d.index()))
+            // moctopus-lint: allow(hash-iter-order, reason = "existential probe over all values; any() over every label is order-independent")
             .filter(|&(s, d)| !self.by_label.values().any(|m| m.contains(s, d)))
             .collect();
         let delta_any = SparseBoolMatrix::from_triplets(self.node_bound, self.node_bound, &gone);
@@ -442,11 +445,11 @@ impl HostMatrixEngine {
         &self,
         edges: &[(NodeId, NodeId, Label)],
     ) -> Vec<(Label, SparseBoolMatrix)> {
-        let mut per_label: BTreeMap<Label, Vec<(usize, usize)>> = BTreeMap::new();
+        let mut grouped: BTreeMap<Label, Vec<(usize, usize)>> = BTreeMap::new();
         for &(s, d, l) in edges {
-            per_label.entry(l).or_default().push((s.index(), d.index()));
+            grouped.entry(l).or_default().push((s.index(), d.index()));
         }
-        per_label
+        grouped
             .into_iter()
             .map(|(l, triplets)| {
                 (l, SparseBoolMatrix::from_triplets(self.node_bound, self.node_bound, &triplets))
@@ -459,6 +462,7 @@ impl HostMatrixEngine {
             SparseBoolMatrix::from_triplets(new_bound, new_bound, &m.to_triplets())
         };
         self.any = grow_matrix(&self.any);
+        // moctopus-lint: allow(hash-iter-order, reason = "map-to-map rebuild; from_triplets sorts, so each grown matrix is order-independent")
         self.by_label = self.by_label.iter().map(|(&l, m)| (l, grow_matrix(m))).collect();
         self.node_bound = new_bound;
     }

@@ -54,8 +54,6 @@
 //! assert_eq!(ctxs.iter().sum::<u64>(), 499_500);
 //! ```
 
-#![deny(missing_docs)]
-
 pub mod sequence;
 
 pub use sequence::{Admission, ProducerId, SequenceError, SequencedQueue};

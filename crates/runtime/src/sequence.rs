@@ -380,6 +380,7 @@ impl<T> SequencedQueue<T> {
         if !safe {
             return None;
         }
+        // moctopus-lint: allow(panic-in-lib, reason = "the caller dequeues only after peeking this queue's non-empty head under the same lock")
         let (_, item) = inner[idx].pending.pop_front().expect("head checked above");
         Some(item)
     }

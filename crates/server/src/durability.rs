@@ -193,6 +193,7 @@ impl DurableEngine {
         self.seq += 1;
         let record = WalRecord { seq: self.seq, op, edges: edges.to_vec() };
         if let Err(e) = self.store.append(&record) {
+            // moctopus-lint: allow(panic-in-lib, reason = "deliberate crash-on-WAL-failure: acknowledging an unlogged update would break the durability contract (STORAGE.md)")
             panic!("WAL append failed, cannot acknowledge update: {e}");
         }
     }
@@ -201,6 +202,7 @@ impl DurableEngine {
     fn maybe_rotate(&mut self) {
         if self.rotate_every > 0 && self.store.wal_records() >= self.rotate_every {
             if let Err(e) = self.rotate() {
+                // moctopus-lint: allow(panic-in-lib, reason = "deliberate crash-on-rotation-failure: continuing would let the WAL grow past the configured recovery bound")
                 panic!("snapshot rotation failed: {e}");
             }
         }

@@ -71,8 +71,6 @@
 //! assert!(server.totals().saved_nanos() > 0.0);
 //! ```
 
-#![deny(missing_docs)]
-
 pub mod cache;
 pub mod durability;
 pub mod request;

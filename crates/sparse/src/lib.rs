@@ -36,8 +36,6 @@
 //! assert!(!two_hop.contains(0, 1));
 //! ```
 
-#![deny(missing_docs)]
-
 pub mod builder;
 pub mod matrix;
 pub mod ops;

@@ -21,8 +21,6 @@
 //! Start with [`moctopus`] — its crate docs carry the quick-start — and see
 //! `ARCHITECTURE.md` at the repository root for the end-to-end story.
 
-#![warn(missing_docs)]
-
 pub use graph_gen;
 pub use graph_partition;
 pub use graph_store;
