@@ -17,12 +17,27 @@
 //! an end-to-end correctness probe. All latencies are simulated milliseconds.
 //!
 //! Run with: `cargo run --release --bin rpq [--scale S] [--batch N] [--seed N]`
+//!
+//! `--taxonomy` switches to the PathForge AQ1–AQ28 conformance sweep
+//! ([`moctopus_bench::AQ_TAXONOMY`]): every AQ runs on all three engines over
+//! both workloads, and stdout carries only plan-invariant observables (normal
+//! form, fingerprint, matched count, result checksum, simulated latency) so
+//! CI can diff it verbatim between `--optimize on` and `--optimize off`.
+//! Plan choices and simulated costs go to stderr in text mode, or into the
+//! record written by `--json [PATH]` (default `BENCH_PR9.json`).
 
-use moctopus_bench::{fmt_ms, geometric_mean, HarnessOptions, RpqWorkload, RPQ_QUERY_SET};
+use moctopus_bench::{
+    fmt_ms, geometric_mean, HarnessOptions, RpqWorkload, AQ_TAXONOMY, RPQ_QUERY_SET,
+};
 use rpq::{parser, ReferenceEvaluator};
 
 fn main() {
     let options = HarnessOptions::from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--taxonomy") {
+        taxonomy(&options, &args);
+        return;
+    }
     println!(
         "Labelled RPQ run time (simulated ms), scale = {:.4}, labels = {}\n",
         options.scale,
@@ -106,4 +121,227 @@ fn main() {
         speedups_vs_hash.iter().cloned().fold(0.0, f64::max)
     );
     println!("\nall three engines agreed with each other and the reference evaluator");
+}
+
+/// One AQ's outcome on one workload: the plan-invariant stdout row plus the
+/// (optimizer-only) plan record destined for stderr / the JSON baseline.
+struct AqOutcome {
+    workload: &'static str,
+    aq: &'static str,
+    pattern: &'static str,
+    normal_form: String,
+    fingerprint: u64,
+    matched: usize,
+    checksum: u64,
+    sim_ms: [String; 3],
+    plan: Option<rpq::PlanChoice>,
+}
+
+/// FNV-1a over the batch's result rows (row index, row length, node ids) —
+/// a stable identity for "these exact served answers" that fits one column.
+fn result_checksum(results: &[Vec<graph_store::NodeId>]) -> u64 {
+    const SEED: u64 = 0xcbf2_9ce4_8422_2325;
+    const MULT: u64 = 0x0000_0100_0000_01b3;
+    let mut h = SEED;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(MULT);
+        }
+    };
+    for (i, row) in results.iter().enumerate() {
+        mix(i as u64);
+        mix(row.len() as u64);
+        for node in row {
+            mix(node.0);
+        }
+    }
+    h
+}
+
+/// The PathForge AQ1–AQ28 sweep. Stdout is byte-identical between
+/// `--optimize on` and `--optimize off` (the CI taxonomy job diffs it);
+/// plan/cost observables are reported out-of-band.
+fn taxonomy(options: &HarnessOptions, args: &[String]) {
+    let optimize = match args.iter().position(|a| a == "--optimize") {
+        Some(pos) => !matches!(args.get(pos + 1).map(String::as_str), Some("off")),
+        None => true,
+    };
+    let json_path = args.iter().position(|a| a == "--json").map(|pos| match args.get(pos + 1) {
+        Some(next) if !next.starts_with("--") => next.clone(),
+        _ => "BENCH_PR9.json".to_string(),
+    });
+
+    println!(
+        "PathForge AQ1-AQ28 taxonomy (simulated ms), scale = {:.4}, labels = {}\n",
+        options.scale,
+        RpqWorkload::label_mix().describe()
+    );
+
+    let workloads = [RpqWorkload::uniform(options), RpqWorkload::power_law(options)];
+    let mut outcomes: Vec<AqOutcome> = Vec::new();
+
+    for workload in &workloads {
+        println!(
+            "--- {} : {} nodes, {} labelled edges, batch = {} ---",
+            workload.name,
+            workload.graph.node_count(),
+            workload.graph.edge_count(),
+            workload.sources.len()
+        );
+        println!(
+            "{:<6} {:<10} {:<12} {:>18}  {:>8}  {:>18}  {:>10}  {:>10}  {:>10}",
+            "aq",
+            "pattern",
+            "normal",
+            "fingerprint",
+            "matched",
+            "checksum",
+            "Moctopus",
+            "PIM-hash",
+            "RedisGraph"
+        );
+        let mut engines = workload.all_engines(options);
+        let stats = engines[0].label_stats();
+        let reference = ReferenceEvaluator::new(&workload.graph);
+        let probe: Vec<_> = workload.sources.iter().copied().take(8).collect();
+
+        for (aq, text) in AQ_TAXONOMY {
+            let expr = parser::parse(text).expect("taxonomy patterns parse");
+            let norm = expr.normalize();
+            let mut latencies = Vec::with_capacity(engines.len());
+            let mut results = Vec::with_capacity(engines.len());
+            for engine in engines.iter_mut() {
+                let (r, s) = engine.rpq_batch(&expr, &workload.sources);
+                latencies.push(s.latency());
+                results.push(r);
+            }
+            for (engine, result) in engines.iter().zip(&results).skip(1) {
+                assert_eq!(
+                    result,
+                    &results[0],
+                    "{} disagrees with {} on {aq} ({text:?})",
+                    engine.name(),
+                    engines[0].name()
+                );
+            }
+            let want = reference.evaluate(&expr, &probe);
+            for (got, want) in results[0].iter().zip(want.iter()) {
+                let want: Vec<_> = want.iter().copied().collect();
+                assert_eq!(got, &want, "engines disagree with the reference on {aq} ({text:?})");
+            }
+
+            let plan = optimize.then(|| rpq::choose_plan(&norm, &stats, workload.sources.len()));
+            let outcome = AqOutcome {
+                workload: workload.name,
+                aq,
+                pattern: text,
+                normal_form: format!("{norm}"),
+                fingerprint: norm.fingerprint(),
+                matched: results[0].iter().map(Vec::len).sum(),
+                checksum: result_checksum(&results[0]),
+                sim_ms: [fmt_ms(latencies[0]), fmt_ms(latencies[1]), fmt_ms(latencies[2])],
+                plan,
+            };
+            println!(
+                "{:<6} {:<10} {:<12} {:#018x}  {:>8}  {:#018x}  {:>10}  {:>10}  {:>10}",
+                outcome.aq,
+                outcome.pattern,
+                outcome.normal_form,
+                outcome.fingerprint,
+                outcome.matched,
+                outcome.checksum,
+                outcome.sim_ms[0],
+                outcome.sim_ms[1],
+                outcome.sim_ms[2]
+            );
+            if let Some(plan) = outcome.plan {
+                eprintln!(
+                    "plan {} {:<10} {:<14} forward_cost={} chosen_cost={} speedup_millis={}",
+                    workload.name,
+                    outcome.aq,
+                    plan.strategy.describe(),
+                    plan.forward_cost,
+                    plan.chosen_cost,
+                    plan.simulated_speedup_millis()
+                );
+            }
+            outcomes.push(outcome);
+        }
+        println!();
+    }
+
+    println!("all three engines agreed with each other and the reference evaluator");
+    if optimize {
+        let best = outcomes
+            .iter()
+            .filter_map(|o| o.plan.map(|p| (o, p.simulated_speedup_millis())))
+            .max_by_key(|&(_, s)| s)
+            .expect("taxonomy is non-empty");
+        eprintln!(
+            "best simulated plan win: {} on {} ({}) at {}.{:03}x",
+            best.0.aq,
+            best.0.workload,
+            best.0.pattern,
+            best.1 / 1000,
+            best.1 % 1000
+        );
+    }
+
+    if let Some(path) = json_path {
+        let json = render_taxonomy_json(options, optimize, &outcomes);
+        std::fs::write(&path, json).expect("write taxonomy baseline");
+        eprintln!("wrote {path}");
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the taxonomy record as JSON (two-space indent, stable order).
+fn render_taxonomy_json(
+    options: &HarnessOptions,
+    optimize: bool,
+    outcomes: &[AqOutcome],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"rpq-taxonomy\",\n");
+    out.push_str(&format!("  \"scale\": {},\n", options.scale));
+    out.push_str(&format!("  \"batch\": {},\n", options.batch));
+    out.push_str(&format!("  \"seed\": {},\n", options.seed));
+    out.push_str(&format!("  \"threads\": {},\n", options.threads));
+    out.push_str(&format!("  \"optimize\": {optimize},\n"));
+    out.push_str("  \"queries\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"workload\": \"{}\",\n", json_escape(o.workload)));
+        out.push_str(&format!("      \"aq\": \"{}\",\n", o.aq));
+        out.push_str(&format!("      \"pattern\": \"{}\",\n", json_escape(o.pattern)));
+        out.push_str(&format!("      \"normal_form\": \"{}\",\n", json_escape(&o.normal_form)));
+        out.push_str(&format!("      \"fingerprint\": \"{:#018x}\",\n", o.fingerprint));
+        out.push_str(&format!("      \"matched\": {},\n", o.matched));
+        out.push_str(&format!("      \"result_checksum\": \"{:#018x}\",\n", o.checksum));
+        out.push_str(&format!(
+            "      \"sim_ms\": {{\"moctopus\": {}, \"pim_hash\": {}, \"host\": {}}}",
+            o.sim_ms[0], o.sim_ms[1], o.sim_ms[2]
+        ));
+        if let Some(plan) = o.plan {
+            out.push_str(",\n");
+            out.push_str(&format!("      \"plan\": \"{}\",\n", plan.strategy.describe()));
+            out.push_str(&format!("      \"forward_cost\": {},\n", plan.forward_cost));
+            out.push_str(&format!("      \"chosen_cost\": {},\n", plan.chosen_cost));
+            out.push_str(&format!(
+                "      \"simulated_speedup_millis\": {}\n",
+                plan.simulated_speedup_millis()
+            ));
+        } else {
+            out.push('\n');
+        }
+        out.push_str(if i + 1 < outcomes.len() { "    },\n" } else { "    }\n" });
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
 }

@@ -197,6 +197,42 @@ impl TraceWorkload {
 /// representative of every execution strategy the engines implement.
 pub const RPQ_QUERY_SET: [&str; 4] = ["1/2/3", "1/(2|3)*/4", ".{2}", "1+"];
 
+/// The PathForge AQ1–AQ28 conformance taxonomy, instantiated over the Zipf
+/// label mix this harness generates: `a` = label 1 (the most common), `b` =
+/// label 8 (the rarest), `c` = label 4 (mid-rank); PathForge's `.`
+/// concatenation operator is this syntax's `/`. Swept by `rpq --taxonomy`
+/// and pinned end-to-end by `tests/rpq_taxonomy.rs`.
+pub const AQ_TAXONOMY: [(&str, &str); 28] = [
+    ("AQ1", "1/8"),
+    ("AQ2", "1/8/4"),
+    ("AQ3", "(1/8)?"),
+    ("AQ4", "1/(8|4)"),
+    ("AQ5", "4/(1?)"),
+    ("AQ6", "(4?)/1"),
+    ("AQ7", "1|8"),
+    ("AQ8", "(1/8)|4"),
+    ("AQ9", "(1|8)|4"),
+    ("AQ10", "1+|8"),
+    ("AQ11", "1*|8"),
+    ("AQ12", "1|4"),
+    ("AQ13", "(1?)|8"),
+    ("AQ14", "4|(1?)"),
+    ("AQ15", "1?"),
+    ("AQ16", "1??"),
+    ("AQ17", "4|(1|8)"),
+    ("AQ18", "(1|8)+"),
+    ("AQ19", "(1|8)?"),
+    ("AQ20", "(1|8)*"),
+    ("AQ21", "4|(1/8)"),
+    ("AQ22", "1+/8"),
+    ("AQ23", "1*/8"),
+    ("AQ24", "1/8+"),
+    ("AQ25", "1/8*"),
+    ("AQ26", "1|(1+)"),
+    ("AQ27", "1+"),
+    ("AQ28", "1*"),
+];
+
 /// A generated labelled workload: a Zipf label mix layered over one of the
 /// standard topologies, plus the labelled ingestion stream and query sources.
 #[derive(Debug, Clone)]

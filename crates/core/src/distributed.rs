@@ -48,8 +48,8 @@ use graph_partition::{
     PartitionMetrics, StreamingPartitioner,
 };
 use graph_store::{
-    AdjacencyGraph, HeterogeneousStorage, HostRowSnapshot, Label, LocalGraphStorage,
-    LocalModuleSnapshot, NodeId, PartitionId, SnapshotState,
+    AdjacencyGraph, HeterogeneousStorage, HostRowSnapshot, Label, LabelStatsSnapshot,
+    LocalGraphStorage, LocalModuleSnapshot, NodeId, PartitionId, SnapshotState,
 };
 use moctopus_runtime::{chunk_ranges, WorkerPool};
 use pim_sim::{Phase, PimSystem, Timeline};
@@ -376,6 +376,23 @@ impl DistributedPimEngine {
     /// Load-imbalance factor observed so far (max module busy time / mean).
     pub fn load_imbalance(&self) -> f64 {
         self.pim.load_imbalance()
+    }
+
+    /// Merged per-label statistics across the whole storage plane: every
+    /// PIM module's local store (in module-id order) plus the host store.
+    ///
+    /// Each store maintains its table incrementally on its own mutation
+    /// paths (including row promotion/migration), so this is a pure merge —
+    /// no row is rescanned. The merge order is fixed, and
+    /// [`LabelStatsSnapshot::merge`] is commutative summation, so the result
+    /// is deterministic regardless of thread count.
+    pub fn label_stats(&self) -> LabelStatsSnapshot {
+        let mut merged = LabelStatsSnapshot::default();
+        for store in &self.local_stores {
+            merged.merge(&store.label_stats().snapshot());
+        }
+        merged.merge(&self.host_store.label_stats().snapshot());
+        merged
     }
 
     /// The PIM module that stores the host-side supplementary maps for `row`
@@ -1414,6 +1431,75 @@ mod tests {
         // The hub's row is complete on the host: a 1-hop query returns all 20.
         let (results, _) = e.k_hop_batch(&[NodeId(0)], 1);
         assert_eq!(results[0].len(), 20);
+    }
+
+    /// Merged per-label statistics stay incremental across the engine's
+    /// structural paths — hub promotion to the host store, locality-driven
+    /// row migration, deletes on both lanes — matching a from-scratch
+    /// rebuild (the logical graph view populates its own table from zero)
+    /// on every exact counter, with target counts inside their documented
+    /// over-approximation band.
+    #[test]
+    fn label_stats_stay_incremental_across_promotion_and_migration() {
+        let check = |e: &DistributedPimEngine, phase: &str| {
+            let got = e.label_stats();
+            assert_eq!(got.total_edges as usize, e.edge_count(), "{phase}: total_edges drifted");
+            let want = e.graph_view().label_stats().snapshot();
+            assert_eq!(got.per_label.len(), want.per_label.len(), "{phase}: label sets differ");
+            for (&(l, g), &(lw, w)) in got.per_label.iter().zip(&want.per_label) {
+                assert_eq!(l, lw, "{phase}: label order differs");
+                assert_eq!(g.edges, w.edges, "{phase}: label {l:?} edge count drifted");
+                // Every row lives in exactly one store, so summed distinct
+                // source counts are exact; summed target counts over-count a
+                // target reached from rows in several stores, but never
+                // exceed the label's edge count.
+                assert_eq!(g.sources, w.sources, "{phase}: label {l:?} source count drifted");
+                assert!(
+                    w.targets <= g.targets && g.targets <= g.edges,
+                    "{phase}: label {l:?} targets {} outside [{}, {}]",
+                    g.targets,
+                    w.targets,
+                    g.edges
+                );
+            }
+        };
+
+        let mut edges: Vec<(NodeId, NodeId, Label)> = Vec::new();
+        // A 20-out-degree hub (crosses HIGH_DEGREE_THRESHOLD → host
+        // promotion under the greedy-adaptive policy) plus labelled churn.
+        for i in 1..=20u64 {
+            edges.push((NodeId(0), NodeId(i), Label((i % 3 + 1) as u16)));
+        }
+        for i in 1..40u64 {
+            edges.push((NodeId(i), NodeId((i * 7) % 40), Label((i % 5 + 1) as u16)));
+        }
+
+        for mut e in [moctopus_engine(), hash_engine()] {
+            e.insert_labeled_edges(&edges);
+            check(&e, "after inserts");
+
+            e.refine_locality();
+            check(&e, "after migration");
+
+            let victims: Vec<(NodeId, NodeId, Label)> = edges.iter().step_by(3).copied().collect();
+            e.delete_labeled_edges(&victims);
+            check(&e, "after deletes");
+
+            // A twin restored from the durable image rebuilds the exact same
+            // merged statistics, bit for bit.
+            let mut twin = if matches!(e.policy, PlacementPolicy::Hash(_)) {
+                hash_engine()
+            } else {
+                moctopus_engine()
+            };
+            assert!(twin.restore_storage(&e.export_storage()));
+            assert_eq!(twin.label_stats(), e.label_stats(), "restored stats must be identical");
+        }
+        // The greedy engine really promoted the hub (the host-lane stats
+        // paths were exercised, not just the PIM ones).
+        let mut greedy = moctopus_engine();
+        greedy.insert_labeled_edges(&edges);
+        assert_eq!(greedy.assignment().partition_of(NodeId(0)), Some(PartitionId::Host));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::deps::{QueryDeps, UpdateFootprint};
 use crate::stats::{QueryStats, UpdateStats};
-use graph_store::{Label, NodeId, SnapshotState};
+use graph_store::{Label, LabelStatsSnapshot, NodeId, SnapshotState};
 use rpq::RpqExpr;
 
 /// A graph engine that can ingest labelled edges, apply updates, and answer
@@ -146,6 +146,20 @@ pub trait GraphEngine {
         let _ = snapshot;
         false
     }
+
+    /// A deterministic snapshot of the engine's per-label degree/cardinality
+    /// statistics, the input of the cost-based RPQ plan optimizer
+    /// (`rpq::optimizer`).
+    ///
+    /// The statistics must be maintained **incrementally** on every labelled
+    /// update — never by rescanning stored rows — and must be a pure
+    /// observable: reading them can never change served results, query
+    /// statistics, or dependency footprints. The default returns an empty
+    /// snapshot, under which the optimizer degenerates to the left-to-right
+    /// forward plan (always sound).
+    fn label_stats(&self) -> LabelStatsSnapshot {
+        LabelStatsSnapshot::default()
+    }
 }
 
 /// Boxed engines are engines: forwarding impl so harnesses and the serving
@@ -221,6 +235,10 @@ impl<T: GraphEngine + ?Sized> GraphEngine for Box<T> {
 
     fn restore_snapshot(&mut self, snapshot: &SnapshotState) -> bool {
         (**self).restore_snapshot(snapshot)
+    }
+
+    fn label_stats(&self) -> LabelStatsSnapshot {
+        (**self).label_stats()
     }
 }
 

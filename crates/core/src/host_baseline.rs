@@ -357,6 +357,10 @@ impl GraphEngine for HostBaseline {
         self.dirty = true;
         true
     }
+
+    fn label_stats(&self) -> graph_store::LabelStatsSnapshot {
+        self.graph.label_stats().snapshot()
+    }
 }
 
 #[cfg(test)]

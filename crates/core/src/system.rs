@@ -162,6 +162,10 @@ impl GraphEngine for MoctopusSystem {
     fn restore_snapshot(&mut self, snapshot: &SnapshotState) -> bool {
         self.engine.restore_storage(snapshot)
     }
+
+    fn label_stats(&self) -> graph_store::LabelStatsSnapshot {
+        self.engine.label_stats()
+    }
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 //! handle: edge insertion, edge deletion, and incremental degree tracking.
 
 use crate::ids::{Label, NodeId};
+use crate::labelstats::LabelStatsTable;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -37,6 +38,9 @@ pub struct AdjacencyGraph {
     edge_count: usize,
     /// Largest node id ever seen plus one; used to size dense structures.
     id_bound: u64,
+    /// Per-label statistics, maintained on every labelled insert/delete (and
+    /// rebuilt alongside the edge count on snapshot restore).
+    stats: LabelStatsTable,
 }
 
 impl AdjacencyGraph {
@@ -47,7 +51,12 @@ impl AdjacencyGraph {
 
     /// Creates an empty graph with room pre-allocated for `nodes` nodes.
     pub fn with_capacity(nodes: usize) -> Self {
-        AdjacencyGraph { out_edges: HashMap::with_capacity(nodes), edge_count: 0, id_bound: 0 }
+        AdjacencyGraph {
+            out_edges: HashMap::with_capacity(nodes),
+            edge_count: 0,
+            id_bound: 0,
+            stats: LabelStatsTable::new(),
+        }
     }
 
     /// Builds a graph from an iterator of unlabelled `(src, dst)` pairs.
@@ -76,6 +85,7 @@ impl AdjacencyGraph {
         }
         row.push((dst, label));
         self.edge_count += 1;
+        self.stats.record_insert(src, dst, label);
         true
     }
 
@@ -85,6 +95,7 @@ impl AdjacencyGraph {
             if let Some(pos) = row.iter().position(|&(d, l)| d == dst && l == label) {
                 row.swap_remove(pos);
                 self.edge_count -= 1;
+                self.stats.record_delete(src, dst, label);
                 return true;
             }
         }
@@ -202,14 +213,21 @@ impl AdjacencyGraph {
     /// as-is (it can exceed every present id after deletions).
     pub fn from_rows(rows: Vec<(NodeId, Vec<(NodeId, Label)>)>, id_bound: u64) -> Self {
         let mut edge_count = 0;
+        let mut stats = LabelStatsTable::new();
         let out_edges: HashMap<NodeId, Vec<(NodeId, Label)>> = rows
             .into_iter()
             .map(|(n, v)| {
                 edge_count += v.len();
+                stats.record_row_installed(n, &v);
                 (n, v)
             })
             .collect();
-        AdjacencyGraph { out_edges, edge_count, id_bound }
+        AdjacencyGraph { out_edges, edge_count, id_bound, stats }
+    }
+
+    /// The incrementally maintained per-label statistics of this graph.
+    pub fn label_stats(&self) -> &LabelStatsTable {
+        &self.stats
     }
 }
 
@@ -314,6 +332,24 @@ mod tests {
             g.insert_edge(NodeId(100), NodeId(i), Label::ANY);
         }
         assert_eq!(g.count_high_degree(16), 1); // only node 0 exceeds 16
+    }
+
+    #[test]
+    fn label_stats_stay_incremental_under_churn() {
+        let mut g = AdjacencyGraph::new();
+        for i in 0..40u64 {
+            g.insert_edge(NodeId(i % 6), NodeId((i * 5) % 9), Label((i % 4) as u16 + 1));
+            if i % 3 == 0 {
+                g.remove_edge(NodeId((i + 2) % 6), NodeId((i * 5 + 10) % 9), Label(1));
+            }
+            let rebuilt = AdjacencyGraph::from_rows(g.export_rows(), g.id_bound());
+            assert_eq!(
+                g.label_stats().snapshot(),
+                rebuilt.label_stats().snapshot(),
+                "incremental stats diverged from rebuilt stats at step {i}"
+            );
+        }
+        assert_eq!(g.label_stats().total_edges(), g.edge_count() as u64);
     }
 
     #[test]

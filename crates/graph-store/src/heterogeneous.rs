@@ -21,6 +21,7 @@
 
 use crate::error::GraphStoreError;
 use crate::ids::{Label, LabeledEdgeKey, NodeId};
+use crate::labelstats::LabelStatsTable;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -112,6 +113,9 @@ pub struct HeterogeneousStorage {
     free_list_map: HashMap<NodeId, Vec<usize>>,
     /// Number of live edges across all rows.
     edge_count: usize,
+    /// Per-label statistics, maintained on every mutation path (insert,
+    /// delete, row install/take, snapshot rebuild) — never by rescanning.
+    stats: LabelStatsTable,
 }
 
 impl HeterogeneousStorage {
@@ -130,6 +134,7 @@ impl HeterogeneousStorage {
             for &(dst, label) in &old.slots {
                 if dst != FREE_SLOT {
                     self.elem_position_map.remove(&(row, dst, label));
+                    self.stats.record_delete(row, dst, label);
                     cost.pim_mutations += 1;
                 }
             }
@@ -145,6 +150,7 @@ impl HeterogeneousStorage {
             let pos = slots.len();
             slots.push((dst, label));
             self.elem_position_map.insert((row, dst, label), pos);
+            self.stats.record_insert(row, dst, label);
             cost.pim_mutations += 1;
             cost.host_bytes_written += label_slot_bytes(label);
         }
@@ -163,6 +169,7 @@ impl HeterogeneousStorage {
         for &(dst, label) in &cols.slots {
             if dst != FREE_SLOT {
                 self.elem_position_map.remove(&(row, dst, label));
+                self.stats.record_delete(row, dst, label);
                 hops.push((dst, label));
             }
         }
@@ -204,6 +211,7 @@ impl HeterogeneousStorage {
         cols.live += 1;
         cost.host_bytes_written += std::mem::size_of::<NodeId>() as u64 + label_slot_bytes(label);
         self.edge_count += 1;
+        self.stats.record_insert(src, dst, label);
         UpdateOutcome { changed: true, cost }
     }
 
@@ -224,6 +232,7 @@ impl HeterogeneousStorage {
         self.free_list_map.entry(src).or_default().push(pos);
         cost.pim_mutations += 1;
         self.edge_count -= 1;
+        self.stats.record_delete(src, dst, label);
         UpdateOutcome { changed: true, cost }
     }
 
@@ -277,6 +286,11 @@ impl HeterogeneousStorage {
     /// Number of live edges across all rows.
     pub fn edge_count(&self) -> usize {
         self.edge_count
+    }
+
+    /// The incrementally maintained per-label statistics of this storage.
+    pub fn label_stats(&self) -> &LabelStatsTable {
+        &self.stats
     }
 
     /// Bytes of live next-hop ids resident on the host across all rows.
@@ -378,6 +392,7 @@ impl HeterogeneousStorage {
             for (pos, &(dst, label)) in slots.iter().enumerate() {
                 if dst != FREE_SLOT {
                     s.elem_position_map.insert((row, dst, label), pos);
+                    s.stats.record_insert(row, dst, label);
                     live += 1;
                 }
             }
@@ -528,6 +543,35 @@ mod tests {
         let iterated: u64 = s.iter().map(|(_, hops)| hops.len() as u64 * 8).sum();
         assert_eq!(s.live_bytes(), iterated);
         assert_eq!(s.live_bytes(), 16);
+    }
+
+    #[test]
+    fn label_stats_stay_incremental_under_churn() {
+        // After every step of a deterministic insert/delete/install/take
+        // interleaving, the incrementally maintained stats must equal the
+        // stats of a storage rebuilt from scratch via the snapshot path.
+        let mut s = HeterogeneousStorage::new();
+        for i in 0..48u64 {
+            let (src, dst, label) =
+                (NodeId(i % 5), NodeId((i * 7) % 13), Label((i % 3) as u16 + 1));
+            s.insert_edge(src, dst, label);
+            if i % 4 == 0 {
+                s.delete_edge(NodeId((i + 1) % 5), NodeId((i * 7 + 7) % 13), Label(1));
+            }
+            if i % 11 == 0 {
+                if let Some(row) = s.take_row(NodeId(i % 5)) {
+                    s.install_row(NodeId(i % 5), row);
+                }
+            }
+            let rebuilt = HeterogeneousStorage::from_rows(s.export_rows());
+            assert_eq!(
+                s.label_stats().snapshot(),
+                rebuilt.label_stats().snapshot(),
+                "incremental stats diverged from rebuilt stats at step {i}"
+            );
+            s.check_invariants().unwrap();
+        }
+        assert_eq!(s.label_stats().total_edges(), s.edge_count() as u64);
     }
 
     #[test]

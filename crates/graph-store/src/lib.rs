@@ -15,6 +15,8 @@
 //!   high-degree nodes kept on the host: a contiguous `cols_vector` on the
 //!   host plus `elem_position_map` / `free_list_map` hash maps on the PIM side.
 //! * [`degree`] — out-degree tracking and the high-degree threshold (16).
+//! * [`labelstats`] — incrementally maintained per-label degree/cardinality
+//!   statistics, the input of the cost-based RPQ plan optimizer.
 //! * [`edgelist`] — plain and SNAP-style labelled edge-list import/export.
 //! * [`snapshot`] / [`wal`] / [`durable`] — the durable storage plane: a
 //!   versioned, checksummed snapshot format, an append-only labelled-edge
@@ -42,6 +44,7 @@ pub mod edgelist;
 pub mod error;
 pub mod heterogeneous;
 pub mod ids;
+pub mod labelstats;
 pub mod local;
 pub mod property;
 pub mod snapshot;
@@ -56,6 +59,7 @@ pub use durable::{
 pub use error::GraphStoreError;
 pub use heterogeneous::{HeterogeneousStorage, UpdateCost, UpdateOutcome};
 pub use ids::{EdgeKey, Label, LabeledEdgeKey, NodeId, PartitionId};
+pub use labelstats::{LabelCounters, LabelStatsSnapshot, LabelStatsTable};
 pub use local::LocalGraphStorage;
 pub use property::{PropertyGraph, PropertyValue};
 pub use snapshot::{HostRowSnapshot, LocalModuleSnapshot, SnapshotState};

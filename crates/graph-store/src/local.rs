@@ -16,6 +16,7 @@
 
 use crate::error::GraphStoreError;
 use crate::ids::{Label, NodeId};
+use crate::labelstats::LabelStatsTable;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -44,6 +45,9 @@ pub struct LocalGraphStorage {
     rows: HashMap<NodeId, Vec<(NodeId, Label)>>,
     edge_count: usize,
     capacity_bytes: Option<u64>,
+    /// Per-label statistics, maintained on every mutation path (insert,
+    /// delete, row migration, snapshot rebuild) — never by rescanning rows.
+    stats: LabelStatsTable,
 }
 
 /// Modeled MRAM bytes per stored edge: an 8-byte next-hop id plus a 2-byte
@@ -63,6 +67,7 @@ impl LocalGraphStorage {
             rows: HashMap::new(),
             edge_count: 0,
             capacity_bytes: Some(capacity_bytes),
+            stats: LabelStatsTable::new(),
         }
     }
 
@@ -94,6 +99,7 @@ impl LocalGraphStorage {
             Err(pos) => {
                 row.insert(pos, (dst, label));
                 self.edge_count += 1;
+                self.stats.record_insert(src, dst, label);
                 Ok(())
             }
         }
@@ -116,6 +122,7 @@ impl LocalGraphStorage {
             .map_err(|_| GraphStoreError::EdgeNotFound(src, dst))?;
         row.remove(pos);
         self.edge_count -= 1;
+        self.stats.record_delete(src, dst, label);
         if row.is_empty() {
             self.rows.remove(&src);
         }
@@ -139,6 +146,7 @@ impl LocalGraphStorage {
         let row = self.rows.remove(&src);
         if let Some(ref r) = row {
             self.edge_count -= r.len();
+            self.stats.record_row_taken(src, r);
         }
         row
     }
@@ -156,8 +164,11 @@ impl LocalGraphStorage {
         }
         if let Some(old) = self.rows.insert(src, next_hops) {
             self.edge_count -= old.len();
+            self.stats.record_row_taken(src, &old);
         }
         self.edge_count += self.rows[&src].len();
+        // Stats cover exactly what was stored (post dedup/replace).
+        self.stats.record_row_installed(src, &self.rows[&src]);
     }
 
     /// Number of rows stored locally.
@@ -221,15 +232,22 @@ impl LocalGraphStorage {
         capacity_bytes: Option<u64>,
     ) -> Self {
         let mut edge_count = 0;
+        let mut stats = LabelStatsTable::new();
         let map: HashMap<NodeId, Vec<(NodeId, Label)>> = sorted_rows
             .into_iter()
             .map(|(n, v)| {
                 debug_assert!(v.windows(2).all(|w| w[0] < w[1]), "snapshot row must be sorted");
                 edge_count += v.len();
+                stats.record_row_installed(n, &v);
                 (n, v)
             })
             .collect();
-        LocalGraphStorage { rows: map, edge_count, capacity_bytes }
+        LocalGraphStorage { rows: map, edge_count, capacity_bytes, stats }
+    }
+
+    /// The incrementally maintained per-label statistics of this segment.
+    pub fn label_stats(&self) -> &LabelStatsTable {
+        &self.stats
     }
 }
 
@@ -348,5 +366,34 @@ mod tests {
         assert_eq!(s.resident_bytes(), 0);
         s.insert_edge(NodeId(0), NodeId(1), ANY).unwrap();
         assert_eq!(s.resident_bytes(), 10 + 16);
+    }
+
+    #[test]
+    fn label_stats_stay_incremental_under_churn() {
+        // A deterministic insert/delete/migrate interleaving: after every
+        // step, the incrementally maintained stats must equal the stats of a
+        // store rebuilt from scratch via the snapshot path.
+        let mut s = LocalGraphStorage::new();
+        for i in 0..40u64 {
+            let (src, dst, label) =
+                (NodeId(i % 7), NodeId((i * 3) % 11), Label((i % 4) as u16 + 1));
+            let _ = s.insert_edge(src, dst, label);
+            if i % 5 == 0 {
+                let _ = s.remove_edge(NodeId((i + 2) % 7), NodeId((i * 3 + 6) % 11), Label(1));
+            }
+            if i % 9 == 0 {
+                if let Some(row) = s.take_row(NodeId(i % 7)) {
+                    s.install_row(NodeId(i % 7), row);
+                }
+            }
+            let rebuilt = LocalGraphStorage::from_sorted_rows(s.export_rows(), None);
+            assert_eq!(
+                s.label_stats().snapshot(),
+                rebuilt.label_stats().snapshot(),
+                "incremental stats diverged from rebuilt stats at step {i}"
+            );
+        }
+        assert!(s.label_stats().total_edges() > 0);
+        assert_eq!(s.label_stats().total_edges(), s.edge_count() as u64);
     }
 }

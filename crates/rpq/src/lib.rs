@@ -19,6 +19,10 @@
 //! * [`plan`] — matrix-based execution plans (`smxm`, `mwait`, `add`, `sub`
 //!   operators) and the host-side executor over [`sparse`] matrices, which is
 //!   the RedisGraph-like baseline's query path.
+//! * [`optimizer`] — cost-based plan selection (forward vs bidirectional vs
+//!   rare-label-first split) over incrementally maintained per-label
+//!   statistics, with the plan-invariance contract that served results are
+//!   bit-identical under every choice.
 //!
 //! # Examples
 //!
@@ -34,6 +38,7 @@ pub mod ast;
 pub mod eval;
 pub mod nfa;
 pub mod norm;
+pub mod optimizer;
 pub mod parser;
 pub mod plan;
 
@@ -41,4 +46,5 @@ pub use ast::{LabelSpec, RpqExpr};
 pub use eval::ReferenceEvaluator;
 pub use nfa::Nfa;
 pub use norm::LabelAlphabet;
+pub use optimizer::{choose_plan, rewritten_for, PlanChoice, PlanStrategy};
 pub use plan::{ExecutionPlan, PlanOp};

@@ -224,6 +224,45 @@ impl RpqExpr {
         }
     }
 
+    /// The language-reversal of the expression: `w` matches `e` exactly when
+    /// the reversed label sequence matches `e.reverse()`.
+    ///
+    /// Structurally, concatenations reverse their part order (recursively)
+    /// and every other variant keeps its shape while reversing its children —
+    /// the standard regular-language reversal. The operation is an
+    /// involution up to normalization: `e.reverse().reverse()` is `e` itself.
+    ///
+    /// The cost-based optimizer uses this to *cost* the bidirectional plan:
+    /// expanding a reversed automaton from the target side of the graph
+    /// traverses the same label multiset as the reversed expression does
+    /// forward, so the reversed tree priced against in-side statistics is
+    /// the simulated cost of the backward sweep (see `rpq::optimizer`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rpq::parser;
+    /// let e = parser::parse("1/2*/3")?;
+    /// assert_eq!(e.reverse(), parser::parse("3/2*/1")?);
+    /// assert_eq!(e.reverse().reverse(), e);
+    /// # Ok::<(), rpq::parser::ParseRpqError>(())
+    /// ```
+    pub fn reverse(&self) -> RpqExpr {
+        match self {
+            RpqExpr::Atom(spec) => RpqExpr::Atom(*spec),
+            RpqExpr::Concat(parts) => {
+                RpqExpr::Concat(parts.iter().rev().map(RpqExpr::reverse).collect())
+            }
+            RpqExpr::Alt(branches) => RpqExpr::Alt(branches.iter().map(RpqExpr::reverse).collect()),
+            RpqExpr::Star(inner) => RpqExpr::Star(Box::new(inner.reverse())),
+            RpqExpr::Plus(inner) => RpqExpr::Plus(Box::new(inner.reverse())),
+            RpqExpr::Optional(inner) => RpqExpr::Optional(Box::new(inner.reverse())),
+            RpqExpr::Repeat { expr, min, max } => {
+                RpqExpr::Repeat { expr: Box::new(expr.reverse()), min: *min, max: *max }
+            }
+        }
+    }
+
     /// The set of edge labels this expression can traverse.
     ///
     /// Every path matched by the expression uses only edges whose label is in
@@ -412,6 +451,46 @@ mod tests {
             h.write_u64(0x01);
             h.finish()
         });
+    }
+
+    #[test]
+    fn reverse_is_an_involution_and_reverses_the_language() {
+        use crate::ReferenceEvaluator;
+        use graph_store::{AdjacencyGraph, NodeId};
+        let mut fwd = AdjacencyGraph::new();
+        let mut rev = AdjacencyGraph::new();
+        for &(s, d, l) in
+            &[(0u64, 1u64, 1u16), (1, 2, 2), (1, 3, 3), (2, 4, 1), (3, 4, 2), (4, 1, 3), (0, 4, 2)]
+        {
+            fwd.insert_edge(NodeId(s), NodeId(d), Label(l));
+            rev.insert_edge(NodeId(d), NodeId(s), Label(l));
+        }
+        let sources: Vec<NodeId> = (0..5u64).map(NodeId).collect();
+        for text in ["1/2/3", "1/(2|3)*", "1/2*/3", "(1/2)|3", ".{2}", "2{0,2}/1", "1+/2"] {
+            let expr = parse(text).expect("query must parse");
+            assert_eq!(
+                expr.reverse().reverse(),
+                expr,
+                "reverse must be an involution for {text:?}"
+            );
+            // (u, v) matched by e on the graph  ⟺  (v, u) matched by
+            // reverse(e) on the edge-reversed graph.
+            let mut want: Vec<(NodeId, NodeId)> = Vec::new();
+            for (i, row) in
+                ReferenceEvaluator::new(&fwd).evaluate(&expr, &sources).iter().enumerate()
+            {
+                want.extend(row.iter().map(|&t| (sources[i], t)));
+            }
+            let mut got: Vec<(NodeId, NodeId)> = Vec::new();
+            for (i, row) in
+                ReferenceEvaluator::new(&rev).evaluate(&expr.reverse(), &sources).iter().enumerate()
+            {
+                got.extend(row.iter().map(|&t| (t, sources[i])));
+            }
+            want.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, want, "reverse changed the matched pair set of {text:?}");
+        }
     }
 
     #[test]

@@ -283,6 +283,10 @@ impl GraphEngine for DurableEngine {
     fn restore_snapshot(&mut self, snapshot: &SnapshotState) -> bool {
         self.engine.restore_snapshot(snapshot)
     }
+
+    fn label_stats(&self) -> graph_store::LabelStatsSnapshot {
+        self.engine.label_stats()
+    }
 }
 
 #[cfg(test)]

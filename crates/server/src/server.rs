@@ -34,12 +34,24 @@ pub struct ServerConfig {
     /// parameters only). Use the same config the engine was built with so
     /// hit overhead and engine time share one clock.
     pub pricing: MoctopusConfig,
+    /// Run the cost-based RPQ plan optimizer (`rpq::optimizer`) on every
+    /// query execution. Plan choice is observable **only** in the
+    /// [`ServeTotals`] planning counters and [`QueryServer::last_plan`]:
+    /// served results, stats, dependency footprints, and cache behaviour are
+    /// bit-identical with the optimizer on or off (the plan-invariance
+    /// contract; enforced by `tests/plan_invariance.rs`). Default `false`.
+    pub optimize: bool,
 }
 
 impl Default for ServerConfig {
-    /// Caching on (default [`CacheConfig`]), paper-default pricing.
+    /// Caching on (default [`CacheConfig`]), paper-default pricing, no
+    /// optimizer.
     fn default() -> Self {
-        ServerConfig { cache: Some(CacheConfig::default()), pricing: MoctopusConfig::default() }
+        ServerConfig {
+            cache: Some(CacheConfig::default()),
+            pricing: MoctopusConfig::default(),
+            optimize: false,
+        }
     }
 }
 
@@ -66,6 +78,18 @@ pub struct ServeTotals {
     /// Query requests served from the miss-collapse window (identical query
     /// already executed at the same logical timestamp; SERVING.md §6).
     pub collapsed: u64,
+    /// Query executions the plan optimizer ran for (0 unless
+    /// [`ServerConfig::optimize`] is set; hits and collapses are not
+    /// planned — there is nothing to execute).
+    pub planned: u64,
+    /// Of [`ServeTotals::planned`], how many chose a non-forward strategy.
+    pub plan_nonforward: u64,
+    /// Summed simulated cost of the baseline forward plans across all
+    /// planned executions (edge-traversal units; see `rpq::optimizer`).
+    pub plan_forward_cost: u64,
+    /// Summed simulated cost of the chosen plans; `<= plan_forward_cost`
+    /// always, because forward is always a candidate and wins ties.
+    pub plan_chosen_cost: u64,
 }
 
 impl ServeTotals {
@@ -124,6 +148,11 @@ pub struct QueryServer {
     window: Option<CollapseWindow>,
     /// Sequence counter for [`QueryServer::execute_next`]'s synthetic ids.
     next_seq: u64,
+    /// Whether query executions run the cost-based plan optimizer
+    /// ([`ServerConfig::optimize`]).
+    optimize: bool,
+    /// The optimizer's choice for the most recent planned execution.
+    last_plan: Option<rpq::PlanChoice>,
 }
 
 /// See the `window` field of `QueryServer`.
@@ -152,6 +181,8 @@ impl QueryServer {
             totals: ServeTotals::default(),
             window: None,
             next_seq: 0,
+            optimize: config.optimize,
+            last_plan: None,
         }
     }
 
@@ -211,6 +242,7 @@ impl QueryServer {
         }
 
         if self.cache.is_none() {
+            self.plan_query(&key);
             let (results, stats) = self.engine.rpq_batch(key.expr(), key.sources());
             self.totals.engine_time += stats.latency();
             self.totals.matched_pairs += stats.matched_pairs as u64;
@@ -231,6 +263,7 @@ impl QueryServer {
             return ResponseBody::Query { results, stats, cache: CacheOutcome::Hit };
         }
 
+        self.plan_query(&key);
         let (results, stats, deps) = self.engine.rpq_batch_tracked(key.expr(), key.sources());
         self.totals.engine_time += stats.latency();
         self.totals.matched_pairs += stats.matched_pairs as u64;
@@ -269,6 +302,11 @@ impl QueryServer {
                     (rows, stats)
                 }
                 None => {
+                    if !executed {
+                        // Plan once per executing query, against the full
+                        // batch — the same granularity as the other modes.
+                        self.plan_query(&key);
+                    }
                     executed = true;
                     let (rows, stats, deps) =
                         self.engine.rpq_batch_tracked(row_key.expr(), row_key.sources());
@@ -290,6 +328,40 @@ impl QueryServer {
             CacheOutcome::Hit
         };
         ResponseBody::Query { results, stats: folded, cache: outcome }
+    }
+
+    /// Runs the cost-based plan optimizer for a query about to execute, when
+    /// [`ServerConfig::optimize`] is set.
+    ///
+    /// The choice feeds the [`ServeTotals`] planning counters and
+    /// [`QueryServer::last_plan`] only — execution below stays the canonical
+    /// forward NFA product, so everything the client can observe in a
+    /// response is bit-identical with the optimizer on or off. The statistics
+    /// come from [`GraphEngine::label_stats`], maintained incrementally by
+    /// the engine's stores on every labelled update.
+    fn plan_query(&mut self, key: &CacheKey) {
+        if !self.optimize {
+            return;
+        }
+        let stats = self.engine.label_stats();
+        let choice = rpq::optimizer::choose_plan(key.expr(), &stats, key.sources().len());
+        // The chosen strategy is part of the normalized form: its respelling
+        // of the query collapses back to the exact cache key in use, so a
+        // query and its plan-rewritten form always share one cache row.
+        debug_assert_eq!(
+            rpq::optimizer::rewritten_for(key.expr(), choice.strategy).normalize(),
+            *key.expr(),
+            "plan respelling must normalize back to the cache key"
+        );
+        self.totals.planned += 1;
+        self.totals.plan_forward_cost =
+            self.totals.plan_forward_cost.saturating_add(choice.forward_cost);
+        self.totals.plan_chosen_cost =
+            self.totals.plan_chosen_cost.saturating_add(choice.chosen_cost);
+        if choice.strategy != rpq::PlanStrategy::Forward {
+            self.totals.plan_nonforward += 1;
+        }
+        self.last_plan = Some(choice);
     }
 
     /// Records an engine-produced answer in the collapse window (only
@@ -350,6 +422,14 @@ impl QueryServer {
         self.totals
     }
 
+    /// The optimizer's [`rpq::PlanChoice`] for the most recent planned query
+    /// execution (`None` before any execution or when
+    /// [`ServerConfig::optimize`] is off). Diagnostic only — never part of a
+    /// response.
+    pub fn last_plan(&self) -> Option<rpq::PlanChoice> {
+        self.last_plan
+    }
+
     /// Cache counters, if caching is enabled.
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.cache.as_ref().map(ResultCache::stats)
@@ -396,7 +476,10 @@ mod tests {
 
     fn server(cache: Option<CacheConfig>) -> QueryServer {
         let cfg = MoctopusConfig::small_test();
-        QueryServer::new(Box::new(MoctopusSystem::new(cfg)), ServerConfig { cache, pricing: cfg })
+        QueryServer::new(
+            Box::new(MoctopusSystem::new(cfg)),
+            ServerConfig { cache, pricing: cfg, optimize: false },
+        )
     }
 
     #[test]

@@ -429,6 +429,12 @@ impl GraphEngine for ShardedEngine {
     fn threads(&self) -> usize {
         self.pool.threads()
     }
+
+    fn label_stats(&self) -> graph_store::LabelStatsSnapshot {
+        // Shards are full replicas (every update fans out to all of them),
+        // so any shard's statistics describe the whole stored graph.
+        self.shards[0].label_stats()
+    }
 }
 
 #[cfg(test)]

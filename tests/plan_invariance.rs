@@ -1,0 +1,234 @@
+//! Plan invariance, property-tested: for *random* expressions served over
+//! *random* labelled graphs with interleaved labelled updates, the cost-based
+//! optimizer must be observably absent — responses, `ServeTotals` (minus the
+//! planning counters themselves), and `CacheStats` are bit-identical between
+//! a forced-forward server and an optimizer-enabled one, in every cache
+//! consistency mode. On top of that, two one-sided guarantees hold on every
+//! sampled query:
+//!
+//! * the chosen plan's simulated cost never exceeds the forward plan's
+//!   (left-to-right execution is always a candidate and wins ties), and
+//! * every strategy's rewritten spelling normalizes back to the exact tree it
+//!   was derived from, so a plan rewrite can never split a cache row.
+
+use graph_store::{Label, NodeId};
+use moctopus::{GraphEngine, MoctopusConfig, MoctopusSystem};
+use moctopus_server::{
+    CacheConfig, ConsistencyMode, QueryServer, Request, RequestKind, Response, ServeTotals,
+    ServerConfig,
+};
+use proptest::prelude::*;
+use rpq::{choose_plan, rewritten_for, LabelSpec, PlanStrategy, RpqExpr};
+
+/// Random RPQ expressions over the generator's label alphabet (1..=8), with
+/// the occasional any-label atom. Depth and width are kept small — plan
+/// divergence comes from label skew, not from expression size.
+struct ArbExpr;
+
+impl Strategy for ArbExpr {
+    type Value = RpqExpr;
+
+    fn sample(&self, rng: &mut TestRng) -> RpqExpr {
+        sample_expr(rng, 3)
+    }
+}
+
+fn sample_expr(rng: &mut TestRng, depth: u32) -> RpqExpr {
+    if depth == 0 || rng.below(3) == 0 {
+        return if rng.below(7) == 0 {
+            RpqExpr::Atom(LabelSpec::Any)
+        } else {
+            RpqExpr::Atom(LabelSpec::Exact(Label(1 + rng.below(8) as u16)))
+        };
+    }
+    match rng.below(6) {
+        0 => RpqExpr::Concat((0..2 + rng.below(2)).map(|_| sample_expr(rng, depth - 1)).collect()),
+        1 => RpqExpr::Alt((0..2 + rng.below(2)).map(|_| sample_expr(rng, depth - 1)).collect()),
+        2 => RpqExpr::Star(Box::new(sample_expr(rng, depth - 1))),
+        3 => RpqExpr::Plus(Box::new(sample_expr(rng, depth - 1))),
+        4 => RpqExpr::Optional(Box::new(sample_expr(rng, depth - 1))),
+        _ => {
+            let min = rng.below(3) as usize;
+            let max = min + rng.below(3) as usize;
+            RpqExpr::Repeat { expr: Box::new(sample_expr(rng, depth - 1)), min, max }
+        }
+    }
+}
+
+/// A labelled uniform graph under the default Zipf mix.
+fn model(nodes: usize, seed: u64) -> graph_store::AdjacencyGraph {
+    let topology = graph_gen::uniform::generate(nodes, 3.5, seed);
+    graph_gen::labels::relabel(&topology, &graph_gen::labels::LabelMixConfig::default(), seed)
+}
+
+/// A request log interleaving queries from the sampled expression pool with
+/// labelled inserts and deletes (every 4th request mutates), so plans are
+/// chosen against statistics that drift mid-replay.
+fn request_log(
+    model: &graph_store::AdjacencyGraph,
+    pool: &[RpqExpr],
+    seed: u64,
+    len: usize,
+) -> Vec<Request> {
+    let inserts = graph_gen::stream::sample_new_edges(model, len * 2, seed ^ 0x5151);
+    let mut deletes = graph_gen::labels::labeled_edge_stream(model);
+    deletes.truncate(len * 2);
+    let sources: Vec<NodeId> = graph_gen::stream::sample_start_nodes(model, 16, seed ^ 0x9292);
+
+    (0..len)
+        .map(|i| {
+            let at = (i + 1) as u64;
+            let kind = match i % 8 {
+                3 => RequestKind::Insert {
+                    edges: inserts
+                        .iter()
+                        .skip(i)
+                        .take(3)
+                        .enumerate()
+                        .map(|(j, &(s, d))| (s, d, Label((j % 8) as u16 + 1)))
+                        .collect(),
+                },
+                7 => RequestKind::Delete {
+                    edges: deletes.iter().skip(i / 2).take(3).copied().collect(),
+                },
+                q => RequestKind::Query {
+                    expr: pool[(q + i / 8) % pool.len()].clone(),
+                    sources: sources.iter().skip(i % 6).take(8).copied().collect(),
+                },
+            };
+            Request { at, kind }
+        })
+        .collect()
+}
+
+/// Replays `log` on a fresh engine; when `optimize` is set, additionally
+/// checks the one-sided cost bound after every executed query.
+fn replay(
+    edges: &[(NodeId, NodeId, Label)],
+    cache: Option<CacheConfig>,
+    optimize: bool,
+    log: &[Request],
+) -> Result<(Vec<Response>, ServeTotals, Option<moctopus_server::CacheStats>), TestCaseError> {
+    let cfg = MoctopusConfig::small_test();
+    let mut engine = MoctopusSystem::new(cfg);
+    engine.insert_labeled_edges(edges);
+    engine.refine_locality();
+    let mut server =
+        QueryServer::new(Box::new(engine), ServerConfig { cache, pricing: cfg, optimize });
+    let mut responses = Vec::with_capacity(log.len());
+    for request in log {
+        let is_query = matches!(request.kind, RequestKind::Query { .. });
+        responses.push(server.execute_next(request.clone()));
+        if optimize && is_query {
+            if let Some(plan) = server.last_plan() {
+                prop_assert!(
+                    plan.chosen_cost <= plan.forward_cost,
+                    "chosen plan {:?} scored {} above forward {}",
+                    plan.strategy,
+                    plan.chosen_cost,
+                    plan.forward_cost
+                );
+            }
+        }
+    }
+    let stats = server.cache_stats();
+    Ok((responses, server.totals(), stats))
+}
+
+/// Strips the planning counters (the only observable the optimizer may own).
+fn mask_plan_counters(mut totals: ServeTotals) -> ServeTotals {
+    totals.planned = 0;
+    totals.plan_nonforward = 0;
+    totals.plan_forward_cost = 0;
+    totals.plan_chosen_cost = 0;
+    totals
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Forced-forward vs optimizer-chosen replays of the same log are
+    /// bit-identical in every served byte, every non-plan counter, and the
+    /// full cache statistics (hits, misses, invalidations, dependency-footprint
+    /// driven eviction behaviour) — in all three consistency modes and with
+    /// the cache disabled.
+    #[test]
+    fn optimizer_is_invisible_and_never_regresses(
+        seed in 0u64..200,
+        nodes in 50usize..120,
+        pool in prop::collection::vec(ArbExpr, 3..6),
+    ) {
+        let model = model(nodes, seed);
+        let edges = graph_gen::labels::labeled_edge_stream(&model);
+        let log = request_log(&model, &pool, seed, 32);
+        let configs: Vec<Option<CacheConfig>> = std::iter::once(None)
+            .chain(
+                [ConsistencyMode::CostExact, ConsistencyMode::ResultExact, ConsistencyMode::RowExact]
+                    .into_iter()
+                    .map(|mode| Some(CacheConfig { mode, capacity: 32 })),
+            )
+            .collect();
+        for cache in configs {
+            let (want, want_totals, want_cache) = replay(&edges, cache, false, &log)?;
+            let (got, got_totals, got_cache) = replay(&edges, cache, true, &log)?;
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert_eq!(
+                    &g.body,
+                    &w.body,
+                    "optimizer visible in served bytes at t={} ({:?})",
+                    w.at,
+                    cache.map(|c| c.mode)
+                );
+            }
+            prop_assert!(got_totals.planned > 0, "optimizer-enabled replay never planned");
+            prop_assert_eq!(want_totals.planned, 0, "forced-forward replay must not plan");
+            prop_assert_eq!(
+                mask_plan_counters(got_totals),
+                mask_plan_counters(want_totals),
+                "non-plan totals diverged ({:?})",
+                cache.map(|c| c.mode)
+            );
+            prop_assert_eq!(got_cache, want_cache, "cache stats diverged ({:?})", cache.map(|c| c.mode));
+        }
+    }
+
+    /// Every strategy's raw-constructor respelling of a random normalized
+    /// expression collapses back to that exact tree, and plan choice is a
+    /// deterministic pure function of (expression, statistics, batch size)
+    /// that never scores its pick above the forward plan.
+    #[test]
+    fn rewrites_collapse_and_plans_never_regress(
+        seed in 0u64..200,
+        batch in 1usize..64,
+        expr in ArbExpr,
+    ) {
+        let model = model(80, seed);
+        let edges = graph_gen::labels::labeled_edge_stream(&model);
+        let cfg = MoctopusConfig::small_test();
+        let mut engine = MoctopusSystem::new(cfg);
+        engine.insert_labeled_edges(&edges);
+        let stats = engine.label_stats();
+
+        let normalized = expr.normalize();
+        let choice = choose_plan(&normalized, &stats, batch);
+        prop_assert!(choice.chosen_cost <= choice.forward_cost);
+        prop_assert_eq!(choose_plan(&normalized, &stats, batch), choice, "plan choice not deterministic");
+
+        let mut strategies = vec![PlanStrategy::Forward, PlanStrategy::Bidirectional];
+        if let RpqExpr::Concat(parts) = &normalized {
+            strategies.extend((1..parts.len()).map(|split_at| PlanStrategy::RareLabelSplit { split_at }));
+        }
+        // Degenerate split positions must also collapse, not crash.
+        strategies.push(PlanStrategy::RareLabelSplit { split_at: 0 });
+        strategies.push(PlanStrategy::RareLabelSplit { split_at: 99 });
+        for strategy in strategies {
+            let respelled = rewritten_for(&normalized, strategy);
+            prop_assert_eq!(
+                respelled.normalize(),
+                normalized.clone(),
+                "strategy {:?} changed the normal form",
+                strategy
+            );
+        }
+    }
+}

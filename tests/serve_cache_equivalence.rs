@@ -106,9 +106,10 @@ fn replay(
     engine: Box<dyn GraphEngine + Send>,
     pricing: MoctopusConfig,
     cache: Option<CacheConfig>,
+    optimize: bool,
     log: &[Request],
 ) -> (Vec<Response>, moctopus_server::ServeTotals) {
-    let mut server = QueryServer::new(engine, ServerConfig { cache, pricing });
+    let mut server = QueryServer::new(engine, ServerConfig { cache, pricing, optimize });
     let responses = log.iter().map(|request| server.execute_next(request.clone())).collect();
     (responses, server.totals())
 }
@@ -123,11 +124,20 @@ fn assert_cache_equivalence(
         let build = || engine_at(engine_idx, threads, edges);
         let (engine, cfg) = build();
         let name = engine.name();
-        let (bypass, _) = replay(engine, cfg, None, log);
-        for mode in [ConsistencyMode::CostExact, ConsistencyMode::ResultExact] {
+        let (bypass, _) = replay(engine, cfg, None, false, log);
+        // Both consistency modes, each with the plan optimizer off and on:
+        // plan choice must be invisible in every served byte (the
+        // plan-invariance contract), so all four runs must equal the
+        // optimizer-less uncached reference.
+        for (mode, optimize) in [
+            (ConsistencyMode::CostExact, false),
+            (ConsistencyMode::ResultExact, false),
+            (ConsistencyMode::CostExact, true),
+            (ConsistencyMode::ResultExact, true),
+        ] {
             let (engine, cfg) = build();
             let (cached, totals) =
-                replay(engine, cfg, Some(CacheConfig { mode, capacity: 64 }), log);
+                replay(engine, cfg, Some(CacheConfig { mode, capacity: 64 }), optimize, log);
             prop_assert_eq!(cached.len(), bypass.len());
             let mut hits = 0u64;
             for (got, want) in cached.iter().zip(&bypass) {
@@ -172,6 +182,21 @@ fn assert_cache_equivalence(
             // The accounting identity: avoided time only accrues from hits.
             if hits == 0 {
                 prop_assert_eq!(totals.avoided_time, pim_sim::SimTime::ZERO);
+            }
+            // Planning accounting: the optimizer plans every execution (and
+            // nothing else), and never scores its choice above forward.
+            if optimize {
+                prop_assert!(totals.planned > 0, "{name}: no executions planned");
+                prop_assert!(
+                    totals.plan_chosen_cost <= totals.plan_forward_cost,
+                    "{}: chosen plan cost {} exceeds forward {}",
+                    name,
+                    totals.plan_chosen_cost,
+                    totals.plan_forward_cost
+                );
+            } else {
+                prop_assert_eq!(totals.planned, 0);
+                prop_assert_eq!(totals.plan_nonforward, 0);
             }
         }
     }
@@ -277,15 +302,17 @@ fn concurrent_sessions_match_sequential_replay() {
     let edges = graph_gen::labels::labeled_edge_stream(&model);
     let log = request_log(&model, 11, 48);
 
-    // Sequential ground truth (the log is already in `at` order).
+    // Sequential ground truth (the log is already in `at` order). The plan
+    // optimizer is on in both runs: its counters are part of the totals
+    // compared below, so planning must be deterministic under concurrency.
     let (engine, cfg) = engine_at(0, 1, &edges);
-    let (sequential, seq_totals) = replay(engine, cfg, Some(CacheConfig::default()), &log);
+    let (sequential, seq_totals) = replay(engine, cfg, Some(CacheConfig::default()), true, &log);
 
     // Concurrent run: the same log split round-robin over 3 racing sessions.
     let (engine, cfg) = engine_at(0, 1, &edges);
     let server = ConcurrentServer::new(QueryServer::new(
         engine,
-        ServerConfig { cache: Some(CacheConfig::default()), pricing: cfg },
+        ServerConfig { cache: Some(CacheConfig::default()), pricing: cfg, optimize: true },
     ));
     let mut sessions: Vec<Session> = (0..3).map(|_| server.session()).collect();
     std::thread::scope(|scope| {
@@ -311,4 +338,54 @@ fn concurrent_sessions_match_sequential_replay() {
         assert_eq!(got.body, want.body, "concurrent serving diverged at t={}", got.at);
     }
     assert_eq!(concurrent_totals, seq_totals, "simulated cost totals diverged");
+}
+
+/// A query and its plan-rewritten respellings occupy **one** cache row: the
+/// chosen strategy is part of the normalized form, so every spelling the
+/// optimizer can emit ([`rpq::optimizer::rewritten_for`]) collapses to the
+/// same cache key and the rewritten forms hit the row the original filled.
+#[test]
+fn query_and_plan_rewritten_form_share_one_cache_row() {
+    let topology = graph_gen::uniform::generate(100, 3.5, 7);
+    let model =
+        graph_gen::labels::relabel(&topology, &graph_gen::labels::LabelMixConfig::default(), 7);
+    let edges = graph_gen::labels::labeled_edge_stream(&model);
+    let (engine, cfg) = engine_at(0, 1, &edges);
+    let mut server = QueryServer::new(
+        engine,
+        ServerConfig { cache: Some(CacheConfig::default()), pricing: cfg, optimize: true },
+    );
+
+    let sources: Vec<NodeId> = (0..8u64).map(NodeId).collect();
+    let plain = rpq::parser::parse("1/2/8").expect("query parses");
+    let normalized = plain.normalize();
+    let respellings = [
+        rpq::optimizer::rewritten_for(&normalized, rpq::PlanStrategy::Bidirectional),
+        rpq::optimizer::rewritten_for(
+            &normalized,
+            rpq::PlanStrategy::RareLabelSplit { split_at: 2 },
+        ),
+    ];
+    // The respellings are genuinely different trees…
+    for r in &respellings {
+        assert_ne!(*r, normalized, "respelling must differ as a tree");
+    }
+
+    let miss = server.execute_next(Request {
+        at: 1,
+        kind: RequestKind::Query { expr: plain, sources: sources.clone() },
+    });
+    assert_eq!(miss.cache_outcome(), Some(CacheOutcome::Miss));
+    assert_eq!(server.cache_len(), Some(1));
+
+    // …yet every one of them hits the row the plain spelling filled.
+    for (i, respelt) in respellings.into_iter().enumerate() {
+        let hit = server.execute_next(Request {
+            at: 2 + i as u64,
+            kind: RequestKind::Query { expr: respelt, sources: sources.clone() },
+        });
+        assert_eq!(hit.cache_outcome(), Some(CacheOutcome::Hit), "respelling {i} missed");
+        assert_eq!(hit.results(), miss.results(), "respelling {i} served different bytes");
+    }
+    assert_eq!(server.cache_len(), Some(1), "respellings must not add cache rows");
 }

@@ -101,7 +101,7 @@ fn replay(
     cache: Option<CacheConfig>,
     log: &[Request],
 ) -> (Vec<Response>, ServeTotals, Option<CacheStats>) {
-    let mut server = QueryServer::new(engine, ServerConfig { cache, pricing });
+    let mut server = QueryServer::new(engine, ServerConfig { cache, pricing, optimize: false });
     let responses = log.iter().map(|request| server.execute_next(request.clone())).collect();
     let stats = server.cache_stats();
     (responses, server.totals(), stats)
@@ -128,7 +128,7 @@ fn assert_shard_equivalence(
                 let (engine, cfg) = sharded_engine(shards, threads, edges);
                 let server = ConcurrentServer::new(QueryServer::new(
                     engine,
-                    ServerConfig { cache: *cache, pricing: cfg },
+                    ServerConfig { cache: *cache, pricing: cfg, optimize: false },
                 ));
                 let mut sessions: Vec<Session> = (0..3).map(|_| server.session()).collect();
                 std::thread::scope(|scope| {
