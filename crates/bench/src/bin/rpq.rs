@@ -21,10 +21,14 @@
 //! `--taxonomy` switches to the PathForge AQ1–AQ28 conformance sweep
 //! ([`moctopus_bench::AQ_TAXONOMY`]): every AQ runs on all three engines over
 //! both workloads, and stdout carries only plan-invariant observables (normal
-//! form, fingerprint, matched count, result checksum, simulated latency) so
-//! CI can diff it verbatim between `--optimize on` and `--optimize off`.
-//! Plan choices and simulated costs go to stderr in text mode, or into the
-//! record written by `--json [PATH]` (default `BENCH_PR9.json`).
+//! form, fingerprint, matched count, result checksum, canonical-forward
+//! simulated latency) so CI can diff it verbatim between `--optimize on` and
+//! `--optimize off` — even though with the optimizer on, every chosen
+//! non-forward plan now **actually executes** (bidirectional / rare-split
+//! traversals over the reverse adjacency index) and is asserted byte-identical
+//! to the forward product on every engine. Plan choices, priced costs, and
+//! *measured* executed costs go to stderr in text mode, or into the record
+//! written by `--json [PATH]` (default `BENCH_PR10.json`).
 
 use moctopus_bench::{
     fmt_ms, geometric_mean, HarnessOptions, RpqWorkload, AQ_TAXONOMY, RPQ_QUERY_SET,
@@ -135,6 +139,22 @@ struct AqOutcome {
     checksum: u64,
     sim_ms: [String; 3],
     plan: Option<rpq::PlanChoice>,
+    /// Measured costs of actually running the chosen plan (set only when the
+    /// optimizer picked a non-forward strategy): per-engine executed
+    /// simulated latency plus the measured forward/executed speedup.
+    executed: Option<ExecutedPlan>,
+}
+
+/// The measured side of a non-forward plan: what the executor really charged.
+struct ExecutedPlan {
+    sim_ms: [String; 3],
+    speedup: [f64; 3],
+}
+
+impl ExecutedPlan {
+    fn best_speedup(&self) -> f64 {
+        self.speedup.iter().cloned().fold(0.0, f64::max)
+    }
 }
 
 /// FNV-1a over the batch's result rows (row index, row length, node ids) —
@@ -169,7 +189,7 @@ fn taxonomy(options: &HarnessOptions, args: &[String]) {
     };
     let json_path = args.iter().position(|a| a == "--json").map(|pos| match args.get(pos + 1) {
         Some(next) if !next.starts_with("--") => next.clone(),
-        _ => "BENCH_PR9.json".to_string(),
+        _ => "BENCH_PR10.json".to_string(),
     });
 
     println!(
@@ -178,7 +198,11 @@ fn taxonomy(options: &HarnessOptions, args: &[String]) {
         RpqWorkload::label_mix().describe()
     );
 
-    let workloads = [RpqWorkload::uniform(options), RpqWorkload::power_law(options)];
+    let workloads = [
+        RpqWorkload::uniform(options),
+        RpqWorkload::power_law(options),
+        RpqWorkload::rare_closure(options),
+    ];
     let mut outcomes: Vec<AqOutcome> = Vec::new();
 
     for workload in &workloads {
@@ -232,6 +256,27 @@ fn taxonomy(options: &HarnessOptions, args: &[String]) {
             }
 
             let plan = optimize.then(|| rpq::choose_plan(&norm, &stats, workload.sources.len()));
+            // Execute the chosen plan for real when it is non-forward: the
+            // answers must be byte-identical to the forward product on every
+            // engine (the reverse-index contract), and the executed simulated
+            // cost is the *measured* side of the optimizer's priced win.
+            let executed = plan.filter(|p| p.strategy != rpq::PlanStrategy::Forward).map(|p| {
+                let mut exec_ms: [String; 3] = Default::default();
+                let mut speedup = [0.0f64; 3];
+                for (i, engine) in engines.iter_mut().enumerate() {
+                    let (r, s) = engine.rpq_batch_planned(&expr, &workload.sources, p.strategy);
+                    assert_eq!(
+                        r,
+                        results[i],
+                        "{} answers moved under the {} plan on {aq} ({text:?})",
+                        engine.name(),
+                        p.strategy.describe()
+                    );
+                    exec_ms[i] = fmt_ms(s.latency());
+                    speedup[i] = latencies[i].as_nanos() / s.latency().as_nanos().max(1.0);
+                }
+                ExecutedPlan { sim_ms: exec_ms, speedup }
+            });
             let outcome = AqOutcome {
                 workload: workload.name,
                 aq,
@@ -242,6 +287,7 @@ fn taxonomy(options: &HarnessOptions, args: &[String]) {
                 checksum: result_checksum(&results[0]),
                 sim_ms: [fmt_ms(latencies[0]), fmt_ms(latencies[1]), fmt_ms(latencies[2])],
                 plan,
+                executed,
             };
             println!(
                 "{:<6} {:<10} {:<12} {:#018x}  {:>8}  {:#018x}  {:>10}  {:>10}  {:>10}",
@@ -266,6 +312,17 @@ fn taxonomy(options: &HarnessOptions, args: &[String]) {
                     plan.simulated_speedup_millis()
                 );
             }
+            if let Some(exec) = &outcome.executed {
+                eprintln!(
+                    "executed {} {:<10} moctopus={} pim_hash={} host={} measured_win={:.3}x",
+                    workload.name,
+                    outcome.aq,
+                    exec.sim_ms[0],
+                    exec.sim_ms[1],
+                    exec.sim_ms[2],
+                    exec.best_speedup()
+                );
+            }
             outcomes.push(outcome);
         }
         println!();
@@ -286,6 +343,19 @@ fn taxonomy(options: &HarnessOptions, args: &[String]) {
             best.1 / 1000,
             best.1 % 1000
         );
+        if let Some((o, exec)) = outcomes
+            .iter()
+            .filter_map(|o| o.executed.as_ref().map(|e| (o, e)))
+            .max_by(|a, b| a.1.best_speedup().total_cmp(&b.1.best_speedup()))
+        {
+            eprintln!(
+                "best measured executed win: {} on {} ({}) at {:.3}x",
+                o.aq,
+                o.workload,
+                o.pattern,
+                exec.best_speedup()
+            );
+        }
     }
 
     if let Some(path) = json_path {
@@ -333,9 +403,22 @@ fn render_taxonomy_json(
             out.push_str(&format!("      \"forward_cost\": {},\n", plan.forward_cost));
             out.push_str(&format!("      \"chosen_cost\": {},\n", plan.chosen_cost));
             out.push_str(&format!(
-                "      \"simulated_speedup_millis\": {}\n",
+                "      \"simulated_speedup_millis\": {}",
                 plan.simulated_speedup_millis()
             ));
+            if let Some(exec) = &o.executed {
+                out.push_str(",\n");
+                out.push_str(&format!(
+                    "      \"executed_sim_ms\": {{\"moctopus\": {}, \"pim_hash\": {}, \"host\": {}}},\n",
+                    exec.sim_ms[0], exec.sim_ms[1], exec.sim_ms[2]
+                ));
+                out.push_str(&format!(
+                    "      \"measured_speedup\": {{\"moctopus\": {:.3}, \"pim_hash\": {:.3}, \"host\": {:.3}}}\n",
+                    exec.speedup[0], exec.speedup[1], exec.speedup[2]
+                ));
+            } else {
+                out.push('\n');
+            }
         } else {
             out.push('\n');
         }

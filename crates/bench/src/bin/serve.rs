@@ -195,7 +195,8 @@ fn run_mode(
         (0..shards).map(|_| Box::new(build_replica(options, workload)) as _).collect();
     let engine = ShardedEngine::new(replicas, plan.clone(), options.threads);
     let clock: Arc<Mutex<ShardThroughput>> = engine.clock();
-    let config = ServerConfig { cache, pricing: options.system_config(), optimize: false };
+    let config =
+        ServerConfig { cache, pricing: options.system_config(), ..ServerConfig::default() };
     let server = ConcurrentServer::new(QueryServer::new(Box::new(engine), config));
 
     let mut sessions: Vec<Session> =
@@ -362,7 +363,7 @@ fn run_durability_smoke(
     let config = || ServerConfig {
         cache: Some(CacheConfig { mode: ConsistencyMode::CostExact, ..CacheConfig::default() }),
         pricing: options.system_config(),
-        optimize: false,
+        ..ServerConfig::default()
     };
 
     // The reference: the whole trace on one engine, never interrupted.

@@ -288,6 +288,57 @@ impl RpqWorkload {
         Self::from_topology("power-law", topology, options)
     }
 
+    /// The paper's motivating rare-closure case as a crafted workload: a
+    /// large chorded label-1 ring that can never reach the rare label 8,
+    /// plus a small **disjoint** pocket whose label-1 chains feed label-8
+    /// edges into a tiny sink cluster (labels 2–7 sprinkled over the big
+    /// component so the rest of the taxonomy stays non-trivial).
+    ///
+    /// Closure-over-rare-tail queries (`1+/8`, `1*/8`) flood the whole big
+    /// component under the forward plan but prune to the pocket under the
+    /// bidirectional plan — the backward useful-set pass starts from the
+    /// rare label's few sources and never touches the ring — so this is the
+    /// workload where the optimizer's priced win becomes a large *measured*
+    /// executed win (recorded in BENCH_PR10.json).
+    pub fn rare_closure(options: &HarnessOptions) -> Self {
+        let nodes = Self::scaled_nodes(options.scale) as u64;
+        let big = (nodes * 7 / 8).max(64);
+        let chains = (nodes / 128).max(4);
+        let mut graph = AdjacencyGraph::new();
+        // Label 1 is a near-ring (one out-edge per node plus sparse stride-32
+        // shortcuts): per-round closure fanout stays ~1, so the backward
+        // sweep priced from the rare label's few sources is honestly cheap
+        // while a forward closure must still flood the whole component.
+        for i in 0..big {
+            graph.insert_edge(NodeId(i), NodeId((i + 1) % big), Label(1));
+            if i % 32 == 0 {
+                graph.insert_edge(NodeId(i), NodeId((i + 32) % big), Label(1));
+            }
+            if i % 3 == 0 {
+                graph.insert_edge(NodeId(i), NodeId((i * 5 + 1) % big), Label(2 + (i % 6) as u16));
+            }
+        }
+        const CHAIN_LEN: u64 = 8;
+        let sink = big + chains * CHAIN_LEN;
+        for c in 0..chains {
+            let start = big + c * CHAIN_LEN;
+            for i in 0..CHAIN_LEN - 1 {
+                graph.insert_edge(NodeId(start + i), NodeId(start + i + 1), Label(1));
+            }
+            graph.insert_edge(NodeId(start + CHAIN_LEN - 1), NodeId(sink + c % 4), Label(8));
+        }
+        let edges = graph_gen::labels::labeled_edge_stream(&graph);
+        let batch = options.batch.min(Self::MAX_BATCH);
+        let mut sources = graph_gen::stream::sample_start_nodes(&graph, batch, options.seed);
+        // Pin a few chain heads into the batch so rare-tail answers are
+        // non-empty regardless of what the sampler drew.
+        for c in 0..chains.min(8) {
+            let slot = (c as usize * 7) % sources.len();
+            sources[slot] = NodeId(big + c * CHAIN_LEN);
+        }
+        RpqWorkload { name: "rare-closure", graph, edges, sources }
+    }
+
     fn from_topology(
         name: &'static str,
         topology: AdjacencyGraph,

@@ -53,7 +53,7 @@ use graph_store::{
 };
 use moctopus_runtime::{chunk_ranges, WorkerPool};
 use pim_sim::{Phase, PimSystem, Timeline};
-use rpq::{Nfa, RpqExpr};
+use rpq::{optimizer, LabelSpec, Nfa, PlanStrategy, RpqExpr};
 use sparse::EpochMarks;
 use std::collections::HashSet;
 use std::ops::Range;
@@ -395,6 +395,24 @@ impl DistributedPimEngine {
         merged
     }
 
+    /// The in-adjacency secondary index flattened to canonical reverse rows
+    /// (nodes ascending, entries sorted), merged across every store.
+    ///
+    /// Every node's reverse row lives in exactly one store (it is colocated
+    /// with the node's forward row), so concatenation plus a sort by node id
+    /// is a faithful global view. Diagnostic surface: the differential tests
+    /// use it to prove incremental maintenance, migration, and post-restore
+    /// reconstruction all land on the same bits.
+    pub fn export_rev_rows(&self) -> Vec<(NodeId, Vec<(NodeId, Label)>)> {
+        let mut rows: Vec<(NodeId, Vec<(NodeId, Label)>)> = Vec::new();
+        for store in &self.local_stores {
+            rows.extend(store.export_rev_rows());
+        }
+        rows.extend(self.host_store.export_rev_rows());
+        rows.sort_by_key(|&(n, _)| n);
+        rows
+    }
+
     /// The PIM module that stores the host-side supplementary maps for `row`
     /// (the `elem_position_map` / `free_list_map` shards).
     fn aux_module(&self, row: NodeId) -> usize {
@@ -492,6 +510,7 @@ impl DistributedPimEngine {
                     if outcome.changed {
                         delta.applied += 1;
                         self.edge_count += 1;
+                        self.mirror_rev_insert(src, dst, label, &mut delta, &mut footprint);
                     }
                 }
                 PartitionId::Pim(m) => {
@@ -506,12 +525,83 @@ impl DistributedPimEngine {
                     if self.local_stores[m].insert_edge(src, dst, label).is_ok() {
                         delta.applied += 1;
                         self.edge_count += 1;
+                        self.mirror_rev_insert(src, dst, label, &mut delta, &mut footprint);
                     }
                 }
             }
         }
 
         self.charge_update_delta(delta, batch_len)
+    }
+
+    /// Mirrors one **applied** labelled insert into the in-adjacency index at
+    /// the destination row's owner (reverse rows colocate with the node's
+    /// forward placement, so backward sweeps read them without extra
+    /// routing). The mirrored write is charged explicitly: a PIM-resident
+    /// reverse row pays the CPU→PIM routing of the edge plus one MRAM entry
+    /// write; a host-resident one pays the host-side write (no bus crossing —
+    /// the host coordinator already holds the edge).
+    ///
+    /// The mirror can never independently fail: the forward store just
+    /// deduplicated the edge, and reverse rows are an unbounded secondary
+    /// index (no capacity gate — see STORAGE.md).
+    fn mirror_rev_insert(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        label: Label,
+        delta: &mut StatsDelta,
+        footprint: &mut Option<&mut UpdateFootprint>,
+    ) {
+        // Both partitioners assign the destination an owner on edge arrival,
+        // so the lookup only misses for nodes outside the stream (defensive).
+        let Some(rev_owner) = self.owner(dst) else { return };
+        if let Some(fp) = footprint.as_deref_mut() {
+            fp.host_store |= rev_owner == PartitionId::Host;
+        }
+        match rev_owner {
+            PartitionId::Host => {
+                let _ = self.host_store.insert_rev_edge(dst, src, label);
+                delta.host_time +=
+                    self.pim.host_sequential_read_cost(ID_BYTES + label_wire_bytes(label));
+            }
+            PartitionId::Pim(m) => {
+                let m = m as usize;
+                delta.cpu_to_pim_bytes += EDGE_BYTES + label_wire_bytes(label);
+                delta.per_module[m] += self.pim.mram_write_cost(ID_BYTES + label_wire_bytes(label));
+                let _ = self.local_stores[m].insert_rev_edge(dst, src, label);
+            }
+        }
+    }
+
+    /// Mirror of [`DistributedPimEngine::mirror_rev_insert`] for the delete
+    /// path: removes the reverse entry at the destination row's owner and
+    /// charges the mirrored write identically.
+    fn mirror_rev_delete(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        label: Label,
+        delta: &mut StatsDelta,
+        footprint: &mut Option<&mut UpdateFootprint>,
+    ) {
+        let Some(rev_owner) = self.owner(dst) else { return };
+        if let Some(fp) = footprint.as_deref_mut() {
+            fp.host_store |= rev_owner == PartitionId::Host;
+        }
+        match rev_owner {
+            PartitionId::Host => {
+                let _ = self.host_store.remove_rev_edge(dst, src, label);
+                delta.host_time +=
+                    self.pim.host_sequential_read_cost(ID_BYTES + label_wire_bytes(label));
+            }
+            PartitionId::Pim(m) => {
+                let m = m as usize;
+                delta.cpu_to_pim_bytes += EDGE_BYTES + label_wire_bytes(label);
+                delta.per_module[m] += self.pim.mram_write_cost(ID_BYTES + label_wire_bytes(label));
+                let _ = self.local_stores[m].remove_rev_edge(dst, src, label);
+            }
+        }
     }
 
     /// Converts one update batch's accumulated [`StatsDelta`] into the
@@ -585,6 +675,7 @@ impl DistributedPimEngine {
                     if outcome.changed {
                         delta.applied += 1;
                         self.edge_count -= 1;
+                        self.mirror_rev_delete(src, dst, label, &mut delta, &mut footprint);
                     }
                 }
                 PartitionId::Pim(m) => {
@@ -599,6 +690,7 @@ impl DistributedPimEngine {
                     if self.local_stores[m].remove_edge(src, dst, label).is_ok() {
                         delta.applied += 1;
                         self.edge_count -= 1;
+                        self.mirror_rev_delete(src, dst, label, &mut delta, &mut footprint);
                     }
                 }
             }
@@ -616,6 +708,16 @@ impl DistributedPimEngine {
             delta.pim_to_cpu_bytes += bytes;
             let cost = self.host_store.install_row(node, row);
             delta.host_time += self.pim.host_sequential_read_cost(cost.host_bytes_written);
+        }
+        // The reverse row rides along: in-adjacency colocates with the node's
+        // forward placement, so it is read from the old module and written
+        // into the host-side secondary index.
+        if let Some(rev) = self.local_stores[old_module].take_rev_row(node) {
+            let bytes = rev.len() as u64 * ID_BYTES + row_label_wire_bytes(&rev);
+            delta.per_module[old_module] += self.pim.mram_read_cost(bytes);
+            delta.pim_to_cpu_bytes += bytes;
+            delta.host_time += self.pim.host_sequential_read_cost(bytes);
+            self.host_store.install_rev_row(node, rev);
         }
     }
 
@@ -902,6 +1004,454 @@ impl DistributedPimEngine {
         let mut deps = QueryDeps::default();
         let (results, stats) = self.nfa_product_batch_impl(&nfa, sources, Some(&mut deps));
         (results, stats, deps)
+    }
+
+    /// Answers a batch RPQ by **executing** the given plan strategy — the
+    /// execution half of the `rpq::optimizer` contract.
+    ///
+    /// Served answers are byte-identical to
+    /// [`DistributedPimEngine::rpq_batch`] under every strategy
+    /// (`tests/plan_invariance.rs` and `tests/rpq_taxonomy.rs` prove it);
+    /// only the simulated cost and workload counters differ.
+    /// [`PlanStrategy::Forward`] *is* the canonical path — same code, same
+    /// charges — and k-hop shapes always take it (plan choice is about label
+    /// asymmetry, which `.{k}` does not have). The non-forward strategies run
+    /// a sequential pruned product over the reverse adjacency index:
+    ///
+    /// * [`PlanStrategy::Bidirectional`] first sweeps the reversed automaton
+    ///   backward over the in-adjacency rows to compute the *useful* product
+    ///   pairs — those from which an accepting pair is still reachable — then
+    ///   runs the forward product with its frontier restricted to useful
+    ///   pairs. Every proper prefix pair of an accepting path is useful, so
+    ///   pruning never drops an answer.
+    /// * [`PlanStrategy::RareLabelSplit`] seeds the suffix automaton at the
+    ///   pivot label's exact source set (from the reverse-maintained label
+    ///   statistics), runs the prefix automaton pruned toward those pivots,
+    ///   and joins the two halves on the host.
+    ///
+    /// A strategy that does not fit the expression (a split position with no
+    /// mandatory exact pivot) falls back to the forward path.
+    pub fn rpq_batch_planned(
+        &mut self,
+        expr: &RpqExpr,
+        sources: &[NodeId],
+        strategy: PlanStrategy,
+    ) -> (Vec<Vec<NodeId>>, QueryStats) {
+        match strategy {
+            PlanStrategy::Forward => self.rpq_batch(expr, sources),
+            _ if expr.as_k_hop().is_some() => self.rpq_batch(expr, sources),
+            PlanStrategy::Bidirectional => {
+                let nfa = Nfa::from_expr(expr);
+                let mut backward = StatsDelta::new(self.config.pim.num_modules);
+                let useful = self.useful_pairs(&nfa, None, &mut backward);
+                self.pruned_product(&nfa, sources, Some(&useful), None, backward)
+            }
+            PlanStrategy::RareLabelSplit { split_at } => {
+                let Some((prefix, suffix, pivot)) = optimizer::split_for(expr, split_at) else {
+                    return self.rpq_batch(expr, sources);
+                };
+                self.split_product(&prefix, &suffix, pivot, sources)
+            }
+        }
+    }
+
+    /// All nodes with at least one `spec`-matching outgoing edge, ascending.
+    ///
+    /// Exact labels read the per-store label statistics — maintained
+    /// incrementally by every mutation path, never by rescanning rows — whose
+    /// distinct-source sets are exact under the one-store-per-row invariant.
+    /// The any-label case walks the store row directories instead. Charged as
+    /// one host-side pass over the gathered id list.
+    fn spec_sources(&self, spec: LabelSpec, delta: &mut StatsDelta) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = Vec::new();
+        match spec {
+            LabelSpec::Exact(l) => {
+                for store in &self.local_stores {
+                    ids.extend(store.label_stats().sources_of(l));
+                }
+                ids.extend(self.host_store.label_stats().sources_of(l));
+            }
+            LabelSpec::Any => {
+                for store in &self.local_stores {
+                    for (src, row) in store.iter() {
+                        if !row.is_empty() {
+                            ids.push(src);
+                        }
+                    }
+                }
+                for (src, row) in self.host_store.iter() {
+                    if !row.is_empty() {
+                        ids.push(src);
+                    }
+                }
+            }
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        delta.host_time += self.pim.host_sequential_read_cost(ids.len() as u64 * ID_BYTES);
+        ids
+    }
+
+    /// The in-adjacency row of `node`, read from wherever the node's forward
+    /// row lives (the colocation invariant).
+    fn rev_row_of(&self, node: NodeId) -> &[(NodeId, Label)] {
+        match self.owner(node) {
+            Some(PartitionId::Host) => self.host_store.rev_row(node).unwrap_or(&[]),
+            Some(PartitionId::Pim(m)) => self.local_stores[m as usize].rev_row(node).unwrap_or(&[]),
+            None => &[],
+        }
+    }
+
+    /// Charges one backward scan of `node`'s reverse row into `delta`
+    /// (id + label arrays, like the forward label-constrained scans).
+    fn charge_rev_scan(&self, node: NodeId, delta: &mut StatsDelta) {
+        let bytes = self.rev_row_of(node).len() as u64 * (ID_BYTES + LABEL_BYTES);
+        match self.owner(node) {
+            Some(PartitionId::Host) => {
+                let resident = self.host_store.live_bytes() + self.host_store.rev_bytes();
+                delta.host_time += self.pim.host_random_access_cost(1, resident)
+                    + self.pim.host_sequential_read_cost(bytes);
+            }
+            Some(PartitionId::Pim(m)) => {
+                delta.per_module[m as usize] += self.pim.pim_hash_lookup_cost(bytes);
+            }
+            None => {}
+        }
+    }
+
+    /// The bidirectional plan's *useful set*: every product pair
+    /// `(node, state)` from which at least one more transition can reach an
+    /// accepting pair, computed by sweeping the reversed automaton backward
+    /// over the in-adjacency index. With `accept_nodes` given (the split
+    /// plan's prefix leg), acceptance is additionally restricted to those
+    /// nodes, so the base seeds come from their reverse rows.
+    ///
+    /// Soundness of the downstream pruning: on any accepting product path,
+    /// every pair except the final accepting one has a transition into the
+    /// rest of the path, so it is in the useful set — restricting forward
+    /// frontiers to useful pairs drops no answer. The computation is
+    /// sequential and touches only sorted rows and sorted seed lists, so the
+    /// charges it accumulates are deterministic; the set itself is a fixpoint
+    /// (discovery order is irrelevant to membership).
+    fn useful_pairs(
+        &self,
+        nfa: &Nfa,
+        accept_nodes: Option<&[NodeId]>,
+        delta: &mut StatsDelta,
+    ) -> HashSet<(NodeId, u32)> {
+        let rev = nfa.reversed_transitions();
+        let mut useful: HashSet<(NodeId, u32)> = HashSet::new();
+        let mut work: Vec<(NodeId, u32)> = Vec::new();
+
+        // Base: pairs one matching transition away from an accepting pair.
+        for (q_acc, rev_row) in rev.iter().enumerate() {
+            if !nfa.is_accepting(q_acc) {
+                continue;
+            }
+            for &(spec, from) in rev_row {
+                match accept_nodes {
+                    None => {
+                        for n in self.spec_sources(spec, delta) {
+                            if useful.insert((n, from as u32)) {
+                                work.push((n, from as u32));
+                                delta.cpc_bytes += ENTRY_BYTES + STATE_BYTES;
+                            }
+                        }
+                    }
+                    Some(ms) => {
+                        for &m in ms {
+                            self.charge_rev_scan(m, delta);
+                            for &(n, label) in self.rev_row_of(m) {
+                                if spec.matches(label) && useful.insert((n, from as u32)) {
+                                    work.push((n, from as u32));
+                                    delta.cpc_bytes += ENTRY_BYTES + STATE_BYTES;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Closure: walk product transitions backward over reverse rows.
+        while let Some((n, q)) = work.pop() {
+            for &(spec, p) in &rev[q as usize] {
+                self.charge_rev_scan(n, delta);
+                for &(m, label) in self.rev_row_of(n) {
+                    if spec.matches(label) && useful.insert((m, p as u32)) {
+                        work.push((m, p as u32));
+                        delta.cpc_bytes += ENTRY_BYTES + STATE_BYTES;
+                    }
+                }
+            }
+        }
+        useful
+    }
+
+    /// The sequential pruned NFA product shared by the executed non-forward
+    /// plans: the canonical forward expansion with the frontier restricted to
+    /// `useful` pairs (`None` = no pruning, the split plan's suffix leg) and,
+    /// for the split prefix leg, acceptance restricted to `accept_nodes`.
+    ///
+    /// Per-hop charges mirror the canonical loop's formulas — scan bytes per
+    /// expanded row, routed bytes per matched transition, the 25-instruction
+    /// host re-route per inter-PIM message, the final host reduce — and the
+    /// caller's `preamble` delta (the backward useful-set sweep plus seed
+    /// gathering) is charged up front as one aggregate bulk phase.
+    fn pruned_product(
+        &mut self,
+        nfa: &Nfa,
+        sources: &[NodeId],
+        useful: Option<&HashSet<(NodeId, u32)>>,
+        accept_nodes: Option<&HashSet<NodeId>>,
+        preamble: StatsDelta,
+    ) -> (Vec<Vec<NodeId>>, QueryStats) {
+        let module_count = self.config.pim.num_modules;
+        let host_resident_bytes = self.host_store.live_bytes();
+        let mut timeline = Timeline::new();
+
+        // The backward sweep: one aggregate bulk phase (its discovered pairs
+        // were gathered to the coordinating host over the CPC link).
+        let pre_pim = self.pim.parallel_step(&preamble.per_module);
+        timeline.charge(Phase::PimCompute, pre_pim);
+        timeline.charge(Phase::HostCompute, preamble.host_time);
+        timeline.charge(Phase::Cpc, self.pim.cpc_transfer_cost(preamble.cpc_bytes));
+        timeline.transfers.record_pim_to_cpu(preamble.cpc_bytes, 1);
+
+        // Dispatch: every PIM-resident source ships with the start state.
+        let dispatch_bytes: u64 =
+            sources.iter().filter(|&&s| matches!(self.owner(s), Some(PartitionId::Pim(_)))).count()
+                as u64
+                * (ENTRY_BYTES + STATE_BYTES);
+        timeline.charge(Phase::Cpc, self.pim.cpc_transfer_cost(dispatch_bytes));
+        timeline.transfers.record_cpu_to_pim(dispatch_bytes, 1);
+
+        let start = nfa.start() as u32;
+        let accepts_empty = nfa.accepts_empty();
+        let mut visited: Vec<HashSet<(NodeId, u32)>> = sources
+            .iter()
+            .map(|&s| {
+                let mut seen = HashSet::new();
+                seen.insert((s, start));
+                seen
+            })
+            .collect();
+        let mut results: Vec<Vec<NodeId>> = sources
+            .iter()
+            .map(|&s| {
+                if accepts_empty && accept_nodes.is_none_or(|m| m.contains(&s)) {
+                    vec![s]
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        let mut frontiers: Vec<Vec<(NodeId, u32)>> = sources
+            .iter()
+            .map(|&s| {
+                // A start pair outside the useful set can only contribute the
+                // empty path, already reported above.
+                if useful.is_none_or(|u| u.contains(&(s, start))) {
+                    vec![(s, start)]
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+
+        let mut hops = 0usize;
+        let mut expansions = 0usize;
+        let mut candidates: Vec<(NodeId, u32)> = Vec::new();
+
+        while frontiers.iter().any(|f| !f.is_empty()) {
+            hops += 1;
+            let frontier_entries = frontiers.iter().map(Vec::len).sum::<usize>();
+            expansions += frontier_entries;
+            let mut delta = StatsDelta::new(module_count);
+            let mut new_frontiers: Vec<Vec<(NodeId, u32)>> = Vec::with_capacity(frontiers.len());
+
+            for (q, frontier) in frontiers.iter().enumerate() {
+                candidates.clear();
+                for &(v, state) in frontier {
+                    let transitions = nfa.transitions_from(state as usize);
+                    match self.owner(v) {
+                        Some(PartitionId::Host) => {
+                            let scan_bytes =
+                                self.host_store.slot_count(v) as u64 * (ID_BYTES + LABEL_BYTES);
+                            delta.host_time +=
+                                self.pim.host_random_access_cost(1, host_resident_bytes)
+                                    + self.pim.host_sequential_read_cost(scan_bytes);
+                            for (u, label) in self.host_store.neighbors_iter(v) {
+                                for &(spec, next_state) in transitions {
+                                    if !spec.matches(label) {
+                                        continue;
+                                    }
+                                    if matches!(self.owner(u), Some(PartitionId::Pim(_))) {
+                                        delta.cpc_bytes += ENTRY_BYTES + STATE_BYTES;
+                                    }
+                                    let pair = (u, next_state as u32);
+                                    if !visited[q].contains(&pair) {
+                                        candidates.push(pair);
+                                    }
+                                }
+                            }
+                        }
+                        Some(PartitionId::Pim(m)) => {
+                            let m = m as usize;
+                            let row = self.local_stores[m].row(v).unwrap_or(&[]);
+                            let scan_bytes = row.len() as u64 * (ID_BYTES + LABEL_BYTES);
+                            delta.per_module[m] += self.pim.pim_hash_lookup_cost(scan_bytes);
+                            for &(u, label) in row {
+                                for &(spec, next_state) in transitions {
+                                    if !spec.matches(label) {
+                                        continue;
+                                    }
+                                    match self.owner(u) {
+                                        Some(PartitionId::Pim(m2)) if m2 as usize == m => {}
+                                        Some(PartitionId::Pim(_)) => {
+                                            delta.ipc_bytes += ENTRY_BYTES + STATE_BYTES;
+                                            delta.ipc_messages += 1;
+                                        }
+                                        _ => {
+                                            delta.cpc_bytes += ENTRY_BYTES + STATE_BYTES;
+                                        }
+                                    }
+                                    let pair = (u, next_state as u32);
+                                    if !visited[q].contains(&pair) {
+                                        candidates.push(pair);
+                                    }
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                candidates.sort_unstable();
+                candidates.dedup();
+                let mut next: Vec<(NodeId, u32)> = Vec::new();
+                for &pair in &candidates {
+                    visited[q].insert(pair);
+                    let (u, state) = pair;
+                    if nfa.is_accepting(state as usize)
+                        && accept_nodes.is_none_or(|m| m.contains(&u))
+                    {
+                        results[q].push(u);
+                    }
+                    if useful.is_none_or(|set| set.contains(&pair)) {
+                        next.push(pair);
+                    }
+                }
+                new_frontiers.push(next);
+            }
+
+            let pim_time = self.pim.parallel_step(&delta.per_module);
+            timeline.charge(Phase::PimCompute, pim_time);
+            timeline.charge(Phase::HostCompute, delta.host_time);
+            timeline.charge(Phase::Cpc, self.pim.cpc_transfer_cost(delta.cpc_bytes));
+            timeline.charge(
+                Phase::Ipc,
+                self.pim.ipc_transfer_cost(delta.ipc_bytes)
+                    + self.pim.host_instructions_cost(delta.ipc_messages * 25),
+            );
+            timeline.transfers.record_pim_to_cpu(delta.cpc_bytes, 1);
+            timeline.transfers.record_inter_pim(delta.ipc_bytes, delta.ipc_messages);
+            frontiers = new_frontiers;
+        }
+
+        for r in results.iter_mut() {
+            r.sort_unstable();
+            r.dedup();
+        }
+        let matched_pairs: usize = results.iter().map(Vec::len).sum();
+        let gather_bytes = matched_pairs as u64 * ENTRY_BYTES;
+        timeline.charge(Phase::Cpc, self.pim.cpc_transfer_cost(gather_bytes));
+        timeline.transfers.record_pim_to_cpu(gather_bytes, 1);
+        timeline.charge(
+            Phase::Reduce,
+            self.pim.host_sequential_read_cost(gather_bytes)
+                + self.pim.host_instructions_cost(matched_pairs as u64 * 8),
+        );
+
+        let stats =
+            QueryStats { timeline, batch_size: sources.len(), hops, matched_pairs, expansions };
+        (results, stats)
+    }
+
+    /// Executes the rare-label-split plan: the suffix automaton runs forward
+    /// (unpruned) from the pivot label's exact source set, the prefix
+    /// automaton runs pruned from the query sources with acceptance
+    /// restricted to those pivot sources, and the per-source answers are
+    /// joined on the host (charged as one reduce pass over the rows read out
+    /// of the suffix answer table).
+    fn split_product(
+        &mut self,
+        prefix: &RpqExpr,
+        suffix: &RpqExpr,
+        pivot: Label,
+        sources: &[NodeId],
+    ) -> (Vec<Vec<NodeId>>, QueryStats) {
+        let module_count = self.config.pim.num_modules;
+        let mut seed_delta = StatsDelta::new(module_count);
+        let pivots = self.spec_sources(LabelSpec::Exact(pivot), &mut seed_delta);
+        let suffix_nfa = Nfa::from_expr(suffix);
+        let prefix_nfa = Nfa::from_expr(prefix);
+
+        // Suffix leg: full forward product from the pivot sources (every
+        // pivot row feeds the join, so there is nothing to prune).
+        let (suffix_results, suffix_stats) =
+            self.pruned_product(&suffix_nfa, &pivots, None, None, seed_delta);
+
+        // Prefix leg: pruned toward the pivots — only pairs that can still
+        // reach an accepting pair *at a pivot node* stay in the frontier.
+        let mut backward = StatsDelta::new(module_count);
+        let prefix_useful = self.useful_pairs(&prefix_nfa, Some(&pivots), &mut backward);
+        let accept_set: HashSet<NodeId> = pivots.iter().copied().collect();
+        let (mid_results, prefix_stats) = self.pruned_product(
+            &prefix_nfa,
+            sources,
+            Some(&prefix_useful),
+            Some(&accept_set),
+            backward,
+        );
+
+        // Join on the host: each source's answer is the union of the suffix
+        // answers of the pivots its prefix reached.
+        let mut pivot_index: std::collections::HashMap<NodeId, usize> =
+            std::collections::HashMap::new();
+        for (i, &m) in pivots.iter().enumerate() {
+            pivot_index.insert(m, i);
+        }
+        let mut join_bytes = 0u64;
+        let mut results: Vec<Vec<NodeId>> = Vec::with_capacity(sources.len());
+        for mids in &mid_results {
+            let mut ans: Vec<NodeId> = Vec::new();
+            for m in mids {
+                if let Some(&i) = pivot_index.get(m) {
+                    ans.extend_from_slice(&suffix_results[i]);
+                    join_bytes += suffix_results[i].len() as u64 * ID_BYTES;
+                }
+            }
+            ans.sort_unstable();
+            ans.dedup();
+            results.push(ans);
+        }
+
+        let matched_pairs: usize = results.iter().map(Vec::len).sum();
+        let mut timeline = suffix_stats.timeline;
+        timeline += prefix_stats.timeline;
+        timeline.charge(
+            Phase::Reduce,
+            self.pim.host_sequential_read_cost(join_bytes)
+                + self.pim.host_instructions_cost(matched_pairs as u64 * 8),
+        );
+        let stats = QueryStats {
+            timeline,
+            batch_size: sources.len(),
+            hops: suffix_stats.hops.max(prefix_stats.hops),
+            matched_pairs,
+            expansions: suffix_stats.expansions + prefix_stats.expansions,
+        };
+        (results, stats)
     }
 
     /// Batch NFA-product evaluation: the generalisation of the k-hop loop to
@@ -1248,6 +1798,13 @@ impl DistributedPimEngine {
                     ipc_bytes += bytes;
                     self.local_stores[to as usize].install_row(node, row);
                 }
+                // The reverse row migrates with the node (colocation
+                // invariant), charged like the forward row.
+                if let Some(rev) = self.local_stores[from as usize].take_rev_row(node) {
+                    let bytes = rev.len() as u64 * ID_BYTES + row_label_wire_bytes(&rev) + ID_BYTES;
+                    ipc_bytes += bytes;
+                    self.local_stores[to as usize].install_rev_row(node, rev);
+                }
             }
             timeline.charge(Phase::Ipc, self.pim.ipc_transfer_cost(ipc_bytes));
             timeline.transfers.record_inter_pim(ipc_bytes, report.migrated as u64);
@@ -1352,7 +1909,43 @@ impl DistributedPimEngine {
             }
         };
         self.edge_count = snapshot.edge_count as usize;
+        self.rebuild_rev_rows();
         true
+    }
+
+    /// Deterministically reconstructs the in-adjacency secondary index (and
+    /// its reverse label statistics) from freshly restored forward rows:
+    /// every stored edge's reverse entry is routed to the destination row's
+    /// owner under the restored assignment — exactly where incremental
+    /// maintenance would have put it. Snapshots never carry reverse rows
+    /// (see STORAGE.md): the stores keep them sorted on insert and every
+    /// edge lives in exactly one forward store, so the rebuilt index is
+    /// independent of the iteration order used here.
+    fn rebuild_rev_rows(&mut self) {
+        let mut edges: Vec<(NodeId, NodeId, Label)> = Vec::new();
+        for store in &self.local_stores {
+            for (src, row) in store.iter() {
+                for &(dst, label) in row {
+                    edges.push((src, dst, label));
+                }
+            }
+        }
+        for (src, row) in self.host_store.iter() {
+            for (dst, label) in row {
+                edges.push((src, dst, label));
+            }
+        }
+        for (src, dst, label) in edges {
+            match self.owner(dst) {
+                Some(PartitionId::Host) => {
+                    let _ = self.host_store.insert_rev_edge(dst, src, label);
+                }
+                Some(PartitionId::Pim(m)) => {
+                    let _ = self.local_stores[m as usize].insert_rev_edge(dst, src, label);
+                }
+                None => {}
+            }
+        }
     }
 }
 
@@ -1437,8 +2030,10 @@ mod tests {
     /// structural paths — hub promotion to the host store, locality-driven
     /// row migration, deletes on both lanes — matching a from-scratch
     /// rebuild (the logical graph view populates its own table from zero)
-    /// on every exact counter, with target counts inside their documented
-    /// over-approximation band.
+    /// on **every** counter exactly: with reverse rows colocated at the
+    /// destination's owner, distinct-target sets live in exactly one store
+    /// each and summed counts are exact (they used to be an
+    /// over-approximation band).
     #[test]
     fn label_stats_stay_incremental_across_promotion_and_migration() {
         let check = |e: &DistributedPimEngine, phase: &str| {
@@ -1449,18 +2044,13 @@ mod tests {
             for (&(l, g), &(lw, w)) in got.per_label.iter().zip(&want.per_label) {
                 assert_eq!(l, lw, "{phase}: label order differs");
                 assert_eq!(g.edges, w.edges, "{phase}: label {l:?} edge count drifted");
-                // Every row lives in exactly one store, so summed distinct
-                // source counts are exact; summed target counts over-count a
-                // target reached from rows in several stores, but never
-                // exceed the label's edge count.
+                // Every forward row lives in exactly one store, so summed
+                // distinct source counts are exact — and the reverse rows'
+                // colocation invariant makes the distinct target counts
+                // exact too (each destination's in-degree entry lives only
+                // in its owner's table).
                 assert_eq!(g.sources, w.sources, "{phase}: label {l:?} source count drifted");
-                assert!(
-                    w.targets <= g.targets && g.targets <= g.edges,
-                    "{phase}: label {l:?} targets {} outside [{}, {}]",
-                    g.targets,
-                    w.targets,
-                    g.edges
-                );
+                assert_eq!(g.targets, w.targets, "{phase}: label {l:?} target count drifted");
             }
         };
 
@@ -1765,8 +2355,9 @@ mod tests {
         );
         assert_eq!(
             sc.timeline.transfers.cpu_to_pim_bytes,
-            sb.timeline.transfers.cpu_to_pim_bytes + edges.len() as u64 * 2,
-            "each non-default label costs LABEL_BYTES on the CPU->PIM bus"
+            sb.timeline.transfers.cpu_to_pim_bytes + edges.len() as u64 * 4,
+            "each non-default label costs LABEL_BYTES on the CPU->PIM bus, \
+             once on the forward route and once on the mirrored reverse write"
         );
     }
 
@@ -1838,5 +2429,102 @@ mod tests {
         // A PIM-only update reports no host-store involvement.
         let (_, fp2) = engine.insert_labeled_edges_tracked(&[(NodeId(5), NodeId(7), Label(2))]);
         assert!(!fp2.host_store);
+    }
+
+    /// The byte-identity half of the planner contract: every strategy —
+    /// forward, bidirectional over the reverse rows, rare-label split — must
+    /// serve the exact same answers as the canonical forward path, on both
+    /// placement policies, including on an engine restored from a durable
+    /// image (whose reverse rows were rebuilt, not copied).
+    #[test]
+    fn planned_execution_matches_forward_answers() {
+        let graph = graph_gen::uniform::generate(300, 4.0, 13);
+        let mut edges: Vec<(NodeId, NodeId, Label)> =
+            graph.edges().map(|(s, d, _)| (s, d, Label((d.0 % 3) as u16 + 1))).collect();
+        // Sprinkle a rare label 8 so the split pivot has real sources.
+        for i in 0..12u64 {
+            edges.push((NodeId(i * 17 % 300), NodeId((i * 23 + 5) % 300), Label(8)));
+        }
+        let sources: Vec<NodeId> = (0..40u64).map(NodeId).collect();
+        let queries = ["1/2", "1+", "1/(2|3)*/1", "(1|2)*", "1*/8/2*", "3?/8"];
+        let strategies = [
+            PlanStrategy::Forward,
+            PlanStrategy::Bidirectional,
+            PlanStrategy::RareLabelSplit { split_at: 1 },
+        ];
+
+        for mut e in [moctopus_engine(), hash_engine()] {
+            e.insert_labeled_edges(&edges);
+            e.refine_locality();
+
+            let mut twin = if matches!(e.policy, PlacementPolicy::Hash(_)) {
+                hash_engine()
+            } else {
+                moctopus_engine()
+            };
+            assert!(twin.restore_storage(&e.export_storage()));
+
+            for q in queries {
+                let expr = rpq::parser::parse(q).expect("query parses");
+                let (want, _) = e.rpq_batch(&expr, &sources);
+                for strategy in strategies {
+                    let (got, _) = e.rpq_batch_planned(&expr, &sources, strategy);
+                    assert_eq!(got, want, "{q} under {} drifted", strategy.describe());
+                    let (restored, _) = twin.rpq_batch_planned(&expr, &sources, strategy);
+                    assert_eq!(
+                        restored,
+                        want,
+                        "{q} under {} drifted on the restored twin",
+                        strategy.describe()
+                    );
+                }
+            }
+        }
+    }
+
+    /// The cost half: a closure that must end in a rare label lets the
+    /// bidirectional executor's backward useful-set pass prune the forward
+    /// frontier down to the small pocket that can actually reach the rare
+    /// edge, while the forward plan floods the whole common-label component.
+    #[test]
+    fn bidirectional_execution_prunes_rare_closures() {
+        let mut edges: Vec<(NodeId, NodeId, Label)> = Vec::new();
+        // A 300-node label-1 component with chords — none of it reaches label 9.
+        for i in 0..300u64 {
+            edges.push((NodeId(i), NodeId((i + 1) % 300), Label(1)));
+            edges.push((NodeId(i), NodeId((i * 7 + 3) % 300), Label(1)));
+        }
+        // A small disjoint pocket whose chain ends in the rare label.
+        for i in 1000..1008u64 {
+            edges.push((NodeId(i), NodeId(i + 1), Label(1)));
+        }
+        edges.push((NodeId(1008), NodeId(2000), Label(9)));
+
+        let mut sources: Vec<NodeId> = (0..32u64).map(NodeId).collect();
+        sources.extend((1000..1004u64).map(NodeId));
+
+        let expr = rpq::parser::parse("1*/9").expect("query parses");
+        let mut fwd = moctopus_engine();
+        fwd.insert_labeled_edges(&edges);
+        let mut bidi = fwd.clone();
+
+        let (want, fwd_stats) = fwd.rpq_batch_planned(&expr, &sources, PlanStrategy::Forward);
+        let (got, bidi_stats) =
+            bidi.rpq_batch_planned(&expr, &sources, PlanStrategy::Bidirectional);
+        assert_eq!(got, want, "pruning must never change answers");
+        assert!(want.iter().any(|r| !r.is_empty()), "the pocket sources must match");
+
+        assert!(
+            bidi_stats.expansions * 4 < fwd_stats.expansions,
+            "bidirectional expansions {} should be well below forward's {}",
+            bidi_stats.expansions,
+            fwd_stats.expansions
+        );
+        assert!(
+            bidi_stats.latency() < fwd_stats.latency(),
+            "bidirectional simulated latency {:?} should beat forward's {:?}",
+            bidi_stats.latency(),
+            fwd_stats.latency()
+        );
     }
 }

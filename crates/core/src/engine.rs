@@ -3,7 +3,7 @@
 use crate::deps::{QueryDeps, UpdateFootprint};
 use crate::stats::{QueryStats, UpdateStats};
 use graph_store::{Label, LabelStatsSnapshot, NodeId, SnapshotState};
-use rpq::RpqExpr;
+use rpq::{PlanStrategy, RpqExpr};
 
 /// A graph engine that can ingest labelled edges, apply updates, and answer
 /// batch path queries — from the paper's k-hop workhorse to general regular
@@ -58,6 +58,31 @@ pub trait GraphEngine {
     /// the same simulated costs — as
     /// [`GraphEngine::k_hop_batch`].
     fn rpq_batch(&mut self, expr: &RpqExpr, sources: &[NodeId]) -> (Vec<Vec<NodeId>>, QueryStats);
+
+    /// [`GraphEngine::rpq_batch`] executed under an explicit plan strategy —
+    /// the execution half of the `rpq::optimizer` contract.
+    ///
+    /// Served answers must be **byte-identical** to [`GraphEngine::rpq_batch`]
+    /// under every strategy; only the simulated cost (and workload counters
+    /// such as `expansions`) may differ. Cache dependency footprints are
+    /// *not* produced by planned execution: a pruned traversal's visited set
+    /// is not a sound invalidation cover for future inserts, so deps always
+    /// come from the canonical forward path
+    /// ([`GraphEngine::rpq_batch_tracked`]).
+    ///
+    /// The default ignores the strategy and runs the canonical forward path,
+    /// which is always correct; the in-tree engines override it with real
+    /// bidirectional / rare-label-split executors over their reverse
+    /// adjacency indexes.
+    fn rpq_batch_planned(
+        &mut self,
+        expr: &RpqExpr,
+        sources: &[NodeId],
+        strategy: PlanStrategy,
+    ) -> (Vec<Vec<NodeId>>, QueryStats) {
+        let _ = strategy;
+        self.rpq_batch(expr, sources)
+    }
 
     /// [`GraphEngine::rpq_batch`] plus the execution's dependency footprint,
     /// for update-consistent result caching (the `moctopus-server` crate).
@@ -160,6 +185,20 @@ pub trait GraphEngine {
     fn label_stats(&self) -> LabelStatsSnapshot {
         LabelStatsSnapshot::default()
     }
+
+    /// The engine's in-adjacency secondary index, flattened to canonical
+    /// reverse rows: nodes ascending, each row's `(source, label)` entries
+    /// strictly sorted, no empty rows.
+    ///
+    /// This is a pure diagnostic observable — the differential tests use it
+    /// to prove the reverse index is exactly the transpose of the forward
+    /// rows and comes back bit-identical through snapshot restore and WAL
+    /// replay. Engines without a reverse index return an empty list (the
+    /// default); engines with one must keep it byte-deterministic at every
+    /// thread count, like every other observable.
+    fn export_rev_rows(&self) -> Vec<(NodeId, Vec<(NodeId, Label)>)> {
+        Vec::new()
+    }
 }
 
 /// Boxed engines are engines: forwarding impl so harnesses and the serving
@@ -193,6 +232,15 @@ impl<T: GraphEngine + ?Sized> GraphEngine for Box<T> {
 
     fn rpq_batch(&mut self, expr: &RpqExpr, sources: &[NodeId]) -> (Vec<Vec<NodeId>>, QueryStats) {
         (**self).rpq_batch(expr, sources)
+    }
+
+    fn rpq_batch_planned(
+        &mut self,
+        expr: &RpqExpr,
+        sources: &[NodeId],
+        strategy: PlanStrategy,
+    ) -> (Vec<Vec<NodeId>>, QueryStats) {
+        (**self).rpq_batch_planned(expr, sources, strategy)
     }
 
     fn rpq_batch_tracked(
@@ -239,6 +287,10 @@ impl<T: GraphEngine + ?Sized> GraphEngine for Box<T> {
 
     fn label_stats(&self) -> LabelStatsSnapshot {
         (**self).label_stats()
+    }
+
+    fn export_rev_rows(&self) -> Vec<(NodeId, Vec<(NodeId, Label)>)> {
+        (**self).export_rev_rows()
     }
 }
 

@@ -21,7 +21,7 @@ use graph_store::{AdjacencyGraph, Label, NodeId, SnapshotState};
 use moctopus_runtime::{chunk_ranges, WorkerPool};
 use pim_sim::{Phase, PimSystem, Timeline};
 use rpq::plan::{HostExecutionStats, HostMatrixEngine};
-use rpq::{ExecutionPlan, Nfa, RpqExpr};
+use rpq::{optimizer, ExecutionPlan, Nfa, PlanStrategy, RpqExpr};
 
 /// Instructions charged per inserted edge for sparse-matrix bookkeeping
 /// (duplicate check, delta-matrix maintenance, property bookkeeping). The
@@ -297,6 +297,55 @@ impl GraphEngine for HostBaseline {
         (results, stats)
     }
 
+    /// Planned execution over the matrix engine's transposed per-label
+    /// matrices: bidirectional runs the backward useful-set sweep, the
+    /// rare-label split seeds the suffix automaton at the pivot label's
+    /// source rows (taken from the incremental label statistics). Answers
+    /// are byte-identical to [`GraphEngine::rpq_batch`] under every
+    /// strategy; only the executed row-fetch/byte profile differs.
+    ///
+    /// Unlike the forward path this is **not** chunked over the worker
+    /// pool: the shared backward pass (and the split's suffix leg) would be
+    /// re-run — and re-charged — once per chunk, so a single sequential
+    /// sweep is what keeps the reported charges thread-invariant.
+    fn rpq_batch_planned(
+        &mut self,
+        expr: &RpqExpr,
+        sources: &[NodeId],
+        strategy: PlanStrategy,
+    ) -> (Vec<Vec<NodeId>>, QueryStats) {
+        if matches!(strategy, PlanStrategy::Forward) || expr.as_k_hop().is_some() {
+            return self.rpq_batch(expr, sources);
+        }
+        self.refresh_matrix();
+        let (results, exec) = match strategy {
+            PlanStrategy::Forward => unreachable!("handled above"),
+            PlanStrategy::Bidirectional => {
+                let nfa = Nfa::from_expr(expr);
+                self.matrix.run_nfa_bidirectional(&nfa, sources)
+            }
+            PlanStrategy::RareLabelSplit { split_at } => {
+                let Some((prefix, suffix, pivot)) = optimizer::split_for(expr, split_at) else {
+                    return self.rpq_batch(expr, sources);
+                };
+                let prefix_nfa = Nfa::from_expr(&prefix);
+                let suffix_nfa = Nfa::from_expr(&suffix);
+                let pivots = self.graph.label_stats().sources_of(pivot);
+                self.matrix.run_nfa_split(&prefix_nfa, &suffix_nfa, &pivots, sources)
+            }
+        };
+        let timeline = self.charge_query(&exec);
+        let matched_pairs = results.iter().map(Vec::len).sum();
+        let stats = QueryStats {
+            timeline,
+            batch_size: sources.len(),
+            hops: exec.frontier_levels,
+            matched_pairs,
+            expansions: exec.row_fetches as usize,
+        };
+        (results, stats)
+    }
+
     /// The baseline's update footprint: per-label result dependencies come
     /// from the batch, but the *cost* of every query on this engine reads the
     /// whole graph's resident byte count (the cache-residency interpolation
@@ -361,6 +410,10 @@ impl GraphEngine for HostBaseline {
     fn label_stats(&self) -> graph_store::LabelStatsSnapshot {
         self.graph.label_stats().snapshot()
     }
+
+    fn export_rev_rows(&self) -> Vec<(NodeId, Vec<(NodeId, graph_store::Label)>)> {
+        self.graph.export_rev_rows()
+    }
 }
 
 #[cfg(test)]
@@ -422,6 +475,31 @@ mod tests {
         assert_eq!(again.applied, 0);
         let missing = baseline.delete_edges(&[(NodeId(5), NodeId(6))]);
         assert_eq!(missing.applied, 0);
+    }
+
+    #[test]
+    fn planned_execution_matches_forward_answers() {
+        let graph = graph_gen::uniform::generate(250, 4.0, 19);
+        let mut edges: Vec<(NodeId, NodeId, Label)> =
+            graph.edges().map(|(s, d, _)| (s, d, Label((d.0 % 3) as u16 + 1))).collect();
+        for i in 0..10u64 {
+            edges.push((NodeId(i * 13 % 250), NodeId((i * 29 + 7) % 250), Label(8)));
+        }
+        let mut baseline = HostBaseline::new(MoctopusConfig::small_test());
+        baseline.insert_labeled_edges(&edges);
+        let sources: Vec<NodeId> = (0..32u64).map(NodeId).collect();
+        for q in ["1/2", "1+", "1*/8/2*", "(1|2)*"] {
+            let expr = rpq::parser::parse(q).expect("query parses");
+            let (want, _) = baseline.rpq_batch(&expr, &sources);
+            for strategy in [
+                PlanStrategy::Forward,
+                PlanStrategy::Bidirectional,
+                PlanStrategy::RareLabelSplit { split_at: 1 },
+            ] {
+                let (got, _) = baseline.rpq_batch_planned(&expr, &sources, strategy);
+                assert_eq!(got, want, "{q} under {} drifted", strategy.describe());
+            }
+        }
     }
 
     #[test]

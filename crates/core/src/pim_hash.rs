@@ -7,7 +7,7 @@ use crate::engine::GraphEngine;
 use crate::stats::{QueryStats, UpdateStats};
 use graph_partition::{HashPartitioner, PartitionMetrics};
 use graph_store::{Label, NodeId, SnapshotState};
-use rpq::RpqExpr;
+use rpq::{PlanStrategy, RpqExpr};
 
 /// The PIM-hash contrast system evaluated in the paper: the same PIM execution
 /// engine as Moctopus but with every graph node assigned to a PIM module by a
@@ -95,6 +95,15 @@ impl GraphEngine for PimHashSystem {
         self.engine.rpq_batch(expr, sources)
     }
 
+    fn rpq_batch_planned(
+        &mut self,
+        expr: &RpqExpr,
+        sources: &[NodeId],
+        strategy: PlanStrategy,
+    ) -> (Vec<Vec<NodeId>>, QueryStats) {
+        self.engine.rpq_batch_planned(expr, sources, strategy)
+    }
+
     fn rpq_batch_tracked(
         &mut self,
         expr: &RpqExpr,
@@ -139,6 +148,10 @@ impl GraphEngine for PimHashSystem {
 
     fn label_stats(&self) -> graph_store::LabelStatsSnapshot {
         self.engine.label_stats()
+    }
+
+    fn export_rev_rows(&self) -> Vec<(NodeId, Vec<(NodeId, graph_store::Label)>)> {
+        self.engine.export_rev_rows()
     }
 }
 

@@ -8,7 +8,7 @@ use crate::stats::{QueryStats, UpdateStats};
 use graph_partition::{GreedyAdaptivePartitioner, MigrationReport, PartitionMetrics};
 use graph_store::{Label, NodeId, PartitionId, SnapshotState};
 use pim_sim::Timeline;
-use rpq::RpqExpr;
+use rpq::{PlanStrategy, RpqExpr};
 
 /// The Moctopus PIM-based graph data management system.
 ///
@@ -121,6 +121,15 @@ impl GraphEngine for MoctopusSystem {
         self.engine.rpq_batch(expr, sources)
     }
 
+    fn rpq_batch_planned(
+        &mut self,
+        expr: &RpqExpr,
+        sources: &[NodeId],
+        strategy: PlanStrategy,
+    ) -> (Vec<Vec<NodeId>>, QueryStats) {
+        self.engine.rpq_batch_planned(expr, sources, strategy)
+    }
+
     fn rpq_batch_tracked(
         &mut self,
         expr: &RpqExpr,
@@ -165,6 +174,10 @@ impl GraphEngine for MoctopusSystem {
 
     fn label_stats(&self) -> graph_store::LabelStatsSnapshot {
         self.engine.label_stats()
+    }
+
+    fn export_rev_rows(&self) -> Vec<(NodeId, Vec<(NodeId, graph_store::Label)>)> {
+        self.engine.export_rev_rows()
     }
 }
 

@@ -34,6 +34,11 @@ use std::collections::HashMap;
 pub struct AdjacencyGraph {
     /// Out-neighbours per node: `(destination, label)` pairs.
     out_edges: HashMap<NodeId, Vec<(NodeId, Label)>>,
+    /// In-neighbours per node: `(source, label)` pairs, kept **strictly
+    /// sorted**. The whole-graph view owns both directions, so the reverse
+    /// side is maintained on the same insert/delete path as the forward side
+    /// (and re-derived by transposition on snapshot restore).
+    in_edges: HashMap<NodeId, Vec<(NodeId, Label)>>,
     /// Number of directed edges currently stored.
     edge_count: usize,
     /// Largest node id ever seen plus one; used to size dense structures.
@@ -53,6 +58,7 @@ impl AdjacencyGraph {
     pub fn with_capacity(nodes: usize) -> Self {
         AdjacencyGraph {
             out_edges: HashMap::with_capacity(nodes),
+            in_edges: HashMap::with_capacity(nodes),
             edge_count: 0,
             id_bound: 0,
             stats: LabelStatsTable::new(),
@@ -84,8 +90,13 @@ impl AdjacencyGraph {
             return false;
         }
         row.push((dst, label));
+        let rev = self.in_edges.entry(dst).or_default();
+        if let Err(pos) = rev.binary_search(&(src, label)) {
+            rev.insert(pos, (src, label));
+        }
         self.edge_count += 1;
         self.stats.record_insert(src, dst, label);
+        self.stats.record_rev_insert(dst, label);
         true
     }
 
@@ -94,8 +105,14 @@ impl AdjacencyGraph {
         if let Some(row) = self.out_edges.get_mut(&src) {
             if let Some(pos) = row.iter().position(|&(d, l)| d == dst && l == label) {
                 row.swap_remove(pos);
+                if let Some(rev) = self.in_edges.get_mut(&dst) {
+                    if let Ok(rpos) = rev.binary_search(&(src, label)) {
+                        rev.remove(rpos);
+                    }
+                }
                 self.edge_count -= 1;
                 self.stats.record_delete(src, dst, label);
+                self.stats.record_rev_delete(dst, label);
                 return true;
             }
         }
@@ -131,6 +148,32 @@ impl AdjacencyGraph {
     /// Out-degree of `node` (0 if the node is unknown).
     pub fn out_degree(&self, node: NodeId) -> usize {
         self.out_edges.get(&node).map(Vec::len).unwrap_or(0)
+    }
+
+    /// In-neighbours of `node` (`(source, label)` pairs, strictly ascending);
+    /// empty slice if the node has no in-edges.
+    pub fn in_neighbors(&self, node: NodeId) -> &[(NodeId, Label)] {
+        self.in_edges.get(&node).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// In-degree of `node` (0 if the node has no in-edges).
+    pub fn in_degree(&self, node: NodeId) -> usize {
+        self.in_edges.get(&node).map(Vec::len).unwrap_or(0)
+    }
+
+    /// Exports every non-empty in-adjacency row, sorted by node id, with
+    /// strictly sorted contents (for tests and diagnostics; snapshots
+    /// re-derive the reverse side from forward rows).
+    pub fn export_rev_rows(&self) -> Vec<(NodeId, Vec<(NodeId, Label)>)> {
+        // moctopus-lint: allow(hash-iter-order, reason = "collected then sort_by_key on the next line before use")
+        let mut rows: Vec<(NodeId, Vec<(NodeId, Label)>)> = self
+            .in_edges
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(&n, v)| (n, v.clone()))
+            .collect();
+        rows.sort_by_key(|&(n, _)| n);
+        rows
     }
 
     /// Number of nodes that have been registered (with or without edges).
@@ -214,15 +257,23 @@ impl AdjacencyGraph {
     pub fn from_rows(rows: Vec<(NodeId, Vec<(NodeId, Label)>)>, id_bound: u64) -> Self {
         let mut edge_count = 0;
         let mut stats = LabelStatsTable::new();
+        let mut in_edges: HashMap<NodeId, Vec<(NodeId, Label)>> = HashMap::new();
         let out_edges: HashMap<NodeId, Vec<(NodeId, Label)>> = rows
             .into_iter()
             .map(|(n, v)| {
                 edge_count += v.len();
                 stats.record_row_installed(n, &v);
+                for &(dst, label) in &v {
+                    let rev = in_edges.entry(dst).or_default();
+                    if let Err(pos) = rev.binary_search(&(n, label)) {
+                        rev.insert(pos, (n, label));
+                        stats.record_rev_insert(dst, label);
+                    }
+                }
                 (n, v)
             })
             .collect();
-        AdjacencyGraph { out_edges, edge_count, id_bound, stats }
+        AdjacencyGraph { out_edges, in_edges, edge_count, id_bound, stats }
     }
 
     /// The incrementally maintained per-label statistics of this graph.
@@ -348,8 +399,32 @@ mod tests {
                 rebuilt.label_stats().snapshot(),
                 "incremental stats diverged from rebuilt stats at step {i}"
             );
+            assert_eq!(
+                g.export_rev_rows(),
+                rebuilt.export_rev_rows(),
+                "incremental reverse rows diverged from rebuilt transpose at step {i}"
+            );
         }
         assert_eq!(g.label_stats().total_edges(), g.edge_count() as u64);
+    }
+
+    #[test]
+    fn in_adjacency_mirrors_out_adjacency() {
+        let mut g = sample();
+        assert_eq!(g.in_neighbors(NodeId(2)), &[(NodeId(0), Label(0)), (NodeId(1), Label(1))]);
+        assert_eq!(g.in_degree(NodeId(2)), 2);
+        assert_eq!(g.in_degree(NodeId(0)), 1);
+        g.remove_edge(NodeId(1), NodeId(2), Label(1));
+        assert_eq!(g.in_neighbors(NodeId(2)), &[(NodeId(0), Label(0))]);
+        // Every (src, dst, label) appears exactly once on each side.
+        let forward = g.to_sorted_edges();
+        let mut reverse: Vec<(NodeId, NodeId, Label)> = g
+            .export_rev_rows()
+            .iter()
+            .flat_map(|(dst, row)| row.iter().map(move |&(src, l)| (src, *dst, l)))
+            .collect();
+        reverse.sort();
+        assert_eq!(forward, reverse);
     }
 
     #[test]

@@ -116,6 +116,14 @@ pub struct HeterogeneousStorage {
     /// Per-label statistics, maintained on every mutation path (insert,
     /// delete, row install/take, snapshot rebuild) — never by rescanning.
     stats: LabelStatsTable,
+    /// Reverse rows for nodes whose reverse placement is the host: strictly
+    /// sorted `(source, label)` in-edges per node. A plain secondary index —
+    /// reverse scans are sequential host reads, so no slot/free-list
+    /// machinery is needed. Maintained explicitly by the engine's mirrored
+    /// writes; forward mutations never touch it.
+    rev_rows: HashMap<NodeId, Vec<(NodeId, Label)>>,
+    /// Number of reverse-row entries stored.
+    rev_edge_count: usize,
 }
 
 impl HeterogeneousStorage {
@@ -352,6 +360,116 @@ impl HeterogeneousStorage {
         Ok(())
     }
 
+    /// Inserts a reverse-row entry: `dst` is reached by an edge from `src`
+    /// with `label`. The entry lands in the reverse row of `dst`, whose
+    /// reverse placement must be the host.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphStoreError::DuplicateEdge`] when the entry already
+    /// exists.
+    pub fn insert_rev_edge(
+        &mut self,
+        dst: NodeId,
+        src: NodeId,
+        label: Label,
+    ) -> Result<(), GraphStoreError> {
+        let row = self.rev_rows.entry(dst).or_default();
+        match row.binary_search(&(src, label)) {
+            Ok(_) => Err(GraphStoreError::DuplicateEdge(src, dst)),
+            Err(pos) => {
+                row.insert(pos, (src, label));
+                self.rev_edge_count += 1;
+                self.stats.record_rev_insert(dst, label);
+                Ok(())
+            }
+        }
+    }
+
+    /// Removes a reverse-row entry from the reverse row of `dst`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphStoreError::EdgeNotFound`] when the entry is absent.
+    pub fn remove_rev_edge(
+        &mut self,
+        dst: NodeId,
+        src: NodeId,
+        label: Label,
+    ) -> Result<(), GraphStoreError> {
+        let row = self.rev_rows.get_mut(&dst).ok_or(GraphStoreError::EdgeNotFound(src, dst))?;
+        let pos = row
+            .binary_search(&(src, label))
+            .map_err(|_| GraphStoreError::EdgeNotFound(src, dst))?;
+        row.remove(pos);
+        self.rev_edge_count -= 1;
+        self.stats.record_rev_delete(dst, label);
+        if row.is_empty() {
+            self.rev_rows.remove(&dst);
+        }
+        Ok(())
+    }
+
+    /// Returns the reverse row (`(source, label)` pairs, ascending) for
+    /// `dst`, if stored here.
+    pub fn rev_row(&self, dst: NodeId) -> Option<&[(NodeId, Label)]> {
+        self.rev_rows.get(&dst).map(Vec::as_slice)
+    }
+
+    /// Removes an entire reverse row and returns its strictly sorted
+    /// contents (used when the node's placement migrates).
+    pub fn take_rev_row(&mut self, dst: NodeId) -> Option<Vec<(NodeId, Label)>> {
+        let row = self.rev_rows.remove(&dst);
+        if let Some(ref r) = row {
+            self.rev_edge_count -= r.len();
+            self.stats.record_rev_row_taken(dst, r);
+        }
+        row
+    }
+
+    /// Installs a full reverse row received from a PIM module.
+    ///
+    /// Any existing reverse row for `dst` is replaced; presorted input (the
+    /// migration path) is installed verbatim.
+    pub fn install_rev_row(&mut self, dst: NodeId, mut in_edges: Vec<(NodeId, Label)>) {
+        if !in_edges.windows(2).all(|w| w[0] < w[1]) {
+            in_edges.sort();
+            in_edges.dedup();
+        }
+        if let Some(old) = self.rev_rows.insert(dst, in_edges) {
+            self.rev_edge_count -= old.len();
+            self.stats.record_rev_row_taken(dst, &old);
+        }
+        self.rev_edge_count += self.rev_rows[&dst].len();
+        self.stats.record_rev_row_installed(dst, &self.rev_rows[&dst]);
+        if self.rev_rows[&dst].is_empty() {
+            self.rev_rows.remove(&dst);
+        }
+    }
+
+    /// Number of reverse-row entries stored.
+    pub fn rev_edge_count(&self) -> usize {
+        self.rev_edge_count
+    }
+
+    /// Host bytes of the reverse index (8-byte id + 2-byte label per entry),
+    /// reported separately from [`HeterogeneousStorage::live_bytes`] so
+    /// forward accounting stays untouched by the mirror.
+    pub fn rev_bytes(&self) -> u64 {
+        self.rev_edge_count as u64
+            * (std::mem::size_of::<NodeId>() + std::mem::size_of::<Label>()) as u64
+    }
+
+    /// Exports every reverse row, sorted by node id (for tests and
+    /// diagnostics; snapshots rebuild reverse rows from forward rows).
+    pub fn export_rev_rows(&self) -> Vec<(NodeId, Vec<(NodeId, Label)>)> {
+        // moctopus-lint: allow(hash-iter-order, reason = "collected then sort_by_key on the next line before use")
+        let mut rows: Vec<(NodeId, Vec<(NodeId, Label)>)> =
+            self.rev_rows.iter().map(|(&n, v)| (n, v.clone())).collect();
+        rows.sort_by_key(|&(n, _)| n);
+        rows
+    }
+
     /// Exports every row for a durable snapshot, sorted by row id.
     ///
     /// Each entry is `(row, slots, free)`: the host-side `cols_vector`
@@ -545,33 +663,92 @@ mod tests {
         assert_eq!(s.live_bytes(), 16);
     }
 
+    /// Transposes exported host rows (live slots only) into the reverse rows
+    /// a storage mirroring both sides of every edge would carry.
+    fn transpose(rows: &[ExportedHostRow]) -> Vec<(NodeId, Vec<(NodeId, Label)>)> {
+        let mut map: std::collections::BTreeMap<NodeId, Vec<(NodeId, Label)>> =
+            std::collections::BTreeMap::new();
+        for &(src, ref slots, _) in rows {
+            for &(dst, label) in slots {
+                if dst != FREE_SLOT {
+                    map.entry(dst).or_default().push((src, label));
+                }
+            }
+        }
+        map.into_iter()
+            .map(|(n, mut v)| {
+                v.sort();
+                (n, v)
+            })
+            .collect()
+    }
+
     #[test]
     fn label_stats_stay_incremental_under_churn() {
         // After every step of a deterministic insert/delete/install/take
-        // interleaving, the incrementally maintained stats must equal the
-        // stats of a storage rebuilt from scratch via the snapshot path.
+        // interleaving — with the reverse side mirrored the way the engine
+        // does it — the incrementally maintained stats must equal the stats
+        // of a storage rebuilt from scratch via the snapshot path (forward
+        // rows restored, reverse rows re-derived by transposition), and the
+        // incremental reverse rows must equal the independent transpose.
         let mut s = HeterogeneousStorage::new();
         for i in 0..48u64 {
             let (src, dst, label) =
                 (NodeId(i % 5), NodeId((i * 7) % 13), Label((i % 3) as u16 + 1));
-            s.insert_edge(src, dst, label);
+            if s.insert_edge(src, dst, label).changed {
+                s.insert_rev_edge(dst, src, label).unwrap();
+            }
             if i % 4 == 0 {
-                s.delete_edge(NodeId((i + 1) % 5), NodeId((i * 7 + 7) % 13), Label(1));
+                let (ds, dd, dl) = (NodeId((i + 1) % 5), NodeId((i * 7 + 7) % 13), Label(1));
+                if s.delete_edge(ds, dd, dl).changed {
+                    s.remove_rev_edge(dd, ds, dl).unwrap();
+                }
             }
             if i % 11 == 0 {
                 if let Some(row) = s.take_row(NodeId(i % 5)) {
                     s.install_row(NodeId(i % 5), row);
                 }
+                if let Some(rev) = s.take_rev_row(NodeId((i * 7) % 13)) {
+                    s.install_rev_row(NodeId((i * 7) % 13), rev);
+                }
             }
-            let rebuilt = HeterogeneousStorage::from_rows(s.export_rows());
+            let mut rebuilt = HeterogeneousStorage::from_rows(s.export_rows());
+            for (n, rev) in transpose(&s.export_rows()) {
+                rebuilt.install_rev_row(n, rev);
+            }
             assert_eq!(
                 s.label_stats().snapshot(),
                 rebuilt.label_stats().snapshot(),
                 "incremental stats diverged from rebuilt stats at step {i}"
             );
+            assert_eq!(
+                s.export_rev_rows(),
+                transpose(&s.export_rows()),
+                "reverse rows diverged from the forward transpose at step {i}"
+            );
             s.check_invariants().unwrap();
         }
         assert_eq!(s.label_stats().total_edges(), s.edge_count() as u64);
+        assert_eq!(s.rev_edge_count(), s.edge_count());
+        assert!(s.rev_bytes() > 0);
+    }
+
+    #[test]
+    fn rev_index_is_independent_of_forward_slots() {
+        let mut s = HeterogeneousStorage::new();
+        s.insert_rev_edge(NodeId(7), NodeId(1), Label(2)).unwrap();
+        s.insert_rev_edge(NodeId(7), NodeId(1), Label(3)).unwrap();
+        assert!(s.insert_rev_edge(NodeId(7), NodeId(1), Label(2)).is_err());
+        assert_eq!(s.rev_row(NodeId(7)).unwrap(), &[(NodeId(1), Label(2)), (NodeId(1), Label(3))]);
+        // Reverse entries never count as live edges or host live bytes.
+        assert_eq!(s.edge_count(), 0);
+        assert_eq!(s.live_bytes(), 0);
+        assert_eq!(s.rev_bytes(), 20);
+        s.check_invariants().unwrap();
+        s.remove_rev_edge(NodeId(7), NodeId(1), Label(2)).unwrap();
+        s.remove_rev_edge(NodeId(7), NodeId(1), Label(3)).unwrap();
+        assert!(s.rev_row(NodeId(7)).is_none());
+        assert_eq!(s.label_stats().snapshot(), Default::default());
     }
 
     #[test]

@@ -48,6 +48,12 @@ pub struct LocalGraphStorage {
     /// Per-label statistics, maintained on every mutation path (insert,
     /// delete, row migration, snapshot rebuild) — never by rescanning rows.
     stats: LabelStatsTable,
+    /// Reverse rows: for each node whose reverse row this module owns, the
+    /// strictly sorted `(source, label)` in-edges. Maintained explicitly by
+    /// the engine's mirrored writes — forward mutations never touch it.
+    rev_rows: HashMap<NodeId, Vec<(NodeId, Label)>>,
+    /// Number of reverse-row entries stored locally.
+    rev_edge_count: usize,
 }
 
 /// Modeled MRAM bytes per stored edge: an 8-byte next-hop id plus a 2-byte
@@ -63,12 +69,7 @@ impl LocalGraphStorage {
     /// Creates an empty segment that refuses to grow beyond `capacity_bytes`
     /// (e.g. the 64 MB MRAM of an UPMEM PIM module).
     pub fn with_capacity_bytes(capacity_bytes: u64) -> Self {
-        LocalGraphStorage {
-            rows: HashMap::new(),
-            edge_count: 0,
-            capacity_bytes: Some(capacity_bytes),
-            stats: LabelStatsTable::new(),
-        }
+        LocalGraphStorage { capacity_bytes: Some(capacity_bytes), ..Self::default() }
     }
 
     /// Inserts a directed labelled edge into the row of `src`.
@@ -242,12 +243,135 @@ impl LocalGraphStorage {
                 (n, v)
             })
             .collect();
-        LocalGraphStorage { rows: map, edge_count, capacity_bytes, stats }
+        LocalGraphStorage {
+            rows: map,
+            edge_count,
+            capacity_bytes,
+            stats,
+            rev_rows: HashMap::new(),
+            rev_edge_count: 0,
+        }
     }
 
     /// The incrementally maintained per-label statistics of this segment.
     pub fn label_stats(&self) -> &LabelStatsTable {
         &self.stats
+    }
+
+    /// Inserts a reverse-row entry: `dst` is reached by an edge from `src`
+    /// with `label`. The entry lands in the reverse row of `dst`, which this
+    /// module must own.
+    ///
+    /// Reverse rows are a mirror of forward rows held elsewhere; they do not
+    /// count toward [`LocalGraphStorage::resident_bytes`] (capacity and
+    /// placement decisions stay driven by forward data alone) — their
+    /// footprint is reported separately by [`LocalGraphStorage::rev_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphStoreError::DuplicateEdge`] when the entry already
+    /// exists.
+    pub fn insert_rev_edge(
+        &mut self,
+        dst: NodeId,
+        src: NodeId,
+        label: Label,
+    ) -> Result<(), GraphStoreError> {
+        let row = self.rev_rows.entry(dst).or_default();
+        match row.binary_search(&(src, label)) {
+            Ok(_) => Err(GraphStoreError::DuplicateEdge(src, dst)),
+            Err(pos) => {
+                row.insert(pos, (src, label));
+                self.rev_edge_count += 1;
+                self.stats.record_rev_insert(dst, label);
+                Ok(())
+            }
+        }
+    }
+
+    /// Removes a reverse-row entry from the reverse row of `dst`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphStoreError::EdgeNotFound`] when the entry is absent.
+    pub fn remove_rev_edge(
+        &mut self,
+        dst: NodeId,
+        src: NodeId,
+        label: Label,
+    ) -> Result<(), GraphStoreError> {
+        let row = self.rev_rows.get_mut(&dst).ok_or(GraphStoreError::EdgeNotFound(src, dst))?;
+        let pos = row
+            .binary_search(&(src, label))
+            .map_err(|_| GraphStoreError::EdgeNotFound(src, dst))?;
+        row.remove(pos);
+        self.rev_edge_count -= 1;
+        self.stats.record_rev_delete(dst, label);
+        if row.is_empty() {
+            self.rev_rows.remove(&dst);
+        }
+        Ok(())
+    }
+
+    /// Returns the reverse row (`(source, label)` pairs, ascending) for
+    /// `dst`, if stored locally.
+    pub fn rev_row(&self, dst: NodeId) -> Option<&[(NodeId, Label)]> {
+        self.rev_rows.get(&dst).map(Vec::as_slice)
+    }
+
+    /// Removes an entire reverse row and returns its strictly sorted
+    /// contents (used when the node's placement migrates).
+    pub fn take_rev_row(&mut self, dst: NodeId) -> Option<Vec<(NodeId, Label)>> {
+        let row = self.rev_rows.remove(&dst);
+        if let Some(ref r) = row {
+            self.rev_edge_count -= r.len();
+            self.stats.record_rev_row_taken(dst, r);
+        }
+        row
+    }
+
+    /// Installs a full reverse row received from another computing node.
+    ///
+    /// Any existing reverse row for `dst` is replaced; presorted input (the
+    /// migration path) is installed verbatim.
+    pub fn install_rev_row(&mut self, dst: NodeId, mut in_edges: Vec<(NodeId, Label)>) {
+        if !in_edges.windows(2).all(|w| w[0] < w[1]) {
+            in_edges.sort();
+            in_edges.dedup();
+        }
+        if let Some(old) = self.rev_rows.insert(dst, in_edges) {
+            self.rev_edge_count -= old.len();
+            self.stats.record_rev_row_taken(dst, &old);
+        }
+        self.rev_edge_count += self.rev_rows[&dst].len();
+        self.stats.record_rev_row_installed(dst, &self.rev_rows[&dst]);
+        if self.rev_rows[&dst].is_empty() {
+            self.rev_rows.remove(&dst);
+        }
+    }
+
+    /// Number of reverse-row entries stored locally.
+    pub fn rev_edge_count(&self) -> usize {
+        self.rev_edge_count
+    }
+
+    /// Approximate MRAM bytes of the reverse index, modelled exactly like
+    /// forward rows but reported separately so capacity enforcement and the
+    /// placement policy keep seeing forward bytes only.
+    pub fn rev_bytes(&self) -> u64 {
+        let edge_bytes = self.rev_edge_count as u64 * EDGE_SLOT_BYTES;
+        let row_overhead = self.rev_rows.len() as u64 * 16;
+        edge_bytes + row_overhead
+    }
+
+    /// Exports every reverse row, sorted by node id (for tests and
+    /// diagnostics; snapshots rebuild reverse rows from forward rows).
+    pub fn export_rev_rows(&self) -> Vec<(NodeId, Vec<(NodeId, Label)>)> {
+        // moctopus-lint: allow(hash-iter-order, reason = "collected then sort_by_key on the next line before use")
+        let mut rows: Vec<(NodeId, Vec<(NodeId, Label)>)> =
+            self.rev_rows.iter().map(|(&n, v)| (n, v.clone())).collect();
+        rows.sort_by_key(|&(n, _)| n);
+        rows
     }
 }
 
@@ -368,32 +492,98 @@ mod tests {
         assert_eq!(s.resident_bytes(), 10 + 16);
     }
 
+    /// Transposes exported forward rows into the reverse rows a single store
+    /// holding both sides of every edge would carry.
+    fn transpose(rows: &[(NodeId, Vec<(NodeId, Label)>)]) -> Vec<(NodeId, Vec<(NodeId, Label)>)> {
+        let mut map: std::collections::BTreeMap<NodeId, Vec<(NodeId, Label)>> =
+            std::collections::BTreeMap::new();
+        for &(src, ref row) in rows {
+            for &(dst, label) in row {
+                map.entry(dst).or_default().push((src, label));
+            }
+        }
+        map.into_iter()
+            .map(|(n, mut v)| {
+                v.sort();
+                (n, v)
+            })
+            .collect()
+    }
+
     #[test]
     fn label_stats_stay_incremental_under_churn() {
-        // A deterministic insert/delete/migrate interleaving: after every
-        // step, the incrementally maintained stats must equal the stats of a
-        // store rebuilt from scratch via the snapshot path.
+        // A deterministic insert/delete/migrate interleaving with the reverse
+        // side mirrored the way the engine does it: after every step, the
+        // incrementally maintained stats must equal the stats of a store
+        // rebuilt from scratch via the snapshot path (forward rows restored,
+        // reverse rows re-derived by transposition), and the incremental
+        // reverse rows must equal the independent transpose exactly.
         let mut s = LocalGraphStorage::new();
         for i in 0..40u64 {
             let (src, dst, label) =
                 (NodeId(i % 7), NodeId((i * 3) % 11), Label((i % 4) as u16 + 1));
-            let _ = s.insert_edge(src, dst, label);
+            if s.insert_edge(src, dst, label).is_ok() {
+                s.insert_rev_edge(dst, src, label).unwrap();
+            }
             if i % 5 == 0 {
-                let _ = s.remove_edge(NodeId((i + 2) % 7), NodeId((i * 3 + 6) % 11), Label(1));
+                let (ds, dd, dl) = (NodeId((i + 2) % 7), NodeId((i * 3 + 6) % 11), Label(1));
+                if s.remove_edge(ds, dd, dl).is_ok() {
+                    s.remove_rev_edge(dd, ds, dl).unwrap();
+                }
             }
             if i % 9 == 0 {
                 if let Some(row) = s.take_row(NodeId(i % 7)) {
                     s.install_row(NodeId(i % 7), row);
                 }
+                if let Some(rev) = s.take_rev_row(NodeId((i * 3) % 11)) {
+                    s.install_rev_row(NodeId((i * 3) % 11), rev);
+                }
             }
-            let rebuilt = LocalGraphStorage::from_sorted_rows(s.export_rows(), None);
+            let mut rebuilt = LocalGraphStorage::from_sorted_rows(s.export_rows(), None);
+            for (n, rev) in transpose(&s.export_rows()) {
+                rebuilt.install_rev_row(n, rev);
+            }
             assert_eq!(
                 s.label_stats().snapshot(),
                 rebuilt.label_stats().snapshot(),
                 "incremental stats diverged from rebuilt stats at step {i}"
             );
+            assert_eq!(
+                s.export_rev_rows(),
+                transpose(&s.export_rows()),
+                "reverse rows diverged from the forward transpose at step {i}"
+            );
         }
         assert!(s.label_stats().total_edges() > 0);
         assert_eq!(s.label_stats().total_edges(), s.edge_count() as u64);
+        assert_eq!(s.rev_edge_count(), s.edge_count());
+        assert!(s.rev_bytes() > 0);
+        assert_eq!(
+            s.resident_bytes(),
+            LocalGraphStorage::from_sorted_rows(s.export_rows(), None).resident_bytes()
+        );
+    }
+
+    #[test]
+    fn rev_rows_are_sorted_and_duplicate_rejected() {
+        let mut s = LocalGraphStorage::new();
+        s.insert_rev_edge(NodeId(4), NodeId(9), Label(1)).unwrap();
+        s.insert_rev_edge(NodeId(4), NodeId(2), Label(1)).unwrap();
+        s.insert_rev_edge(NodeId(4), NodeId(2), Label(3)).unwrap();
+        assert!(s.insert_rev_edge(NodeId(4), NodeId(2), Label(1)).is_err());
+        assert_eq!(
+            s.rev_row(NodeId(4)).unwrap(),
+            &[(NodeId(2), Label(1)), (NodeId(2), Label(3)), (NodeId(9), Label(1))]
+        );
+        assert_eq!(s.rev_edge_count(), 3);
+        // Reverse rows never count toward forward residency.
+        assert_eq!(s.resident_bytes(), 0);
+        assert_eq!(s.rev_bytes(), 3 * 10 + 16);
+        s.remove_rev_edge(NodeId(4), NodeId(9), Label(1)).unwrap();
+        assert!(s.remove_rev_edge(NodeId(4), NodeId(9), Label(1)).is_err());
+        let taken = s.take_rev_row(NodeId(4)).unwrap();
+        assert_eq!(taken.len(), 2);
+        assert_eq!(s.rev_bytes(), 0);
+        assert_eq!(s.label_stats().snapshot(), Default::default());
     }
 }

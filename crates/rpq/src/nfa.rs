@@ -90,6 +90,22 @@ impl Nfa {
     pub fn transition_count(&self) -> usize {
         self.transitions.iter().map(Vec::len).sum()
     }
+
+    /// The reversed transition index: entry `to` lists `(spec, from)` for
+    /// every transition `from --spec--> to`, in the deterministic order the
+    /// forward transitions are stored. Backward (useful-set) sweeps walk
+    /// this index over reverse adjacency rows.
+    pub fn reversed_transitions(&self) -> Vec<Vec<(LabelSpec, usize)>> {
+        let mut rev = vec![Vec::new(); self.transitions.len()];
+        for (from, outs) in self.transitions.iter().enumerate() {
+            for &(spec, to) in outs {
+                if to < rev.len() {
+                    rev[to].push((spec, from));
+                }
+            }
+        }
+        rev
+    }
 }
 
 /// Thompson-style NFA with ε-transitions, used only during construction.

@@ -274,21 +274,108 @@ fn leading_exact_label(expr: &RpqExpr) -> Option<Label> {
     }
 }
 
+/// Decomposes `expr` (assumed normalized) for executing
+/// [`PlanStrategy::RareLabelSplit`]: the prefix and suffix halves around
+/// `split_at` (both normalized) plus the suffix's mandatory leading exact
+/// label — the pivot whose source set seeds the split execution. Returns
+/// `None` when the strategy does not fit the tree (not a top-level
+/// concatenation, split position out of range, or no mandatory exact pivot);
+/// executors fall back to the forward plan in that case.
+///
+/// Because the pivot is *mandatory* (never skippable via nullability, see
+/// [`leading_exact_label`]), the suffix accepts no empty word and every
+/// suffix match starts with a pivot-labelled edge — so seeding evaluation at
+/// the pivot label's exact source set loses no answers.
+pub fn split_for(expr: &RpqExpr, split_at: usize) -> Option<(RpqExpr, RpqExpr, Label)> {
+    let RpqExpr::Concat(parts) = expr else { return None };
+    if split_at == 0 || split_at >= parts.len() {
+        return None;
+    }
+    let pivot = leading_exact_label(&parts[split_at])?;
+    let prefix = RpqExpr::Concat(parts[..split_at].to_vec()).normalize();
+    let suffix = RpqExpr::Concat(parts[split_at..].to_vec()).normalize();
+    Some((prefix, suffix, pivot))
+}
+
+/// Whether `expr` accepts the empty word (expression-level nullability,
+/// agreeing with `Nfa::accepts_empty` on the compiled automaton).
+fn nullable(expr: &RpqExpr) -> bool {
+    match expr {
+        RpqExpr::Atom(_) => false,
+        RpqExpr::Concat(parts) => parts.iter().all(nullable),
+        RpqExpr::Alt(branches) => branches.iter().any(nullable),
+        RpqExpr::Star(_) | RpqExpr::Optional(_) => true,
+        RpqExpr::Plus(inner) => nullable(inner),
+        RpqExpr::Repeat { expr, min, .. } => *min == 0 || nullable(expr),
+    }
+}
+
+/// Estimated size of the backward base seed for `reversed` (the reversed
+/// expression): the population an executor's useful-set pass must enumerate
+/// before any reverse row is walked. Executors cannot know which end nodes
+/// matter, so the backward plan starts from *every* node carrying a
+/// leading-atom edge — `sources(l)` for an exact leading label (the
+/// statistics table's distinct-source set, which is exactly what
+/// `spec_sources` materializes), the whole node population for an any-label
+/// atom. Leading alternation branches add up; a nullable leading part also
+/// exposes the part after it.
+fn seed_population(reversed: &RpqExpr, stats: &LabelStatsSnapshot, cap: u64) -> u64 {
+    let seed = match reversed {
+        RpqExpr::Atom(LabelSpec::Exact(l)) => stats.counters(*l).sources,
+        RpqExpr::Atom(LabelSpec::Any) => cap,
+        RpqExpr::Concat(parts) => {
+            let mut seed = 0u64;
+            for part in parts {
+                seed = seed.saturating_add(seed_population(part, stats, cap));
+                if !nullable(part) {
+                    break;
+                }
+            }
+            seed
+        }
+        RpqExpr::Alt(branches) => {
+            branches.iter().fold(0u64, |acc, b| acc.saturating_add(seed_population(b, stats, cap)))
+        }
+        RpqExpr::Star(inner) | RpqExpr::Plus(inner) | RpqExpr::Optional(inner) => {
+            seed_population(inner, stats, cap)
+        }
+        RpqExpr::Repeat { expr, .. } => seed_population(expr, stats, cap),
+    };
+    seed.min(cap)
+}
+
 /// Simulated cost of the bidirectional plan: a full sweep of the reversed
 /// expression from the target side, plus a reconciliation surcharge of one
 /// pass over the source batch (anchoring the backward-reached sets to each
 /// query source). The per-node join work is already priced inside the sweep.
+///
+/// The backward sweep starts from [`seed_population`] — the full population
+/// of possible end anchors, **not** the query batch. An executor running the
+/// plan has no target list to start from, so it seeds its useful-set pass
+/// from every node with a final-atom edge; pricing the sweep against the
+/// batch instead would make the plan look cheap exactly on queries ending in
+/// a *common* label, where the executed backward pass is at its most
+/// expensive. One additional `seed`-sized pass prices gathering that base
+/// set from the statistics table.
 fn bidirectional_cost(expr: &RpqExpr, stats: &LabelStatsSnapshot, batch: u64, cap: u64) -> u64 {
     let reversed = expr.reverse();
-    let (c, _) = sweep_cost(&reversed, batch, stats, Direction::Reverse, cap);
-    c.saturating_add(batch)
+    let seed = seed_population(&reversed, stats, cap);
+    let (c, _) = sweep_cost(&reversed, seed, stats, Direction::Reverse, cap);
+    c.saturating_add(seed).saturating_add(batch)
 }
 
 /// Simulated cost of splitting `parts` at `split_at`: seed from the pivot
 /// label's source population (independent of the batch size — the whole
 /// point of rare-label-first evaluation), sweep the suffix forward and the
-/// reversed prefix backward from that seed, and anchor the result to the
-/// source batch in one reconciliation pass.
+/// reversed prefix backward from that seed, then *anchor* to the query
+/// sources: the executor still runs a forward product of the prefix from
+/// the batch — pruned to the pairs the backward prefix sweep marked useful
+/// — before joining at the pivots. That anchored pass is priced as a
+/// forward prefix sweep whose frontier is confined to the useful
+/// population (the backward sweep's reach estimate); omitting it makes the
+/// split look free exactly when the prefix floods and pruning buys
+/// nothing, which is where the executed plan degenerates to forward work
+/// plus seeding overhead.
 fn split_cost(
     parts: &[RpqExpr],
     split_at: usize,
@@ -299,10 +386,13 @@ fn split_cost(
 ) -> u64 {
     let seed = stats.counters(pivot).sources.min(cap);
     let suffix = RpqExpr::Concat(parts[split_at..].to_vec());
-    let prefix = RpqExpr::Concat(parts[..split_at].to_vec()).reverse();
+    let prefix_fwd = RpqExpr::Concat(parts[..split_at].to_vec());
+    let prefix_rev = prefix_fwd.reverse();
     let (fwd_c, _) = sweep_cost(&suffix, seed, stats, Direction::Forward, cap);
-    let (rev_c, _) = sweep_cost(&prefix, seed, stats, Direction::Reverse, cap);
-    fwd_c.saturating_add(rev_c).saturating_add(batch)
+    let (rev_c, useful) = sweep_cost(&prefix_rev, seed, stats, Direction::Reverse, cap);
+    let (anchor_c, _) =
+        sweep_cost(&prefix_fwd, batch, stats, Direction::Forward, cap.min(useful.max(1)));
+    fwd_c.saturating_add(rev_c).saturating_add(anchor_c).saturating_add(batch)
 }
 
 /// Chooses the cheapest evaluation strategy for `expr` over a source batch
@@ -315,10 +405,10 @@ fn split_cost(
 /// candidate replaces the incumbent only when **strictly** cheaper — so the
 /// choice is deterministic and `chosen_cost <= forward_cost` always holds.
 ///
-/// The start-frontier for both directions is `batch_size` (a symmetric
-/// assumption: the caller knows its source count but not the matching
-/// target population, so the backward sweep is priced against the same
-/// batch magnitude).
+/// The forward start-frontier is `batch_size`; backward-anchored plans
+/// start from the population of possible end anchors instead (see
+/// [`seed_population`]) — the caller knows its source count but never the
+/// matching target set, and an executor pays for that asymmetry.
 ///
 /// # Examples
 ///
@@ -454,16 +544,29 @@ mod tests {
     #[test]
     fn rare_branch_tail_wins_big_on_wide_batches() {
         let s = stats();
-        // `4|(1/8)` (the `c|(a.b)` class) over a wide batch: the forward
-        // plan pays the common label's full fan-out before the rare filter;
-        // the backward sweep starts at the rare label and never floods.
-        let choice = choose_plan(&norm("4|(1/8)"), &s, 64);
+        // `(4|1)/8` (the `(c|a).b` class) over a wide batch: the forward
+        // plan pays both branches' fan-out before the rare filter; the
+        // backward sweep seeds from the rare label's tiny source set and
+        // never floods.
+        let choice = choose_plan(&norm("(4|1)/8"), &s, 64);
         assert_ne!(choice.strategy, PlanStrategy::Forward);
         assert!(
             choice.simulated_speedup_millis() >= 1500,
             "expected >= 1.5x simulated win, got {}x/1000",
             choice.simulated_speedup_millis()
         );
+    }
+
+    #[test]
+    fn common_tail_keeps_the_forward_plan() {
+        let s = stats();
+        // `4?/1` ends in the *most common* label: the backward plan would
+        // have to seed its useful-set pass from nearly every node, so the
+        // honest price keeps left-to-right even though the query starts
+        // with an optional (skippable) atom.
+        let choice = choose_plan(&norm("4?/1"), &s, 16);
+        assert_eq!(choice.strategy, PlanStrategy::Forward);
+        assert_eq!(choice.chosen_cost, choice.forward_cost);
     }
 
     #[test]
@@ -524,6 +627,19 @@ mod tests {
         assert_eq!(leading_exact_label(&norm("8*/1")), None);
         assert_eq!(leading_exact_label(&norm("(8|4)/1")), None);
         assert_eq!(leading_exact_label(&norm(".{2}")), None);
+    }
+
+    #[test]
+    fn split_for_extracts_the_pivot_halves() {
+        let e = norm("1*/8/1");
+        let (prefix, suffix, pivot) = split_for(&e, 1).expect("mandatory pivot at 1");
+        assert_eq!(pivot, Label(8));
+        assert_eq!(prefix, norm("1*"));
+        assert_eq!(suffix, norm("8/1"));
+        assert!(split_for(&e, 0).is_none(), "split before the first part is meaningless");
+        assert!(split_for(&e, 3).is_none(), "split past the last part is out of range");
+        assert!(split_for(&norm("1|8"), 1).is_none(), "only concatenations split");
+        assert!(split_for(&norm("1/8*/1"), 1).is_none(), "a nullable part cannot pivot");
     }
 
     #[test]

@@ -176,26 +176,43 @@ pub struct HostMatrixEngine {
     node_bound: usize,
     any: SparseBoolMatrix,
     by_label: HashMap<Label, SparseBoolMatrix>,
+    /// Transpose of `any`: row `d` lists the sources with an edge into `d`.
+    /// Maintained on every update path so reversed sweeps (the ALPHA-PIM
+    /// style transposed matrix chain) never rebuild from scratch.
+    any_t: SparseBoolMatrix,
+    /// Transposes of the per-label matrices, maintained alongside them.
+    by_label_t: HashMap<Label, SparseBoolMatrix>,
 }
 
 impl HostMatrixEngine {
-    /// Builds per-label adjacency matrices from a graph snapshot.
+    /// Builds per-label adjacency matrices (and their transposes) from a
+    /// graph snapshot.
     pub fn from_graph(graph: &AdjacencyGraph) -> Self {
         let n = graph.id_bound() as usize;
         let mut any = MatrixBuilder::new(n, n);
+        let mut any_t = MatrixBuilder::new(n, n);
         let mut per_label: HashMap<Label, MatrixBuilder> = HashMap::new();
+        let mut per_label_t: HashMap<Label, MatrixBuilder> = HashMap::new();
         for (s, d, l) in graph.edges() {
             any.set(s.index(), d.index());
+            any_t.set(d.index(), s.index());
             per_label
                 .entry(l)
                 .or_insert_with(|| MatrixBuilder::new(n, n))
                 .set(s.index(), d.index());
+            per_label_t
+                .entry(l)
+                .or_insert_with(|| MatrixBuilder::new(n, n))
+                .set(d.index(), s.index());
         }
         HostMatrixEngine {
             node_bound: n,
             any: any.build(),
+            any_t: any_t.build(),
             // moctopus-lint: allow(hash-iter-order, reason = "map-to-map rebuild; MatrixBuilder::build sorts, so each value is order-independent")
             by_label: per_label.into_iter().map(|(l, b)| (l, b.build())).collect(),
+            // moctopus-lint: allow(hash-iter-order, reason = "map-to-map rebuild; MatrixBuilder::build sorts, so each value is order-independent")
+            by_label_t: per_label_t.into_iter().map(|(l, b)| (l, b.build())).collect(),
         }
     }
 
@@ -365,6 +382,258 @@ impl HostMatrixEngine {
         }
     }
 
+    /// The **reverse** adjacency row of `node` under one transition's label
+    /// spec: the sources with a spec-matching edge into `node`, read from the
+    /// transposed matrices.
+    fn rev_row_for(&self, spec: LabelSpec, node: usize) -> &[usize] {
+        match spec {
+            LabelSpec::Any => self.any_t.row(node),
+            LabelSpec::Exact(l) => self.by_label_t.get(&l).map(|m| m.row(node)).unwrap_or(&[]),
+        }
+    }
+
+    /// Nodes with at least one out-edge matching `spec`, ascending — the
+    /// deterministic seed set for backward useful-set sweeps. Charged as one
+    /// sequential scan of the matrix row-pointer array.
+    fn spec_sources(&self, spec: LabelSpec, stats: &mut HostExecutionStats) -> Vec<usize> {
+        stats.bytes_read += self.node_bound as u64 * 8;
+        let m: &SparseBoolMatrix = match spec {
+            LabelSpec::Any => &self.any,
+            LabelSpec::Exact(l) => match self.by_label.get(&l) {
+                Some(m) => m,
+                None => return Vec::new(),
+            },
+        };
+        (0..self.node_bound).filter(|&r| m.row_nnz(r) > 0).collect()
+    }
+
+    /// Backward useful-set sweep over the transposed matrices.
+    ///
+    /// Returns the set of product pairs `(node, state)` from which an
+    /// accepting pair is reachable in **one or more** transitions. With
+    /// `accept_nodes` set, acceptance is restricted to landing on one of
+    /// those nodes (the split executor's pivot set); without it, any node
+    /// reached in an accepting state counts.
+    ///
+    /// Work is accounted like the forward sweep: one row fetch plus the
+    /// row's bytes per `(frontier pair, reversed transition)`, 8 bytes
+    /// written per newly useful pair.
+    fn useful_pairs(
+        &self,
+        nfa: &Nfa,
+        accept_nodes: Option<&HashSet<usize>>,
+        stats: &mut HostExecutionStats,
+    ) -> HashSet<(usize, usize)> {
+        let rev_trans = nfa.reversed_transitions();
+        let mut useful: HashSet<(usize, usize)> = HashSet::new();
+        let mut frontier: Vec<(usize, usize)> = Vec::new();
+        let push = |pair: (usize, usize),
+                    useful: &mut HashSet<(usize, usize)>,
+                    frontier: &mut Vec<(usize, usize)>,
+                    stats: &mut HostExecutionStats| {
+            if useful.insert(pair) {
+                stats.bytes_written += 8;
+                frontier.push(pair);
+            }
+        };
+        // Base seeds: pairs that can take one transition straight into an
+        // accepting state.
+        for q in 0..nfa.state_count() {
+            for &(spec, q_acc) in nfa.transitions_from(q) {
+                if !nfa.is_accepting(q_acc) {
+                    continue;
+                }
+                match accept_nodes {
+                    None => {
+                        for n in self.spec_sources(spec, stats) {
+                            push((n, q), &mut useful, &mut frontier, stats);
+                        }
+                    }
+                    Some(targets) => {
+                        let mut sorted: Vec<usize> = targets.iter().copied().collect();
+                        sorted.sort_unstable();
+                        for m in sorted {
+                            let row = self.rev_row_for(spec, m);
+                            stats.row_fetches += 1;
+                            stats.bytes_read += row.len() as u64 * 8;
+                            for &n in row {
+                                push((n, q), &mut useful, &mut frontier, stats);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Backward closure: a pair is useful if an edge leads from it to a
+        // useful pair under some transition.
+        while let Some((m, q2)) = frontier.pop() {
+            for &(spec, q) in &rev_trans[q2] {
+                let row = self.rev_row_for(spec, m);
+                stats.row_fetches += 1;
+                stats.bytes_read += row.len() as u64 * 8;
+                for &n in row {
+                    if useful.insert((n, q)) {
+                        stats.bytes_written += 8;
+                        frontier.push((n, q));
+                    }
+                }
+            }
+        }
+        useful
+    }
+
+    /// Evaluates an RPQ automaton with the **bidirectional** strategy: a
+    /// backward useful-set sweep over the transposed matrices first, then the
+    /// forward product pruned to pairs that can still reach an accepting
+    /// state. Results are identical to [`HostMatrixEngine::run_nfa`] — every
+    /// prefix of an accepting path is useful, so no accepting pair is ever
+    /// pruned — while the work accounted can be far smaller when acceptance
+    /// hinges on a rare label.
+    pub fn run_nfa_bidirectional(
+        &self,
+        nfa: &Nfa,
+        sources: &[NodeId],
+    ) -> (Vec<Vec<NodeId>>, HostExecutionStats) {
+        let mut stats = HostExecutionStats::default();
+        let useful = self.useful_pairs(nfa, None, &mut stats);
+        let mut results = Vec::with_capacity(sources.len());
+        let mut frontier: Vec<(usize, usize)> = Vec::new();
+        let mut next: Vec<(usize, usize)> = Vec::new();
+        for &src in sources {
+            let mut visited: HashSet<(usize, usize)> = HashSet::new();
+            let mut out: Vec<NodeId> = Vec::new();
+            frontier.clear();
+            if nfa.accepts_empty() {
+                out.push(src);
+            }
+            if src.index() < self.node_bound {
+                visited.insert((src.index(), nfa.start()));
+                // A start pair with no useful continuation cannot produce
+                // results beyond the empty path; skip its row fetches.
+                if useful.contains(&(src.index(), nfa.start())) {
+                    frontier.push((src.index(), nfa.start()));
+                }
+            }
+            let mut levels = 0usize;
+            while !frontier.is_empty() {
+                levels += 1;
+                next.clear();
+                for &(node, state) in frontier.iter() {
+                    for &(spec, next_state) in nfa.transitions_from(state) {
+                        let row = self.row_for(spec, node);
+                        stats.row_fetches += 1;
+                        stats.bytes_read += row.len() as u64 * 8;
+                        for &dst in row {
+                            if visited.insert((dst, next_state)) {
+                                stats.bytes_written += 8;
+                                if nfa.is_accepting(next_state) {
+                                    out.push(NodeId(dst as u64));
+                                }
+                                if useful.contains(&(dst, next_state)) {
+                                    next.push((dst, next_state));
+                                }
+                            }
+                        }
+                    }
+                }
+                std::mem::swap(&mut frontier, &mut next);
+            }
+            out.sort_unstable();
+            out.dedup();
+            stats.result_entries += out.len();
+            stats.frontier_levels = stats.frontier_levels.max(levels);
+            results.push(out);
+        }
+        (results, stats)
+    }
+
+    /// Evaluates a concatenation split at a rare exact-label pivot: the
+    /// suffix automaton runs forward from the pivot's source set `M`, the
+    /// prefix automaton runs forward from the real sources pruned by a
+    /// backward sweep whose acceptance is restricted to `M`, and the per-mid
+    /// answers join. `pivot_sources` must be exactly the nodes with an
+    /// out-edge of the pivot label; results are identical to running the full
+    /// automaton forward.
+    pub fn run_nfa_split(
+        &self,
+        prefix: &Nfa,
+        suffix: &Nfa,
+        pivot_sources: &[NodeId],
+        sources: &[NodeId],
+    ) -> (Vec<Vec<NodeId>>, HostExecutionStats) {
+        let mut stats = HostExecutionStats::default();
+        let mids: Vec<usize> =
+            pivot_sources.iter().map(|n| n.index()).filter(|&n| n < self.node_bound).collect();
+        let mid_set: HashSet<usize> = mids.iter().copied().collect();
+        // Suffix leg: full forward sweep from every possible mid.
+        let (suffix_results, suffix_stats) = self.run_nfa(suffix, pivot_sources);
+        stats.merge(&suffix_stats);
+        let mut suffix_answers: HashMap<usize, &Vec<NodeId>> = HashMap::new();
+        for (m, ans) in pivot_sources.iter().zip(suffix_results.iter()) {
+            suffix_answers.insert(m.index(), ans);
+        }
+        // Prefix leg: forward product pruned by usefulness towards M.
+        let useful = self.useful_pairs(prefix, Some(&mid_set), &mut stats);
+        let mut results = Vec::with_capacity(sources.len());
+        let mut frontier: Vec<(usize, usize)> = Vec::new();
+        let mut next: Vec<(usize, usize)> = Vec::new();
+        for &src in sources {
+            let mut visited: HashSet<(usize, usize)> = HashSet::new();
+            let mut mids_hit: Vec<usize> = Vec::new();
+            frontier.clear();
+            if prefix.accepts_empty() && mid_set.contains(&src.index()) {
+                mids_hit.push(src.index());
+            }
+            if src.index() < self.node_bound {
+                visited.insert((src.index(), prefix.start()));
+                if useful.contains(&(src.index(), prefix.start())) {
+                    frontier.push((src.index(), prefix.start()));
+                }
+            }
+            let mut levels = 0usize;
+            while !frontier.is_empty() {
+                levels += 1;
+                next.clear();
+                for &(node, state) in frontier.iter() {
+                    for &(spec, next_state) in prefix.transitions_from(state) {
+                        let row = self.row_for(spec, node);
+                        stats.row_fetches += 1;
+                        stats.bytes_read += row.len() as u64 * 8;
+                        for &dst in row {
+                            if visited.insert((dst, next_state)) {
+                                stats.bytes_written += 8;
+                                if prefix.is_accepting(next_state) && mid_set.contains(&dst) {
+                                    mids_hit.push(dst);
+                                }
+                                if useful.contains(&(dst, next_state)) {
+                                    next.push((dst, next_state));
+                                }
+                            }
+                        }
+                    }
+                }
+                std::mem::swap(&mut frontier, &mut next);
+            }
+            // Join: union of the suffix answers of every mid this source
+            // reaches through the prefix.
+            let mut out: Vec<NodeId> = Vec::new();
+            mids_hit.sort_unstable();
+            mids_hit.dedup();
+            for m in mids_hit {
+                if let Some(ans) = suffix_answers.get(&m) {
+                    stats.bytes_read += ans.len() as u64 * 8;
+                    out.extend(ans.iter().copied());
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            stats.result_entries += out.len();
+            stats.frontier_levels = stats.frontier_levels.max(levels);
+            results.push(out);
+        }
+        (results, stats)
+    }
+
     /// Applies a batch of labelled edge insertions (`Adj + delta`) and returns
     /// the bytes of matrix data rewritten.
     ///
@@ -374,18 +643,26 @@ impl HostMatrixEngine {
     /// to touch only the [`Label::ANY`] matrix, leaving every other per-label
     /// matrix stale.)
     pub fn apply_insertions(&mut self, edges: &[(NodeId, NodeId, Label)]) -> u64 {
-        let delta_any = self.delta_matrix(edges);
+        let delta_any = self.delta_matrix(edges, false);
+        let delta_any_t = self.delta_matrix(edges, true);
         let before = self.any.nnz();
         self.any = ops::ewise_union(&self.any, &delta_any);
         let mut rewritten = (self.any.nnz() + before) as u64 * 8;
-        for (label, delta) in self.per_label_deltas(edges) {
-            let entry = self
-                .by_label
-                .entry(label)
-                .or_insert_with(|| SparseBoolMatrix::zeros(self.node_bound, self.node_bound));
-            let before = entry.nnz();
-            *entry = ops::ewise_union(entry, &delta);
-            rewritten += (entry.nnz() + before) as u64 * 8;
+        // The transposed mirror is rewritten alongside and charged
+        // explicitly: reverse indexes are not free to maintain.
+        let before_t = self.any_t.nnz();
+        self.any_t = ops::ewise_union(&self.any_t, &delta_any_t);
+        rewritten += (self.any_t.nnz() + before_t) as u64 * 8;
+        for transposed in [false, true] {
+            for (label, delta) in self.per_label_deltas(edges, transposed) {
+                let map = if transposed { &mut self.by_label_t } else { &mut self.by_label };
+                let entry = map
+                    .entry(label)
+                    .or_insert_with(|| SparseBoolMatrix::zeros(self.node_bound, self.node_bound));
+                let before = entry.nnz();
+                *entry = ops::ewise_union(entry, &delta);
+                rewritten += (entry.nnz() + before) as u64 * 8;
+            }
         }
         rewritten
     }
@@ -400,14 +677,16 @@ impl HostMatrixEngine {
     pub fn apply_deletions(&mut self, edges: &[(NodeId, NodeId, Label)]) -> u64 {
         self.grow_for(edges);
         let mut rewritten = 0u64;
-        for (label, delta) in self.per_label_deltas(edges) {
-            let entry = self
-                .by_label
-                .entry(label)
-                .or_insert_with(|| SparseBoolMatrix::zeros(self.node_bound, self.node_bound));
-            let before = entry.nnz();
-            *entry = ops::ewise_difference(entry, &delta);
-            rewritten += (entry.nnz() + before) as u64 * 8;
+        for transposed in [false, true] {
+            for (label, delta) in self.per_label_deltas(edges, transposed) {
+                let map = if transposed { &mut self.by_label_t } else { &mut self.by_label };
+                let entry = map
+                    .entry(label)
+                    .or_insert_with(|| SparseBoolMatrix::zeros(self.node_bound, self.node_bound));
+                let before = entry.nnz();
+                *entry = ops::ewise_difference(entry, &delta);
+                rewritten += (entry.nnz() + before) as u64 * 8;
+            }
         }
         // With every per-label matrix updated, a pair leaves the
         // label-oblivious matrix only if no label carries it any more.
@@ -417,10 +696,16 @@ impl HostMatrixEngine {
             // moctopus-lint: allow(hash-iter-order, reason = "existential probe over all values; any() over every label is order-independent")
             .filter(|&(s, d)| !self.by_label.values().any(|m| m.contains(s, d)))
             .collect();
+        let gone_t: Vec<(usize, usize)> = gone.iter().map(|&(s, d)| (d, s)).collect();
         let delta_any = SparseBoolMatrix::from_triplets(self.node_bound, self.node_bound, &gone);
         let before = self.any.nnz();
         self.any = ops::ewise_difference(&self.any, &delta_any);
         rewritten += (self.any.nnz() + before) as u64 * 8;
+        let delta_any_t =
+            SparseBoolMatrix::from_triplets(self.node_bound, self.node_bound, &gone_t);
+        let before_t = self.any_t.nnz();
+        self.any_t = ops::ewise_difference(&self.any_t, &delta_any_t);
+        rewritten += (self.any_t.nnz() + before_t) as u64 * 8;
         rewritten
     }
 
@@ -432,22 +717,43 @@ impl HostMatrixEngine {
         }
     }
 
-    /// Combined delta matrix over all labels (grows the engine if needed).
-    fn delta_matrix(&mut self, edges: &[(NodeId, NodeId, Label)]) -> SparseBoolMatrix {
+    /// Combined delta matrix over all labels (grows the engine if needed);
+    /// `transposed` swaps the coordinates for the mirrored matrices.
+    fn delta_matrix(
+        &mut self,
+        edges: &[(NodeId, NodeId, Label)],
+        transposed: bool,
+    ) -> SparseBoolMatrix {
         self.grow_for(edges);
-        let triplets: Vec<(usize, usize)> =
-            edges.iter().map(|&(s, d, _)| (s.index(), d.index())).collect();
+        let triplets: Vec<(usize, usize)> = edges
+            .iter()
+            .map(
+                |&(s, d, _)| {
+                    if transposed {
+                        (d.index(), s.index())
+                    } else {
+                        (s.index(), d.index())
+                    }
+                },
+            )
+            .collect();
         SparseBoolMatrix::from_triplets(self.node_bound, self.node_bound, &triplets)
     }
 
-    /// One delta matrix per distinct label in the batch, in label order.
+    /// One delta matrix per distinct label in the batch, in label order;
+    /// `transposed` swaps the coordinates for the mirrored matrices.
     fn per_label_deltas(
         &self,
         edges: &[(NodeId, NodeId, Label)],
+        transposed: bool,
     ) -> Vec<(Label, SparseBoolMatrix)> {
         let mut grouped: BTreeMap<Label, Vec<(usize, usize)>> = BTreeMap::new();
         for &(s, d, l) in edges {
-            grouped.entry(l).or_default().push((s.index(), d.index()));
+            grouped.entry(l).or_default().push(if transposed {
+                (d.index(), s.index())
+            } else {
+                (s.index(), d.index())
+            });
         }
         grouped
             .into_iter()
@@ -462,8 +768,11 @@ impl HostMatrixEngine {
             SparseBoolMatrix::from_triplets(new_bound, new_bound, &m.to_triplets())
         };
         self.any = grow_matrix(&self.any);
+        self.any_t = grow_matrix(&self.any_t);
         // moctopus-lint: allow(hash-iter-order, reason = "map-to-map rebuild; from_triplets sorts, so each grown matrix is order-independent")
         self.by_label = self.by_label.iter().map(|(&l, m)| (l, grow_matrix(m))).collect();
+        // moctopus-lint: allow(hash-iter-order, reason = "map-to-map rebuild; from_triplets sorts, so each grown matrix is order-independent")
+        self.by_label_t = self.by_label_t.iter().map(|(&l, m)| (l, grow_matrix(m))).collect();
         self.node_bound = new_bound;
     }
 }
@@ -689,5 +998,109 @@ mod tests {
         let g = chain_graph();
         let engine = HostMatrixEngine::from_graph(&g);
         let _ = engine.run(&ExecutionPlan::insert_batch(), &[NodeId(0)]);
+    }
+
+    fn rare_label_graph() -> AdjacencyGraph {
+        let mut g = AdjacencyGraph::new();
+        // A dense any-label mesh with one rare label-9 edge hanging off it.
+        for i in 0..8u64 {
+            for j in 0..8u64 {
+                if i != j && (i + j) % 3 != 0 {
+                    g.insert_edge(NodeId(i), NodeId(j), Label(1));
+                }
+            }
+        }
+        g.insert_edge(NodeId(3), NodeId(20), Label(9));
+        g.insert_edge(NodeId(20), NodeId(21), Label(1));
+        g
+    }
+
+    #[test]
+    fn bidirectional_matches_forward_run_nfa() {
+        let g = rare_label_graph();
+        let engine = HostMatrixEngine::from_graph(&g);
+        let sources: Vec<NodeId> = (0..22u64).map(NodeId).collect();
+        for expr in [
+            RpqExpr::concat(vec![RpqExpr::Star(Box::new(RpqExpr::any())), RpqExpr::label(9)]),
+            RpqExpr::concat(vec![
+                RpqExpr::Plus(Box::new(RpqExpr::label(1))),
+                RpqExpr::label(9),
+                RpqExpr::label(1),
+            ]),
+            RpqExpr::Star(Box::new(RpqExpr::label(2))),
+            RpqExpr::Optional(Box::new(RpqExpr::label(9))),
+        ] {
+            let nfa = Nfa::from_expr(&expr);
+            let (forward, fwd_stats) = engine.run_nfa(&nfa, &sources);
+            let (bidi, _) = engine.run_nfa_bidirectional(&nfa, &sources);
+            assert_eq!(forward, bidi, "bidirectional diverged for {expr}");
+            assert!(fwd_stats.result_entries == bidi.iter().map(Vec::len).sum::<usize>());
+        }
+    }
+
+    #[test]
+    fn bidirectional_prunes_rare_label_closures() {
+        let g = rare_label_graph();
+        let engine = HostMatrixEngine::from_graph(&g);
+        let sources: Vec<NodeId> = (0..22u64).map(NodeId).collect();
+        let expr = RpqExpr::concat(vec![
+            RpqExpr::Star(Box::new(RpqExpr::any())),
+            RpqExpr::label(9),
+            RpqExpr::label(1),
+        ]);
+        let nfa = Nfa::from_expr(&expr);
+        let (_, fwd) = engine.run_nfa(&nfa, &sources);
+        let (_, bidi) = engine.run_nfa_bidirectional(&nfa, &sources);
+        assert!(
+            bidi.row_fetches < fwd.row_fetches,
+            "pruned sweep must fetch fewer rows: {} vs {}",
+            bidi.row_fetches,
+            fwd.row_fetches
+        );
+    }
+
+    #[test]
+    fn split_matches_forward_run_nfa() {
+        let g = rare_label_graph();
+        let engine = HostMatrixEngine::from_graph(&g);
+        let sources: Vec<NodeId> = (0..22u64).map(NodeId).collect();
+        let prefix_expr = RpqExpr::Star(Box::new(RpqExpr::label(1)));
+        let suffix_expr = RpqExpr::concat(vec![RpqExpr::label(9), RpqExpr::label(1)]);
+        let whole = RpqExpr::concat(vec![prefix_expr.clone(), suffix_expr.clone()]);
+        let pivots = g.label_stats().sources_of(Label(9));
+        let (forward, _) = engine.run_nfa(&Nfa::from_expr(&whole), &sources);
+        let (split, _) = engine.run_nfa_split(
+            &Nfa::from_expr(&prefix_expr),
+            &Nfa::from_expr(&suffix_expr),
+            &pivots,
+            &sources,
+        );
+        assert_eq!(forward, split);
+    }
+
+    #[test]
+    fn transposes_stay_in_sync_under_updates() {
+        let mut engine = HostMatrixEngine::from_graph(&rare_label_graph());
+        engine.apply_insertions(&[
+            (NodeId(30), NodeId(31), Label(4)),
+            (NodeId(31), NodeId(3), Label(1)),
+        ]);
+        engine.apply_deletions(&[(NodeId(3), NodeId(20), Label(9))]);
+        for node in 0..engine.node_bound() {
+            for spec in [LabelSpec::Any, LabelSpec::Exact(Label(1)), LabelSpec::Exact(Label(9))] {
+                for &dst in engine.row_for(spec, node) {
+                    assert!(
+                        engine.rev_row_for(spec, dst).contains(&node),
+                        "missing transposed entry {node}->{dst} under {spec:?}"
+                    );
+                }
+                for &src in engine.rev_row_for(spec, node) {
+                    assert!(
+                        engine.row_for(spec, src).contains(&node),
+                        "stale transposed entry {src}->{node} under {spec:?}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -256,6 +256,15 @@ impl GraphEngine for DurableEngine {
         self.engine.rpq_batch(expr, sources)
     }
 
+    fn rpq_batch_planned(
+        &mut self,
+        expr: &RpqExpr,
+        sources: &[NodeId],
+        strategy: rpq::PlanStrategy,
+    ) -> (Vec<Vec<NodeId>>, QueryStats) {
+        self.engine.rpq_batch_planned(expr, sources, strategy)
+    }
+
     fn rpq_batch_tracked(
         &mut self,
         expr: &RpqExpr,
@@ -286,6 +295,10 @@ impl GraphEngine for DurableEngine {
 
     fn label_stats(&self) -> graph_store::LabelStatsSnapshot {
         self.engine.label_stats()
+    }
+
+    fn export_rev_rows(&self) -> Vec<(NodeId, Vec<(NodeId, Label)>)> {
+        self.engine.export_rev_rows()
     }
 }
 

@@ -41,16 +41,24 @@ pub struct ServerConfig {
     /// bit-identical with the optimizer on or off (the plan-invariance
     /// contract; enforced by `tests/plan_invariance.rs`). Default `false`.
     pub optimize: bool,
+    /// Force every executing query's shadow run to use this strategy instead
+    /// of whatever the optimizer chose (a `Forward` override disables shadow
+    /// runs entirely). A differential-testing knob: the executed-plan legs of
+    /// `tests/plan_invariance.rs` replay one request log under forced
+    /// forward / bidirectional / split strategies and require bit-identical
+    /// responses. Independent of [`ServerConfig::optimize`]. Default `None`.
+    pub plan_override: Option<rpq::PlanStrategy>,
 }
 
 impl Default for ServerConfig {
     /// Caching on (default [`CacheConfig`]), paper-default pricing, no
-    /// optimizer.
+    /// optimizer, no plan override.
     fn default() -> Self {
         ServerConfig {
             cache: Some(CacheConfig::default()),
             pricing: MoctopusConfig::default(),
             optimize: false,
+            plan_override: None,
         }
     }
 }
@@ -90,6 +98,21 @@ pub struct ServeTotals {
     /// Summed simulated cost of the chosen plans; `<= plan_forward_cost`
     /// always, because forward is always a candidate and wins ties.
     pub plan_chosen_cost: u64,
+    /// Non-forward plans that actually *executed* as instrumented shadow
+    /// runs alongside the canonical forward execution (the served bytes are
+    /// always the forward answer; the shadow exists to measure the chosen
+    /// plan's real simulated cost and to differentially check its answers).
+    pub shadow_runs: u64,
+    /// Shadow runs whose answers differed from the canonical forward
+    /// answers. The planned-execution contract says this stays 0 forever;
+    /// it is counted rather than asserted so a violation in production
+    /// serving degrades to a visible diagnostic, not a crash.
+    pub shadow_mismatches: u64,
+    /// Summed simulated latency of the canonical forward executions that
+    /// had a shadow run — the measured baseline of the executed comparison.
+    pub shadow_forward_time: SimTime,
+    /// Summed simulated latency of the shadow (chosen-plan) executions.
+    pub shadow_chosen_time: SimTime,
 }
 
 impl ServeTotals {
@@ -151,6 +174,8 @@ pub struct QueryServer {
     /// Whether query executions run the cost-based plan optimizer
     /// ([`ServerConfig::optimize`]).
     optimize: bool,
+    /// Forced shadow strategy ([`ServerConfig::plan_override`]).
+    plan_override: Option<rpq::PlanStrategy>,
     /// The optimizer's choice for the most recent planned execution.
     last_plan: Option<rpq::PlanChoice>,
 }
@@ -182,6 +207,7 @@ impl QueryServer {
             window: None,
             next_seq: 0,
             optimize: config.optimize,
+            plan_override: config.plan_override,
             last_plan: None,
         }
     }
@@ -244,6 +270,7 @@ impl QueryServer {
         if self.cache.is_none() {
             self.plan_query(&key);
             let (results, stats) = self.engine.rpq_batch(key.expr(), key.sources());
+            self.run_shadow(&key, &results, &stats);
             self.totals.engine_time += stats.latency();
             self.totals.matched_pairs += stats.matched_pairs as u64;
             self.record_in_window(&key, &results, stats);
@@ -265,6 +292,7 @@ impl QueryServer {
 
         self.plan_query(&key);
         let (results, stats, deps) = self.engine.rpq_batch_tracked(key.expr(), key.sources());
+        self.run_shadow(&key, &results, &stats);
         self.totals.engine_time += stats.latency();
         self.totals.matched_pairs += stats.matched_pairs as u64;
         self.record_in_window(&key, &results, stats);
@@ -310,6 +338,7 @@ impl QueryServer {
                     executed = true;
                     let (rows, stats, deps) =
                         self.engine.rpq_batch_tracked(row_key.expr(), row_key.sources());
+                    self.run_shadow(&row_key, &rows, &stats);
                     self.totals.engine_time += stats.latency();
                     cache.insert(row_key, rows.clone(), stats, deps, alphabet.clone());
                     (rows, stats)
@@ -362,6 +391,45 @@ impl QueryServer {
             self.totals.plan_nonforward += 1;
         }
         self.last_plan = Some(choice);
+    }
+
+    /// The strategy the current execution's shadow run should use, if any:
+    /// the test override when set, otherwise this query's optimizer choice
+    /// (`Forward` either way means no shadow — there is nothing to compare).
+    fn shadow_strategy(&self) -> Option<rpq::PlanStrategy> {
+        let strategy = match self.plan_override {
+            Some(s) => s,
+            None if self.optimize => self.last_plan?.strategy,
+            None => return None,
+        };
+        (strategy != rpq::PlanStrategy::Forward).then_some(strategy)
+    }
+
+    /// Executes the chosen non-forward plan as an instrumented shadow of a
+    /// canonical forward execution that just produced `forward_results`.
+    ///
+    /// The shadow's answers are byte-compared against the forward answers
+    /// (drift increments [`ServeTotals::shadow_mismatches`], which must stay
+    /// 0); its simulated latency lands in the [`ServeTotals`] shadow
+    /// counters, which is how a *priced* optimizer win becomes a *measured*
+    /// execution win in the serving telemetry. Nothing the client observes —
+    /// results, stats, cache behaviour, dependency footprints — comes from
+    /// the shadow; the engine's `rpq_batch_planned` contract additionally
+    /// guarantees the shadow cannot perturb any later canonical charge.
+    fn run_shadow(
+        &mut self,
+        key: &CacheKey,
+        forward_results: &[Vec<NodeId>],
+        forward_stats: &QueryStats,
+    ) {
+        let Some(strategy) = self.shadow_strategy() else { return };
+        let (results, stats) = self.engine.rpq_batch_planned(key.expr(), key.sources(), strategy);
+        self.totals.shadow_runs += 1;
+        if results != forward_results {
+            self.totals.shadow_mismatches += 1;
+        }
+        self.totals.shadow_forward_time += forward_stats.latency();
+        self.totals.shadow_chosen_time += stats.latency();
     }
 
     /// Records an engine-produced answer in the collapse window (only
@@ -478,7 +546,7 @@ mod tests {
         let cfg = MoctopusConfig::small_test();
         QueryServer::new(
             Box::new(MoctopusSystem::new(cfg)),
-            ServerConfig { cache, pricing: cfg, optimize: false },
+            ServerConfig { cache, pricing: cfg, ..ServerConfig::default() },
         )
     }
 

@@ -45,7 +45,7 @@ use graph_store::{Label, NodeId, PartitionId};
 use moctopus::{GraphEngine, QueryDeps, QueryStats, UpdateFootprint, UpdateStats};
 use moctopus_runtime::{chunk_ranges, WorkerPool};
 use pim_sim::SimTime;
-use rpq::RpqExpr;
+use rpq::{PlanStrategy, RpqExpr};
 use std::sync::{Arc, Mutex};
 
 /// A frozen node → placement-group mapping (see the module docs).
@@ -389,6 +389,21 @@ impl GraphEngine for ShardedEngine {
 
     fn rpq_batch(&mut self, expr: &RpqExpr, sources: &[NodeId]) -> (Vec<Vec<NodeId>>, QueryStats) {
         self.query_scattered(sources, |engine, chunk| engine.rpq_batch(expr, chunk))
+    }
+
+    /// Planned (shadow) execution scatters exactly like [`rpq_batch`]: each
+    /// group sub-batch runs the strategy on its owning replica, so the
+    /// byte-identity contract composes — per-replica planned answers equal
+    /// the forward answers, and the merge is the same position re-placement.
+    fn rpq_batch_planned(
+        &mut self,
+        expr: &RpqExpr,
+        sources: &[NodeId],
+        strategy: PlanStrategy,
+    ) -> (Vec<Vec<NodeId>>, QueryStats) {
+        self.query_scattered(sources, |engine, chunk| {
+            engine.rpq_batch_planned(expr, chunk, strategy)
+        })
     }
 
     fn rpq_batch_tracked(

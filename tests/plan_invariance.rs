@@ -15,7 +15,7 @@ use graph_store::{Label, NodeId};
 use moctopus::{GraphEngine, MoctopusConfig, MoctopusSystem};
 use moctopus_server::{
     CacheConfig, ConsistencyMode, QueryServer, Request, RequestKind, Response, ServeTotals,
-    ServerConfig,
+    ServerConfig, ShardPlan, ShardedEngine,
 };
 use proptest::prelude::*;
 use rpq::{choose_plan, rewritten_for, LabelSpec, PlanStrategy, RpqExpr};
@@ -113,8 +113,10 @@ fn replay(
     let mut engine = MoctopusSystem::new(cfg);
     engine.insert_labeled_edges(edges);
     engine.refine_locality();
-    let mut server =
-        QueryServer::new(Box::new(engine), ServerConfig { cache, pricing: cfg, optimize });
+    let mut server = QueryServer::new(
+        Box::new(engine),
+        ServerConfig { cache, pricing: cfg, optimize, plan_override: None },
+    );
     let mut responses = Vec::with_capacity(log.len());
     for request in log {
         let is_query = matches!(request.kind, RequestKind::Query { .. });
@@ -135,13 +137,104 @@ fn replay(
     Ok((responses, server.totals(), stats))
 }
 
-/// Strips the planning counters (the only observable the optimizer may own).
+/// Strips the planning and shadow-execution counters (the only observables
+/// the optimizer may own; the shadow runs' mismatch counter is asserted to
+/// be zero separately before masking).
 fn mask_plan_counters(mut totals: ServeTotals) -> ServeTotals {
     totals.planned = 0;
     totals.plan_nonforward = 0;
     totals.plan_forward_cost = 0;
     totals.plan_chosen_cost = 0;
+    totals.shadow_runs = 0;
+    totals.shadow_mismatches = 0;
+    totals.shadow_forward_time = pim_sim::SimTime::ZERO;
+    totals.shadow_chosen_time = pim_sim::SimTime::ZERO;
     totals
+}
+
+/// Replays `log` through a sharded serving plane with a forced shadow
+/// strategy ([`ServerConfig::plan_override`]) at a (threads, shards) cell.
+fn forced_replay(
+    edges: &[(NodeId, NodeId, Label)],
+    log: &[Request],
+    threads: usize,
+    shards: usize,
+    plan_override: Option<PlanStrategy>,
+) -> (Vec<Response>, ServeTotals) {
+    let cfg = MoctopusConfig::small_test().with_threads(threads);
+    let replicas: Vec<Box<dyn GraphEngine + Send>> = (0..shards)
+        .map(|_| {
+            let mut e = MoctopusSystem::new(cfg);
+            e.insert_labeled_edges(edges);
+            e.refine_locality();
+            Box::new(e) as Box<dyn GraphEngine + Send>
+        })
+        .collect();
+    let engine =
+        ShardedEngine::new(replicas, ShardPlan::hashed(ShardPlan::DEFAULT_GROUPS), threads);
+    let mut server = QueryServer::new(
+        Box::new(engine),
+        ServerConfig {
+            cache: Some(CacheConfig::default()),
+            pricing: cfg,
+            optimize: false,
+            plan_override,
+        },
+    );
+    let responses = log.iter().map(|request| server.execute_next(request.clone())).collect();
+    (responses, server.totals())
+}
+
+/// The **executed**-plan leg: a forced-forward, a forced-bidirectional, and a
+/// forced-rare-split replay of one request log — the non-forward strategies
+/// really executing over the reverse adjacency indexes as shadow runs — are
+/// bit-identical in every served byte at threads {1, 4} × shards {1, 2}, and
+/// no shadow execution ever disagreed with the canonical forward answers.
+#[test]
+fn forced_plan_execution_is_byte_invariant_across_threads_and_shards() {
+    let model = model(90, 42);
+    let edges = graph_gen::labels::labeled_edge_stream(&model);
+    // A fixed pool biased toward the shapes the strategies were built for:
+    // closures over the rare tail labels (bidirectional's home turf) and
+    // concatenations with an exact pivot (rare-split's), plus generic forms.
+    let pool: Vec<RpqExpr> = ["(1)+/8", "(1)*/8", "1/8/4", "(1|2)*", "1/(2|3)*/1", "2/8"]
+        .iter()
+        .map(|text| rpq::parser::parse(text).expect("pool patterns parse"))
+        .collect();
+    let log = request_log(&model, &pool, 42, 40);
+
+    let strategies = [
+        Some(PlanStrategy::Forward),
+        Some(PlanStrategy::Bidirectional),
+        Some(PlanStrategy::RareLabelSplit { split_at: 1 }),
+    ];
+    let (want, _) = forced_replay(&edges, &log, 1, 1, strategies[0]);
+    for threads in [1usize, 4] {
+        for shards in [1usize, 2] {
+            for strategy in strategies {
+                let (got, totals) = forced_replay(&edges, &log, threads, shards, strategy);
+                assert_eq!(got.len(), want.len());
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(
+                        g.body, w.body,
+                        "forced {strategy:?} visible in served bytes at t={} \
+                         (threads {threads}, shards {shards})",
+                        w.at
+                    );
+                }
+                assert_eq!(
+                    totals.shadow_mismatches, 0,
+                    "forced {strategy:?} shadow disagreed with forward answers \
+                     (threads {threads}, shards {shards})"
+                );
+                if strategy == Some(PlanStrategy::Forward) {
+                    assert_eq!(totals.shadow_runs, 0, "a forward override must not shadow");
+                } else {
+                    assert!(totals.shadow_runs > 0, "forced {strategy:?} never executed");
+                }
+            }
+        }
+    }
 }
 
 proptest! {
@@ -182,6 +275,10 @@ proptest! {
             }
             prop_assert!(got_totals.planned > 0, "optimizer-enabled replay never planned");
             prop_assert_eq!(want_totals.planned, 0, "forced-forward replay must not plan");
+            prop_assert_eq!(
+                got_totals.shadow_mismatches, 0,
+                "a shadow execution disagreed with the canonical forward answers"
+            );
             prop_assert_eq!(
                 mask_plan_counters(got_totals),
                 mask_plan_counters(want_totals),

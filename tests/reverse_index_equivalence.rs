@@ -1,0 +1,410 @@
+//! Reverse-index equivalence: the in-adjacency mirror every store carries is
+//! **exactly** the transpose of the forward adjacency, under arbitrary
+//! labelled churn — and the expression-level reversal that the bidirectional
+//! plan relies on really does reverse the language.
+//!
+//! Three layers of the same invariant:
+//!
+//! * **Stores** — after any interleaving of labelled inserts, deletes, and
+//!   row migrations, `export_rev_rows()` on [`LocalGraphStorage`],
+//!   [`HeterogeneousStorage`], and [`AdjacencyGraph`] equals an independently
+//!   computed transpose of the forward rows, entry for entry; reverse-entry
+//!   counts and mirrored-byte accounting follow the same ledger; and the
+//!   per-label distinct-target statistics (exact since the reverse index
+//!   exists) match a brute-force recount.
+//! * **Expressions** — [`RpqExpr::reverse`] is an involution, commutes with
+//!   normalization, and evaluating `e` forward agrees pair-for-pair with
+//!   evaluating `e.reverse()` on the transposed graph (the brute-force
+//!   [`ReferenceEvaluator`] on both sides).
+//!
+//! Together these are the soundness base of the bidirectional executor: it
+//! walks reverse rows with the reversed expression, so any divergence in
+//! either layer would surface as a byte-level answer drift there.
+
+use graph_store::{AdjacencyGraph, HeterogeneousStorage, Label, LocalGraphStorage, NodeId};
+use proptest::prelude::*;
+use rpq::{LabelSpec, ReferenceEvaluator, RpqExpr};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Ground truth for the churn tests: the exact labelled edge set.
+type EdgeSet = BTreeSet<(NodeId, NodeId, Label)>;
+
+/// Deterministic splitmix-style generator so every churn schedule is a pure
+/// function of the proptest-sampled seed.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// The transpose of a labelled edge set, in the canonical reverse-row shape:
+/// rows ascending by node id, entries strictly sorted.
+fn transpose(edges: &EdgeSet) -> Vec<(NodeId, Vec<(NodeId, Label)>)> {
+    let mut rows: BTreeMap<NodeId, Vec<(NodeId, Label)>> = BTreeMap::new();
+    for &(src, dst, label) in edges {
+        rows.entry(dst).or_default().push((src, label));
+    }
+    rows.into_iter()
+        .map(|(n, mut v)| {
+            v.sort();
+            (n, v)
+        })
+        .collect()
+}
+
+/// Brute-force per-label distinct source/target/edge counts from the edge set.
+fn recount(edges: &EdgeSet) -> BTreeMap<Label, (u64, u64, u64)> {
+    let mut per: BTreeMap<Label, (BTreeSet<NodeId>, BTreeSet<NodeId>, u64)> = BTreeMap::new();
+    for &(src, dst, label) in edges {
+        let entry = per.entry(label).or_default();
+        entry.0.insert(src);
+        entry.1.insert(dst);
+        entry.2 += 1;
+    }
+    per.into_iter().map(|(l, (s, t, e))| (l, (e, s.len() as u64, t.len() as u64))).collect()
+}
+
+/// Checks a merged statistics snapshot against the brute-force recount —
+/// distinct-target counts must be *exact* now that every reverse row lives in
+/// exactly one store.
+fn assert_stats_exact(
+    snapshot: &graph_store::LabelStatsSnapshot,
+    edges: &EdgeSet,
+    context: &str,
+) -> Result<(), TestCaseError> {
+    let want = recount(edges);
+    prop_assert_eq!(snapshot.total_edges, edges.len() as u64, "{}: total edges", context);
+    for (&label, &(e, s, t)) in &want {
+        let c = snapshot.counters(label);
+        prop_assert_eq!(c.edges, e, "{}: label {:?} edge count", context, label);
+        prop_assert_eq!(c.sources, s, "{}: label {:?} distinct sources", context, label);
+        prop_assert_eq!(
+            c.targets,
+            t,
+            "{}: label {:?} distinct targets (must be exact)",
+            context,
+            label
+        );
+    }
+    prop_assert_eq!(
+        snapshot.per_label.iter().filter(|(_, c)| c.edges + c.sources + c.targets > 0).count(),
+        want.len(),
+        "{}: phantom label entries survived churn",
+        context
+    );
+    Ok(())
+}
+
+/// A random labelled edge over a small id space; labels 1..=4 so duplicate
+/// hits (the error paths) actually occur.
+fn sample_edge(mix: &mut Mix, nodes: u64) -> (NodeId, NodeId, Label) {
+    (NodeId(mix.below(nodes)), NodeId(mix.below(nodes)), Label(1 + mix.below(4) as u16))
+}
+
+/// Picks the `i`-th edge of the model (deterministic; BTreeSet order).
+fn nth_edge(edges: &EdgeSet, i: usize) -> (NodeId, NodeId, Label) {
+    *edges.iter().nth(i % edges.len()).expect("nth_edge on non-empty set")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Two [`LocalGraphStorage`] segments behind a parity placement, with the
+    /// engine's mirror discipline (forward row at `owner(src)`, reverse row
+    /// at `owner(dst)`, both migrating together): after arbitrary insert /
+    /// delete / migrate churn, the union of reverse rows is exactly the
+    /// transpose of the union of forward rows, the reverse ledger matches,
+    /// and the merged statistics are exact.
+    #[test]
+    fn local_segments_mirror_the_transposed_forward_rows(
+        seed in 0u64..10_000,
+        nodes in 8u64..24,
+        ops in 60usize..160,
+    ) {
+        let mut mix = Mix(seed);
+        let mut segments = [LocalGraphStorage::new(), LocalGraphStorage::new()];
+        // owner[n] starts at parity and flips on migration.
+        let mut owner: Vec<usize> = (0..nodes).map(|n| (n % 2) as usize).collect();
+        let mut model: EdgeSet = BTreeSet::new();
+
+        for _ in 0..ops {
+            match mix.below(6) {
+                // Insert (duplicates must error on *both* sides and change nothing).
+                0..=2 => {
+                    let (s, d, l) = sample_edge(&mut mix, nodes);
+                    let fwd = segments[owner[s.0 as usize]].insert_edge(s, d, l);
+                    let rev = segments[owner[d.0 as usize]].insert_rev_edge(d, s, l);
+                    if model.insert((s, d, l)) {
+                        prop_assert!(fwd.is_ok() && rev.is_ok(), "fresh edge rejected");
+                    } else {
+                        prop_assert!(fwd.is_err() && rev.is_err(), "duplicate accepted");
+                    }
+                }
+                // Delete an existing edge (or exercise the not-found path).
+                3..=4 => {
+                    if model.is_empty() || mix.below(8) == 0 {
+                        let (s, d, l) = sample_edge(&mut mix, nodes);
+                        if !model.contains(&(s, d, l)) {
+                            prop_assert!(segments[owner[s.0 as usize]].remove_edge(s, d, l).is_err());
+                            prop_assert!(
+                                segments[owner[d.0 as usize]].remove_rev_edge(d, s, l).is_err()
+                            );
+                        }
+                    } else {
+                        let (s, d, l) = nth_edge(&model, mix.below(1 << 16) as usize);
+                        segments[owner[s.0 as usize]].remove_edge(s, d, l).expect("model edge");
+                        segments[owner[d.0 as usize]]
+                            .remove_rev_edge(d, s, l)
+                            .expect("mirrored entry");
+                        model.remove(&(s, d, l));
+                    }
+                }
+                // Migrate a node: forward row and reverse row move together
+                // (the colocation invariant the engines maintain).
+                _ => {
+                    let n = NodeId(mix.below(nodes));
+                    let from = owner[n.0 as usize];
+                    let to = 1 - from;
+                    if let Some(row) = segments[from].take_row(n) {
+                        segments[to].install_row(n, row);
+                    }
+                    if let Some(rev) = segments[from].take_rev_row(n) {
+                        segments[to].install_rev_row(n, rev);
+                    }
+                    owner[n.0 as usize] = to;
+                }
+            }
+        }
+
+        // Union of forward rows across segments == the model.
+        let mut forward: EdgeSet = BTreeSet::new();
+        for seg in &segments {
+            for (src, row) in seg.export_rows() {
+                for (dst, label) in row {
+                    forward.insert((src, dst, label));
+                }
+            }
+        }
+        prop_assert_eq!(&forward, &model, "forward rows drifted from the model");
+
+        // Union of reverse rows == the transpose, and each node's reverse row
+        // is colocated with its owner.
+        let mut rev_union: Vec<(NodeId, Vec<(NodeId, Label)>)> = Vec::new();
+        for (idx, seg) in segments.iter().enumerate() {
+            for (dst, row) in seg.export_rev_rows() {
+                prop_assert_eq!(
+                    owner[dst.0 as usize], idx,
+                    "reverse row of {:?} not colocated with its owner", dst
+                );
+                rev_union.push((dst, row));
+            }
+        }
+        rev_union.sort_by_key(|&(n, _)| n);
+        prop_assert_eq!(rev_union, transpose(&model), "reverse rows are not the transpose");
+
+        // Ledger: entry counts and byte accounting stay in lockstep.
+        let fwd_edges: usize = segments.iter().map(LocalGraphStorage::edge_count).sum();
+        let rev_edges: usize = segments.iter().map(LocalGraphStorage::rev_edge_count).sum();
+        prop_assert_eq!(rev_edges, fwd_edges, "mirror entry count diverged");
+        prop_assert_eq!(
+            segments.iter().map(LocalGraphStorage::rev_bytes).sum::<u64>() == 0,
+            model.is_empty(),
+            "reverse byte accounting out of step with content"
+        );
+
+        // Merged statistics are exact — including distinct targets.
+        let mut snapshot = segments[0].label_stats().snapshot();
+        snapshot.merge(&segments[1].label_stats().snapshot());
+        assert_stats_exact(&snapshot, &model, "local segments")?;
+    }
+
+    /// [`HeterogeneousStorage`] (the host store behind promotions) under the
+    /// same mirror discipline, including its free-list slot reuse: reverse
+    /// rows equal the transpose, and the slotted forward representation still
+    /// round-trips through `check_invariants`.
+    #[test]
+    fn heterogeneous_store_mirrors_the_transposed_forward_rows(
+        seed in 0u64..10_000,
+        nodes in 8u64..24,
+        ops in 60usize..160,
+    ) {
+        let mut mix = Mix(seed);
+        let mut store = HeterogeneousStorage::new();
+        let mut model: EdgeSet = BTreeSet::new();
+
+        for _ in 0..ops {
+            if mix.below(2) == 0 || model.is_empty() {
+                let (s, d, l) = sample_edge(&mut mix, nodes);
+                let outcome = store.insert_edge(s, d, l);
+                prop_assert_eq!(outcome.changed, model.insert((s, d, l)));
+                if outcome.changed {
+                    store.insert_rev_edge(d, s, l).expect("mirror of a fresh edge");
+                }
+            } else {
+                let (s, d, l) = nth_edge(&model, mix.below(1 << 16) as usize);
+                prop_assert!(store.delete_edge(s, d, l).changed);
+                store.remove_rev_edge(d, s, l).expect("mirrored entry");
+                model.remove(&(s, d, l));
+            }
+        }
+
+        store.check_invariants().expect("slot maps stay consistent");
+        let mut forward: EdgeSet = BTreeSet::new();
+        for (src, row) in store.iter() {
+            for (dst, label) in row {
+                forward.insert((src, dst, label));
+            }
+        }
+        prop_assert_eq!(&forward, &model, "live slots drifted from the model");
+        prop_assert_eq!(
+            store.export_rev_rows(),
+            transpose(&model),
+            "reverse rows are not the transpose"
+        );
+        prop_assert_eq!(store.rev_edge_count(), model.len());
+        assert_stats_exact(&store.label_stats().snapshot(), &model, "heterogeneous store")?;
+    }
+
+    /// [`AdjacencyGraph`] maintains its own transpose on the plain
+    /// insert/delete path, and `from_rows` (the snapshot-restore path)
+    /// re-derives an identical reverse side *and* identical statistics.
+    #[test]
+    fn adjacency_graph_maintains_its_own_transpose(
+        seed in 0u64..10_000,
+        nodes in 8u64..32,
+        ops in 60usize..200,
+    ) {
+        let mut mix = Mix(seed);
+        let mut g = AdjacencyGraph::new();
+        let mut model: EdgeSet = BTreeSet::new();
+
+        for _ in 0..ops {
+            if mix.below(3) > 0 || model.is_empty() {
+                let (s, d, l) = sample_edge(&mut mix, nodes);
+                prop_assert_eq!(g.insert_edge(s, d, l), model.insert((s, d, l)));
+            } else {
+                let (s, d, l) = nth_edge(&model, mix.below(1 << 16) as usize);
+                prop_assert!(g.remove_edge(s, d, l));
+                model.remove(&(s, d, l));
+            }
+        }
+
+        prop_assert_eq!(g.export_rev_rows(), transpose(&model));
+        assert_stats_exact(&g.label_stats().snapshot(), &model, "adjacency graph")?;
+        for &(_, dst, _) in &model {
+            let row = g.in_neighbors(dst);
+            prop_assert!(row.windows(2).all(|w| w[0] < w[1]), "in-row not strictly sorted");
+        }
+
+        // Snapshot-restore: the reverse side is derived data and must come
+        // back bit-identical from forward rows alone.
+        let restored = AdjacencyGraph::from_rows(g.export_rows(), g.id_bound());
+        prop_assert_eq!(restored.export_rev_rows(), g.export_rev_rows());
+        prop_assert_eq!(restored.label_stats().snapshot(), g.label_stats().snapshot());
+    }
+}
+
+/// Random RPQ expressions over labels 1..=4 (matching the churn alphabet),
+/// with the occasional any-label atom.
+struct ArbExpr;
+
+impl Strategy for ArbExpr {
+    type Value = RpqExpr;
+
+    fn sample(&self, rng: &mut TestRng) -> RpqExpr {
+        sample_expr(rng, 3)
+    }
+}
+
+fn sample_expr(rng: &mut TestRng, depth: u32) -> RpqExpr {
+    if depth == 0 || rng.below(3) == 0 {
+        return if rng.below(7) == 0 {
+            RpqExpr::Atom(LabelSpec::Any)
+        } else {
+            RpqExpr::Atom(LabelSpec::Exact(Label(1 + rng.below(4) as u16)))
+        };
+    }
+    match rng.below(6) {
+        0 => RpqExpr::Concat((0..2 + rng.below(2)).map(|_| sample_expr(rng, depth - 1)).collect()),
+        1 => RpqExpr::Alt((0..2 + rng.below(2)).map(|_| sample_expr(rng, depth - 1)).collect()),
+        2 => RpqExpr::Star(Box::new(sample_expr(rng, depth - 1))),
+        3 => RpqExpr::Plus(Box::new(sample_expr(rng, depth - 1))),
+        4 => RpqExpr::Optional(Box::new(sample_expr(rng, depth - 1))),
+        _ => {
+            let min = rng.below(3) as usize;
+            let max = min + rng.below(3) as usize;
+            RpqExpr::Repeat { expr: Box::new(sample_expr(rng, depth - 1)), min, max }
+        }
+    }
+}
+
+/// All `(source, target)` pairs the reference evaluator accepts for `expr`
+/// on `g`, sweeping every node as a source.
+fn accepted_pairs(g: &AdjacencyGraph, expr: &RpqExpr) -> BTreeSet<(NodeId, NodeId)> {
+    let mut sources: Vec<NodeId> = g.nodes().collect();
+    sources.sort();
+    let eval = ReferenceEvaluator::new(g);
+    let mut pairs = BTreeSet::new();
+    for (i, reached) in eval.evaluate(expr, &sources).into_iter().enumerate() {
+        for t in reached {
+            pairs.insert((sources[i], t));
+        }
+    }
+    pairs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `RpqExpr::reverse` is an involution on the raw tree and commutes with
+    /// normalization, and — the semantic half — `e` on `G` accepts exactly
+    /// the flipped pairs of `e.reverse()` on the transposed `G`, per the
+    /// brute-force reference evaluator on both sides.
+    #[test]
+    fn expression_reversal_reverses_the_language(
+        seed in 0u64..5_000,
+        expr in ArbExpr,
+    ) {
+        prop_assert_eq!(expr.reverse().reverse(), expr.clone(), "reverse is not an involution");
+        prop_assert_eq!(
+            expr.normalize().reverse().normalize(),
+            expr.reverse().normalize(),
+            "reverse does not commute with normalization"
+        );
+
+        // A small labelled graph and its transpose over the same node set.
+        let mut mix = Mix(seed);
+        let nodes = 6 + mix.below(10);
+        let mut g = AdjacencyGraph::new();
+        let mut gt = AdjacencyGraph::new();
+        for n in 0..nodes {
+            g.note_node(NodeId(n));
+            gt.note_node(NodeId(n));
+        }
+        for _ in 0..(2 * nodes + mix.below(3 * nodes)) {
+            let (s, d, l) = sample_edge(&mut mix, nodes);
+            g.insert_edge(s, d, l);
+            gt.insert_edge(d, s, l);
+        }
+
+        let forward = accepted_pairs(&g, &expr);
+        let backward = accepted_pairs(&gt, &expr.reverse());
+        let flipped: BTreeSet<(NodeId, NodeId)> =
+            backward.into_iter().map(|(t, s)| (s, t)).collect();
+        prop_assert_eq!(
+            forward,
+            flipped,
+            "reversed expression on the transposed graph accepts different pairs"
+        );
+    }
+}

@@ -111,6 +111,7 @@ fn taxonomy_is_invariant_under_the_optimizer() {
                             cache: Some(CacheConfig::default()),
                             pricing: cfg,
                             optimize,
+                            plan_override: None,
                         },
                     )
                 };
@@ -152,16 +153,68 @@ fn taxonomy_is_invariant_under_the_optimizer() {
                     .collect();
                 assert_eq!(tw.planned, distinct.len() as u64, "one plan per distinct AQ");
                 assert_eq!(to.planned, 0);
-                // Everything except the planning counters is identical.
+                // Every non-forward choice also *executed* as a shadow run,
+                // and none of those executions disagreed with the canonical
+                // forward answers.
+                assert_eq!(tw.shadow_runs, tw.plan_nonforward, "one shadow per non-forward plan");
+                assert_eq!(tw.shadow_mismatches, 0, "{family}/{name}: shadow answers drifted");
+                // Everything except the planning/shadow counters is identical.
                 let mut masked = tw;
                 masked.planned = 0;
                 masked.plan_nonforward = 0;
                 masked.plan_forward_cost = 0;
                 masked.plan_chosen_cost = 0;
+                masked.shadow_runs = 0;
+                masked.shadow_forward_time = pim_sim::SimTime::ZERO;
+                masked.shadow_chosen_time = pim_sim::SimTime::ZERO;
                 assert_eq!(masked, to, "{family}/{name}: non-plan totals diverged");
             }
         }
     }
+}
+
+/// The execution half of the optimizer contract, swept over the taxonomy:
+/// running the chosen plan (`GraphEngine::rpq_batch_planned`) answers every
+/// AQ byte-identically to the canonical forward execution on all three
+/// engines, and on every AQ where a non-forward plan was chosen, the
+/// *executed* simulated cost does not exceed the forward execution's — the
+/// priced win is a measured win.
+#[test]
+fn taxonomy_chosen_plans_execute_identically_and_never_cost_more() {
+    let mut nonforward_seen = 0usize;
+    for (family, model) in models() {
+        let edges = graph_gen::labels::labeled_edge_stream(&model);
+        let sources = sources(&model);
+        let mut engines = engines_at(1, &edges);
+        for engine in engines.iter_mut() {
+            let stats = engine.label_stats();
+            let name = engine.name();
+            for (aq, text) in AQS {
+                let expr = parser::parse(text).expect("AQ patterns parse").normalize();
+                let choice = rpq::optimizer::choose_plan(&expr, &stats, sources.len());
+                let (want, forward) = engine.rpq_batch(&expr, &sources);
+                let (got, executed) = engine.rpq_batch_planned(&expr, &sources, choice.strategy);
+                assert_eq!(
+                    got,
+                    want,
+                    "{aq} ({text}) on {family}: executed {} plan drifted on {name}",
+                    choice.strategy.describe()
+                );
+                if choice.strategy != rpq::PlanStrategy::Forward {
+                    nonforward_seen += 1;
+                    assert!(
+                        executed.latency() <= forward.latency(),
+                        "{aq} ({text}) on {family}/{name}: executed {} cost {:?} \
+                         exceeds forward's {:?}",
+                        choice.strategy.describe(),
+                        executed.latency(),
+                        forward.latency()
+                    );
+                }
+            }
+        }
+    }
+    assert!(nonforward_seen > 0, "the taxonomy never exercised a non-forward execution");
 }
 
 /// Pinned canonical spelling and structural fingerprint of every AQ pattern.

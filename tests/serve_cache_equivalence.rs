@@ -109,7 +109,8 @@ fn replay(
     optimize: bool,
     log: &[Request],
 ) -> (Vec<Response>, moctopus_server::ServeTotals) {
-    let mut server = QueryServer::new(engine, ServerConfig { cache, pricing, optimize });
+    let mut server =
+        QueryServer::new(engine, ServerConfig { cache, pricing, optimize, plan_override: None });
     let responses = log.iter().map(|request| server.execute_next(request.clone())).collect();
     (responses, server.totals())
 }
@@ -312,7 +313,12 @@ fn concurrent_sessions_match_sequential_replay() {
     let (engine, cfg) = engine_at(0, 1, &edges);
     let server = ConcurrentServer::new(QueryServer::new(
         engine,
-        ServerConfig { cache: Some(CacheConfig::default()), pricing: cfg, optimize: true },
+        ServerConfig {
+            cache: Some(CacheConfig::default()),
+            pricing: cfg,
+            optimize: true,
+            plan_override: None,
+        },
     ));
     let mut sessions: Vec<Session> = (0..3).map(|_| server.session()).collect();
     std::thread::scope(|scope| {
@@ -353,7 +359,12 @@ fn query_and_plan_rewritten_form_share_one_cache_row() {
     let (engine, cfg) = engine_at(0, 1, &edges);
     let mut server = QueryServer::new(
         engine,
-        ServerConfig { cache: Some(CacheConfig::default()), pricing: cfg, optimize: true },
+        ServerConfig {
+            cache: Some(CacheConfig::default()),
+            pricing: cfg,
+            optimize: true,
+            plan_override: None,
+        },
     );
 
     let sources: Vec<NodeId> = (0..8u64).map(NodeId).collect();

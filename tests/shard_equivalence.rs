@@ -101,7 +101,8 @@ fn replay(
     cache: Option<CacheConfig>,
     log: &[Request],
 ) -> (Vec<Response>, ServeTotals, Option<CacheStats>) {
-    let mut server = QueryServer::new(engine, ServerConfig { cache, pricing, optimize: false });
+    let mut server =
+        QueryServer::new(engine, ServerConfig { cache, pricing, ..ServerConfig::default() });
     let responses = log.iter().map(|request| server.execute_next(request.clone())).collect();
     let stats = server.cache_stats();
     (responses, server.totals(), stats)
@@ -128,7 +129,7 @@ fn assert_shard_equivalence(
                 let (engine, cfg) = sharded_engine(shards, threads, edges);
                 let server = ConcurrentServer::new(QueryServer::new(
                     engine,
-                    ServerConfig { cache: *cache, pricing: cfg, optimize: false },
+                    ServerConfig { cache: *cache, pricing: cfg, ..ServerConfig::default() },
                 ));
                 let mut sessions: Vec<Session> = (0..3).map(|_| server.session()).collect();
                 std::thread::scope(|scope| {
